@@ -1,0 +1,47 @@
+//! Criterion micro-benches: index construction across engines
+//! (the micro-scale companion of `exp fig6` / `exp fig7`).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use pagestore::{Lru, MemDevice};
+use spine::{CompactSpine, DiskSpine, Spine};
+use spine_bench::Dataset;
+use suffix_array::SaIndex;
+use suffix_tree::SuffixTree;
+
+fn construction(c: &mut Criterion) {
+    let mut g = c.benchmark_group("construction");
+    g.sample_size(10);
+    for &n in &[20_000usize, 100_000] {
+        let d = Dataset::generate("eco-sim", n as f64 / 3_500_000.0);
+        let text = d.seq.clone();
+        g.throughput(Throughput::Elements(text.len() as u64));
+        g.bench_with_input(BenchmarkId::new("spine-ref", n), &text, |b, t| {
+            b.iter(|| Spine::build(d.alphabet.clone(), t).unwrap())
+        });
+        g.bench_with_input(BenchmarkId::new("spine-compact", n), &text, |b, t| {
+            b.iter(|| CompactSpine::build(d.alphabet.clone(), t).unwrap())
+        });
+        g.bench_with_input(BenchmarkId::new("suffix-tree", n), &text, |b, t| {
+            b.iter(|| SuffixTree::build(d.alphabet.clone(), t).unwrap())
+        });
+        g.bench_with_input(BenchmarkId::new("suffix-array", n), &text, |b, t| {
+            b.iter(|| SaIndex::build(d.alphabet.clone(), t))
+        });
+        g.bench_with_input(BenchmarkId::new("spine-disk", n), &text, |b, t| {
+            b.iter(|| {
+                DiskSpine::build(
+                    d.alphabet.clone(),
+                    t,
+                    Box::new(MemDevice::new()),
+                    64,
+                    Box::<Lru>::default(),
+                )
+                .unwrap()
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, construction);
+criterion_main!(benches);

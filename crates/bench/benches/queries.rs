@@ -1,0 +1,62 @@
+//! Criterion micro-benches: query latency across engines
+//! (the micro-scale companion of `exp table5`).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use spine::{CompactSpine, Spine};
+use spine_bench::{query_for, Dataset};
+use strindex::{Code, MatchingIndex, StringIndex};
+use suffix_array::SaIndex;
+use suffix_tree::SuffixTree;
+
+const N: usize = 100_000;
+
+fn setup() -> (Dataset, Vec<Vec<Code>>, Vec<Code>) {
+    let d = Dataset::generate("eco-sim", N as f64 / 3_500_000.0);
+    // Patterns: windows of the text (guaranteed hits) + shuffled misses.
+    let mut pats: Vec<Vec<Code>> = (0..64)
+        .map(|i| d.seq[i * 997 % (d.seq.len() - 24)..][..24].to_vec())
+        .collect();
+    for i in 0..16 {
+        let mut p = pats[i].clone();
+        p.reverse();
+        pats.push(p);
+    }
+    let query = query_for(&d);
+    (d, pats, query)
+}
+
+fn find_first(c: &mut Criterion) {
+    let (d, pats, _) = setup();
+    let spine = Spine::build(d.alphabet.clone(), &d.seq).unwrap();
+    let compact = CompactSpine::build(d.alphabet.clone(), &d.seq).unwrap();
+    let st = SuffixTree::build(d.alphabet.clone(), &d.seq).unwrap();
+    let sa = SaIndex::build(d.alphabet.clone(), &d.seq);
+    let mut g = c.benchmark_group("find_first");
+    g.bench_function("spine-ref", |b| {
+        b.iter(|| pats.iter().filter_map(|p| spine.find_first(p)).count())
+    });
+    g.bench_function("spine-compact", |b| {
+        b.iter(|| pats.iter().filter_map(|p| compact.find_first(p)).count())
+    });
+    g.bench_function("suffix-tree", |b| {
+        b.iter(|| pats.iter().filter_map(|p| st.find_first(p)).count())
+    });
+    g.bench_function("suffix-array", |b| {
+        b.iter(|| pats.iter().filter_map(|p| sa.find_first(p)).count())
+    });
+    g.finish();
+}
+
+fn matching(c: &mut Criterion) {
+    let (d, _, query) = setup();
+    let spine = Spine::build(d.alphabet.clone(), &d.seq).unwrap();
+    let st = SuffixTree::build(d.alphabet.clone(), &d.seq).unwrap();
+    let mut g = c.benchmark_group("maximal_matches");
+    g.sample_size(10);
+    g.bench_function("spine", |b| b.iter(|| spine.maximal_matches(&query, 20).len()));
+    g.bench_function("suffix-tree", |b| b.iter(|| st.maximal_matches(&query, 20).len()));
+    g.finish();
+}
+
+criterion_group!(benches, find_first, matching);
+criterion_main!(benches);

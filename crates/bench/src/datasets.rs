@@ -1,0 +1,97 @@
+//! Dataset construction for the experiments.
+//!
+//! Every experiment works from a [`Dataset`]: a named synthetic stand-in
+//! for one of the paper's genomes/proteomes at a caller-chosen scale, plus
+//! (for the matching experiments) a mutated relative playing the query
+//! genome of the pair.
+
+use genseq::{mutate, preset, rng, MutationProfile, Preset};
+use strindex::{Alphabet, Code};
+
+/// A generated dataset: the encoded sequence plus its provenance.
+pub struct Dataset {
+    /// Preset name (e.g. `eco-sim`).
+    pub name: &'static str,
+    /// What the preset stands in for.
+    pub stands_in_for: &'static str,
+    /// The alphabet.
+    pub alphabet: Alphabet,
+    /// The encoded sequence.
+    pub seq: Vec<Code>,
+}
+
+impl Dataset {
+    /// Generate the named preset at `scale`.
+    pub fn generate(name: &str, scale: f64) -> Dataset {
+        let p: &Preset = preset(name).unwrap_or_else(|| panic!("unknown preset {name}"));
+        Dataset {
+            name: p.name,
+            stands_in_for: p.stands_in_for,
+            alphabet: p.alphabet(),
+            seq: p.generate(scale),
+        }
+    }
+
+    /// Sequence length in megabases/residues (for table headers).
+    pub fn mega(&self) -> f64 {
+        self.seq.len() as f64 / 1e6
+    }
+}
+
+/// The paper's four DNA datasets, smallest first (Figure 6 order).
+pub fn dna_presets() -> [&'static str; 4] {
+    ["eco-sim", "cel-sim", "hc21-sim", "hc19-sim"]
+}
+
+/// The paper's three proteome datasets (§5.2).
+pub fn protein_presets() -> [&'static str; 3] {
+    ["ecor-sim", "yst-sim", "dros-sim"]
+}
+
+/// Derive the query side of a matching pair: a mutated relative of `data`
+/// (≈1 % divergence, a few rearrangements), deterministic per dataset name.
+pub fn query_for(data: &Dataset) -> Vec<Code> {
+    let seed = data
+        .name
+        .bytes()
+        .fold(0xC0FFEEu64, |h, b| h.wrapping_mul(31).wrapping_add(b as u64));
+    let mut r = rng(seed);
+    mutate(&data.seq, data.alphabet.size(), &MutationProfile::default(), &mut r)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generate_all_presets_small() {
+        for name in dna_presets().iter().chain(protein_presets().iter()) {
+            let d = Dataset::generate(name, 0.0005);
+            assert!(!d.seq.is_empty(), "{name}");
+            assert!(d.seq.iter().all(|&c| (c as usize) < d.alphabet.size()));
+        }
+    }
+
+    #[test]
+    fn query_shares_material_with_data() {
+        let d = Dataset::generate("eco-sim", 0.001);
+        let q = query_for(&d);
+        // The mutant keeps most 20-mers of the base.
+        let window = 20;
+        let mut shared = 0usize;
+        let mut total = 0usize;
+        for w in q.windows(window).step_by(500) {
+            total += 1;
+            if d.seq.windows(window).any(|x| x == w) {
+                shared += 1;
+            }
+        }
+        assert!(shared * 2 > total, "shared {shared}/{total}");
+    }
+
+    #[test]
+    fn query_is_deterministic() {
+        let d = Dataset::generate("cel-sim", 0.0005);
+        assert_eq!(query_for(&d), query_for(&d));
+    }
+}

@@ -1,0 +1,38 @@
+//! Shared machinery for the experiment harness.
+//!
+//! The `exp` binary (one subcommand per paper table/figure) and the
+//! Criterion benches both build on the helpers here: deterministic dataset
+//! construction from the [`genseq`] presets, wall-clock timing, and plain
+//! text / JSON result reporting.
+
+pub mod datasets;
+pub mod report;
+
+pub use datasets::{dna_presets, protein_presets, query_for, Dataset};
+pub use report::{print_table, Row};
+
+use std::time::{Duration, Instant};
+
+/// Run `f`, returning its result and the elapsed wall-clock time.
+pub fn time<R>(f: impl FnOnce() -> R) -> (R, Duration) {
+    let start = Instant::now();
+    let r = f();
+    (r, start.elapsed())
+}
+
+/// Format a duration as fractional seconds.
+pub fn secs(d: Duration) -> f64 {
+    d.as_secs_f64()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn time_measures_something() {
+        let (v, d) = time(|| (0..10_000u64).sum::<u64>());
+        assert_eq!(v, 49_995_000);
+        assert!(d.as_nanos() > 0);
+    }
+}

@@ -1,0 +1,116 @@
+//! Result reporting: aligned text tables and JSON records.
+
+use serde::Serialize;
+
+/// One row of an experiment table: a label plus named numeric cells.
+#[derive(Debug, Clone, Serialize)]
+pub struct Row {
+    /// Row label (usually the dataset name).
+    pub label: String,
+    /// `(column name, value)` cells, printed in order.
+    pub cells: Vec<(String, f64)>,
+}
+
+impl Row {
+    /// A row with no cells yet.
+    pub fn new(label: impl Into<String>) -> Self {
+        Row { label: label.into(), cells: Vec::new() }
+    }
+
+    /// Append a cell.
+    pub fn cell(mut self, name: &str, value: f64) -> Self {
+        self.cells.push((name.to_string(), value));
+        self
+    }
+}
+
+/// Print a titled, column-aligned table; `json` switches to one JSON object
+/// per row (for downstream plotting).
+pub fn print_table(title: &str, rows: &[Row], json: bool) {
+    if json {
+        for r in rows {
+            println!("{}", serde_json::to_string_like(r));
+        }
+        return;
+    }
+    println!("\n== {title} ==");
+    if rows.is_empty() {
+        println!("(no rows)");
+        return;
+    }
+    let cols: Vec<&str> = rows[0].cells.iter().map(|(n, _)| n.as_str()).collect();
+    let label_w = rows.iter().map(|r| r.label.len()).max().unwrap_or(4).max(8);
+    print!("{:label_w$}", "dataset");
+    for c in &cols {
+        print!("  {c:>14}");
+    }
+    println!();
+    for r in rows {
+        print!("{:label_w$}", r.label);
+        for (_, v) in &r.cells {
+            if v.abs() >= 1000.0 || (*v != 0.0 && v.fract() == 0.0) {
+                print!("  {v:>14.0}");
+            } else {
+                print!("  {v:>14.4}");
+            }
+        }
+        println!();
+    }
+}
+
+// `serde_json` is not in the sanctioned dependency set; emit the small JSON
+// subset we need by hand through serde's data model.
+mod serde_json {
+    use super::Row;
+
+    /// Serialize a [`Row`] to a JSON object string.
+    pub fn to_string_like(r: &Row) -> String {
+        let mut s = String::from("{");
+        s.push_str(&format!("\"label\":\"{}\"", escape(&r.label)));
+        for (name, value) in &r.cells {
+            s.push_str(&format!(",\"{}\":{}", escape(name), fmt(*value)));
+        }
+        s.push('}');
+        s
+    }
+
+    fn fmt(v: f64) -> String {
+        if v.is_finite() {
+            format!("{v}")
+        } else {
+            "null".to_string()
+        }
+    }
+
+    fn escape(s: &str) -> String {
+        s.replace('\\', "\\\\").replace('"', "\\\"")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rows_accumulate_cells() {
+        let r = Row::new("eco-sim").cell("time", 1.5).cell("bytes", 12.0);
+        assert_eq!(r.cells.len(), 2);
+        assert_eq!(r.cells[0].0, "time");
+    }
+
+    #[test]
+    fn json_output_is_well_formed() {
+        let r = Row::new("a\"b").cell("x", 1.0).cell("inf", f64::INFINITY);
+        let s = serde_json::to_string_like(&r);
+        assert!(s.starts_with('{') && s.ends_with('}'));
+        assert!(s.contains("\\\""));
+        assert!(s.contains("\"inf\":null"));
+    }
+
+    #[test]
+    fn print_does_not_panic() {
+        print_table("t", &[Row::new("x").cell("v", 2.5)], false);
+        print_table("t", &[], false);
+        print_table("t", &[Row::new("x").cell("v", 2.5)], true);
+    }
+}

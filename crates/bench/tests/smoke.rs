@@ -1,0 +1,87 @@
+//! End-to-end smoke tests: every experiment subcommand runs at a tiny scale
+//! and produces the expected table header and rows.
+
+use std::process::Command;
+
+fn run_exp(args: &[&str]) -> String {
+    let out = Command::new(env!("CARGO_BIN_EXE_exp"))
+        .args(args)
+        .output()
+        .expect("exp binary runs");
+    assert!(
+        out.status.success(),
+        "exp {args:?} failed:\n{}{}",
+        String::from_utf8_lossy(&out.stdout),
+        String::from_utf8_lossy(&out.stderr)
+    );
+    String::from_utf8_lossy(&out.stdout).into_owned()
+}
+
+const TINY: &str = "0.001";
+
+#[test]
+fn table2_reports_paper_constant() {
+    let out = run_exp(&["table2", "--scale", TINY]);
+    assert!(out.contains("48.25"), "missing the 48.25 B worst case:\n{out}");
+}
+
+#[test]
+fn table3_labels_fit_u16() {
+    let out = run_exp(&["table3", "--scale", TINY]);
+    for name in ["eco-sim", "cel-sim", "hc21-sim", "hc19-sim"] {
+        assert!(out.contains(name), "{name} row missing:\n{out}");
+    }
+    assert!(out.contains("fits-u16"));
+}
+
+#[test]
+fn table4_and_fig8_structure() {
+    let out = run_exp(&["table4", "--scale", TINY]);
+    assert!(out.contains("total-%"));
+    let out = run_exp(&["fig8", "--scale", TINY]);
+    assert!(out.contains("upstream-heavy"));
+}
+
+#[test]
+fn timing_experiments_run() {
+    for cmd in ["fig6", "table5", "table6", "fig7", "table7"] {
+        let out = run_exp(&[cmd, "--scale", TINY, "--threshold", "12"]);
+        assert!(out.contains("eco-sim"), "{cmd} lost its rows:\n{out}");
+    }
+}
+
+#[test]
+fn protein_space_buffering_run() {
+    let out = run_exp(&["protein", "--scale", TINY]);
+    assert!(out.contains("dros-sim"));
+    let out = run_exp(&["space", "--scale", TINY]);
+    assert!(out.contains("SPINE-compact-B/c"));
+    let out = run_exp(&["buffering", "--scale", "0.004"]);
+    assert!(out.contains("prefix-priority"));
+}
+
+#[test]
+fn json_mode_emits_objects() {
+    let out = run_exp(&["table3", "--scale", TINY, "--json"]);
+    let lines: Vec<&str> = out.lines().filter(|l| l.starts_with('{')).collect();
+    assert_eq!(lines.len(), 4, "one JSON object per dataset:\n{out}");
+    for l in lines {
+        assert!(l.contains("\"label\":"), "row {l}");
+        assert!(l.ends_with('}'));
+    }
+}
+
+#[test]
+fn unknown_command_exits_nonzero() {
+    let out = Command::new(env!("CARGO_BIN_EXE_exp"))
+        .arg("nonsense")
+        .output()
+        .unwrap();
+    assert!(!out.status.success());
+}
+
+#[test]
+fn sync_file_device_path_works() {
+    let out = run_exp(&["fig7", "--scale", "0.0005", "--sync-file"]);
+    assert!(out.contains("SPINE-kIO"), "fig7 with file device:\n{out}");
+}

@@ -1,0 +1,338 @@
+//! Online SPINE construction (Section 3 of the paper).
+//!
+//! The index grows strictly at the tail: appending character `c` creates one
+//! node and then walks the *link chain* of the previous tail, extending every
+//! early-terminating suffix by `c`. Each chain node stands for a whole set
+//! of suffix lengths, so one check per chain node suffices — the property
+//! that later makes searches examine far fewer nodes than a suffix tree
+//! (Table 6 of the paper).
+//!
+//! The walk carries `l`, the LEL of the most recently traversed link (= the
+//! longest not-yet-extended suffix length), and at each chain node does one
+//! of four things, mirroring the paper's CASE 1–4:
+//!
+//! 1. a **vertebra** for `c` exists → the extension is already indexed;
+//!    link the new node to the vertebra's destination with LEL `l + 1`;
+//! 2. a **rib** for `c` with `PT ≥ l` exists → same, destination is the
+//!    rib's;
+//! 3. **no edge** for `c` → create a rib to the new node with `PT = l` and
+//!    continue up the chain (stopping after the root);
+//! 4. a rib for `c` with `PT < l` exists → the rib is too weak for the
+//!    pending suffixes; walk its **extrib chain**: the first element with
+//!    `PT ≥ l` proves the extension exists (link there), otherwise append a
+//!    fresh extrib from the chain's end to the new node (`PT = l`,
+//!    `PRT =` rib's PT) and link to the chain end with LEL = last element's
+//!    PT + 1.
+
+use crate::node::{Extrib, Node, NodeId, Rib, ROOT};
+use strindex::{Alphabet, Code, Counters, Error, OnlineIndex, Result};
+
+/// The reference SPINE index: explicit nodes and edges in memory.
+///
+/// Built online ([`OnlineIndex::push`]) or in one shot ([`Spine::build`]).
+/// Queries live in [`crate::search`], [`crate::occurrences`] and
+/// [`crate::matching`].
+pub struct Spine {
+    pub(crate) alphabet: Alphabet,
+    pub(crate) nodes: Vec<Node>,
+    pub(crate) counters: Counters,
+}
+
+impl Spine {
+    /// An empty index (just the root) over `alphabet`.
+    pub fn new(alphabet: Alphabet) -> Self {
+        Spine { alphabet, nodes: vec![Node::new(Code::MAX)], counters: Counters::new() }
+    }
+
+    /// Build the index for an encoded text in one call.
+    pub fn build(alphabet: Alphabet, text: &[Code]) -> Result<Self> {
+        let mut s = Spine::new(alphabet);
+        s.nodes.reserve(text.len());
+        s.extend_from(text)?;
+        Ok(s)
+    }
+
+    /// Convenience: encode `text` with `alphabet` and build.
+    pub fn build_from_bytes(alphabet: Alphabet, text: &[u8]) -> Result<Self> {
+        let codes = alphabet.encode(text)?;
+        Self::build(alphabet, &codes)
+    }
+
+    /// Number of indexed characters (== number of non-root nodes: SPINE's
+    /// defining property).
+    pub fn len(&self) -> usize {
+        self.nodes.len() - 1
+    }
+
+    /// Is the index empty (no characters appended yet)?
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The index's alphabet.
+    pub fn alphabet_ref(&self) -> &Alphabet {
+        &self.alphabet
+    }
+
+    /// All nodes, root first. Exposed for the stats/verify modules and the
+    /// compact-layout converter.
+    pub fn nodes(&self) -> &[Node] {
+        &self.nodes
+    }
+
+    /// Search-work counters (see [`strindex::Counters`]).
+    pub fn counters(&self) -> &Counters {
+        &self.counters
+    }
+
+    /// Reconstruct the indexed text from the vertebra labels. The paper
+    /// highlights that "the data string is not required any more once the
+    /// index is constructed" — this is that property made executable.
+    pub fn recover_text(&self) -> Vec<Code> {
+        self.nodes[1..].iter().map(|n| n.vertebra_cl).collect()
+    }
+
+    /// Append one character: the paper's APPEND procedure.
+    fn append(&mut self, c: Code) {
+        let t = self.nodes.len() as NodeId; // id of the new node
+        let prev = t - 1;
+        self.nodes.push(Node::new(c));
+        if prev == ROOT {
+            // First character: link to root with LEL 0 (already the default).
+            return;
+        }
+
+        let (mut cur, mut l) = {
+            let p = &self.nodes[prev as usize];
+            (p.link, p.lel)
+        };
+        loop {
+            // Vertebra for `c` at `cur`? (The outgoing vertebra of a chain
+            // node always exists: chain nodes precede the old tail.)
+            debug_assert!(cur < prev);
+            if self.nodes[cur as usize + 1].vertebra_cl == c {
+                self.set_link(t, cur + 1, l + 1);
+                return;
+            }
+            match self.nodes[cur as usize].rib(c).copied() {
+                Some(rib) if rib.pt >= l => {
+                    self.set_link(t, rib.dest, l + 1);
+                    return;
+                }
+                Some(rib) => {
+                    // CASE 4: the rib's threshold is too small.
+                    self.extend_via_extribs(rib, l, t);
+                    return;
+                }
+                None => {
+                    // CASE 3: first-time extension — create a rib.
+                    self.nodes[cur as usize].ribs.push(Rib { cl: c, dest: t, pt: l });
+                    if cur == ROOT {
+                        debug_assert_eq!(l, 0, "links into the root carry LEL 0");
+                        self.set_link(t, ROOT, 0);
+                        return;
+                    }
+                    let n = &self.nodes[cur as usize];
+                    cur = n.link;
+                    l = n.lel;
+                }
+            }
+        }
+    }
+
+    /// CASE 4: walk the extrib chain of `rib` (all elements share
+    /// `PRT == rib.pt`). Chain PTs increase strictly, covering
+    /// `(rib.pt, PT₁], (PT₁, PT₂], …`.
+    fn extend_via_extribs(&mut self, rib: Rib, l: u32, t: NodeId) {
+        let prt = rib.pt;
+        let mut last_dest = rib.dest;
+        let mut last_pt = rib.pt;
+        while let Some(e) = self.nodes[last_dest as usize].extrib(prt).copied() {
+            debug_assert!(e.pt > last_pt, "extrib chain PTs must increase");
+            if e.pt >= l {
+                // The length-`l` extension already exists, ending at e.dest.
+                self.set_link(t, e.dest, l + 1);
+                return;
+            }
+            last_dest = e.dest;
+            last_pt = e.pt;
+        }
+        // Chain exhausted: record the new extension from the chain's end.
+        self.nodes[last_dest as usize].extribs.push(Extrib { prt, pt: l, dest: t });
+        self.set_link(t, last_dest, last_pt + 1);
+    }
+
+    #[inline]
+    fn set_link(&mut self, node: NodeId, dest: NodeId, lel: u32) {
+        let n = &mut self.nodes[node as usize];
+        n.link = dest;
+        n.lel = lel;
+    }
+}
+
+impl crate::ops::SpineOps for Spine {
+    fn text_len(&self) -> usize {
+        self.len()
+    }
+
+    #[inline]
+    fn vertebra_out(&self, node: NodeId) -> Option<Code> {
+        self.nodes.get(node as usize + 1).map(|n| n.vertebra_cl)
+    }
+
+    #[inline]
+    fn link_of(&self, node: NodeId) -> (NodeId, u32) {
+        let n = &self.nodes[node as usize];
+        (n.link, n.lel)
+    }
+
+    #[inline]
+    fn rib_of(&self, node: NodeId, c: Code) -> Option<(NodeId, u32)> {
+        self.nodes[node as usize].rib(c).map(|r| (r.dest, r.pt))
+    }
+
+    #[inline]
+    fn extrib_of(&self, node: NodeId, prt: u32) -> Option<(NodeId, u32)> {
+        self.nodes[node as usize].extrib(prt).map(|e| (e.dest, e.pt))
+    }
+
+    fn ops_counters(&self) -> &Counters {
+        &self.counters
+    }
+}
+
+impl OnlineIndex for Spine {
+    fn push(&mut self, code: Code) -> Result<()> {
+        if (code as usize) >= self.alphabet.code_space() {
+            return Err(Error::InvalidSymbol { byte: code, pos: self.len() });
+        }
+        if self.nodes.len() as u64 >= NodeId::MAX as u64 {
+            return Err(Error::TooLong { len: self.nodes.len(), max: NodeId::MAX as usize - 1 });
+        }
+        self.append(code);
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Build over the paper's running example `aaccacaaca`.
+    fn paper_spine() -> (Alphabet, Spine) {
+        let a = Alphabet::dna();
+        let s = Spine::build_from_bytes(a.clone(), b"AACCACAACA").unwrap();
+        (a, s)
+    }
+
+    #[test]
+    fn one_node_per_character() {
+        let (_, s) = paper_spine();
+        assert_eq!(s.len(), 10);
+        assert_eq!(s.nodes().len(), 11);
+    }
+
+    #[test]
+    fn recover_text_round_trips() {
+        let (a, s) = paper_spine();
+        assert_eq!(a.decode_all(&s.recover_text()), b"AACCACAACA");
+    }
+
+    #[test]
+    fn paper_figure3_links() {
+        // Derived by hand from the definitions (LET suffix / first
+        // occurrence); the figure's own numerals are partly illegible in the
+        // source, but the paper's text confirms link(8) = (node 2, LEL 2).
+        let (_, s) = paper_spine();
+        let link = |i: usize| (s.nodes()[i].link, s.nodes()[i].lel);
+        assert_eq!(link(1), (0, 0)); // "a": nothing earlier
+        assert_eq!(link(2), (1, 1)); // "aa" → LET "a" ends at 1
+        assert_eq!(link(3), (0, 0)); // "aac": "c" is new
+        assert_eq!(link(4), (3, 1)); // "aacc" → LET "c" ends at 3
+        assert_eq!(link(5), (1, 1)); // "aacca" → LET "a" ends at 1
+        assert_eq!(link(6), (3, 2)); // "aaccac" → LET "ac" ends at 3
+        assert_eq!(link(7), (5, 2)); // "aaccaca" → LET "ca" ends at 5
+        assert_eq!(link(8), (2, 2)); // "aaccacaa" → LET "aa" ends at 2  (paper)
+        assert_eq!(link(9), (3, 3)); // "aaccacaac" → LET "aac" ends at 3
+        assert_eq!(link(10), (7, 3)); // "aaccacaaca" → LET "aca" ends at 7
+    }
+
+    #[test]
+    fn paper_figure3_edge_census() {
+        // §1.1: "it has 11 nodes and 26 edges" — 10 vertebras, 10 links,
+        // 4 ribs, 2 extribs.
+        let (_, s) = paper_spine();
+        let ribs: usize = s.nodes().iter().map(|n| n.ribs.len()).sum();
+        let extribs: usize = s.nodes().iter().map(|n| n.extribs.len()).sum();
+        let vertebras = s.len();
+        let links = s.len(); // every non-root node has exactly one
+        assert_eq!(ribs, 4);
+        assert_eq!(extribs, 2);
+        assert_eq!(vertebras + links + ribs + extribs, 26);
+        // The chain the paper describes: extrib 5→7, then 7→10, both PRT 1.
+        let e2 = s.nodes()[7].extrib(1).expect("second chain element");
+        assert_eq!((e2.dest, e2.pt, e2.prt), (10, 3, 1));
+    }
+
+    #[test]
+    fn paper_figure3_ribs() {
+        let (a, s) = paper_spine();
+        let c = |ch: u8| a.encode_byte(ch).unwrap();
+        // Paper: "the rib from Node 3 has a PT of 1" (for character a → node 5,
+        // created while appending position 5).
+        let rib = s.nodes()[3].rib(c(b'a')).expect("rib at node 3");
+        assert_eq!((rib.dest, rib.pt), (5, 1));
+        // Paper: "the extrib from Node 5 to Node 7 has a PRT of 1 and PT of 2".
+        let e = s.nodes()[5].extrib(1).expect("extrib at node 5");
+        assert_eq!((e.dest, e.pt, e.prt), (7, 2, 1));
+    }
+
+    #[test]
+    fn case1_vertebra_found() {
+        // Appending position 2 of "aa…": chain starts at link(1) = root,
+        // whose vertebra is labeled 'a' → CASE 1, link(2) = (1, 1).
+        let a = Alphabet::dna();
+        let s = Spine::build_from_bytes(a, b"AA").unwrap();
+        assert_eq!((s.nodes()[2].link, s.nodes()[2].lel), (1, 1));
+        assert!(s.nodes()[0].ribs.is_empty());
+    }
+
+    #[test]
+    fn case3_rib_from_root_has_pt0() {
+        // "AC": appending C walks to the root and creates a rib with PT 0.
+        let a = Alphabet::dna();
+        let s = Spine::build_from_bytes(a.clone(), b"AC").unwrap();
+        let rib = s.nodes()[0].rib(a.encode_byte(b'C').unwrap()).unwrap();
+        assert_eq!((rib.dest, rib.pt), (2, 0));
+        assert_eq!((s.nodes()[2].link, s.nodes()[2].lel), (0, 0));
+    }
+
+    #[test]
+    fn push_rejects_out_of_alphabet_codes() {
+        let a = Alphabet::dna();
+        let mut s = Spine::new(a);
+        assert!(s.push(3).is_ok());
+        // 4 is the separator (allowed), 5 is out of range.
+        assert!(s.push(4).is_ok());
+        assert!(matches!(s.push(5), Err(Error::InvalidSymbol { .. })));
+    }
+
+    #[test]
+    fn empty_index() {
+        let s = Spine::new(Alphabet::dna());
+        assert!(s.is_empty());
+        assert_eq!(s.recover_text(), Vec::<Code>::new());
+    }
+
+    #[test]
+    fn online_equals_batch() {
+        let a = Alphabet::dna();
+        let text = a.encode(b"ACGTACGGTACGTTTACGACG").unwrap();
+        let batch = Spine::build(a.clone(), &text).unwrap();
+        let mut online = Spine::new(a);
+        for &c in &text {
+            online.push(c).unwrap();
+        }
+        assert_eq!(batch.nodes(), online.nodes());
+    }
+}

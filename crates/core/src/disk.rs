@@ -1,0 +1,653 @@
+//! Page-resident SPINE (the paper's §6.2 disk experiments).
+//!
+//! Node records are striped over pages behind a bounded buffer pool
+//! ([`pagestore`]); construction and search perform real page traffic, so
+//! the pool's hit rate and the device's read/write counts expose SPINE's
+//! locality — the effect behind the paper's 2× on-disk speedups (Figure 7,
+//! Table 7). The paper's "simple buffering strategy" (keep the top of the
+//! Link Table resident) is available as
+//! [`pagestore::PrefixPriority`]; the `exp buffering` experiment compares it
+//! against LRU/FIFO/Clock under memory pressure.
+//!
+//! The record layout is the *generic* one the paper uses for its disk runs
+//! ("without any extra disk-specific optimization"): one fixed-size record
+//! per node holding the vertebra label, link, rib slots, and two extrib
+//! slots (more spill to an in-memory side table, counted in
+//! [`DiskSpine::spill_count`]).
+//!
+//! All query algorithms are the shared generic ones ([`crate::ops`]);
+//! `SpineOps` takes `&self`, so the pool lives behind a mutex.
+
+use crate::node::{NodeId, ROOT};
+use crate::ops::SpineOps;
+use parking_lot::Mutex;
+use pagestore::{EvictionPolicy, PageDevice, PagedVec};
+use strindex::{
+    Alphabet, Code, Counters, Error, FxHashMap, MatchingIndex, MatchingStats, MaximalMatch,
+    OnlineIndex, Result, StringIndex,
+};
+
+/// Inline extrib slots per record; chains are short (Table 4's steep decay),
+/// so two suffice for almost every node.
+const EXTRIB_SLOTS: usize = 2;
+
+/// Spilled extribs of one node: `(prt, pt, dest)` triples.
+type SpillEntry = Vec<(u32, u32, u32)>;
+
+/// Byte offsets within a node record (little-endian fields):
+/// `cl:1 | link:4 | lel:4 | rib_count:1 | ribs: R×(cl 1, dest 4, pt 4) |
+/// extrib_count:1 | extribs: 2×(dest 4, pt 4, prt 4)`.
+struct Layout {
+    rib_slots: usize,
+}
+
+impl Layout {
+    fn new(alphabet: &Alphabet) -> Self {
+        Layout { rib_slots: alphabet.code_space() }
+    }
+
+    fn record_size(&self) -> usize {
+        1 + 4 + 4 + 1 + self.rib_slots * 9 + 1 + EXTRIB_SLOTS * 12
+    }
+
+    fn rib_off(&self, i: usize) -> usize {
+        10 + i * 9
+    }
+
+    fn extrib_count_off(&self) -> usize {
+        10 + self.rib_slots * 9
+    }
+
+    fn extrib_off(&self, i: usize) -> usize {
+        self.extrib_count_off() + 1 + i * 12
+    }
+}
+
+fn get_u32(r: &[u8], off: usize) -> u32 {
+    u32::from_le_bytes(r[off..off + 4].try_into().unwrap())
+}
+
+fn put_u32(r: &mut [u8], off: usize, v: u32) {
+    r[off..off + 4].copy_from_slice(&v.to_le_bytes());
+}
+
+/// A SPINE index whose node table lives on a page device.
+pub struct DiskSpine {
+    alphabet: Alphabet,
+    layout: Layout,
+    records: Mutex<PagedVec>,
+    /// Extribs beyond the inline slots (rare; see module docs).
+    spill: Mutex<FxHashMap<u32, SpillEntry>>,
+    spill_count: std::cell::Cell<u64>,
+    len: usize,
+    counters: Counters,
+}
+
+impl DiskSpine {
+    /// An empty disk index over `alphabet`, storing records on `device`
+    /// with a pool of `pool_pages` frames and the given eviction policy.
+    pub fn new(
+        alphabet: Alphabet,
+        device: Box<dyn PageDevice>,
+        pool_pages: usize,
+        policy: Box<dyn EvictionPolicy>,
+    ) -> Result<Self> {
+        let layout = Layout::new(&alphabet);
+        let mut records = PagedVec::new(device, pool_pages, policy, layout.record_size());
+        records.push_zeroed()?; // root
+        Ok(DiskSpine {
+            alphabet,
+            layout,
+            records: Mutex::new(records),
+            spill: Mutex::new(FxHashMap::default()),
+            spill_count: std::cell::Cell::new(0),
+            len: 0,
+            counters: Counters::new(),
+        })
+    }
+
+    /// Build from an encoded text.
+    pub fn build(
+        alphabet: Alphabet,
+        text: &[Code],
+        device: Box<dyn PageDevice>,
+        pool_pages: usize,
+        policy: Box<dyn EvictionPolicy>,
+    ) -> Result<Self> {
+        let mut s = Self::new(alphabet, device, pool_pages, policy)?;
+        s.extend_from(text)?;
+        Ok(s)
+    }
+
+    /// Number of indexed characters.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Is the index empty?
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Buffer-pool hit rate so far.
+    pub fn hit_rate(&self) -> f64 {
+        self.records.lock().pool().hit_rate()
+    }
+
+    /// Cumulative buffer-pool (hits, misses).
+    pub fn pool_counts(&self) -> (u64, u64) {
+        let r = self.records.lock();
+        (r.pool().hits(), r.pool().misses())
+    }
+
+    /// (reads, writes) page counts at the device.
+    pub fn io_counts(&self) -> (u64, u64) {
+        let r = self.records.lock();
+        (r.io_stats().reads(), r.io_stats().writes())
+    }
+
+    /// Extribs that did not fit the inline record slots.
+    pub fn spill_count(&self) -> u64 {
+        self.spill_count.get()
+    }
+
+    /// Flush dirty pages to the device.
+    pub fn flush(&self) -> Result<()> {
+        self.records.lock().flush()
+    }
+
+    /// Work counters.
+    pub fn counters(&self) -> &Counters {
+        &self.counters
+    }
+
+    // ----- record access ----------------------------------------------------
+
+    fn read_cl(&self, node: u32) -> Code {
+        self.records.lock().read(node as usize, |r| r[0]).expect("in-bounds read")
+    }
+
+    fn read_link(&self, node: u32) -> (u32, u32) {
+        self.records
+            .lock()
+            .read(node as usize, |r| (get_u32(r, 1), get_u32(r, 5)))
+            .expect("in-bounds read")
+    }
+
+    fn find_rib(&self, node: u32, c: Code) -> Option<(u32, u32)> {
+        let l = &self.layout;
+        self.records
+            .lock()
+            .read(node as usize, |r| {
+                let count = r[9] as usize;
+                for i in 0..count {
+                    let off = l.rib_off(i);
+                    if r[off] == c {
+                        return Some((get_u32(r, off + 1), get_u32(r, off + 5)));
+                    }
+                }
+                None
+            })
+            .expect("in-bounds read")
+    }
+
+    fn find_extrib(&self, node: u32, prt: u32) -> Option<(u32, u32)> {
+        let l = &self.layout;
+        let inline = self
+            .records
+            .lock()
+            .read(node as usize, |r| {
+                let count = (r[l.extrib_count_off()] as usize).min(EXTRIB_SLOTS);
+                for i in 0..count {
+                    let off = l.extrib_off(i);
+                    if get_u32(r, off + 8) == prt {
+                        return Some((get_u32(r, off), get_u32(r, off + 4)));
+                    }
+                }
+                None
+            })
+            .expect("in-bounds read");
+        inline.or_else(|| {
+            self.spill
+                .lock()
+                .get(&node)
+                .and_then(|v| v.iter().find(|&&(p, _, _)| p == prt).map(|&(_, pt, d)| (d, pt)))
+        })
+    }
+
+    fn write_link(&self, node: u32, dest: u32, lel: u32) {
+        self.records
+            .lock()
+            .write(node as usize, |r| {
+                put_u32(r, 1, dest);
+                put_u32(r, 5, lel);
+            })
+            .expect("in-bounds write");
+    }
+
+    fn add_rib(&self, node: u32, c: Code, dest: u32, pt: u32) {
+        let l = &self.layout;
+        self.records
+            .lock()
+            .write(node as usize, |r| {
+                let count = r[9] as usize;
+                assert!(count < l.rib_slots, "rib slots exhausted");
+                let off = l.rib_off(count);
+                r[off] = c;
+                put_u32(r, off + 1, dest);
+                put_u32(r, off + 5, pt);
+                r[9] = (count + 1) as u8;
+            })
+            .expect("in-bounds write");
+    }
+
+    fn add_extrib(&self, node: u32, prt: u32, dest: u32, pt: u32) {
+        let l = &self.layout;
+        let spilled = self
+            .records
+            .lock()
+            .write(node as usize, |r| {
+                let co = l.extrib_count_off();
+                let count = r[co] as usize;
+                if count < EXTRIB_SLOTS {
+                    let off = l.extrib_off(count);
+                    put_u32(r, off, dest);
+                    put_u32(r, off + 4, pt);
+                    put_u32(r, off + 8, prt);
+                    r[co] = (count + 1) as u8;
+                    false
+                } else {
+                    true
+                }
+            })
+            .expect("in-bounds write");
+        if spilled {
+            self.spill.lock().entry(node).or_default().push((prt, pt, dest));
+            self.spill_count.set(self.spill_count.get() + 1);
+        }
+    }
+
+    // ----- construction -----------------------------------------------------
+
+    /// The APPEND procedure over page-resident records.
+    fn append(&mut self, c: Code) -> Result<()> {
+        let idx = self.records.lock().push_zeroed()?;
+        let t = idx as u32;
+        self.records
+            .lock()
+            .write(idx, |r| r[0] = c)
+            .expect("in-bounds write");
+        self.len += 1;
+        let prev = t - 1;
+        if prev == ROOT {
+            return Ok(());
+        }
+        let (mut cur, mut l) = self.read_link(prev);
+        loop {
+            if self.read_cl(cur + 1) == c {
+                self.write_link(t, cur + 1, l + 1);
+                return Ok(());
+            }
+            match self.find_rib(cur, c) {
+                Some((dest, pt)) if pt >= l => {
+                    self.write_link(t, dest, l + 1);
+                    return Ok(());
+                }
+                Some((dest, pt)) => {
+                    // Extrib chain.
+                    let prt = pt;
+                    let mut last_dest = dest;
+                    let mut last_pt = pt;
+                    loop {
+                        match self.find_extrib(last_dest, prt) {
+                            Some((edest, ept)) if ept >= l => {
+                                self.write_link(t, edest, l + 1);
+                                return Ok(());
+                            }
+                            Some((edest, ept)) => {
+                                last_dest = edest;
+                                last_pt = ept;
+                            }
+                            None => break,
+                        }
+                    }
+                    self.add_extrib(last_dest, prt, t, l);
+                    self.write_link(t, last_dest, last_pt + 1);
+                    return Ok(());
+                }
+                None => {
+                    self.add_rib(cur, c, t, l);
+                    if cur == ROOT {
+                        self.write_link(t, ROOT, 0);
+                        return Ok(());
+                    }
+                    let (nd, nl) = self.read_link(cur);
+                    cur = nd;
+                    l = nl;
+                }
+            }
+        }
+    }
+}
+
+impl SpineOps for DiskSpine {
+    fn text_len(&self) -> usize {
+        self.len
+    }
+
+    fn vertebra_out(&self, node: NodeId) -> Option<Code> {
+        ((node as usize) < self.len).then(|| self.read_cl(node + 1))
+    }
+
+    fn link_of(&self, node: NodeId) -> (NodeId, u32) {
+        self.read_link(node)
+    }
+
+    fn rib_of(&self, node: NodeId, c: Code) -> Option<(NodeId, u32)> {
+        self.find_rib(node, c)
+    }
+
+    fn extrib_of(&self, node: NodeId, prt: u32) -> Option<(NodeId, u32)> {
+        self.find_extrib(node, prt)
+    }
+
+    fn ops_counters(&self) -> &Counters {
+        &self.counters
+    }
+}
+
+impl OnlineIndex for DiskSpine {
+    fn push(&mut self, code: Code) -> Result<()> {
+        if (code as usize) >= self.alphabet.code_space() {
+            return Err(Error::InvalidSymbol { byte: code, pos: self.len });
+        }
+        self.append(code)
+    }
+}
+
+impl StringIndex for DiskSpine {
+    fn alphabet(&self) -> &Alphabet {
+        &self.alphabet
+    }
+
+    fn text_len(&self) -> usize {
+        self.len
+    }
+
+    fn symbol_at(&self, pos: usize) -> Code {
+        self.read_cl(pos as u32 + 1)
+    }
+
+    fn find_first(&self, pattern: &[Code]) -> Option<usize> {
+        crate::search::locate(self, pattern).map(|end| end as usize - pattern.len())
+    }
+
+    fn find_all(&self, pattern: &[Code]) -> Vec<usize> {
+        if pattern.is_empty() {
+            return Vec::new();
+        }
+        crate::occurrences::find_all_ends(self, pattern)
+            .into_iter()
+            .map(|end| end as usize - pattern.len())
+            .collect()
+    }
+}
+
+impl MatchingIndex for DiskSpine {
+    fn matching_statistics(&self, query: &[Code]) -> MatchingStats {
+        crate::matching::matching_statistics(self, query)
+    }
+
+    fn maximal_matches(&self, query: &[Code], min_len: usize) -> Vec<MaximalMatch> {
+        crate::matching::maximal_matches(self, query, min_len)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::build::Spine;
+    use pagestore::{Lru, MemDevice, PrefixPriority};
+
+    fn disk(text: &[u8], pool_pages: usize) -> (Alphabet, DiskSpine) {
+        let a = Alphabet::dna();
+        let codes = a.encode(text).unwrap();
+        let d = DiskSpine::build(
+            a.clone(),
+            &codes,
+            Box::new(MemDevice::new()),
+            pool_pages,
+            Box::<Lru>::default(),
+        )
+        .unwrap();
+        (a, d)
+    }
+
+    #[test]
+    fn equivalent_to_reference() {
+        let text = b"AACCACAACAGGTTACGACGACCAACCACAACA";
+        let (a, d) = disk(text, 4);
+        let r = Spine::build_from_bytes(a.clone(), text).unwrap();
+        for node in 0..=r.len() as u32 {
+            assert_eq!(r.vertebra_out(node), d.vertebra_out(node), "vertebra {node}");
+            if node != ROOT {
+                assert_eq!(r.link_of(node), d.link_of(node), "link {node}");
+            }
+            for code in 0..a.code_space() as Code {
+                assert_eq!(r.rib_of(node, code), d.rib_of(node, code), "rib {node}/{code}");
+            }
+        }
+    }
+
+    #[test]
+    fn queries_under_memory_pressure() {
+        // A single-frame pool forces page traffic on every hop.
+        let text = b"AACCACAACAGGTTACGACGACCA".repeat(8);
+        let (a, d) = disk(&text, 1);
+        let r = Spine::build_from_bytes(a.clone(), &text).unwrap();
+        for p in [&b"CA"[..], b"ACCAA", b"GGTT", b"TACGACG"] {
+            let p = a.encode(p).unwrap();
+            assert_eq!(StringIndex::find_all(&r, &p), StringIndex::find_all(&d, &p));
+        }
+        let q = a.encode(b"TTACGACCACAACAGGAACC").unwrap();
+        assert_eq!(
+            MatchingIndex::maximal_matches(&r, &q, 3),
+            MatchingIndex::maximal_matches(&d, &q, 3)
+        );
+        let (reads, writes) = d.io_counts();
+        assert!(reads > 0 && writes > 0, "pressure must cause I/O");
+    }
+
+    #[test]
+    fn prefix_priority_keeps_hit_rate_healthy() {
+        // With the prefix-priority policy the upstream pages stay resident;
+        // the hit rate should be healthy even with a small pool.
+        let text = b"ACGTACGGTACGTTTACGACGACCAACC".repeat(16);
+        let a = Alphabet::dna();
+        let codes = a.encode(&text).unwrap();
+        let d = DiskSpine::build(
+            a,
+            &codes,
+            Box::new(MemDevice::new()),
+            4,
+            Box::<PrefixPriority>::default(),
+        )
+        .unwrap();
+        assert!(d.hit_rate() > 0.5, "hit rate {}", d.hit_rate());
+    }
+
+    #[test]
+    fn flush_persists_everything() {
+        let (_, d) = disk(b"ACGTACGT", 2);
+        d.flush().unwrap();
+        let (_, writes) = d.io_counts();
+        assert!(writes > 0);
+    }
+
+    #[test]
+    fn rejects_bad_code() {
+        let a = Alphabet::dna();
+        let mut d =
+            DiskSpine::new(a, Box::new(MemDevice::new()), 2, Box::<Lru>::default()).unwrap();
+        assert!(d.push(9).is_err());
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Durability: close and reopen a disk index.
+// ---------------------------------------------------------------------------
+
+/// Compact sidecar metadata needed to reattach a [`DiskSpine`] to its
+/// device: text length plus the (rare) spilled extribs that live outside
+/// the fixed-size records. Format: `SPND` magic, version, alphabet tag,
+/// lengths, little-endian fields.
+impl DiskSpine {
+    /// Serialize the sidecar metadata (pair it with a flushed device).
+    pub fn write_meta<W: std::io::Write>(&self, w: &mut W) -> Result<()> {
+        w.write_all(b"SPND")?;
+        w.write_all(&1u16.to_le_bytes())?;
+        let tag: u8 = match self.alphabet.kind() {
+            strindex::AlphabetKind::Dna => 0,
+            strindex::AlphabetKind::Protein => 1,
+            strindex::AlphabetKind::Ascii => 2,
+            strindex::AlphabetKind::Bytes => 3,
+        };
+        w.write_all(&[tag])?;
+        w.write_all(&(self.len as u64).to_le_bytes())?;
+        let spill = self.spill.lock();
+        let mut entries: Vec<(u32, &SpillEntry)> = spill.iter().map(|(&n, v)| (n, v)).collect();
+        entries.sort_by_key(|&(n, _)| n);
+        let total: u64 = entries.iter().map(|(_, v)| v.len() as u64).sum();
+        w.write_all(&total.to_le_bytes())?;
+        for (node, v) in entries {
+            for &(prt, pt, dest) in v {
+                w.write_all(&node.to_le_bytes())?;
+                w.write_all(&prt.to_le_bytes())?;
+                w.write_all(&pt.to_le_bytes())?;
+                w.write_all(&dest.to_le_bytes())?;
+            }
+        }
+        Ok(())
+    }
+
+    /// Reattach to a `device` holding a previously built and flushed index,
+    /// using the sidecar written by [`write_meta`](Self::write_meta).
+    pub fn reopen<R: std::io::Read>(
+        meta: &mut R,
+        device: Box<dyn PageDevice>,
+        pool_pages: usize,
+        policy: Box<dyn EvictionPolicy>,
+    ) -> Result<Self> {
+        let mut magic = [0u8; 4];
+        meta.read_exact(&mut magic)?;
+        if &magic != b"SPND" {
+            return Err(strindex::Error::Parse("bad DiskSpine meta magic".into()));
+        }
+        let mut b2 = [0u8; 2];
+        meta.read_exact(&mut b2)?;
+        if u16::from_le_bytes(b2) != 1 {
+            return Err(strindex::Error::Parse("unsupported DiskSpine meta version".into()));
+        }
+        let mut b1 = [0u8; 1];
+        meta.read_exact(&mut b1)?;
+        let alphabet = match b1[0] {
+            0 => Alphabet::dna(),
+            1 => Alphabet::protein(),
+            2 => Alphabet::ascii(),
+            3 => Alphabet::bytes(),
+            t => return Err(strindex::Error::Parse(format!("unknown alphabet tag {t}"))),
+        };
+        let mut b8 = [0u8; 8];
+        meta.read_exact(&mut b8)?;
+        let len = u64::from_le_bytes(b8) as usize;
+        meta.read_exact(&mut b8)?;
+        let spill_total = u64::from_le_bytes(b8);
+        let mut spill: FxHashMap<u32, SpillEntry> = FxHashMap::default();
+        let mut b4 = [0u8; 4];
+        for _ in 0..spill_total {
+            let mut next = |r: &mut R| -> Result<u32> {
+                r.read_exact(&mut b4)?;
+                Ok(u32::from_le_bytes(b4))
+            };
+            let node = next(meta)?;
+            let prt = next(meta)?;
+            let pt = next(meta)?;
+            let dest = next(meta)?;
+            spill.entry(node).or_default().push((prt, pt, dest));
+        }
+        let layout = Layout::new(&alphabet);
+        let records = PagedVec::with_len(
+            device,
+            pool_pages,
+            policy,
+            layout.record_size(),
+            len + 1, // + root record
+        );
+        Ok(DiskSpine {
+            alphabet,
+            layout,
+            records: Mutex::new(records),
+            spill_count: std::cell::Cell::new(spill_total),
+            spill: Mutex::new(spill),
+            len,
+            counters: Counters::new(),
+        })
+    }
+}
+
+#[cfg(test)]
+mod reopen_tests {
+    use super::*;
+    use pagestore::{FileDevice, Lru};
+
+    #[test]
+    fn build_flush_reopen_query() {
+        let a = Alphabet::dna();
+        let text = a
+            .encode(&b"AACCACAACAGGTTACGACGACCA".repeat(16))
+            .unwrap();
+        let dir = std::env::temp_dir().join("spine-reopen-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let dev_path = dir.join(format!("dev-{}.pages", std::process::id()));
+        let built = DiskSpine::build(
+            a.clone(),
+            &text,
+            Box::new(FileDevice::create(&dev_path, false).unwrap()),
+            8,
+            Box::<Lru>::default(),
+        )
+        .unwrap();
+        built.flush().unwrap();
+        let mut meta = Vec::new();
+        built.write_meta(&mut meta).unwrap();
+        let before: Vec<usize> = StringIndex::find_all(&built, &a.encode(b"ACGACG").unwrap());
+        drop(built);
+
+        let reopened = DiskSpine::reopen(
+            &mut meta.as_slice(),
+            Box::new(FileDevice::open(&dev_path, false).unwrap()),
+            8,
+            Box::<Lru>::default(),
+        )
+        .unwrap();
+        assert_eq!(reopened.len(), text.len());
+        assert_eq!(
+            StringIndex::find_all(&reopened, &a.encode(b"ACGACG").unwrap()),
+            before
+        );
+        // Full equivalence against a fresh in-memory build.
+        let r = crate::Spine::build(a.clone(), &text).unwrap();
+        let q = a.encode(b"TTACGACCACAACAGG").unwrap();
+        assert_eq!(
+            MatchingIndex::maximal_matches(&r, &q, 3),
+            MatchingIndex::maximal_matches(&reopened, &q, 3)
+        );
+        std::fs::remove_file(&dev_path).ok();
+    }
+
+    #[test]
+    fn reopen_rejects_garbage_meta() {
+        let dev = Box::new(pagestore::MemDevice::new());
+        assert!(DiskSpine::reopen(&mut &b"JUNKJUNK"[..], dev, 2, Box::<Lru>::default()).is_err());
+    }
+}

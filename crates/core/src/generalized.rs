@@ -1,0 +1,188 @@
+//! Generalized (multi-string) SPINE indexes.
+//!
+//! §1.1 of the paper: "a single SPINE index can be used to index multiple
+//! different strings, using techniques similar to those employed in
+//! Generalized Suffix Trees". As with GSTs, documents are concatenated with
+//! a terminator that cannot occur in any document — here the alphabet's
+//! reserved [`separator`](strindex::Alphabet::separator) code — so no query
+//! pattern (which by construction contains only ordinary symbols) can match
+//! across a document boundary.
+
+use crate::build::Spine;
+use strindex::{Alphabet, Code, Error, OnlineIndex, Result, StringIndex};
+
+/// An occurrence localized to a document.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub struct DocMatch {
+    /// Document index, in insertion order.
+    pub doc: usize,
+    /// Start offset within that document.
+    pub offset: usize,
+}
+
+/// A SPINE index over any number of documents.
+///
+/// ```
+/// use spine::GeneralizedSpine;
+/// use strindex::Alphabet;
+///
+/// let alphabet = Alphabet::dna();
+/// let mut index = GeneralizedSpine::new(alphabet.clone());
+/// index.add_document_bytes(b"ACGTACGT").unwrap();
+/// index.add_document_bytes(b"TTACG").unwrap();
+/// let acg = alphabet.encode(b"ACG").unwrap();
+/// assert_eq!(index.docs_containing(&acg), vec![0, 1]);
+/// ```
+pub struct GeneralizedSpine {
+    spine: Spine,
+    /// `starts[d]` = offset of document `d` in the concatenation
+    /// (terminators included); a final sentinel entry holds the total.
+    starts: Vec<usize>,
+}
+
+impl GeneralizedSpine {
+    /// An empty multi-string index.
+    pub fn new(alphabet: Alphabet) -> Self {
+        GeneralizedSpine { spine: Spine::new(alphabet), starts: vec![0] }
+    }
+
+    /// Append one encoded document (terminator added automatically).
+    pub fn add_document(&mut self, doc: &[Code]) -> Result<()> {
+        let sep = self.spine.alphabet_ref().separator();
+        if doc.iter().any(|&c| c >= sep) {
+            return Err(Error::InvalidSymbol {
+                byte: *doc.iter().find(|&&c| c >= sep).unwrap(),
+                pos: doc.iter().position(|&c| c >= sep).unwrap(),
+            });
+        }
+        self.spine.extend_from(doc)?;
+        self.spine.push(sep)?;
+        self.starts.push(self.spine.len());
+        Ok(())
+    }
+
+    /// Convenience: encode raw bytes with the index alphabet and add.
+    pub fn add_document_bytes(&mut self, doc: &[u8]) -> Result<()> {
+        let codes = self.spine.alphabet_ref().encode(doc)?;
+        self.add_document(&codes)
+    }
+
+    /// Number of documents indexed.
+    pub fn doc_count(&self) -> usize {
+        self.starts.len() - 1
+    }
+
+    /// Length of document `d`.
+    pub fn doc_len(&self, d: usize) -> usize {
+        self.starts[d + 1] - self.starts[d] - 1 // minus the terminator
+    }
+
+    /// The underlying single-string index over the concatenation.
+    pub fn as_spine(&self) -> &Spine {
+        &self.spine
+    }
+
+    /// Map a concatenation offset to `(document, in-document offset)`.
+    fn localize(&self, offset: usize) -> DocMatch {
+        let doc = match self.starts.binary_search(&offset) {
+            Ok(d) => d,
+            Err(i) => i - 1,
+        };
+        DocMatch { doc, offset: offset - self.starts[doc] }
+    }
+
+    /// Does `pattern` occur in any document?
+    pub fn contains(&self, pattern: &[Code]) -> bool {
+        self.spine.contains(pattern)
+    }
+
+    /// All occurrences of `pattern` across all documents, ordered by
+    /// (document, offset).
+    pub fn find_all(&self, pattern: &[Code]) -> Vec<DocMatch> {
+        self.spine
+            .find_all(pattern)
+            .into_iter()
+            .map(|off| self.localize(off))
+            .collect()
+    }
+
+    /// Documents containing `pattern`, deduplicated and sorted.
+    pub fn docs_containing(&self, pattern: &[Code]) -> Vec<usize> {
+        let mut docs: Vec<usize> = self.find_all(pattern).into_iter().map(|m| m.doc).collect();
+        docs.dedup();
+        docs
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> (Alphabet, GeneralizedSpine) {
+        let a = Alphabet::dna();
+        let mut g = GeneralizedSpine::new(a.clone());
+        g.add_document_bytes(b"ACGTACGT").unwrap();
+        g.add_document_bytes(b"TTACG").unwrap();
+        g.add_document_bytes(b"GGGG").unwrap();
+        (a, g)
+    }
+
+    #[test]
+    fn documents_are_localized() {
+        let (a, g) = sample();
+        assert_eq!(g.doc_count(), 3);
+        assert_eq!(g.doc_len(0), 8);
+        assert_eq!(g.doc_len(1), 5);
+        let acg = a.encode(b"ACG").unwrap();
+        assert_eq!(
+            g.find_all(&acg),
+            vec![
+                DocMatch { doc: 0, offset: 0 },
+                DocMatch { doc: 0, offset: 4 },
+                DocMatch { doc: 1, offset: 2 },
+            ]
+        );
+        assert_eq!(g.docs_containing(&acg), vec![0, 1]);
+    }
+
+    #[test]
+    fn no_cross_document_matches() {
+        let (a, g) = sample();
+        // "GTTT" would span doc0|doc1 if the terminator didn't block it.
+        assert!(!g.contains(&a.encode(b"GTTT").unwrap()));
+        // "GTT" exists only inside... doc0 ends GT, doc1 starts TT — also
+        // blocked.
+        assert!(!g.contains(&a.encode(b"GTT").unwrap()));
+    }
+
+    #[test]
+    fn rejects_separator_in_document() {
+        let a = Alphabet::dna();
+        let mut g = GeneralizedSpine::new(a.clone());
+        let sep = a.separator();
+        assert!(matches!(g.add_document(&[0, sep, 1]), Err(Error::InvalidSymbol { .. })));
+    }
+
+    #[test]
+    fn single_symbol_documents() {
+        let a = Alphabet::dna();
+        let mut g = GeneralizedSpine::new(a.clone());
+        for _ in 0..5 {
+            g.add_document(&[2]).unwrap();
+        }
+        assert_eq!(g.doc_count(), 5);
+        assert_eq!(g.docs_containing(&[2]), vec![0, 1, 2, 3, 4]);
+        assert!(!g.contains(&[2, 2]));
+    }
+
+    #[test]
+    fn empty_document_is_allowed() {
+        let a = Alphabet::dna();
+        let mut g = GeneralizedSpine::new(a);
+        g.add_document(&[]).unwrap();
+        g.add_document(&[0]).unwrap();
+        assert_eq!(g.doc_count(), 2);
+        assert_eq!(g.doc_len(0), 0);
+        assert_eq!(g.find_all(&[0]), vec![DocMatch { doc: 1, offset: 0 }]);
+    }
+}

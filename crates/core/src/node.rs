@@ -1,0 +1,118 @@
+//! Node and edge records of the reference (explicit) SPINE representation.
+//!
+//! The reference representation keeps each node's edges inline in small
+//! vectors — transparent and easy to verify, at the cost of per-node heap
+//! overhead. The paper's space-optimized Link-Table/Rib-Table layout lives
+//! in [`crate::compact`]; both representations are built by the same
+//! construction algorithm and compared field-for-field by tests.
+
+use strindex::Code;
+
+/// A backbone node identifier. Node `i` represents the length-`i` prefix of
+/// the text; ids double as 1-based end positions of first occurrences.
+pub type NodeId = u32;
+
+/// The root node (the empty prefix).
+pub const ROOT: NodeId = 0;
+
+/// A rib: a downstream edge recording the first-time extension of a set of
+/// early-terminating suffixes by one character.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Rib {
+    /// Character label (CL).
+    pub cl: Code,
+    /// Destination node.
+    pub dest: NodeId,
+    /// Pathlength Threshold: a search path of length `pl` may traverse this
+    /// rib iff `pl <= pt`.
+    pub pt: u32,
+}
+
+/// An extrib (extension rib): extends a rib whose PT is too small. Extribs
+/// of one rib form a chain; each element covers path lengths
+/// `(previous element's PT, this PT]`. The character is implicit (it is the
+/// parent rib's CL).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Extrib {
+    /// Parent Rib Threshold: the PT of the rib whose chain this extrib
+    /// belongs to (identifies the chain when several pass through a node).
+    pub prt: u32,
+    /// Pathlength Threshold: the longest suffix length this extrib extends.
+    pub pt: u32,
+    /// Destination node.
+    pub dest: NodeId,
+}
+
+/// One backbone node.
+///
+/// The outgoing vertebra is implicit: node `i`'s vertebra points to `i + 1`
+/// and its character label is `nodes[i + 1].vertebra_cl` (the paper's
+/// "implicit vertebra edge" optimization, valid because creation order and
+/// logical order coincide).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Node {
+    /// Character label of the *incoming* vertebra — i.e. text character `i`
+    /// for node `i`. Unused for the root.
+    pub vertebra_cl: Code,
+    /// Destination of the upstream link: the first-occurrence end of this
+    /// node's longest early-terminating suffix ([`ROOT`] if none).
+    pub link: NodeId,
+    /// Longest Early-terminating suffix Length — the link's label.
+    pub lel: u32,
+    /// Outgoing ribs (unordered; at most `alphabet.size() - 1` of them,
+    /// e.g. ≤ 3 for DNA).
+    pub ribs: Vec<Rib>,
+    /// Outgoing extribs. Usually empty or a single element; distinct PRTs
+    /// when several chains pass through (see DESIGN.md on chain collisions).
+    pub extribs: Vec<Extrib>,
+}
+
+impl Node {
+    pub(crate) fn new(vertebra_cl: Code) -> Self {
+        Node { vertebra_cl, link: ROOT, lel: 0, ribs: Vec::new(), extribs: Vec::new() }
+    }
+
+    /// Find this node's rib for character `c`, if any.
+    #[inline]
+    pub fn rib(&self, c: Code) -> Option<&Rib> {
+        self.ribs.iter().find(|r| r.cl == c)
+    }
+
+    /// Find this node's extrib belonging to the chain of a parent rib with
+    /// PT `prt`, if any.
+    #[inline]
+    pub fn extrib(&self, prt: u32) -> Option<&Extrib> {
+        self.extribs.iter().find(|e| e.prt == prt)
+    }
+
+    /// Number of outgoing downstream edges (ribs + extribs) — the fan-out
+    /// counted by Table 4 of the paper.
+    pub fn fanout(&self) -> usize {
+        self.ribs.len() + self.extribs.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rib_lookup_by_character() {
+        let mut n = Node::new(0);
+        n.ribs.push(Rib { cl: 2, dest: 7, pt: 3 });
+        n.ribs.push(Rib { cl: 1, dest: 9, pt: 1 });
+        assert_eq!(n.rib(1).unwrap().dest, 9);
+        assert_eq!(n.rib(2).unwrap().pt, 3);
+        assert!(n.rib(0).is_none());
+        assert_eq!(n.fanout(), 2);
+    }
+
+    #[test]
+    fn extrib_lookup_by_prt() {
+        let mut n = Node::new(0);
+        n.extribs.push(Extrib { prt: 1, pt: 4, dest: 12 });
+        assert_eq!(n.extrib(1).unwrap().pt, 4);
+        assert!(n.extrib(2).is_none());
+        assert_eq!(n.fanout(), 1);
+    }
+}

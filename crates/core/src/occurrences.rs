@@ -1,0 +1,174 @@
+//! All-occurrence enumeration via the backbone scan (Section 4).
+//!
+//! After the valid path locates the *first* occurrence of a pattern, every
+//! further occurrence is found with the link property: a link from `j` to
+//! `k` with LEL `v` means the length-`v` strings ending at `j` and `k` are
+//! equal. So a single downstream scan suffices: node `j` ends an occurrence
+//! of a length-`L` pattern iff `lel(j) ≥ L` and `link(j)` points at an
+//! already-discovered occurrence end (checked by binary search in the
+//! paper's *target node buffer*).
+//!
+//! Scanning the backbone once per pattern would be wasteful, so the batched
+//! entry point ([`find_all_ends_batch`]) resolves any number of patterns in
+//! one pass — exactly the deferral the paper describes for the maximal-match
+//! workload.
+
+use crate::node::NodeId;
+use crate::ops::SpineOps;
+use crate::search::locate;
+use strindex::{Code, FxHashMap};
+
+/// End positions (1-based) of all occurrences of `pattern`, ascending.
+pub fn find_all_ends<S: SpineOps + ?Sized>(s: &S, pattern: &[Code]) -> Vec<NodeId> {
+    let Some(first) = locate(s, pattern) else {
+        return Vec::new();
+    };
+    occurrences_from(s, first, pattern.len() as u32)
+}
+
+/// Single-target scan: all nodes ending an occurrence of the length-`len`
+/// string whose first occurrence ends at `first`.
+pub fn occurrences_from<S: SpineOps + ?Sized>(s: &S, first: NodeId, len: u32) -> Vec<NodeId> {
+    let mut buffer: Vec<NodeId> = vec![first];
+    let n = s.text_len() as NodeId;
+    for j in first + 1..=n {
+        let (dest, lel) = s.link_of(j);
+        if lel >= len && buffer.binary_search(&dest).is_ok() {
+            buffer.push(j); // scan order keeps the buffer sorted
+        }
+    }
+    buffer
+}
+
+/// One pattern of a batched all-occurrences request.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Target {
+    /// End node of the pattern's first occurrence (from [`locate`]).
+    pub first_end: NodeId,
+    /// Pattern length.
+    pub len: u32,
+}
+
+/// Resolve many targets in a single backbone scan.
+///
+/// Returns, for each target (keyed by value, deduplicated), the ascending
+/// list of occurrence-end nodes. The scan is O(n + total occurrences): each
+/// node consults a hash map from "node already in some target buffer" to the
+/// targets that buffered it.
+pub fn find_all_ends_batch<S: SpineOps + ?Sized>(
+    s: &S,
+    targets: &[Target],
+) -> FxHashMap<Target, Vec<NodeId>> {
+    let mut result: FxHashMap<Target, Vec<NodeId>> = FxHashMap::default();
+    // node id -> indices of targets whose buffer contains that node.
+    let mut buffered: FxHashMap<NodeId, Vec<u32>> = FxHashMap::default();
+    let mut uniq: Vec<Target> = Vec::new();
+    for &t in targets {
+        if result.contains_key(&t) {
+            continue;
+        }
+        result.insert(t, vec![t.first_end]);
+        buffered.entry(t.first_end).or_default().push(uniq.len() as u32);
+        uniq.push(t);
+    }
+    if uniq.is_empty() {
+        return result;
+    }
+    let start = uniq.iter().map(|t| t.first_end).min().unwrap() + 1;
+    let n = s.text_len() as NodeId;
+    for j in start..=n {
+        let (dest, lel) = s.link_of(j);
+        if lel == 0 {
+            continue;
+        }
+        let Some(hits) = buffered.get(&dest) else {
+            continue;
+        };
+        let mut added: Vec<u32> = Vec::new();
+        for &ti in hits {
+            if lel >= uniq[ti as usize].len {
+                added.push(ti);
+            }
+        }
+        if added.is_empty() {
+            continue;
+        }
+        for &ti in &added {
+            result.get_mut(&uniq[ti as usize]).unwrap().push(j);
+        }
+        buffered.entry(j).or_default().extend(added);
+    }
+    result
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::build::Spine;
+    use strindex::{Alphabet, StringIndex};
+
+    fn paper_spine() -> (Alphabet, Spine) {
+        let a = Alphabet::dna();
+        let s = Spine::build_from_bytes(a.clone(), b"AACCACAACA").unwrap();
+        (a, s)
+    }
+
+    #[test]
+    fn paper_example_ac_occurrences() {
+        // §4 walks this example: searching "ac" fills the target buffer with
+        // nodes 3, 6, 9 (ends of the three occurrences).
+        let (a, s) = paper_spine();
+        let ends = find_all_ends(&s, &a.encode(b"AC").unwrap());
+        assert_eq!(ends, vec![3, 6, 9]);
+        // Converted to start offsets by find_all:
+        assert_eq!(s.find_all(&a.encode(b"AC").unwrap()), vec![1, 4, 7]);
+    }
+
+    #[test]
+    fn overlapping_occurrences() {
+        let a = Alphabet::dna();
+        let s = Spine::build_from_bytes(a.clone(), b"AAAAA").unwrap();
+        assert_eq!(s.find_all(&a.encode(b"AA").unwrap()), vec![0, 1, 2, 3]);
+        assert_eq!(s.find_all(&a.encode(b"AAAAA").unwrap()), vec![0]);
+    }
+
+    #[test]
+    fn absent_pattern_yields_nothing() {
+        let (a, s) = paper_spine();
+        assert!(find_all_ends(&s, &a.encode(b"GG").unwrap()).is_empty());
+        assert!(s.find_all(&a.encode(b"T").unwrap()).is_empty());
+    }
+
+    #[test]
+    fn batch_matches_single_scans() {
+        let (a, s) = paper_spine();
+        let pats: Vec<Vec<Code>> = [&b"A"[..], b"CA", b"AC", b"AACCACAACA", b"CAACA", b"C"]
+            .iter()
+            .map(|p| a.encode(p).unwrap())
+            .collect();
+        let targets: Vec<Target> = pats
+            .iter()
+            .map(|p| Target { first_end: s.locate(p).unwrap(), len: p.len() as u32 })
+            .collect();
+        let batch = find_all_ends_batch(&s, &targets);
+        for (p, t) in pats.iter().zip(&targets) {
+            assert_eq!(batch[t], find_all_ends(&s, p), "pattern {p:?}");
+        }
+    }
+
+    #[test]
+    fn batch_deduplicates_targets() {
+        let (a, s) = paper_spine();
+        let p = a.encode(b"CA").unwrap();
+        let t = Target { first_end: s.locate(&p).unwrap(), len: 2 };
+        let batch = find_all_ends_batch(&s, &[t, t, t]);
+        assert_eq!(batch.len(), 1);
+        assert_eq!(batch[&t], vec![5, 7, 10]);
+    }
+
+    #[test]
+    fn empty_batch() {
+        let (_, s) = paper_spine();
+        assert!(find_all_ends_batch(&s, &[]).is_empty());
+    }
+}

@@ -1,0 +1,36 @@
+//! The abstract SPINE surface shared by all three physical representations.
+//!
+//! The reference layout ([`crate::Spine`]), the paper's §5 compact layout
+//! ([`crate::CompactSpine`]) and the page-resident engine
+//! ([`crate::DiskSpine`]) store the same logical structure. [`SpineOps`]
+//! exposes that structure — vertebra labels, links, ribs, extrib chains —
+//! and the generic algorithms in [`crate::search`], [`crate::occurrences`]
+//! and [`crate::matching`] are written once against it.
+
+use crate::node::NodeId;
+use strindex::{Code, Counters};
+
+/// Read access to a SPINE structure. Node ids are `0..=text_len()`, with 0
+/// the root.
+pub trait SpineOps {
+    /// Number of indexed characters.
+    fn text_len(&self) -> usize;
+
+    /// Character label of the vertebra leaving `node` (text character
+    /// `node + 1`), or `None` at the tail.
+    fn vertebra_out(&self, node: NodeId) -> Option<Code>;
+
+    /// `(destination, LEL)` of `node`'s upstream link. Undefined for the
+    /// root (implementations may return `(0, 0)`).
+    fn link_of(&self, node: NodeId) -> (NodeId, u32);
+
+    /// `(destination, PT)` of `node`'s rib labeled `c`, if any.
+    fn rib_of(&self, node: NodeId, c: Code) -> Option<(NodeId, u32)>;
+
+    /// `(destination, PT)` of `node`'s extrib belonging to the chain with
+    /// parent-rib threshold `prt`, if any.
+    fn extrib_of(&self, node: NodeId, prt: u32) -> Option<(NodeId, u32)>;
+
+    /// Work counters (see [`strindex::Counters`]).
+    fn ops_counters(&self) -> &Counters;
+}

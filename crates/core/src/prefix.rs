@@ -1,0 +1,333 @@
+//! Prefix partitioning (Section 2.7).
+//!
+//! SPINE grows only at the tail and never mutates the labels of existing
+//! nodes; every rib/extrib created while appending character `t` points *to*
+//! node `t`. Hence the index of a length-`k` prefix of the text is literally
+//! the initial fragment of the index: nodes `0..=k` plus exactly those
+//! ribs/extribs whose destination is ≤ `k`. (Suffix trees cannot be
+//! partitioned this way: a node high in the tree may be created arbitrarily
+//! late.)
+//!
+//! [`SpinePrefix`] is a zero-copy view implementing that filter; the crate's
+//! tests verify it is *structurally identical* to an index freshly built on
+//! the prefix.
+
+use crate::build::Spine;
+use crate::node::{Extrib, NodeId, Rib, ROOT};
+use strindex::{Alphabet, Code, StringIndex};
+
+/// A read-only view of a [`Spine`] restricted to its first `len`
+/// characters.
+pub struct SpinePrefix<'a> {
+    spine: &'a Spine,
+    len: NodeId,
+}
+
+impl Spine {
+    /// View this index as the index of its length-`len` prefix.
+    ///
+    /// # Panics
+    /// Panics if `len > self.len()`.
+    pub fn prefix(&self, len: usize) -> SpinePrefix<'_> {
+        assert!(len <= self.len(), "prefix longer than the indexed text");
+        SpinePrefix { spine: self, len: len as NodeId }
+    }
+}
+
+impl SpinePrefix<'_> {
+    /// Length of the viewed prefix.
+    pub fn len(&self) -> usize {
+        self.len as usize
+    }
+
+    /// Is the viewed prefix empty?
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Ribs of `node` that exist in the prefix fragment (destination ≤ len).
+    pub fn ribs(&self, node: NodeId) -> impl Iterator<Item = &Rib> {
+        let len = self.len;
+        self.spine.nodes()[node as usize].ribs.iter().filter(move |r| r.dest <= len)
+    }
+
+    /// Extribs of `node` that exist in the prefix fragment.
+    pub fn extribs(&self, node: NodeId) -> impl Iterator<Item = &Extrib> {
+        let len = self.len;
+        self.spine.nodes()[node as usize].extribs.iter().filter(move |e| e.dest <= len)
+    }
+
+    /// Valid-path step within the fragment (same rules as
+    /// [`Spine::locate`], edges beyond the fragment invisible).
+    fn step(&self, node: NodeId, pl: u32, c: Code) -> Option<NodeId> {
+        if node < self.len && self.spine.nodes()[node as usize + 1].vertebra_cl == c {
+            return Some(node + 1);
+        }
+        let rib = self.ribs(node).find(|r| r.cl == c)?;
+        if pl <= rib.pt {
+            return Some(rib.dest);
+        }
+        let prt = rib.pt;
+        let mut at = rib.dest;
+        loop {
+            let e = self
+                .spine
+                .nodes()[at as usize]
+                .extrib(prt)
+                .filter(|e| e.dest <= self.len)?;
+            if e.pt >= pl {
+                return Some(e.dest);
+            }
+            at = e.dest;
+        }
+    }
+
+    /// Walk the valid path for `pattern` within the fragment.
+    pub fn locate(&self, pattern: &[Code]) -> Option<NodeId> {
+        let mut node = ROOT;
+        for (pl, &c) in pattern.iter().enumerate() {
+            node = self.step(node, pl as u32, c)?;
+        }
+        Some(node)
+    }
+}
+
+impl StringIndex for SpinePrefix<'_> {
+    fn alphabet(&self) -> &Alphabet {
+        self.spine.alphabet_ref()
+    }
+
+    fn text_len(&self) -> usize {
+        self.len as usize
+    }
+
+    fn symbol_at(&self, pos: usize) -> Code {
+        assert!(pos < self.len as usize);
+        self.spine.nodes()[pos + 1].vertebra_cl
+    }
+
+    fn find_first(&self, pattern: &[Code]) -> Option<usize> {
+        self.locate(pattern).map(|end| end as usize - pattern.len())
+    }
+
+    fn find_all(&self, pattern: &[Code]) -> Vec<usize> {
+        if pattern.is_empty() {
+            return Vec::new();
+        }
+        let Some(first) = self.locate(pattern) else {
+            return Vec::new();
+        };
+        let plen = pattern.len() as u32;
+        let mut buffer = vec![first];
+        for j in first + 1..=self.len {
+            let node = &self.spine.nodes()[j as usize];
+            if node.lel >= plen && buffer.binary_search(&node.link).is_ok() {
+                buffer.push(j);
+            }
+        }
+        buffer.into_iter().map(|e| e as usize - pattern.len()).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fragment_is_structurally_a_fresh_build() {
+        let a = Alphabet::dna();
+        let full_text = a.encode(b"AACCACAACAGGTTACGACGACCA").unwrap();
+        let full = Spine::build(a.clone(), &full_text).unwrap();
+        for k in 0..=full_text.len() {
+            let fresh = Spine::build(a.clone(), &full_text[..k]).unwrap();
+            let view = full.prefix(k);
+            for node in 0..=k as NodeId {
+                let f = &fresh.nodes()[node as usize];
+                if node != ROOT {
+                    let v = &full.nodes()[node as usize];
+                    assert_eq!((v.vertebra_cl, v.link, v.lel), (f.vertebra_cl, f.link, f.lel));
+                }
+                let mut view_ribs: Vec<Rib> = view.ribs(node).copied().collect();
+                let mut fresh_ribs = f.ribs.clone();
+                view_ribs.sort_by_key(|r| r.cl);
+                fresh_ribs.sort_by_key(|r| r.cl);
+                assert_eq!(view_ribs, fresh_ribs, "ribs at node {node}, prefix {k}");
+                let mut view_ex: Vec<Extrib> = view.extribs(node).copied().collect();
+                let mut fresh_ex = f.extribs.clone();
+                view_ex.sort_by_key(|e| e.prt);
+                fresh_ex.sort_by_key(|e| e.prt);
+                assert_eq!(view_ex, fresh_ex, "extribs at node {node}, prefix {k}");
+            }
+        }
+    }
+
+    #[test]
+    fn prefix_view_answers_prefix_queries() {
+        let a = Alphabet::dna();
+        let text = a.encode(b"AACCACAACA").unwrap();
+        let s = Spine::build(a.clone(), &text).unwrap();
+        let p = s.prefix(5); // "AACCA"
+        let ca = a.encode(b"CA").unwrap();
+        assert_eq!(p.find_all(&ca), vec![3]); // only the first CA is inside
+        assert_eq!(s.find_all(&ca), vec![3, 5, 8]);
+        // "ACAA" exists in the full text but not in the prefix.
+        let acaa = a.encode(b"ACAA").unwrap();
+        assert!(s.contains(&acaa));
+        assert!(!p.contains(&acaa));
+    }
+
+    #[test]
+    fn zero_prefix() {
+        let a = Alphabet::dna();
+        let s = Spine::build_from_bytes(a.clone(), b"ACGT").unwrap();
+        let p = s.prefix(0);
+        assert!(p.is_empty());
+        assert!(!p.contains(&a.encode(b"A").unwrap()));
+    }
+
+    #[test]
+    #[should_panic(expected = "prefix longer")]
+    fn prefix_beyond_len_panics() {
+        let s = Spine::build_from_bytes(Alphabet::dna(), b"AC").unwrap();
+        let _ = s.prefix(3);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Generic prefix views: the partitioning property holds for every backend.
+// ---------------------------------------------------------------------------
+
+/// A prefix view over *any* SPINE representation ([`SpineOps`]): the §2.7
+/// partitioning property is purely structural — every rib/extrib created
+/// while appending character `t` points to node `t`, so restricting to
+/// destinations ≤ `len` yields exactly the index of the length-`len` prefix.
+/// Works over the reference, compact, and disk layouts alike.
+pub struct PrefixView<'a, S: crate::ops::SpineOps + ?Sized> {
+    inner: &'a S,
+    len: NodeId,
+}
+
+impl<'a, S: crate::ops::SpineOps + ?Sized> PrefixView<'a, S> {
+    /// View `inner` as the index of its length-`len` prefix.
+    ///
+    /// # Panics
+    /// Panics if `len` exceeds the indexed length.
+    pub fn new(inner: &'a S, len: usize) -> Self {
+        assert!(len <= inner.text_len(), "prefix longer than the indexed text");
+        PrefixView { inner, len: len as NodeId }
+    }
+
+    /// Walk the valid path for `pattern` within the fragment.
+    pub fn locate(&self, pattern: &[Code]) -> Option<NodeId> {
+        crate::search::locate(self, pattern)
+    }
+
+    /// All occurrence start offsets of `pattern` within the prefix.
+    pub fn find_all(&self, pattern: &[Code]) -> Vec<usize> {
+        if pattern.is_empty() {
+            return Vec::new();
+        }
+        crate::occurrences::find_all_ends(self, pattern)
+            .into_iter()
+            .map(|end| end as usize - pattern.len())
+            .collect()
+    }
+}
+
+impl<S: crate::ops::SpineOps + ?Sized> crate::ops::SpineOps for PrefixView<'_, S> {
+    fn text_len(&self) -> usize {
+        self.len as usize
+    }
+
+    fn vertebra_out(&self, node: NodeId) -> Option<Code> {
+        (node < self.len).then(|| self.inner.vertebra_out(node)).flatten()
+    }
+
+    fn link_of(&self, node: NodeId) -> (NodeId, u32) {
+        // Links always point upstream: valid in any prefix containing node.
+        self.inner.link_of(node)
+    }
+
+    fn rib_of(&self, node: NodeId, c: Code) -> Option<(NodeId, u32)> {
+        self.inner.rib_of(node, c).filter(|&(dest, _)| dest <= self.len)
+    }
+
+    fn extrib_of(&self, node: NodeId, prt: u32) -> Option<(NodeId, u32)> {
+        // Chain destinations are creation times and increase along the
+        // chain, so this filter truncates the chain to a proper prefix.
+        self.inner.extrib_of(node, prt).filter(|&(dest, _)| dest <= self.len)
+    }
+
+    fn ops_counters(&self) -> &strindex::Counters {
+        self.inner.ops_counters()
+    }
+}
+
+impl crate::CompactSpine {
+    /// View this compact index as the index of its length-`len` prefix
+    /// (see [`PrefixView`]).
+    pub fn prefix(&self, len: usize) -> PrefixView<'_, crate::CompactSpine> {
+        PrefixView::new(self, len)
+    }
+}
+
+impl crate::DiskSpine {
+    /// View this disk index as the index of its length-`len` prefix
+    /// (see [`PrefixView`]).
+    pub fn prefix(&self, len: usize) -> PrefixView<'_, crate::DiskSpine> {
+        PrefixView::new(self, len)
+    }
+}
+
+#[cfg(test)]
+mod view_tests {
+    use super::*;
+    use crate::CompactSpine;
+
+    #[test]
+    fn compact_prefix_equals_fresh_compact_build() {
+        let a = Alphabet::dna();
+        let text = a.encode(b"AACCACAACAGGTTACGACGACCA").unwrap();
+        let full = CompactSpine::build(a.clone(), &text).unwrap();
+        for k in [0usize, 1, 5, 10, 17, 24] {
+            let fresh = CompactSpine::build(a.clone(), &text[..k]).unwrap();
+            let view = full.prefix(k);
+            for len in 1..=4usize {
+                for bits in 0..(1u32 << (2 * len)) {
+                    let p: Vec<Code> =
+                        (0..len).map(|i| ((bits >> (2 * i)) & 3) as Code).collect();
+                    assert_eq!(
+                        view.find_all(&p),
+                        fresh.find_all(&p),
+                        "pattern {p:?}, prefix {k}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn disk_prefix_answers_prefix_queries() {
+        use pagestore::{Lru, MemDevice};
+        let a = Alphabet::dna();
+        let text = a.encode(b"AACCACAACA").unwrap();
+        let d = crate::DiskSpine::build(
+            a.clone(),
+            &text,
+            Box::new(MemDevice::new()),
+            4,
+            Box::<Lru>::default(),
+        )
+        .unwrap();
+        let view = d.prefix(5);
+        assert_eq!(view.find_all(&a.encode(b"CA").unwrap()), vec![3]);
+        assert!(view.locate(&a.encode(b"ACAA").unwrap()).is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "prefix longer")]
+    fn view_beyond_len_panics() {
+        let c = CompactSpine::build_from_bytes(Alphabet::dna(), b"AC").unwrap();
+        let _ = c.prefix(3);
+    }
+}

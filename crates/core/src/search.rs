@@ -1,0 +1,184 @@
+//! Valid-path search (Section 4 of the paper).
+//!
+//! A search path is *valid* iff it starts at the root and every rib/extrib
+//! it takes satisfies the pathlength-threshold constraint: a rib may be
+//! traversed by a path of current length `pl` only when `pl ≤ PT`; when the
+//! rib fails, its extrib chain is scanned for the first element with
+//! `PT ≥ pl` (matching the rib by PRT). Valid paths spell exactly the
+//! substrings of the text, and end at the first-occurrence end position —
+//! the paper's central no-false-positives theorem, which the property tests
+//! verify against the naive trie.
+//!
+//! The algorithms here are generic over [`SpineOps`], so the reference,
+//! compact, and disk representations share them.
+
+use crate::build::Spine;
+use crate::node::{NodeId, ROOT};
+use crate::ops::SpineOps;
+use strindex::{Alphabet, Code, StringIndex};
+
+/// One valid-path step: from `node` with current path length `pl`, follow
+/// the edge labeled `c`. Returns the destination, or `None` if no
+/// traversable edge exists (⇒ the extended string is not a substring).
+#[inline]
+pub fn step<S: SpineOps + ?Sized>(s: &S, node: NodeId, pl: u32, c: Code) -> Option<NodeId> {
+    s.ops_counters().count_node_check();
+    // Vertebras are unconstrained.
+    if s.vertebra_out(node) == Some(c) {
+        s.ops_counters().count_edge();
+        return Some(node + 1);
+    }
+    let (dest, pt) = s.rib_of(node, c)?;
+    if pl <= pt {
+        s.ops_counters().count_edge();
+        return Some(dest);
+    }
+    // Rib fails the threshold test: follow its extrib chain.
+    let prt = pt;
+    let mut at = dest;
+    loop {
+        s.ops_counters().count_extrib();
+        let (edest, ept) = s.extrib_of(at, prt)?;
+        if ept >= pl {
+            s.ops_counters().count_edge();
+            return Some(edest);
+        }
+        at = edest;
+    }
+}
+
+/// Walk the valid path for `pattern`. Returns the end node — which, by the
+/// SPINE invariant, is the 1-based end position of the pattern's first
+/// occurrence — or `None` if the pattern does not occur.
+pub fn locate<S: SpineOps + ?Sized>(s: &S, pattern: &[Code]) -> Option<NodeId> {
+    let mut node = ROOT;
+    for (pl, &c) in pattern.iter().enumerate() {
+        node = step(s, node, pl as u32, c)?;
+    }
+    Some(node)
+}
+
+impl Spine {
+    /// Walk the valid path for `pattern`; see [`locate`].
+    pub fn locate(&self, pattern: &[Code]) -> Option<NodeId> {
+        locate(self, pattern)
+    }
+}
+
+impl StringIndex for Spine {
+    fn alphabet(&self) -> &Alphabet {
+        &self.alphabet
+    }
+
+    fn text_len(&self) -> usize {
+        self.len()
+    }
+
+    fn symbol_at(&self, pos: usize) -> Code {
+        self.nodes()[pos + 1].vertebra_cl
+    }
+
+    fn find_first(&self, pattern: &[Code]) -> Option<usize> {
+        self.locate(pattern).map(|end| end as usize - pattern.len())
+    }
+
+    fn find_all(&self, pattern: &[Code]) -> Vec<usize> {
+        if pattern.is_empty() {
+            return Vec::new();
+        }
+        crate::occurrences::find_all_ends(self, pattern)
+            .into_iter()
+            .map(|end| end as usize - pattern.len())
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn paper_spine() -> (Alphabet, Spine) {
+        let a = Alphabet::dna();
+        let s = Spine::build_from_bytes(a.clone(), b"AACCACAACA").unwrap();
+        (a, s)
+    }
+
+    fn enc(a: &Alphabet, s: &[u8]) -> Vec<Code> {
+        a.encode(s).unwrap()
+    }
+
+    #[test]
+    fn locate_returns_first_occurrence_end() {
+        let (a, s) = paper_spine();
+        assert_eq!(s.locate(&enc(&a, b"A")), Some(1));
+        assert_eq!(s.locate(&enc(&a, b"CA")), Some(5));
+        assert_eq!(s.locate(&enc(&a, b"AACCACAACA")), Some(10));
+        assert_eq!(s.locate(&enc(&a, b"ACAA")), Some(8));
+        assert_eq!(s.locate(&enc(&a, b"")), Some(0));
+    }
+
+    #[test]
+    fn paper_false_positive_is_rejected() {
+        // §2.1/§4: "accaa" appears to have a path but the rib's PT of 2 is
+        // less than the pathlength of 4, so it must be rejected.
+        let (a, s) = paper_spine();
+        assert_eq!(s.locate(&enc(&a, b"ACCAA")), None);
+        assert!(!s.contains(&enc(&a, b"ACCAA")));
+        // Its prefix "acca" is real.
+        assert_eq!(s.locate(&enc(&a, b"ACCA")), Some(5));
+    }
+
+    #[test]
+    fn extrib_chain_traversal_during_search() {
+        // Walk "ACA" explicitly: A→1; C: rib at 1 → 3 (pt 1 ≥ 1); A: at
+        // node 3 pl=2 > rib.pt=1 → extrib chain: 5's extrib (prt 1, pt 2 ≥
+        // 2) → node 7.
+        let (a, s) = paper_spine();
+        assert_eq!(s.locate(&enc(&a, b"ACA")), Some(7));
+        // And "ACAA" continues with the vertebra 7→8.
+        assert_eq!(s.locate(&enc(&a, b"ACAA")), Some(8));
+    }
+
+    #[test]
+    fn find_first_offsets() {
+        let (a, s) = paper_spine();
+        assert_eq!(s.find_first(&enc(&a, b"CA")), Some(3));
+        assert_eq!(s.find_first(&enc(&a, b"AAC")), Some(0));
+        assert_eq!(s.find_first(&enc(&a, b"G")), None);
+        assert_eq!(s.find_first(&enc(&a, b"CAACA")), Some(5));
+    }
+
+    #[test]
+    fn counters_accumulate() {
+        let (a, s) = paper_spine();
+        s.counters().reset();
+        s.locate(&enc(&a, b"ACCA"));
+        assert!(s.counters().nodes_checked() >= 4);
+    }
+
+    #[test]
+    fn all_substrings_found_none_invented() {
+        // Exhaustive check on the paper string for every candidate string
+        // up to length 4.
+        let (a, s) = paper_spine();
+        let text = b"AACCACAACA";
+        let is_sub = |p: &[u8]| text.windows(p.len()).any(|w| w == p);
+        let mut stack: Vec<Vec<u8>> = vec![vec![]];
+        while let Some(p) = stack.pop() {
+            if p.len() >= 4 {
+                continue;
+            }
+            for ch in [b'A', b'C', b'G', b'T'] {
+                let mut q = p.clone();
+                q.push(ch);
+                assert_eq!(
+                    s.contains(&enc(&a, &q)),
+                    is_sub(&q),
+                    "mismatch on {:?}",
+                    String::from_utf8_lossy(&q)
+                );
+                stack.push(q);
+            }
+        }
+    }
+}

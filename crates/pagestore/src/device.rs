@@ -1,0 +1,298 @@
+//! Page-granular storage devices.
+
+use std::cell::Cell;
+use std::fs::File;
+use std::io::{Read, Seek, SeekFrom, Write};
+use std::path::Path;
+use strindex::Result;
+
+/// Fixed page size, matching a common filesystem block multiple.
+pub const PAGE_SIZE: usize = 4096;
+
+/// Cumulative I/O counters. Page counts are the hardware-independent
+/// locality signal used to reproduce the shape of the paper's disk results.
+#[derive(Debug, Default)]
+pub struct IoStats {
+    reads: Cell<u64>,
+    writes: Cell<u64>,
+    syncs: Cell<u64>,
+}
+
+impl IoStats {
+    /// Pages read from the device.
+    pub fn reads(&self) -> u64 {
+        self.reads.get()
+    }
+
+    /// Pages written to the device.
+    pub fn writes(&self) -> u64 {
+        self.writes.get()
+    }
+
+    /// Explicit syncs issued (fsync-per-write devices).
+    pub fn syncs(&self) -> u64 {
+        self.syncs.get()
+    }
+
+    /// Zero all counters.
+    pub fn reset(&self) {
+        self.reads.set(0);
+        self.writes.set(0);
+        self.syncs.set(0);
+    }
+}
+
+/// A device storing fixed-size pages addressed by index.
+pub trait PageDevice {
+    /// Read page `id` into `buf` (must be `PAGE_SIZE` long). Reading a
+    /// never-written page yields zeroes.
+    fn read_page(&mut self, id: u32, buf: &mut [u8]) -> Result<()>;
+
+    /// Write page `id` from `buf`.
+    fn write_page(&mut self, id: u32, buf: &[u8]) -> Result<()>;
+
+    /// Number of pages the device currently holds.
+    fn page_count(&self) -> u32;
+
+    /// I/O counters.
+    fn stats(&self) -> &IoStats;
+}
+
+/// An in-memory device: precise counting, no hardware noise. This is the
+/// default substrate for the disk experiments (see DESIGN.md §4 on the
+/// substitution for the paper's 2004 IDE disk).
+#[derive(Default)]
+pub struct MemDevice {
+    pages: Vec<Box<[u8]>>,
+    stats: IoStats,
+}
+
+impl MemDevice {
+    /// An empty device.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+impl PageDevice for MemDevice {
+    fn read_page(&mut self, id: u32, buf: &mut [u8]) -> Result<()> {
+        debug_assert_eq!(buf.len(), PAGE_SIZE);
+        self.stats.reads.set(self.stats.reads.get() + 1);
+        match self.pages.get(id as usize) {
+            Some(p) => buf.copy_from_slice(p),
+            None => buf.fill(0),
+        }
+        Ok(())
+    }
+
+    fn write_page(&mut self, id: u32, buf: &[u8]) -> Result<()> {
+        debug_assert_eq!(buf.len(), PAGE_SIZE);
+        self.stats.writes.set(self.stats.writes.get() + 1);
+        while self.pages.len() <= id as usize {
+            self.pages.push(vec![0u8; PAGE_SIZE].into_boxed_slice());
+        }
+        self.pages[id as usize].copy_from_slice(buf);
+        Ok(())
+    }
+
+    fn page_count(&self) -> u32 {
+        self.pages.len() as u32
+    }
+
+    fn stats(&self) -> &IoStats {
+        &self.stats
+    }
+}
+
+/// A real file device; when `sync_writes` is set, every page write is
+/// followed by `sync_data`, reproducing the paper's `O_SYNC` measurement
+/// artifact ("the absolute times are large due to our synchronous disk
+/// write artifact").
+pub struct FileDevice {
+    file: File,
+    pages: u32,
+    sync_writes: bool,
+    stats: IoStats,
+}
+
+impl FileDevice {
+    /// Create (truncate) a device file at `path`.
+    pub fn create<P: AsRef<Path>>(path: P, sync_writes: bool) -> Result<Self> {
+        let file = File::options()
+            .read(true)
+            .write(true)
+            .create(true)
+            .truncate(true)
+            .open(path)?;
+        Ok(FileDevice { file, pages: 0, sync_writes, stats: IoStats::default() })
+    }
+
+    /// Open an existing device file at `path`, recovering its page count
+    /// from the file length.
+    pub fn open<P: AsRef<Path>>(path: P, sync_writes: bool) -> Result<Self> {
+        let file = File::options().read(true).write(true).open(path)?;
+        let len = file.metadata()?.len();
+        let pages = len.div_ceil(PAGE_SIZE as u64) as u32;
+        Ok(FileDevice { file, pages, sync_writes, stats: IoStats::default() })
+    }
+}
+
+impl PageDevice for FileDevice {
+    fn read_page(&mut self, id: u32, buf: &mut [u8]) -> Result<()> {
+        debug_assert_eq!(buf.len(), PAGE_SIZE);
+        self.stats.reads.set(self.stats.reads.get() + 1);
+        if id >= self.pages {
+            buf.fill(0);
+            return Ok(());
+        }
+        self.file.seek(SeekFrom::Start(id as u64 * PAGE_SIZE as u64))?;
+        self.file.read_exact(buf)?;
+        Ok(())
+    }
+
+    fn write_page(&mut self, id: u32, buf: &[u8]) -> Result<()> {
+        debug_assert_eq!(buf.len(), PAGE_SIZE);
+        self.stats.writes.set(self.stats.writes.get() + 1);
+        if id >= self.pages {
+            // Extend with zero pages up to id.
+            let zeroes = vec![0u8; PAGE_SIZE];
+            self.file.seek(SeekFrom::Start(self.pages as u64 * PAGE_SIZE as u64))?;
+            for _ in self.pages..id {
+                self.file.write_all(&zeroes)?;
+            }
+            self.pages = id + 1;
+        }
+        self.file.seek(SeekFrom::Start(id as u64 * PAGE_SIZE as u64))?;
+        self.file.write_all(buf)?;
+        if self.sync_writes {
+            self.file.sync_data()?;
+            self.stats.syncs.set(self.stats.syncs.get() + 1);
+        }
+        Ok(())
+    }
+
+    fn page_count(&self) -> u32 {
+        self.pages
+    }
+
+    fn stats(&self) -> &IoStats {
+        &self.stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn round_trip(dev: &mut dyn PageDevice) {
+        let mut a = [0u8; PAGE_SIZE];
+        a[0] = 7;
+        a[PAGE_SIZE - 1] = 9;
+        dev.write_page(3, &a).unwrap();
+        let mut buf = [0u8; PAGE_SIZE];
+        dev.read_page(3, &mut buf).unwrap();
+        assert_eq!(buf[0], 7);
+        assert_eq!(buf[PAGE_SIZE - 1], 9);
+        // Unwritten (but allocated) page reads back zeroes.
+        dev.read_page(1, &mut buf).unwrap();
+        assert!(buf.iter().all(|&b| b == 0));
+        assert!(dev.page_count() >= 4);
+        assert_eq!(dev.stats().reads(), 2);
+        assert_eq!(dev.stats().writes(), 1);
+    }
+
+    #[test]
+    fn mem_device_round_trip() {
+        round_trip(&mut MemDevice::new());
+    }
+
+    #[test]
+    fn file_device_round_trip() {
+        let dir = std::env::temp_dir().join("pagestore-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join(format!("dev-{}.bin", std::process::id()));
+        round_trip(&mut FileDevice::create(&path, false).unwrap());
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn file_device_sync_counts() {
+        let dir = std::env::temp_dir().join("pagestore-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join(format!("dev-sync-{}.bin", std::process::id()));
+        let mut dev = FileDevice::create(&path, true).unwrap();
+        dev.write_page(0, &[1u8; PAGE_SIZE]).unwrap();
+        dev.write_page(1, &[2u8; PAGE_SIZE]).unwrap();
+        assert_eq!(dev.stats().syncs(), 2);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn never_written_page_is_zero() {
+        let mut dev = MemDevice::new();
+        let mut buf = [1u8; PAGE_SIZE];
+        dev.read_page(42, &mut buf).unwrap();
+        assert!(buf.iter().all(|&b| b == 0));
+        assert_eq!(dev.page_count(), 0);
+    }
+}
+
+/// A fault-injection wrapper: forwards to an inner device until a budget of
+/// operations is spent, then fails every call with an I/O error. Used to
+/// verify that the buffer pool and the engines built on it propagate
+/// storage failures as `Err` instead of corrupting state or panicking.
+pub struct FaultyDevice<D: PageDevice> {
+    inner: D,
+    remaining: u64,
+}
+
+impl<D: PageDevice> FaultyDevice<D> {
+    /// Fail every operation after the first `ops_before_failure` succeed.
+    pub fn new(inner: D, ops_before_failure: u64) -> Self {
+        FaultyDevice { inner, remaining: ops_before_failure }
+    }
+
+    fn spend(&mut self) -> Result<()> {
+        if self.remaining == 0 {
+            return Err(std::io::Error::other("injected device fault").into());
+        }
+        self.remaining -= 1;
+        Ok(())
+    }
+}
+
+impl<D: PageDevice> PageDevice for FaultyDevice<D> {
+    fn read_page(&mut self, id: u32, buf: &mut [u8]) -> Result<()> {
+        self.spend()?;
+        self.inner.read_page(id, buf)
+    }
+
+    fn write_page(&mut self, id: u32, buf: &[u8]) -> Result<()> {
+        self.spend()?;
+        self.inner.write_page(id, buf)
+    }
+
+    fn page_count(&self) -> u32 {
+        self.inner.page_count()
+    }
+
+    fn stats(&self) -> &IoStats {
+        self.inner.stats()
+    }
+}
+
+#[cfg(test)]
+mod faulty_tests {
+    use super::*;
+
+    #[test]
+    fn fails_after_budget() {
+        let mut d = FaultyDevice::new(MemDevice::new(), 2);
+        let buf = [0u8; PAGE_SIZE];
+        assert!(d.write_page(0, &buf).is_ok());
+        assert!(d.write_page(1, &buf).is_ok());
+        assert!(d.write_page(2, &buf).is_err());
+        let mut rbuf = [0u8; PAGE_SIZE];
+        assert!(d.read_page(0, &mut rbuf).is_err());
+    }
+}

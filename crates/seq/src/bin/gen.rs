@@ -1,0 +1,68 @@
+//! `gen` — dump a synthetic dataset as FASTA.
+//!
+//! ```text
+//! gen <preset> [--scale F] [--mutate] [--seed N]
+//! ```
+//!
+//! Writes FASTA to stdout: the preset sequence, or (with `--mutate`) the
+//! derived relative used as the query side of the paper's matching
+//! experiments. Lets external tools consume exactly the sequences the
+//! experiment harness measures, and lets the `pattern_search` example run
+//! over a file:
+//!
+//! ```sh
+//! cargo run -p genseq --bin gen -- eco-sim --scale 0.01 > eco.fasta
+//! cargo run --example pattern_search eco.fasta ACGTACGT
+//! ```
+
+use genseq::fasta::{write_fasta, Record};
+use genseq::{mutate, preset, preset_names, rng, MutationProfile};
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let Some(name) = args.next() else {
+        eprintln!("usage: gen <preset> [--scale F] [--mutate] [--seed N]");
+        eprintln!("presets: {}", preset_names().join(", "));
+        std::process::exit(2);
+    };
+    let mut scale = 0.01f64;
+    let mut do_mutate = false;
+    let mut seed = 42u64;
+    let rest: Vec<String> = args.collect();
+    let mut i = 0;
+    while i < rest.len() {
+        match rest[i].as_str() {
+            "--scale" => {
+                scale = rest[i + 1].parse().expect("--scale takes a float");
+                i += 2;
+            }
+            "--seed" => {
+                seed = rest[i + 1].parse().expect("--seed takes an integer");
+                i += 2;
+            }
+            "--mutate" => {
+                do_mutate = true;
+                i += 1;
+            }
+            other => {
+                eprintln!("unknown flag {other}");
+                std::process::exit(2);
+            }
+        }
+    }
+
+    let Some(p) = preset(&name) else {
+        eprintln!("unknown preset {name}; available: {}", preset_names().join(", "));
+        std::process::exit(2);
+    };
+    let alphabet = p.alphabet();
+    let mut seq = p.generate(scale);
+    let mut header = format!("{} scale={scale} ({})", p.name, p.stands_in_for);
+    if do_mutate {
+        seq = mutate(&seq, alphabet.size(), &MutationProfile::default(), &mut rng(seed));
+        header.push_str(&format!(" mutated seed={seed}"));
+    }
+    let rec = Record { header, seq: alphabet.decode_all(&seq) };
+    let stdout = std::io::stdout();
+    write_fasta(stdout.lock(), std::slice::from_ref(&rec)).expect("write FASTA");
+}

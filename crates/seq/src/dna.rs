@@ -1,0 +1,84 @@
+//! DNA-specific sequence operations.
+//!
+//! Whole-genome aligners match both strands: a query segment may align to
+//! the *reverse complement* of the data. With the DNA code assignment
+//! (A=0, C=1, G=2, T=3) complementation is simply `3 − code`.
+
+use strindex::{Alphabet, AlphabetKind, Code, Error, Result};
+
+/// Complement one DNA code (A↔T, C↔G).
+#[inline]
+pub fn complement(code: Code) -> Code {
+    debug_assert!(code < 4);
+    3 - code
+}
+
+/// The reverse complement of a DNA code sequence.
+///
+/// # Errors
+/// Returns [`Error::AlphabetMismatch`] if `alphabet` is not DNA.
+pub fn reverse_complement(alphabet: &Alphabet, seq: &[Code]) -> Result<Vec<Code>> {
+    if alphabet.kind() != AlphabetKind::Dna {
+        return Err(Error::AlphabetMismatch);
+    }
+    Ok(seq.iter().rev().map(|&c| complement(c)).collect())
+}
+
+/// GC content of a DNA code sequence, in [0, 1].
+pub fn gc_content(seq: &[Code]) -> f64 {
+    if seq.is_empty() {
+        return 0.0;
+    }
+    let gc = seq.iter().filter(|&&c| c == 1 || c == 2).count();
+    gc as f64 / seq.len() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn revcomp_round_trips() {
+        let a = Alphabet::dna();
+        let s = a.encode(b"ACGGTTAC").unwrap();
+        let rc = reverse_complement(&a, &s).unwrap();
+        assert_eq!(a.decode_all(&rc), b"GTAACCGT");
+        assert_eq!(reverse_complement(&a, &rc).unwrap(), s);
+    }
+
+    #[test]
+    fn complement_pairs() {
+        let a = Alphabet::dna();
+        let enc = |b: u8| a.encode_byte(b).unwrap();
+        assert_eq!(complement(enc(b'A')), enc(b'T'));
+        assert_eq!(complement(enc(b'C')), enc(b'G'));
+        assert_eq!(complement(enc(b'G')), enc(b'C'));
+        assert_eq!(complement(enc(b'T')), enc(b'A'));
+    }
+
+    #[test]
+    fn rejects_non_dna() {
+        let a = Alphabet::protein();
+        assert!(matches!(
+            reverse_complement(&a, &[0, 1]),
+            Err(Error::AlphabetMismatch)
+        ));
+    }
+
+    #[test]
+    fn gc_content_counts() {
+        let a = Alphabet::dna();
+        assert_eq!(gc_content(&a.encode(b"GGCC").unwrap()), 1.0);
+        assert_eq!(gc_content(&a.encode(b"AATT").unwrap()), 0.0);
+        assert_eq!(gc_content(&a.encode(b"ACGT").unwrap()), 0.5);
+        assert_eq!(gc_content(&[]), 0.0);
+    }
+
+    #[test]
+    fn palindromes_are_their_own_revcomp() {
+        // GAATTC (EcoRI site) is a biological palindrome.
+        let a = Alphabet::dna();
+        let s = a.encode(b"GAATTC").unwrap();
+        assert_eq!(reverse_complement(&a, &s).unwrap(), s);
+    }
+}

@@ -1,0 +1,130 @@
+//! Minimal FASTA reader/writer.
+//!
+//! The experiment harness is driven by synthetic presets by default, but the
+//! paper's real datasets (or any other sequence) can be substituted in by
+//! pointing the CLI at a FASTA file. Only the subset of the format needed
+//! for that is implemented: `>` headers, sequence lines, `;` comments.
+
+use std::io::{BufRead, Write};
+use strindex::{Alphabet, Code, Error, Result};
+
+/// One FASTA record: a header line (without `>`) and its sequence bytes.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Record {
+    /// Header text following `>` (may be empty).
+    pub header: String,
+    /// Raw sequence bytes with whitespace removed.
+    pub seq: Vec<u8>,
+}
+
+/// Parse all records from a FASTA stream.
+pub fn read_fasta<R: BufRead>(reader: R) -> Result<Vec<Record>> {
+    let mut records: Vec<Record> = Vec::new();
+    for (lineno, line) in reader.lines().enumerate() {
+        let line = line?;
+        let trimmed = line.trim();
+        if trimmed.is_empty() || trimmed.starts_with(';') {
+            continue;
+        }
+        if let Some(header) = trimmed.strip_prefix('>') {
+            records.push(Record { header: header.trim().to_string(), seq: Vec::new() });
+        } else {
+            let rec = records
+                .last_mut()
+                .ok_or_else(|| Error::Parse(format!("line {}: sequence before header", lineno + 1)))?;
+            rec.seq.extend(trimmed.bytes().filter(|b| !b.is_ascii_whitespace()));
+        }
+    }
+    if records.is_empty() {
+        return Err(Error::Parse("no FASTA records found".into()));
+    }
+    Ok(records)
+}
+
+/// Write records in 70-column FASTA.
+pub fn write_fasta<W: Write>(mut writer: W, records: &[Record]) -> Result<()> {
+    for rec in records {
+        writeln!(writer, ">{}", rec.header)?;
+        for chunk in rec.seq.chunks(70) {
+            writer.write_all(chunk)?;
+            writer.write_all(b"\n")?;
+        }
+    }
+    Ok(())
+}
+
+/// Read a FASTA stream and encode the concatenation of all records with
+/// `alphabet`, skipping bytes the alphabet rejects (real genome files contain
+/// `N` runs; the paper's prototypes likewise index the four-letter alphabet).
+/// Returns the codes and the number of skipped bytes.
+pub fn read_encoded<R: BufRead>(reader: R, alphabet: &Alphabet) -> Result<(Vec<Code>, usize)> {
+    let records = read_fasta(reader)?;
+    let mut codes = Vec::new();
+    let mut skipped = 0usize;
+    for rec in &records {
+        for &b in &rec.seq {
+            match alphabet.encode_byte(b) {
+                Some(c) => codes.push(c),
+                None => skipped += 1,
+            }
+        }
+    }
+    Ok((codes, skipped))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Cursor;
+
+    const SAMPLE: &str = "; a comment\n>seq1 first\nACGT\nACG\n\n>seq2\nTTTT\n";
+
+    #[test]
+    fn parses_headers_and_joins_lines() {
+        let recs = read_fasta(Cursor::new(SAMPLE)).unwrap();
+        assert_eq!(recs.len(), 2);
+        assert_eq!(recs[0].header, "seq1 first");
+        assert_eq!(recs[0].seq, b"ACGTACG");
+        assert_eq!(recs[1].seq, b"TTTT");
+    }
+
+    #[test]
+    fn rejects_sequence_before_header() {
+        let err = read_fasta(Cursor::new("ACGT\n")).unwrap_err();
+        assert!(matches!(err, Error::Parse(_)));
+    }
+
+    #[test]
+    fn rejects_empty_input() {
+        assert!(read_fasta(Cursor::new("")).is_err());
+    }
+
+    #[test]
+    fn round_trip() {
+        let recs = read_fasta(Cursor::new(SAMPLE)).unwrap();
+        let mut buf = Vec::new();
+        write_fasta(&mut buf, &recs).unwrap();
+        let again = read_fasta(Cursor::new(buf)).unwrap();
+        assert_eq!(recs, again);
+    }
+
+    #[test]
+    fn encode_skips_unknown_bytes() {
+        let a = Alphabet::dna();
+        let (codes, skipped) = read_encoded(Cursor::new(">x\nACGNNTA\n"), &a).unwrap();
+        assert_eq!(codes, vec![0, 1, 2, 3, 0]); // ACGTA
+        assert_eq!(skipped, 2);
+    }
+
+    #[test]
+    fn wraps_long_lines_at_70() {
+        let rec = Record { header: "long".into(), seq: vec![b'A'; 150] };
+        let mut buf = Vec::new();
+        write_fasta(&mut buf, std::slice::from_ref(&rec)).unwrap();
+        let text = String::from_utf8(buf).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 4); // header + 70 + 70 + 10
+        assert_eq!(lines[1].len(), 70);
+        assert_eq!(lines[3].len(), 10);
+    }
+}

@@ -1,0 +1,42 @@
+//! Sequence substrate for the SPINE reproduction.
+//!
+//! The paper evaluates on real genomes (E.coli, C.elegans, human chromosomes
+//! 21 and 19) and proteomes. Those datasets are not shipped with this
+//! repository, so this crate provides the closest synthetic equivalent:
+//! generators that produce DNA/protein sequences with the *repeat structure*
+//! that drives every quantity the paper measures (rib density, label maxima,
+//! link locality, matching work). See DESIGN.md §4 for the substitution
+//! rationale.
+//!
+//! * [`markov`] — order-k Markov background sequence (plus i.i.d. uniform);
+//! * [`repeats`] — injection of dispersed and tandem repeats with point
+//!   mutations, mimicking genomic repeat families;
+//! * [`mutate()`] — derive a related sequence (SNPs, indels, block moves) to
+//!   form the genome *pairs* used by the alignment experiments;
+//! * [`presets`] — named stand-ins (`eco-sim`, `cel-sim`, `hc21-sim`,
+//!   `hc19-sim`, and protein presets) with paper-matching lengths, scalable
+//!   for laptop runs;
+//! * [`fasta`] — minimal FASTA reader/writer so real data can be substituted
+//!   in when available.
+
+pub mod dna;
+pub mod fasta;
+pub mod markov;
+pub mod mutate;
+pub mod presets;
+pub mod repeats;
+
+pub use dna::{complement, gc_content, reverse_complement};
+pub use markov::{iid_sequence, MarkovModel};
+pub use mutate::{mutate, MutationProfile};
+pub use presets::{preset, preset_names, Preset};
+pub use repeats::{inject_repeats, RepeatProfile};
+
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+/// The deterministic RNG used throughout the workload generators; seeded
+/// explicitly so every experiment is reproducible.
+pub fn rng(seed: u64) -> SmallRng {
+    SmallRng::seed_from_u64(seed)
+}

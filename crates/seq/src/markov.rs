@@ -1,0 +1,138 @@
+//! Background sequence generators: i.i.d. and order-k Markov.
+//!
+//! Real genomic sequence is locally correlated (GC skew, dinucleotide bias).
+//! An order-k Markov chain with randomly drawn, concentration-controlled
+//! transition rows reproduces that short-range structure; the long-range
+//! repeat structure is added separately by [`crate::repeats`].
+
+use rand::distributions::{Distribution, WeightedIndex};
+use rand::Rng;
+use strindex::{Alphabet, Code};
+
+/// Generate `len` symbols drawn i.i.d. uniformly from `alphabet`.
+pub fn iid_sequence<R: Rng>(alphabet: &Alphabet, len: usize, rng: &mut R) -> Vec<Code> {
+    let k = alphabet.size() as u32;
+    (0..len).map(|_| rng.gen_range(0..k) as Code).collect()
+}
+
+/// An order-k Markov model over an alphabet, with one categorical
+/// distribution per length-k context.
+pub struct MarkovModel {
+    alphabet: Alphabet,
+    order: usize,
+    /// `tables[ctx]` = sampling distribution for the next symbol given the
+    /// context index `ctx` (base-`size` encoding of the last `order` codes).
+    tables: Vec<WeightedIndex<f64>>,
+}
+
+impl MarkovModel {
+    /// Build a random model. `skew` ∈ [0, 1] controls how biased each
+    /// transition row is: 0 = uniform rows (memoryless), 1 = strongly peaked
+    /// rows (very repetitive local texture). Genomic DNA sits around 0.3–0.5.
+    ///
+    /// # Panics
+    /// Panics if `size^order` exceeds 2^20 contexts (guards against an
+    /// accidental protein order-8 model, which would need 25 G rows).
+    pub fn random<R: Rng>(alphabet: &Alphabet, order: usize, skew: f64, rng: &mut R) -> Self {
+        let size = alphabet.size();
+        let contexts = size.pow(order as u32);
+        assert!(contexts <= 1 << 20, "too many Markov contexts: {contexts}");
+        let tables = (0..contexts)
+            .map(|_| {
+                let weights: Vec<f64> = (0..size)
+                    .map(|_| {
+                        let u: f64 = rng.gen_range(0.0..1.0);
+                        // Interpolate between uniform (1.0) and a heavy-tailed
+                        // draw; exponentiation peaks the row as skew → 1.
+                        (1.0 - skew) + skew * u.powf(4.0)
+                    })
+                    .collect();
+                WeightedIndex::new(&weights).expect("weights are positive")
+            })
+            .collect();
+        MarkovModel { alphabet: alphabet.clone(), order, tables }
+    }
+
+    /// The model's alphabet.
+    pub fn alphabet(&self) -> &Alphabet {
+        &self.alphabet
+    }
+
+    /// The model order (context length).
+    pub fn order(&self) -> usize {
+        self.order
+    }
+
+    /// Sample a sequence of `len` symbols.
+    pub fn sample<R: Rng>(&self, len: usize, rng: &mut R) -> Vec<Code> {
+        let size = self.alphabet.size();
+        let mut out = Vec::with_capacity(len);
+        let mut ctx = 0usize;
+        let modulus = size.pow(self.order as u32);
+        for i in 0..len {
+            let code = if i < self.order {
+                rng.gen_range(0..size) as Code
+            } else {
+                self.tables[ctx].sample(rng) as Code
+            };
+            out.push(code);
+            ctx = (ctx * size + code as usize) % modulus.max(1);
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rng;
+
+    #[test]
+    fn iid_stays_in_range() {
+        let a = Alphabet::dna();
+        let s = iid_sequence(&a, 10_000, &mut rng(1));
+        assert_eq!(s.len(), 10_000);
+        assert!(s.iter().all(|&c| (c as usize) < a.size()));
+        // All four symbols should appear in 10k draws.
+        for sym in 0..4u8 {
+            assert!(s.contains(&sym), "symbol {sym} missing");
+        }
+    }
+
+    #[test]
+    fn markov_is_deterministic_given_seed() {
+        let a = Alphabet::dna();
+        let m1 = MarkovModel::random(&a, 3, 0.4, &mut rng(7));
+        let m2 = MarkovModel::random(&a, 3, 0.4, &mut rng(7));
+        assert_eq!(m1.sample(500, &mut rng(9)), m2.sample(500, &mut rng(9)));
+    }
+
+    #[test]
+    fn markov_skew_increases_repetitiveness() {
+        // Count distinct 6-mers: a skewed chain should produce fewer.
+        let a = Alphabet::dna();
+        let count_kmers = |s: &[Code]| {
+            let mut set = std::collections::HashSet::new();
+            for w in s.windows(6) {
+                set.insert(w.to_vec());
+            }
+            set.len()
+        };
+        let flat = MarkovModel::random(&a, 2, 0.0, &mut rng(3)).sample(20_000, &mut rng(4));
+        let peaky = MarkovModel::random(&a, 2, 0.95, &mut rng(3)).sample(20_000, &mut rng(4));
+        assert!(
+            count_kmers(&peaky) < count_kmers(&flat),
+            "skewed chain should repeat more: {} vs {}",
+            count_kmers(&peaky),
+            count_kmers(&flat)
+        );
+    }
+
+    #[test]
+    fn protein_markov_works() {
+        let a = Alphabet::protein();
+        let m = MarkovModel::random(&a, 2, 0.3, &mut rng(11));
+        let s = m.sample(5_000, &mut rng(12));
+        assert!(s.iter().all(|&c| (c as usize) < 20));
+    }
+}

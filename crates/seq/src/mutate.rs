@@ -1,0 +1,158 @@
+//! Derive a related sequence from a base sequence.
+//!
+//! The paper's matching experiments (Tables 5–7) run over *pairs* of related
+//! genomes (e.g. data = HC21, query = HC19). Lacking real pairs, we derive
+//! the query from the data by simulating evolutionary divergence: point
+//! substitutions, small indels, and block rearrangements. The result shares
+//! many long exact substrings with the base — exactly the workload the
+//! maximal-match search is designed for.
+
+use crate::repeats::random_other;
+use rand::Rng;
+use strindex::Code;
+
+/// Parameters of the divergence simulation.
+#[derive(Debug, Clone)]
+pub struct MutationProfile {
+    /// Per-symbol substitution probability.
+    pub substitution: f64,
+    /// Per-symbol probability of starting a small deletion.
+    pub deletion: f64,
+    /// Per-symbol probability of inserting a short random run.
+    pub insertion: f64,
+    /// Maximum indel length.
+    pub max_indel: usize,
+    /// Number of large block swaps (rearrangements) applied at the end.
+    pub block_swaps: usize,
+}
+
+impl Default for MutationProfile {
+    fn default() -> Self {
+        MutationProfile {
+            substitution: 0.01,
+            deletion: 0.001,
+            insertion: 0.001,
+            max_indel: 20,
+            block_swaps: 4,
+        }
+    }
+}
+
+impl MutationProfile {
+    /// A heavier profile producing shorter shared substrings.
+    pub fn divergent() -> Self {
+        MutationProfile { substitution: 0.05, block_swaps: 16, ..Default::default() }
+    }
+}
+
+/// Apply `profile` to `base`, returning the mutated relative.
+pub fn mutate<R: Rng>(
+    base: &[Code],
+    alphabet_size: usize,
+    profile: &MutationProfile,
+    rng: &mut R,
+) -> Vec<Code> {
+    let mut out = Vec::with_capacity(base.len() + base.len() / 100);
+    let mut i = 0usize;
+    while i < base.len() {
+        if profile.deletion > 0.0 && rng.gen_bool(profile.deletion) {
+            let d = rng.gen_range(1..=profile.max_indel);
+            i += d;
+            continue;
+        }
+        if profile.insertion > 0.0 && rng.gen_bool(profile.insertion) {
+            let d = rng.gen_range(1..=profile.max_indel);
+            for _ in 0..d {
+                out.push(rng.gen_range(0..alphabet_size) as Code);
+            }
+        }
+        let c = base[i];
+        if profile.substitution > 0.0 && rng.gen_bool(profile.substitution) {
+            out.push(random_other(c, alphabet_size, rng));
+        } else {
+            out.push(c);
+        }
+        i += 1;
+    }
+    // Block rearrangements: swap two non-overlapping windows.
+    for _ in 0..profile.block_swaps {
+        if out.len() < 64 {
+            break;
+        }
+        let w = (out.len() / 32).clamp(8, 1 << 16);
+        let a = rng.gen_range(0..out.len() - w);
+        let b = rng.gen_range(0..out.len() - w);
+        let (lo, hi) = (a.min(b), a.max(b));
+        if lo + w <= hi {
+            for k in 0..w {
+                out.swap(lo + k, hi + k);
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{iid_sequence, rng};
+    use strindex::Alphabet;
+
+    /// Longest common substring via dynamic programming (test-only, O(n·m)).
+    fn lcs_len(a: &[Code], b: &[Code]) -> usize {
+        let mut prev = vec![0usize; b.len() + 1];
+        let mut best = 0;
+        for &ca in a {
+            let mut cur = vec![0usize; b.len() + 1];
+            for (j, &cb) in b.iter().enumerate() {
+                if ca == cb {
+                    cur[j + 1] = prev[j] + 1;
+                    best = best.max(cur[j + 1]);
+                }
+            }
+            prev = cur;
+        }
+        best
+    }
+
+    #[test]
+    fn identity_profile_is_a_copy() {
+        let a = Alphabet::dna();
+        let base = iid_sequence(&a, 2_000, &mut rng(1));
+        let p = MutationProfile {
+            substitution: 0.0,
+            deletion: 0.0,
+            insertion: 0.0,
+            max_indel: 1,
+            block_swaps: 0,
+        };
+        assert_eq!(mutate(&base, 4, &p, &mut rng(2)), base);
+    }
+
+    #[test]
+    fn mutant_shares_long_substrings() {
+        let a = Alphabet::dna();
+        let base = iid_sequence(&a, 3_000, &mut rng(3));
+        let rel = mutate(&base, 4, &MutationProfile::default(), &mut rng(4));
+        // With ~1 % divergence, expected shared runs are ~100 symbols.
+        assert!(lcs_len(&base, &rel) >= 30, "relative should share long runs");
+    }
+
+    #[test]
+    fn divergent_profile_shortens_shared_runs() {
+        let a = Alphabet::dna();
+        let base = iid_sequence(&a, 3_000, &mut rng(5));
+        let near = mutate(&base, 4, &MutationProfile::default(), &mut rng(6));
+        let far = mutate(&base, 4, &MutationProfile::divergent(), &mut rng(6));
+        assert!(lcs_len(&base, &far) <= lcs_len(&base, &near));
+    }
+
+    #[test]
+    fn length_stays_close() {
+        let a = Alphabet::dna();
+        let base = iid_sequence(&a, 10_000, &mut rng(7));
+        let rel = mutate(&base, 4, &MutationProfile::default(), &mut rng(8));
+        let diff = (rel.len() as i64 - base.len() as i64).unsigned_abs() as usize;
+        assert!(diff < base.len() / 10, "length drifted by {diff}");
+    }
+}

@@ -1,0 +1,163 @@
+//! Named workload presets mirroring the paper's datasets.
+//!
+//! | Preset      | Paper dataset                    | Paper length | Alphabet |
+//! |-------------|----------------------------------|--------------|----------|
+//! | `eco-sim`   | E.coli genome                    | 3.5 M        | DNA      |
+//! | `cel-sim`   | C.elegans genome                 | 15.5 M       | DNA      |
+//! | `hc21-sim`  | Human chromosome 21              | 28.5 M       | DNA      |
+//! | `hc19-sim`  | Human chromosome 19              | 57.5 M       | DNA      |
+//! | `ecor-sim`  | E.coli residues (proteome)       | 1.5 M        | protein  |
+//! | `yst-sim`   | Yeast residues (proteome)        | 3.1 M        | protein  |
+//! | `dros-sim`  | Drosophila residues (proteome)   | 7.5 M        | protein  |
+//!
+//! Lengths are scaled by a caller-supplied factor (the experiment harness
+//! defaults to 1/10 so the full suite runs on a laptop; pass `--scale 1.0`
+//! for paper-size runs). Each preset fixes the generator seed, so a given
+//! `(preset, scale)` pair always produces the same sequence.
+
+use crate::markov::MarkovModel;
+use crate::repeats::{inject_repeats, RepeatProfile};
+use crate::rng;
+use strindex::{Alphabet, Code};
+
+/// A named synthetic dataset.
+#[derive(Debug, Clone)]
+pub struct Preset {
+    /// Stable name (used by the experiment CLI).
+    pub name: &'static str,
+    /// The paper dataset this stands in for.
+    pub stands_in_for: &'static str,
+    /// Full (unscaled) length in symbols.
+    pub full_len: usize,
+    /// Whether this is a DNA or protein dataset.
+    pub protein: bool,
+    /// Generator seed.
+    pub seed: u64,
+}
+
+const PRESETS: &[Preset] = &[
+    Preset { name: "eco-sim", stands_in_for: "E.coli genome (3.5 M)", full_len: 3_500_000, protein: false, seed: 0xEC0 },
+    Preset { name: "cel-sim", stands_in_for: "C.elegans genome (15.5 M)", full_len: 15_500_000, protein: false, seed: 0xCE1 },
+    Preset { name: "hc21-sim", stands_in_for: "Human chromosome 21 (28.5 M)", full_len: 28_500_000, protein: false, seed: 0x21 },
+    Preset { name: "hc19-sim", stands_in_for: "Human chromosome 19 (57.5 M)", full_len: 57_500_000, protein: false, seed: 0x19 },
+    Preset { name: "ecor-sim", stands_in_for: "E.coli residues (1.5 M)", full_len: 1_500_000, protein: true, seed: 0xEC02 },
+    Preset { name: "yst-sim", stands_in_for: "Yeast residues (3.1 M)", full_len: 3_100_000, protein: true, seed: 0x757 },
+    Preset { name: "dros-sim", stands_in_for: "Drosophila residues (7.5 M)", full_len: 7_500_000, protein: true, seed: 0xD05 },
+];
+
+/// All preset names, in paper order.
+pub fn preset_names() -> Vec<&'static str> {
+    PRESETS.iter().map(|p| p.name).collect()
+}
+
+/// Look up a preset by name.
+pub fn preset(name: &str) -> Option<&'static Preset> {
+    PRESETS.iter().find(|p| p.name == name)
+}
+
+impl Preset {
+    /// The alphabet this preset uses.
+    pub fn alphabet(&self) -> Alphabet {
+        if self.protein {
+            Alphabet::protein()
+        } else {
+            Alphabet::dna()
+        }
+    }
+
+    /// Length after applying `scale` (clamped to at least 1 000 symbols so
+    /// tiny scales still exercise the repeat machinery).
+    pub fn scaled_len(&self, scale: f64) -> usize {
+        ((self.full_len as f64 * scale) as usize).max(1_000)
+    }
+
+    /// Generate the sequence at the given scale. Deterministic in
+    /// `(self, scale)`.
+    pub fn generate(&self, scale: f64) -> Vec<Code> {
+        let alphabet = self.alphabet();
+        let len = self.scaled_len(scale);
+        let mut r = rng(self.seed);
+        // Order-3 Markov background for DNA, order-1 for protein (20^3 rows
+        // would be fine, but order-1 matches residue statistics well enough).
+        let order = if self.protein { 1 } else { 3 };
+        let skew = if self.protein { 0.25 } else { 0.35 };
+        let model = MarkovModel::random(&alphabet, order, skew, &mut r);
+        let bg_len = (len / 2).clamp(1_000, 4_000_000);
+        let background = model.sample(bg_len, &mut r);
+        // Repeat parameters calibrated so the built index reproduces the
+        // paper's Table 4 shape (≈30 % of nodes carry downstream edges,
+        // steeply decaying fan-out); see EXPERIMENTS.md.
+        let profile = if self.protein {
+            RepeatProfile {
+                repeat_fraction: 0.20,
+                max_segment: 800,
+                divergence: 0.08,
+                ..Default::default()
+            }
+        } else {
+            RepeatProfile {
+                repeat_fraction: 0.15,
+                max_segment: 1_000,
+                divergence: 0.08,
+                ..Default::default()
+            }
+        };
+        inject_repeats(&background, len, alphabet.size(), &profile, &mut r)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_presets_resolve() {
+        for name in preset_names() {
+            assert!(preset(name).is_some());
+        }
+        assert!(preset("nope").is_none());
+        assert_eq!(preset_names().len(), 7);
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let p = preset("eco-sim").unwrap();
+        let a = p.generate(0.001);
+        let b = p.generate(0.001);
+        assert_eq!(a, b);
+        assert_eq!(a.len(), p.scaled_len(0.001));
+    }
+
+    #[test]
+    fn scaled_len_is_clamped() {
+        let p = preset("eco-sim").unwrap();
+        assert_eq!(p.scaled_len(0.0), 1_000);
+        assert_eq!(p.scaled_len(1.0), 3_500_000);
+    }
+
+    #[test]
+    fn protein_presets_use_protein_alphabet() {
+        let p = preset("yst-sim").unwrap();
+        assert_eq!(p.alphabet().size(), 20);
+        let s = p.generate(0.002);
+        assert!(s.iter().all(|&c| (c as usize) < 20));
+    }
+
+    #[test]
+    fn dna_presets_are_repetitive() {
+        // The repeat machinery should make long duplicated runs common:
+        // distinct 24-mers must be well below the count for i.i.d. data.
+        let p = preset("eco-sim").unwrap();
+        let s = p.generate(0.01); // 35 000 symbols
+        let mut set = std::collections::HashSet::new();
+        for w in s.windows(24) {
+            set.insert(w.to_vec());
+        }
+        let distinct = set.len();
+        let windows = s.len() - 23;
+        assert!(
+            distinct < windows * 95 / 100,
+            "expected repeats: {distinct} distinct of {windows} windows"
+        );
+    }
+}

@@ -1,0 +1,179 @@
+//! Repeat injection.
+//!
+//! Genomes are dominated by repeat families: dispersed repeats (transposable
+//! elements, segmental duplications) and tandem repeats (satellites,
+//! microsatellites). These long exact-or-near-exact duplications are what
+//! give SPINE its structure — after an initial prefix, "the remaining part
+//! mostly contains repetitions of previously occurred patterns" (paper §5.1),
+//! which is why only ~30 % of nodes carry ribs and why links point upstream.
+//!
+//! [`inject_repeats`] rewrites a background sequence in place: with the
+//! configured probability it copies an earlier segment (possibly mutated)
+//! instead of keeping fresh background symbols.
+
+use rand::Rng;
+use strindex::Code;
+
+/// Parameters of the repeat model.
+#[derive(Debug, Clone)]
+pub struct RepeatProfile {
+    /// Fraction of the output produced by copying earlier material
+    /// (0 = no repeats, 0.5 = half the genome is duplicated segments).
+    pub repeat_fraction: f64,
+    /// Minimum copied-segment length.
+    pub min_segment: usize,
+    /// Maximum copied-segment length.
+    pub max_segment: usize,
+    /// Per-symbol substitution rate applied to each copy (repeat families
+    /// diverge over evolutionary time).
+    pub divergence: f64,
+    /// Probability that a copy is tandem (placed immediately after its
+    /// source) rather than dispersed.
+    pub tandem_prob: f64,
+}
+
+impl Default for RepeatProfile {
+    fn default() -> Self {
+        RepeatProfile {
+            repeat_fraction: 0.45,
+            min_segment: 50,
+            max_segment: 5_000,
+            divergence: 0.02,
+            tandem_prob: 0.2,
+        }
+    }
+}
+
+impl RepeatProfile {
+    /// A profile with no repeats at all (pure background).
+    pub fn none() -> Self {
+        RepeatProfile { repeat_fraction: 0.0, ..Default::default() }
+    }
+}
+
+/// Build a sequence of length `len`: background symbols come from the
+/// `background` iterator (e.g. a Markov sample), and repeat segments are
+/// copied from the already-emitted prefix according to `profile`.
+pub fn inject_repeats<R: Rng>(
+    background: &[Code],
+    len: usize,
+    alphabet_size: usize,
+    profile: &RepeatProfile,
+    rng: &mut R,
+) -> Vec<Code> {
+    assert!(!background.is_empty(), "background must be non-empty");
+    assert!(profile.min_segment >= 1 && profile.max_segment >= profile.min_segment);
+    let mut out: Vec<Code> = Vec::with_capacity(len);
+    let mut bg_pos = 0usize;
+    // Seed with enough fresh material to copy from.
+    let seed_len = profile.min_segment.min(len);
+    while out.len() < seed_len {
+        out.push(background[bg_pos % background.len()]);
+        bg_pos += 1;
+    }
+    while out.len() < len {
+        if rng.gen_bool(profile.repeat_fraction) {
+            // Copy an earlier segment.
+            let max_seg = profile.max_segment.min(out.len()).min(len - out.len()).max(1);
+            let min_seg = profile.min_segment.min(max_seg);
+            let seg_len = rng.gen_range(min_seg..=max_seg);
+            let src = if rng.gen_bool(profile.tandem_prob) {
+                out.len() - seg_len
+            } else {
+                rng.gen_range(0..=out.len() - seg_len)
+            };
+            for i in 0..seg_len {
+                let mut c = out[src + i];
+                if profile.divergence > 0.0 && rng.gen_bool(profile.divergence) {
+                    c = random_other(c, alphabet_size, rng);
+                }
+                out.push(c);
+            }
+        } else {
+            // Fresh background run.
+            let run = rng.gen_range(20..200).min(len - out.len());
+            for _ in 0..run {
+                out.push(background[bg_pos % background.len()]);
+                bg_pos += 1;
+            }
+        }
+    }
+    out.truncate(len);
+    out
+}
+
+/// Pick a uniformly random symbol different from `c`.
+pub(crate) fn random_other<R: Rng>(c: Code, alphabet_size: usize, rng: &mut R) -> Code {
+    debug_assert!(alphabet_size >= 2);
+    let mut n = rng.gen_range(0..alphabet_size - 1) as Code;
+    if n >= c {
+        n += 1;
+    }
+    n
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{iid_sequence, rng};
+    use strindex::Alphabet;
+
+    fn distinct_kmers(s: &[Code], k: usize) -> usize {
+        let mut set = std::collections::HashSet::new();
+        for w in s.windows(k) {
+            set.insert(w.to_vec());
+        }
+        set.len()
+    }
+
+    #[test]
+    fn produces_exact_length() {
+        let a = Alphabet::dna();
+        let bg = iid_sequence(&a, 10_000, &mut rng(1));
+        for len in [0usize, 1, 57, 9_999, 20_000] {
+            let s = inject_repeats(&bg, len, 4, &RepeatProfile::default(), &mut rng(2));
+            assert_eq!(s.len(), len);
+        }
+    }
+
+    #[test]
+    fn repeats_reduce_kmer_diversity() {
+        let a = Alphabet::dna();
+        let bg = iid_sequence(&a, 60_000, &mut rng(5));
+        let plain = inject_repeats(&bg, 50_000, 4, &RepeatProfile::none(), &mut rng(6));
+        let repetitive = inject_repeats(
+            &bg,
+            50_000,
+            4,
+            &RepeatProfile { repeat_fraction: 0.7, divergence: 0.0, ..Default::default() },
+            &mut rng(6),
+        );
+        assert!(
+            distinct_kmers(&repetitive, 20) < distinct_kmers(&plain, 20),
+            "repeat injection should lower 20-mer diversity"
+        );
+    }
+
+    #[test]
+    fn symbols_stay_in_alphabet() {
+        let a = Alphabet::protein();
+        let bg = iid_sequence(&a, 5_000, &mut rng(8));
+        let s = inject_repeats(
+            &bg,
+            30_000,
+            a.size(),
+            &RepeatProfile { divergence: 0.1, ..Default::default() },
+            &mut rng(9),
+        );
+        assert!(s.iter().all(|&c| (c as usize) < a.size()));
+    }
+
+    #[test]
+    fn random_other_never_returns_same() {
+        let mut r = rng(3);
+        for _ in 0..1000 {
+            let c = r.gen_range(0..4) as Code;
+            assert_ne!(random_other(c, 4, &mut r), c);
+        }
+    }
+}

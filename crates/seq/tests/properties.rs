@@ -1,0 +1,69 @@
+//! Property tests for the sequence substrate.
+
+use genseq::fasta::{read_fasta, write_fasta, Record};
+use genseq::{inject_repeats, mutate, reverse_complement, rng, MutationProfile, RepeatProfile};
+use proptest::prelude::*;
+use strindex::{Alphabet, Code};
+
+/// Strategy: FASTA-safe header text (no newlines or leading '>').
+fn header() -> impl Strategy<Value = String> {
+    "[A-Za-z0-9_ .|-]{0,40}"
+}
+
+/// Strategy: DNA sequence bytes.
+fn dna_bytes(max_len: usize) -> impl Strategy<Value = Vec<u8>> {
+    prop::collection::vec(prop::sample::select(vec![b'A', b'C', b'G', b'T']), 0..=max_len)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn fasta_round_trips(
+        recs in prop::collection::vec((header(), dna_bytes(200)), 1..5)
+    ) {
+        let records: Vec<Record> = recs
+            .into_iter()
+            .map(|(h, seq)| Record { header: h.trim().to_string(), seq })
+            .collect();
+        let mut buf = Vec::new();
+        write_fasta(&mut buf, &records).unwrap();
+        let parsed = read_fasta(std::io::Cursor::new(buf)).unwrap();
+        prop_assert_eq!(parsed, records);
+    }
+
+    #[test]
+    fn revcomp_is_an_involution(seq in prop::collection::vec(0u8..4, 0..300)) {
+        let a = Alphabet::dna();
+        let rc = reverse_complement(&a, &seq).unwrap();
+        prop_assert_eq!(reverse_complement(&a, &rc).unwrap(), seq);
+    }
+
+    #[test]
+    fn alphabet_encode_decode_round_trips(bytes in dna_bytes(300)) {
+        let a = Alphabet::dna();
+        let codes = a.encode(&bytes).unwrap();
+        prop_assert_eq!(a.decode_all(&codes), bytes);
+    }
+
+    #[test]
+    fn mutate_preserves_alphabet(
+        base in prop::collection::vec(0u8..4, 1..400),
+        seed in 0u64..1000,
+    ) {
+        let out = mutate(&base, 4, &MutationProfile::default(), &mut rng(seed));
+        prop_assert!(out.iter().all(|&c| c < 4));
+    }
+
+    #[test]
+    fn inject_repeats_hits_requested_length(
+        bg in prop::collection::vec(0u8..4, 1..200),
+        len in 0usize..2000,
+        seed in 0u64..1000,
+    ) {
+        let out: Vec<Code> =
+            inject_repeats(&bg, len, 4, &RepeatProfile::default(), &mut rng(seed));
+        prop_assert_eq!(out.len(), len);
+        prop_assert!(out.iter().all(|&c| c < 4));
+    }
+}

@@ -1,0 +1,119 @@
+//! Instrumentation counters.
+//!
+//! Table 6 of the paper compares the *number of nodes checked* by SPINE and
+//! the suffix tree while finding all maximal matching substrings. Both
+//! engines in this workspace thread a [`Counters`] value through their search
+//! paths; the experiment harness reads it after each run.
+//!
+//! The counters are relaxed atomics so read-only search methods (`&self`)
+//! can count without locks — and so the in-memory engines stay `Sync`,
+//! allowing concurrent queries over one index (see the workspace's
+//! `parallel_queries` integration test).
+
+use std::sync::atomic::{AtomicU64, Ordering::Relaxed};
+
+/// Work counters incremented by the search/matching code paths.
+#[derive(Debug, Default)]
+pub struct Counters {
+    nodes_checked: AtomicU64,
+    edges_traversed: AtomicU64,
+    links_followed: AtomicU64,
+    extribs_scanned: AtomicU64,
+}
+
+impl Counters {
+    /// A fresh, zeroed counter set.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Record that a node was examined for an outgoing edge (the Table 6
+    /// metric).
+    #[inline]
+    pub fn count_node_check(&self) {
+        self.nodes_checked.fetch_add(1, Relaxed);
+    }
+
+    /// Record a forward edge traversal (vertebra/rib/extrib, or tree edge).
+    #[inline]
+    pub fn count_edge(&self) {
+        self.edges_traversed.fetch_add(1, Relaxed);
+    }
+
+    /// Record an upstream link / suffix-link traversal.
+    #[inline]
+    pub fn count_link(&self) {
+        self.links_followed.fetch_add(1, Relaxed);
+    }
+
+    /// Record one extrib-chain element examined.
+    #[inline]
+    pub fn count_extrib(&self) {
+        self.extribs_scanned.fetch_add(1, Relaxed);
+    }
+
+    /// Number of nodes examined so far.
+    pub fn nodes_checked(&self) -> u64 {
+        self.nodes_checked.load(Relaxed)
+    }
+
+    /// Number of forward edges traversed so far.
+    pub fn edges_traversed(&self) -> u64 {
+        self.edges_traversed.load(Relaxed)
+    }
+
+    /// Number of upstream links followed so far.
+    pub fn links_followed(&self) -> u64 {
+        self.links_followed.load(Relaxed)
+    }
+
+    /// Number of extrib-chain elements examined so far.
+    pub fn extribs_scanned(&self) -> u64 {
+        self.extribs_scanned.load(Relaxed)
+    }
+
+    /// Reset every counter to zero.
+    pub fn reset(&self) {
+        self.nodes_checked.store(0, Relaxed);
+        self.edges_traversed.store(0, Relaxed);
+        self.links_followed.store(0, Relaxed);
+        self.extribs_scanned.store(0, Relaxed);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counts_and_resets() {
+        let c = Counters::new();
+        c.count_node_check();
+        c.count_node_check();
+        c.count_edge();
+        c.count_link();
+        c.count_extrib();
+        assert_eq!(c.nodes_checked(), 2);
+        assert_eq!(c.edges_traversed(), 1);
+        assert_eq!(c.links_followed(), 1);
+        assert_eq!(c.extribs_scanned(), 1);
+        c.reset();
+        assert_eq!(c.nodes_checked(), 0);
+        assert_eq!(c.edges_traversed(), 0);
+    }
+
+    #[test]
+    fn counting_from_threads_loses_nothing() {
+        let c = Counters::new();
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                s.spawn(|| {
+                    for _ in 0..10_000 {
+                        c.count_node_check();
+                    }
+                });
+            }
+        });
+        assert_eq!(c.nodes_checked(), 40_000);
+    }
+}

@@ -1,0 +1,85 @@
+//! Workspace-wide error type.
+
+/// Errors shared by the index engines and substrates.
+#[derive(Debug)]
+pub enum Error {
+    /// A byte in the input is not part of the index's alphabet.
+    InvalidSymbol {
+        /// The offending byte.
+        byte: u8,
+        /// Its position in the input.
+        pos: usize,
+    },
+    /// The input is longer than the engine's node-id space (u32).
+    TooLong {
+        /// Requested length.
+        len: usize,
+        /// Maximum supported length.
+        max: usize,
+    },
+    /// The operation needs a finished (terminated) index.
+    NotFinished,
+    /// The two sides of an operation use different alphabets.
+    AlphabetMismatch,
+    /// A malformed input file (e.g. FASTA).
+    Parse(String),
+    /// An underlying I/O failure.
+    Io(std::io::Error),
+}
+
+impl std::fmt::Display for Error {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Error::InvalidSymbol { byte, pos } => {
+                write!(f, "byte {byte:#04x} at position {pos} is not in the alphabet")
+            }
+            Error::TooLong { len, max } => {
+                write!(f, "input of length {len} exceeds the maximum supported length {max}")
+            }
+            Error::NotFinished => write!(f, "index is not finished; call finish() first"),
+            Error::AlphabetMismatch => write!(f, "operands use different alphabets"),
+            Error::Parse(msg) => write!(f, "parse error: {msg}"),
+            Error::Io(e) => write!(f, "I/O error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for Error {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            Error::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for Error {
+    fn from(e: std::io::Error) -> Self {
+        Error::Io(e)
+    }
+}
+
+/// Convenience alias used across the workspace.
+pub type Result<T> = std::result::Result<T, Error>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_informative() {
+        let e = Error::InvalidSymbol { byte: b'N', pos: 7 };
+        assert!(e.to_string().contains("position 7"));
+        let e = Error::TooLong { len: 10, max: 5 };
+        assert!(e.to_string().contains("10"));
+        assert!(e.to_string().contains('5'));
+    }
+
+    #[test]
+    fn io_error_converts() {
+        let io = std::io::Error::other("boom");
+        let e: Error = io.into();
+        assert!(matches!(e, Error::Io(_)));
+        assert!(std::error::Error::source(&e).is_some());
+    }
+}

@@ -1,0 +1,112 @@
+//! In-tree FxHash.
+//!
+//! The workspace is restricted to a fixed set of external crates, so the
+//! well-known Fx hashing scheme (as used by rustc) is reimplemented here in
+//! ~40 lines. It is a non-cryptographic multiply-rotate hash that is very
+//! fast for the small integer keys the suffix-tree child maps use.
+
+use std::collections::{HashMap, HashSet};
+use std::hash::{BuildHasherDefault, Hasher};
+
+const SEED: u64 = 0x51_7c_c1_b7_27_22_0a_95;
+const ROTATE: u32 = 5;
+
+/// The Fx hasher state.
+#[derive(Default, Clone, Copy)]
+pub struct FxHasher {
+    hash: u64,
+}
+
+impl FxHasher {
+    #[inline]
+    fn add_to_hash(&mut self, word: u64) {
+        self.hash = (self.hash.rotate_left(ROTATE) ^ word).wrapping_mul(SEED);
+    }
+}
+
+impl Hasher for FxHasher {
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.hash
+    }
+
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        let mut chunks = bytes.chunks_exact(8);
+        for c in chunks.by_ref() {
+            self.add_to_hash(u64::from_le_bytes(c.try_into().unwrap()));
+        }
+        let rem = chunks.remainder();
+        if !rem.is_empty() {
+            let mut buf = [0u8; 8];
+            buf[..rem.len()].copy_from_slice(rem);
+            self.add_to_hash(u64::from_le_bytes(buf));
+        }
+    }
+
+    #[inline]
+    fn write_u8(&mut self, i: u8) {
+        self.add_to_hash(i as u64);
+    }
+    #[inline]
+    fn write_u16(&mut self, i: u16) {
+        self.add_to_hash(i as u64);
+    }
+    #[inline]
+    fn write_u32(&mut self, i: u32) {
+        self.add_to_hash(i as u64);
+    }
+    #[inline]
+    fn write_u64(&mut self, i: u64) {
+        self.add_to_hash(i);
+    }
+    #[inline]
+    fn write_usize(&mut self, i: usize) {
+        self.add_to_hash(i as u64);
+    }
+}
+
+/// `HashMap` keyed with [`FxHasher`].
+pub type FxHashMap<K, V> = HashMap<K, V, BuildHasherDefault<FxHasher>>;
+/// `HashSet` keyed with [`FxHasher`].
+pub type FxHashSet<T> = HashSet<T, BuildHasherDefault<FxHasher>>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn map_basics() {
+        let mut m: FxHashMap<(u32, u8), u32> = FxHashMap::default();
+        for i in 0..1000u32 {
+            m.insert((i, (i % 7) as u8), i * 2);
+        }
+        assert_eq!(m.len(), 1000);
+        assert_eq!(m[&(500, (500 % 7) as u8)], 1000);
+    }
+
+    #[test]
+    fn hash_is_deterministic_and_spreads() {
+        let h = |x: u64| {
+            let mut s = FxHasher::default();
+            s.write_u64(x);
+            s.finish()
+        };
+        assert_eq!(h(42), h(42));
+        // Adjacent keys should hash far apart.
+        let mut seen = FxHashSet::default();
+        for i in 0..10_000u64 {
+            seen.insert(h(i) >> 48); // top bits should still vary
+        }
+        assert!(seen.len() > 1000, "poor spread: {}", seen.len());
+    }
+
+    #[test]
+    fn byte_stream_matches_chunked_writes() {
+        let mut a = FxHasher::default();
+        a.write(b"hello world, this is a byte stream");
+        let mut b = FxHasher::default();
+        b.write(b"hello world, this is a byte stream");
+        assert_eq!(a.finish(), b.finish());
+    }
+}

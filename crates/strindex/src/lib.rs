@@ -1,0 +1,34 @@
+//! Shared kernel for the SPINE reproduction workspace.
+//!
+//! Every index engine in this workspace (SPINE, the suffix-tree baseline, the
+//! naive suffix trie oracle, and the suffix array) speaks the same small
+//! vocabulary defined here:
+//!
+//! * [`Alphabet`] — a runtime description of the symbol set being indexed
+//!   (DNA, protein, ASCII, raw bytes), mapping external bytes to dense
+//!   internal codes;
+//! * [`StringIndex`] / [`MatchingIndex`] / [`OnlineIndex`] — the behavioural
+//!   contracts the engines implement, so experiments and cross-engine
+//!   equivalence tests can be written once;
+//! * [`Match`], [`MaximalMatch`], [`MatchingStats`] — result types for exact
+//!   and maximal-substring search;
+//! * [`Counters`] — the instrumentation used to reproduce the paper's
+//!   Table 6 ("number of nodes checked");
+//! * [`FxHashMap`] — an in-tree FxHash so no external hashing crate is
+//!   needed.
+
+pub mod algo;
+pub mod alphabet;
+pub mod counters;
+pub mod error;
+pub mod hash;
+pub mod traits;
+
+pub use algo::{longest_common_substring, maximal_unique_matches};
+pub use alphabet::{Alphabet, AlphabetKind, Code};
+pub use counters::Counters;
+pub use error::{Error, Result};
+pub use hash::{FxHashMap, FxHashSet, FxHasher};
+pub use traits::{
+    Match, MatchingIndex, MatchingStats, MaximalMatch, OnlineIndex, StringIndex,
+};

@@ -1,0 +1,88 @@
+//! Kasai's linear-time LCP construction.
+
+use strindex::Code;
+
+/// `lcp[i]` = length of the longest common prefix of the suffixes at
+/// `sa[i-1]` and `sa[i]` (`lcp[0] == 0`). Kasai et al., O(n).
+pub fn lcp_kasai(text: &[Code], sa: &[u32]) -> Vec<u32> {
+    let n = text.len();
+    assert_eq!(sa.len(), n);
+    let mut rank = vec![0u32; n];
+    for (i, &p) in sa.iter().enumerate() {
+        rank[p as usize] = i as u32;
+    }
+    let mut lcp = vec![0u32; n];
+    let mut h = 0usize;
+    for i in 0..n {
+        let r = rank[i] as usize;
+        if r == 0 {
+            h = 0;
+            continue;
+        }
+        let j = sa[r - 1] as usize;
+        while i + h < n && j + h < n && text[i + h] == text[j + h] {
+            h += 1;
+        }
+        lcp[r] = h as u32;
+        h = h.saturating_sub(1);
+    }
+    lcp
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sais::suffix_array;
+    use strindex::Alphabet;
+
+    fn naive_lcp(text: &[Code], sa: &[u32]) -> Vec<u32> {
+        let mut lcp = vec![0u32; sa.len()];
+        for i in 1..sa.len() {
+            let (a, b) = (sa[i - 1] as usize, sa[i] as usize);
+            lcp[i] = text[a..]
+                .iter()
+                .zip(&text[b..])
+                .take_while(|(x, y)| x == y)
+                .count() as u32;
+        }
+        lcp
+    }
+
+    #[test]
+    fn banana() {
+        let a = Alphabet::ascii();
+        let t = a.encode(b"banana").unwrap();
+        let sa = suffix_array(&t, a.size());
+        assert_eq!(lcp_kasai(&t, &sa), naive_lcp(&t, &sa));
+    }
+
+    #[test]
+    fn random_dna_matches_naive() {
+        let mut state = 99u64;
+        let mut next = || {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+            ((state >> 33) % 4) as Code
+        };
+        for len in [1usize, 2, 10, 100, 500] {
+            let t: Vec<Code> = (0..len).map(|_| next()).collect();
+            let sa = suffix_array(&t, 4);
+            assert_eq!(lcp_kasai(&t, &sa), naive_lcp(&t, &sa), "len {len}");
+        }
+    }
+
+    #[test]
+    fn all_equal_symbols() {
+        let t = vec![1u8; 20];
+        let sa = suffix_array(&t, 4);
+        let lcp = lcp_kasai(&t, &sa);
+        // Sorted suffixes of a^20: lengths 1..20; lcp[i] = i.
+        for (i, &v) in lcp.iter().enumerate() {
+            assert_eq!(v as usize, i);
+        }
+    }
+
+    #[test]
+    fn empty() {
+        assert!(lcp_kasai(&[], &[]).is_empty());
+    }
+}

@@ -1,0 +1,16 @@
+//! Suffix-array baseline.
+//!
+//! §7 of the SPINE paper discusses suffix arrays (Manber–Myers) as the
+//! space-frugal alternative (~6 bytes/char but, at the time, supra-linear
+//! construction). This crate provides a modern linear-time SA-IS
+//! construction plus Kasai's LCP algorithm and binary-search pattern lookup,
+//! used by the experiment harness as an extra baseline and by the ablation
+//! benches.
+
+pub mod lcp;
+pub mod sais;
+pub mod search;
+
+pub use lcp::lcp_kasai;
+pub use sais::suffix_array;
+pub use search::SaIndex;

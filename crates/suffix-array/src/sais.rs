@@ -1,0 +1,212 @@
+//! SA-IS: linear-time suffix-array construction by induced sorting
+//! (Nong, Zhang & Chan, 2009).
+//!
+//! The public entry point works on alphabet codes; internally the recursion
+//! operates on `usize` strings with an appended unique sentinel (rank 0).
+
+use strindex::Code;
+
+/// Suffix array of `text` (alphabet codes). Returns the start positions of
+/// the sorted suffixes of `text` (the sentinel's suffix is dropped), so the
+/// result has exactly `text.len()` entries.
+pub fn suffix_array(text: &[Code], alphabet_size: usize) -> Vec<u32> {
+    if text.is_empty() {
+        return Vec::new();
+    }
+    // Shift codes by +1 so the sentinel can be 0.
+    let mut s: Vec<usize> = Vec::with_capacity(text.len() + 1);
+    s.extend(text.iter().map(|&c| c as usize + 1));
+    s.push(0);
+    let sa = sa_is(&s, alphabet_size + 1);
+    // sa[0] is the sentinel suffix; drop it.
+    sa.into_iter().skip(1).map(|p| p as u32).collect()
+}
+
+/// Core SA-IS over a string that ends with a unique smallest sentinel.
+fn sa_is(s: &[usize], k: usize) -> Vec<usize> {
+    let n = s.len();
+    debug_assert!(n >= 1);
+    if n == 1 {
+        return vec![0];
+    }
+    if n == 2 {
+        return vec![1, 0];
+    }
+
+    // S/L types; sentinel is S-type.
+    let mut is_s = vec![false; n];
+    is_s[n - 1] = true;
+    for i in (0..n - 1).rev() {
+        is_s[i] = s[i] < s[i + 1] || (s[i] == s[i + 1] && is_s[i + 1]);
+    }
+    let is_lms = |i: usize| i > 0 && is_s[i] && !is_s[i - 1];
+
+    // Bucket boundaries.
+    let mut sizes = vec![0usize; k];
+    for &c in s {
+        sizes[c] += 1;
+    }
+    let heads = |sizes: &[usize]| {
+        let mut h = vec![0usize; k];
+        let mut sum = 0;
+        for c in 0..k {
+            h[c] = sum;
+            sum += sizes[c];
+        }
+        h
+    };
+    let tails = |sizes: &[usize]| {
+        let mut t = vec![0usize; k];
+        let mut sum = 0;
+        for c in 0..k {
+            sum += sizes[c];
+            t[c] = sum;
+        }
+        t
+    };
+
+    const EMPTY: usize = usize::MAX;
+
+    // Induced sort: given LMS positions placed at bucket tails, fill SA.
+    let induce = |lms: &[usize]| -> Vec<usize> {
+        let mut sa = vec![EMPTY; n];
+        // Place LMS suffixes at their buckets' tails, in the given order
+        // (reversed so later entries go nearer the tail).
+        let mut tail = tails(&sizes);
+        for &p in lms.iter().rev() {
+            let c = s[p];
+            tail[c] -= 1;
+            sa[tail[c]] = p;
+        }
+        // Induce L-type from the left.
+        let mut head = heads(&sizes);
+        for i in 0..n {
+            let p = sa[i];
+            if p != EMPTY && p > 0 && !is_s[p - 1] {
+                let c = s[p - 1];
+                sa[head[c]] = p - 1;
+                head[c] += 1;
+            }
+        }
+        // Induce S-type from the right.
+        let mut tail = tails(&sizes);
+        for i in (0..n).rev() {
+            let p = sa[i];
+            if p != EMPTY && p > 0 && is_s[p - 1] {
+                let c = s[p - 1];
+                tail[c] -= 1;
+                sa[tail[c]] = p - 1;
+            }
+        }
+        sa
+    };
+
+    // Step 1: rough sort with LMS positions in text order.
+    let lms_positions: Vec<usize> = (0..n).filter(|&i| is_lms(i)).collect();
+    let sa1 = induce(&lms_positions);
+
+    // Step 2: extract LMS suffixes in sorted order and name LMS substrings.
+    let sorted_lms: Vec<usize> = sa1.iter().copied().filter(|&p| is_lms(p)).collect();
+    let mut names = vec![EMPTY; n];
+    let mut name = 0usize;
+    let mut prev = EMPTY;
+    for &p in &sorted_lms {
+        if prev != EMPTY && !lms_substr_eq(s, &is_s, prev, p) {
+            name += 1;
+        }
+        if prev == EMPTY {
+            name = 0;
+        }
+        names[p] = name;
+        prev = p;
+    }
+    let num_names = name + 1;
+
+    // Step 3: sort LMS suffixes, recursing only if names are not unique.
+    let reduced: Vec<usize> = lms_positions.iter().map(|&p| names[p]).collect();
+    let lms_sorted: Vec<usize> = if num_names == lms_positions.len() {
+        // Names already distinct: order by name.
+        let mut order = vec![0usize; lms_positions.len()];
+        for (i, &nm) in reduced.iter().enumerate() {
+            order[nm] = lms_positions[i];
+        }
+        order
+    } else {
+        let sub_sa = sa_is(&reduced, num_names);
+        sub_sa.into_iter().map(|i| lms_positions[i]).collect()
+    };
+
+    // Step 4: final induced sort with correctly ordered LMS suffixes.
+    induce(&lms_sorted)
+}
+
+/// Are the LMS substrings starting at `a` and `b` equal?
+fn lms_substr_eq(s: &[usize], is_s: &[bool], a: usize, b: usize) -> bool {
+    let n = s.len();
+    if a == b {
+        return true;
+    }
+    let is_lms = |i: usize| i > 0 && is_s[i] && !is_s[i - 1];
+    let mut i = 0usize;
+    loop {
+        let (pa, pb) = (a + i, b + i);
+        if pa >= n || pb >= n {
+            return false;
+        }
+        if s[pa] != s[pb] || is_s[pa] != is_s[pb] {
+            return false;
+        }
+        if i > 0 && (is_lms(pa) || is_lms(pb)) {
+            return is_lms(pa) && is_lms(pb);
+        }
+        i += 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use strindex::Alphabet;
+
+    fn naive_sa(text: &[Code]) -> Vec<u32> {
+        let mut sa: Vec<u32> = (0..text.len() as u32).collect();
+        sa.sort_by(|&a, &b| text[a as usize..].cmp(&text[b as usize..]));
+        sa
+    }
+
+    #[test]
+    fn classic_examples() {
+        let a = Alphabet::ascii();
+        for t in ["banana", "mississippi", "abracadabra", "aaaa", "abcd", "dcba"] {
+            let codes = a.encode(t.as_bytes()).unwrap();
+            assert_eq!(suffix_array(&codes, a.size()), naive_sa(&codes), "text {t}");
+        }
+    }
+
+    #[test]
+    fn empty_and_single() {
+        assert_eq!(suffix_array(&[], 4), Vec::<u32>::new());
+        assert_eq!(suffix_array(&[2], 4), vec![0]);
+    }
+
+    #[test]
+    fn dna_random_against_naive() {
+        // Deterministic pseudo-random DNA strings of varied lengths.
+        let mut state = 0x12345678u64;
+        let mut next = || {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            ((state >> 33) % 4) as Code
+        };
+        for len in [2usize, 3, 7, 50, 257, 1000] {
+            let text: Vec<Code> = (0..len).map(|_| next()).collect();
+            assert_eq!(suffix_array(&text, 4), naive_sa(&text), "len {len}");
+        }
+    }
+
+    #[test]
+    fn highly_repetitive_input() {
+        let text: Vec<Code> =
+            std::iter::repeat_n([0u8, 1, 0, 1, 1], 100).flatten().collect();
+        assert_eq!(suffix_array(&text, 4), naive_sa(&text));
+    }
+}

@@ -1,0 +1,71 @@
+//! Property tests: SA-IS and the search layer against brute force.
+
+use proptest::prelude::*;
+use strindex::{Alphabet, Code, StringIndex};
+use suffix_array::{lcp_kasai, suffix_array, SaIndex};
+use suffix_trie::NaiveIndex;
+
+fn dna_codes(max_len: usize) -> impl Strategy<Value = Vec<Code>> {
+    prop::collection::vec(0u8..4, 0..=max_len)
+}
+
+fn binary_codes(max_len: usize) -> impl Strategy<Value = Vec<Code>> {
+    prop::collection::vec(0u8..2, 0..=max_len)
+}
+
+fn naive_sa(text: &[Code]) -> Vec<u32> {
+    let mut sa: Vec<u32> = (0..text.len() as u32).collect();
+    sa.sort_by(|&a, &b| text[a as usize..].cmp(&text[b as usize..]));
+    sa
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn sais_equals_naive_sort(text in dna_codes(300)) {
+        prop_assert_eq!(suffix_array(&text, 4), naive_sa(&text));
+    }
+
+    #[test]
+    fn sais_on_repetitive_binary(text in binary_codes(300)) {
+        prop_assert_eq!(suffix_array(&text, 4), naive_sa(&text));
+    }
+
+    #[test]
+    fn lcp_is_correct_and_tight(text in dna_codes(200)) {
+        let sa = suffix_array(&text, 4);
+        let lcp = lcp_kasai(&text, &sa);
+        for i in 1..sa.len() {
+            let (a, b) = (sa[i - 1] as usize, sa[i] as usize);
+            let common = text[a..]
+                .iter()
+                .zip(&text[b..])
+                .take_while(|(x, y)| x == y)
+                .count();
+            prop_assert_eq!(lcp[i] as usize, common, "rank {}", i);
+        }
+    }
+
+    #[test]
+    fn sa_is_a_permutation(text in dna_codes(200)) {
+        let sa = suffix_array(&text, 4);
+        let mut seen = vec![false; text.len()];
+        for &p in &sa {
+            prop_assert!(!seen[p as usize]);
+            seen[p as usize] = true;
+        }
+        prop_assert!(seen.iter().all(|&b| b));
+    }
+
+    #[test]
+    fn index_queries_match_oracle(text in binary_codes(80), pat in binary_codes(6)) {
+        let a = Alphabet::dna();
+        let idx = SaIndex::build(a.clone(), &text);
+        let n = NaiveIndex::new(a, &text);
+        if !pat.is_empty() {
+            prop_assert_eq!(idx.find_all(&pat), n.find_all(&pat));
+            prop_assert_eq!(idx.find_first(&pat), n.find_first(&pat));
+        }
+    }
+}

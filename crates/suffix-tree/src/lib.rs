@@ -1,0 +1,24 @@
+//! Suffix tree baseline for the SPINE reproduction.
+//!
+//! The paper compares SPINE against "an industrial-strength implementation"
+//! of suffix trees taken from MUMmer. This crate plays that role: an online
+//! Ukkonen construction with suffix links, exact search, and the same
+//! matching-statistics / maximal-match operations SPINE implements, behind
+//! the same [`strindex`] traits — so every experiment and equivalence test
+//! can swap the two engines freely.
+//!
+//! Structure:
+//! * [`tree`] — node arena, Ukkonen's algorithm, post-construction
+//!   annotation (first-occurrence starts, leaf counts), space accounting;
+//! * [`search`] — [`StringIndex`](strindex::StringIndex) implementation;
+//! * [`matching`] — [`MatchingIndex`](strindex::MatchingIndex)
+//!   implementation using suffix links, instrumented with the same counters
+//!   as SPINE so the Table 6 "nodes checked" comparison can be reproduced.
+
+pub mod disk;
+pub mod matching;
+pub mod search;
+pub mod tree;
+
+pub use disk::DiskSuffixTree;
+pub use tree::SuffixTree;

@@ -1,0 +1,175 @@
+//! Matching statistics and maximal matches over the suffix tree.
+//!
+//! The classical suffix-link algorithm (as used by MUMmer and described in
+//! §4.1 of the SPINE paper): on a mismatch, hop the suffix link of the
+//! deepest node on the match path and *rescan* the remainder with skip/count.
+//! Each hop shortens the match by exactly **one** character — suffixes are
+//! processed one at a time — whereas SPINE's links jump over whole sets of
+//! suffix lengths. The counters make this difference measurable; the
+//! experiment harness turns it into the Table 6 comparison.
+
+use crate::search::TreePos;
+use crate::tree::{SuffixTree, ST_ROOT};
+use strindex::{Code, FxHashMap, MatchingIndex, MatchingStats, MaximalMatch};
+
+impl SuffixTree {
+    /// Skip/count rescan: walk `q` from `node`, assuming the path exists.
+    fn rescan(&self, mut node: u32, q: &[Code]) -> TreePos {
+        let mut i = 0usize;
+        while i < q.len() {
+            self.counters.count_node_check();
+            let child = self.nodes[node as usize]
+                .child(q[i])
+                .expect("rescan path must exist for a known substring");
+            let el = self.edge_len(child);
+            if q.len() - i >= el {
+                node = child;
+                i += el;
+            } else {
+                return TreePos { node, below: child, off: q.len() - i };
+            }
+        }
+        TreePos { node, below: node, off: 0 }
+    }
+
+    /// Longest match ending at every query position (see
+    /// [`strindex::MatchingStats`]), via suffix links.
+    pub fn matching_statistics_impl(&self, query: &[Code]) -> MatchingStats {
+        assert!(self.is_finished(), "finish() the tree before querying");
+        let m = query.len();
+        let mut lengths = vec![0u32; m + 1];
+        let mut first_end = vec![0u32; m + 1];
+        let mut pos = TreePos::ROOT;
+        let mut matched = 0usize;
+        for (e, &c) in query.iter().enumerate() {
+            loop {
+                if let Some(p) = self.step(pos, c) {
+                    pos = p;
+                    matched += 1;
+                    break;
+                }
+                if matched == 0 {
+                    break;
+                }
+                // Shrink by exactly one character: suffix-link hop + rescan.
+                self.counters.count_link();
+                let off = pos.off;
+                if pos.node != ST_ROOT {
+                    let v = self.nodes[pos.node as usize].slink;
+                    pos = if off > 0 {
+                        self.rescan(v, &query[e - off..e])
+                    } else {
+                        TreePos { node: v, below: v, off: 0 }
+                    };
+                } else {
+                    // At the root: drop the match's first character and
+                    // rescan what remains of the partial edge.
+                    debug_assert!(off > 0);
+                    pos = self.rescan(ST_ROOT, &query[e - off + 1..e]);
+                }
+                matched -= 1;
+            }
+            lengths[e + 1] = matched as u32;
+            first_end[e + 1] = if matched > 0 {
+                self.nodes[pos.locus() as usize].min_start + matched as u32
+            } else {
+                0
+            };
+        }
+        MatchingStats { lengths, first_end }
+    }
+}
+
+impl MatchingIndex for SuffixTree {
+    fn matching_statistics(&self, query: &[Code]) -> MatchingStats {
+        self.matching_statistics_impl(query)
+    }
+
+    fn maximal_matches(&self, query: &[Code], min_len: usize) -> Vec<MaximalMatch> {
+        use strindex::StringIndex;
+        let stats = self.matching_statistics_impl(query);
+        let reports = stats.right_maximal(min_len);
+        // Deduplicate occurrence scans per distinct substring.
+        let mut cache: FxHashMap<(usize, usize), Vec<usize>> = FxHashMap::default();
+        let mut out = Vec::new();
+        for (qs, len, fe) in reports {
+            let occs = cache
+                .entry((fe, len))
+                .or_insert_with(|| self.find_all(&query[qs..qs + len]))
+                .clone();
+            for ds in occs {
+                out.push(MaximalMatch { query_start: qs, data_start: ds, len });
+            }
+        }
+        out.sort();
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use strindex::Alphabet;
+    use suffix_trie::NaiveIndex;
+
+    fn engines(text: &[u8]) -> (Alphabet, SuffixTree, NaiveIndex) {
+        let a = Alphabet::dna();
+        let codes = a.encode(text).unwrap();
+        (
+            a.clone(),
+            SuffixTree::build(a.clone(), &codes).unwrap(),
+            NaiveIndex::new(a, &codes),
+        )
+    }
+
+    #[test]
+    fn statistics_match_naive() {
+        let (a, t, n) = engines(b"ACACCGACGATACGAGATTACGAGACGAGA");
+        for q in [
+            &b"CATAGAGAGACGATTACGAGAAAACGGG"[..],
+            b"ACACCGACGATACGAGATTACGAGACGAGA",
+            b"TTTT",
+            b"A",
+        ] {
+            let q = a.encode(q).unwrap();
+            assert_eq!(t.matching_statistics(&q), n.matching_statistics(&q), "query {q:?}");
+        }
+    }
+
+    #[test]
+    fn maximal_matches_match_naive() {
+        let (a, t, n) = engines(b"ACACCGACGATACGAGATTACGAGACGAGA");
+        let q = a.encode(b"CATAGAGAGACGATTACGAGAAAACGGG").unwrap();
+        for threshold in [1usize, 3, 6] {
+            assert_eq!(
+                t.maximal_matches(&q, threshold),
+                n.maximal_matches(&q, threshold),
+                "threshold {threshold}"
+            );
+        }
+    }
+
+    #[test]
+    fn empty_query() {
+        let (_, t, _) = engines(b"ACGT");
+        let ms = t.matching_statistics(&[]);
+        assert_eq!(ms.lengths, vec![0]);
+    }
+
+    #[test]
+    fn disjoint_alphabets() {
+        let (a, t, _) = engines(b"AAAA");
+        let q = a.encode(b"GGGG").unwrap();
+        assert!(t.matching_statistics(&q).lengths.iter().all(|&l| l == 0));
+    }
+
+    #[test]
+    fn counters_register_link_hops() {
+        let (a, t, _) = engines(b"ACGTACGTACGT");
+        t.counters().reset();
+        let q = a.encode(b"ACGTTTACGA").unwrap();
+        t.matching_statistics(&q);
+        assert!(t.counters().links_followed() > 0);
+        assert!(t.counters().nodes_checked() > 0);
+    }
+}

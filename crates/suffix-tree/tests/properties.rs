@@ -1,0 +1,81 @@
+//! Property tests: the suffix tree against the brute-force oracle, and the
+//! disk-resident variant against the in-memory one.
+
+use pagestore::{Lru, MemDevice};
+use proptest::prelude::*;
+use strindex::{Alphabet, Code, MatchingIndex, StringIndex};
+use suffix_tree::{DiskSuffixTree, SuffixTree};
+use suffix_trie::NaiveIndex;
+
+fn dna_codes(max_len: usize) -> impl Strategy<Value = Vec<Code>> {
+    prop::collection::vec(0u8..4, 0..=max_len)
+}
+
+fn binary_codes(max_len: usize) -> impl Strategy<Value = Vec<Code>> {
+    prop::collection::vec(0u8..2, 0..=max_len)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn find_all_matches_oracle(text in binary_codes(60), pat in binary_codes(6)) {
+        let a = Alphabet::dna();
+        let t = SuffixTree::build(a.clone(), &text).unwrap();
+        let n = NaiveIndex::new(a, &text);
+        if !pat.is_empty() {
+            prop_assert_eq!(t.find_all(&pat), n.find_all(&pat));
+            prop_assert_eq!(t.find_first(&pat), n.find_first(&pat));
+        }
+    }
+
+    #[test]
+    fn every_window_is_found(text in dna_codes(50)) {
+        let a = Alphabet::dna();
+        let t = SuffixTree::build(a.clone(), &text).unwrap();
+        let n = NaiveIndex::new(a, &text);
+        for start in 0..text.len() {
+            let end = (start + 9).min(text.len());
+            let w = &text[start..end];
+            prop_assert_eq!(t.find_all(w), n.find_all(w), "window {}..{}", start, end);
+        }
+    }
+
+    #[test]
+    fn matching_statistics_match_oracle(text in dna_codes(50), query in dna_codes(35)) {
+        let a = Alphabet::dna();
+        let t = SuffixTree::build(a.clone(), &text).unwrap();
+        let n = NaiveIndex::new(a, &text);
+        prop_assert_eq!(t.matching_statistics(&query), n.matching_statistics(&query));
+    }
+
+    #[test]
+    fn node_count_is_linear(text in dna_codes(80)) {
+        // With an explicit terminator, node count ≤ 2(n+1): leaves n+1,
+        // internal < n+1, plus root.
+        let a = Alphabet::dna();
+        let t = SuffixTree::build(a.clone(), &text).unwrap();
+        prop_assert!(t.node_count() <= 2 * (text.len() + 1) + 1);
+    }
+
+    #[test]
+    fn disk_tree_equals_memory_tree(text in binary_codes(60)) {
+        let a = Alphabet::dna();
+        let mem = SuffixTree::build(a.clone(), &text).unwrap();
+        let disk = DiskSuffixTree::build(
+            a.clone(),
+            &text,
+            Box::new(MemDevice::new()),
+            2,
+            Box::<Lru>::default(),
+        )
+        .unwrap();
+        prop_assert_eq!(mem.node_count(), disk.node_count());
+        for len in 1..=4usize {
+            for bits in 0..(1u32 << len) {
+                let p: Vec<Code> = (0..len).map(|i| ((bits >> i) & 1) as Code).collect();
+                prop_assert_eq!(mem.find_all(&p), disk.find_all(&p), "pattern {:?}", p);
+            }
+        }
+    }
+}

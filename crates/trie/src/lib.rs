@@ -1,0 +1,20 @@
+//! Correctness references for the SPINE reproduction.
+//!
+//! Two deliberately simple engines live here:
+//!
+//! * [`SuffixTrie`] — the explicit, uncompacted trie of Figure 1 of the
+//!   paper: every suffix inserted character by character. Quadratic space,
+//!   only usable on small strings, but structurally transparent — the
+//!   property tests compare SPINE's valid-path language against it, and the
+//!   experiment harness uses its node count to show what vertical
+//!   (suffix-tree) and horizontal (SPINE) compaction each save.
+//! * [`NaiveIndex`] — a scan-based oracle that answers every query by brute
+//!   force over the raw text. It implements the same [`strindex::StringIndex`] /
+//!   [`strindex::MatchingIndex`] traits as the real engines, so the cross-engine
+//!   equivalence tests in `tests/` can hold all engines to its answers.
+
+pub mod naive;
+pub mod trie;
+
+pub use naive::NaiveIndex;
+pub use trie::SuffixTrie;

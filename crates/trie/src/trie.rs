@@ -1,0 +1,211 @@
+//! The explicit suffix trie (Figure 1 of the paper).
+//!
+//! Every suffix of the text is inserted character by character; nothing is
+//! compacted. Each trie node additionally records the smallest text position
+//! at which the path string ends — the *first occurrence end* — which is
+//! precisely the address SPINE's horizontal compaction assigns to the merged
+//! node, making this the oracle for SPINE's first-occurrence invariant.
+
+use strindex::{Alphabet, Code, StringIndex};
+
+/// One trie node: children indexed by symbol code, plus bookkeeping.
+#[derive(Debug, Clone)]
+struct TrieNode {
+    /// Child node id per symbol code (code space of the alphabet).
+    children: Vec<Option<u32>>,
+    /// Smallest text end position (1-based) over all suffix insertions that
+    /// pass through / end at this node's path string.
+    first_end: u32,
+    /// Number of suffixes whose path passes through this node = number of
+    /// occurrences of the path string.
+    occurrences: u32,
+}
+
+/// An explicit suffix trie over one encoded text.
+pub struct SuffixTrie {
+    alphabet: Alphabet,
+    text: Vec<Code>,
+    nodes: Vec<TrieNode>,
+}
+
+impl SuffixTrie {
+    /// Build the trie of all suffixes of `text`. Space is O(n²) in the worst
+    /// case: intended for strings up to a few thousand symbols.
+    pub fn build(alphabet: Alphabet, text: &[Code]) -> Self {
+        let width = alphabet.code_space();
+        let root = TrieNode { children: vec![None; width], first_end: 0, occurrences: 0 };
+        let mut t = SuffixTrie { alphabet, text: text.to_vec(), nodes: vec![root] };
+        for start in 0..text.len() {
+            let mut cur = 0u32;
+            for (off, &c) in text[start..].iter().enumerate() {
+                let end = (start + off + 1) as u32;
+                let next = match t.nodes[cur as usize].children[c as usize] {
+                    Some(n) => {
+                        let node = &mut t.nodes[n as usize];
+                        node.first_end = node.first_end.min(end);
+                        node.occurrences += 1;
+                        n
+                    }
+                    None => {
+                        let id = t.nodes.len() as u32;
+                        t.nodes.push(TrieNode {
+                            children: vec![None; t.alphabet.code_space()],
+                            first_end: end,
+                            occurrences: 1,
+                        });
+                        t.nodes[cur as usize].children[c as usize] = Some(id);
+                        id
+                    }
+                };
+                cur = next;
+            }
+        }
+        t
+    }
+
+    /// Number of trie nodes, including the root. For `aaccacaaca` this is
+    /// the node count of Figure 1.
+    pub fn node_count(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Walk the trie along `pattern`; `None` if the pattern is not a
+    /// substring.
+    fn walk(&self, pattern: &[Code]) -> Option<u32> {
+        let mut cur = 0u32;
+        for &c in pattern {
+            cur = self.nodes[cur as usize].children.get(c as usize).copied().flatten()?;
+        }
+        Some(cur)
+    }
+
+    /// End position (1-based) of the first occurrence of `pattern`, or
+    /// `None` if absent. This is the value SPINE's merged node id must equal.
+    pub fn first_occurrence_end(&self, pattern: &[Code]) -> Option<u32> {
+        if pattern.is_empty() {
+            return Some(0);
+        }
+        self.walk(pattern).map(|n| self.nodes[n as usize].first_end)
+    }
+
+    /// Number of occurrences of `pattern` in the text.
+    pub fn occurrence_count(&self, pattern: &[Code]) -> usize {
+        if pattern.is_empty() {
+            return self.text.len() + 1;
+        }
+        self.walk(pattern).map_or(0, |n| self.nodes[n as usize].occurrences as usize)
+    }
+
+    /// Enumerate every distinct substring of the text with length ≤
+    /// `max_len` (in code form). Used by property tests to compare substring
+    /// languages across engines.
+    pub fn substrings_up_to(&self, max_len: usize) -> Vec<Vec<Code>> {
+        let mut out = Vec::new();
+        let mut stack: Vec<(u32, Vec<Code>)> = vec![(0, Vec::new())];
+        while let Some((node, path)) = stack.pop() {
+            if !path.is_empty() {
+                out.push(path.clone());
+            }
+            if path.len() == max_len {
+                continue;
+            }
+            for (c, child) in self.nodes[node as usize].children.iter().enumerate() {
+                if let Some(n) = child {
+                    let mut p = path.clone();
+                    p.push(c as Code);
+                    stack.push((*n, p));
+                }
+            }
+        }
+        out.sort();
+        out
+    }
+}
+
+impl StringIndex for SuffixTrie {
+    fn alphabet(&self) -> &Alphabet {
+        &self.alphabet
+    }
+
+    fn text_len(&self) -> usize {
+        self.text.len()
+    }
+
+    fn symbol_at(&self, pos: usize) -> Code {
+        self.text[pos]
+    }
+
+    fn find_first(&self, pattern: &[Code]) -> Option<usize> {
+        if pattern.is_empty() {
+            return Some(0);
+        }
+        self.first_occurrence_end(pattern).map(|e| e as usize - pattern.len())
+    }
+
+    fn find_all(&self, pattern: &[Code]) -> Vec<usize> {
+        // The trie stores counts, not positions; enumerate by text scan
+        // (this engine is an oracle, simplicity over speed).
+        crate::naive::scan_all(&self.text, pattern)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn dna(s: &str) -> (Alphabet, Vec<Code>) {
+        let a = Alphabet::dna();
+        let codes = a.encode(s.as_bytes()).unwrap();
+        (a, codes)
+    }
+
+    #[test]
+    fn paper_example_node_count() {
+        // Figure 1 of the paper draws the trie for "aaccacaaca" — count the
+        // distinct substrings (each is one node) + root.
+        let (a, text) = dna("AACCACAACA");
+        let t = SuffixTrie::build(a, &text);
+        let distinct = t.substrings_up_to(text.len()).len();
+        assert_eq!(t.node_count(), distinct + 1);
+    }
+
+    #[test]
+    fn first_occurrence_ends() {
+        let (a, text) = dna("AACCACAACA");
+        let t = SuffixTrie::build(a.clone(), &text);
+        // "A" first ends at position 1, "CA" at 5, "AC" at 3.
+        assert_eq!(t.first_occurrence_end(&a.encode(b"A").unwrap()), Some(1));
+        assert_eq!(t.first_occurrence_end(&a.encode(b"CA").unwrap()), Some(5));
+        assert_eq!(t.first_occurrence_end(&a.encode(b"AC").unwrap()), Some(3));
+        assert_eq!(t.first_occurrence_end(&a.encode(b"ACCAA").unwrap()), None);
+    }
+
+    #[test]
+    fn occurrence_counts() {
+        let (a, text) = dna("AACCACAACA");
+        let t = SuffixTrie::build(a.clone(), &text);
+        assert_eq!(t.occurrence_count(&a.encode(b"CA").unwrap()), 3);
+        assert_eq!(t.occurrence_count(&a.encode(b"AACCACAACA").unwrap()), 1);
+        assert_eq!(t.occurrence_count(&a.encode(b"G").unwrap()), 0);
+    }
+
+    #[test]
+    fn string_index_contract() {
+        let (a, text) = dna("AACCACAACA");
+        let t = SuffixTrie::build(a.clone(), &text);
+        let ca = a.encode(b"CA").unwrap();
+        assert!(t.contains(&ca));
+        assert_eq!(t.find_first(&ca), Some(3)); // CA at offsets 3, 5, 8
+        assert_eq!(t.find_all(&ca), vec![3, 5, 8]);
+        assert_eq!(t.find_first(&[]), Some(0));
+        assert_eq!(t.text_len(), 10);
+    }
+
+    #[test]
+    fn empty_text() {
+        let a = Alphabet::dna();
+        let t = SuffixTrie::build(a.clone(), &[]);
+        assert_eq!(t.node_count(), 1);
+        assert!(!t.contains(&[0]));
+    }
+}

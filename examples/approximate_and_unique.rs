@@ -1,0 +1,62 @@
+//! Beyond exact search: k-mismatch queries and maximal *unique* matches.
+//!
+//! * Hamming search backtracks over SPINE's valid paths, spending mismatch
+//!   budget on edges whose labels differ from the pattern — the approximate
+//!   matching the paper lists among its future avenues.
+//! * MUMs (maximal unique matches) are the anchors MUMmer is named after;
+//!   here they come from the generic [`strindex::maximal_unique_matches`]
+//!   running over SPINE.
+//!
+//! ```sh
+//! cargo run --release --example approximate_and_unique
+//! ```
+
+use genseq::{mutate, preset, rng, MutationProfile};
+use spine::Spine;
+use strindex::{maximal_unique_matches, longest_common_substring, StringIndex};
+
+fn main() -> strindex::Result<()> {
+    let p = preset("eco-sim").unwrap();
+    let alphabet = p.alphabet();
+    let genome = p.generate(0.02); // 70 000 bp
+    let index = Spine::build(alphabet.clone(), &genome)?;
+
+    // --- k-mismatch search -------------------------------------------------
+    // Take a real window and corrupt two positions; exact search misses it,
+    // Hamming search recovers it.
+    let mut probe = genome[12_345..12_345 + 24].to_vec();
+    probe[5] = (probe[5] + 1) % 4;
+    probe[17] = (probe[17] + 2) % 4;
+    assert!(index.find_all(&probe).is_empty(), "corrupted probe is not exact");
+    for k in 0..=3u32 {
+        let hits = index.find_all_hamming(&probe, k);
+        println!("k={k}: {} hit(s)", hits.len());
+        if let Some(h) = hits.iter().find(|h| h.start == 12_345) {
+            println!("   recovered the source window with {} mismatches", h.mismatches);
+        }
+    }
+    assert!(index
+        .find_all_hamming(&probe, 2)
+        .iter()
+        .any(|h| h.start == 12_345 && h.mismatches == 2));
+
+    // --- MUM anchors --------------------------------------------------------
+    let relative = mutate(&genome, alphabet.size(), &MutationProfile::default(), &mut rng(7));
+    let rel_index = Spine::build(alphabet.clone(), &relative)?;
+    let mums = maximal_unique_matches(&index, &rel_index, &relative, 30);
+    println!("\n{} MUMs of length ≥ 30 between genome and relative", mums.len());
+    for m in mums.iter().take(5) {
+        println!("  q@{:<8} d@{:<8} len {}", m.query_start, m.data_start, m.len);
+        assert_eq!(
+            &genome[m.data_start..m.data_start + m.len],
+            &relative[m.query_start..m.query_start + m.len]
+        );
+        // Unique on both sides, by definition.
+        assert_eq!(index.find_all(&relative[m.query_start..m.query_start + m.len]).len(), 1);
+    }
+
+    // --- Longest common substring -------------------------------------------
+    let lcs = longest_common_substring(&index, &relative).expect("relatives share material");
+    println!("\nlongest shared substring: {} bp (query offset {})", lcs.len, lcs.query_start);
+    Ok(())
+}

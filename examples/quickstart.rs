@@ -1,0 +1,53 @@
+//! Quickstart: build a SPINE index, search it, and exercise the properties
+//! the paper highlights (no false positives, first-occurrence addressing,
+//! text recovery, prefix partitioning).
+//!
+//! ```sh
+//! cargo run --example quickstart
+//! ```
+
+use spine::Spine;
+use strindex::{Alphabet, StringIndex};
+
+fn main() -> strindex::Result<()> {
+    // The paper's running example string.
+    let alphabet = Alphabet::dna();
+    let text = b"AACCACAACA";
+    let index = Spine::build_from_bytes(alphabet.clone(), text)?;
+    println!("indexed {:?}: {} nodes (always length+1)",
+             String::from_utf8_lossy(text), index.nodes().len());
+
+    // Exact search: every occurrence of "CA".
+    let pattern = alphabet.encode(b"CA")?;
+    let hits = index.find_all(&pattern);
+    println!("\"CA\" occurs at offsets {hits:?}");
+    assert_eq!(hits, vec![3, 5, 8]);
+
+    // The pathlength thresholds eliminate the false positives that naive
+    // path-merging would create: ACCAA has an apparent path but is not a
+    // substring (the example from §2.1 of the paper).
+    let bogus = alphabet.encode(b"ACCAA")?;
+    println!("\"ACCAA\" present? {}", index.contains(&bogus));
+    assert!(!index.contains(&bogus));
+
+    // A located pattern ends at the end position of its FIRST occurrence —
+    // node ids double as text positions.
+    let ca_end = index.locate(&pattern).unwrap();
+    println!("first \"CA\" ends at 1-based position {ca_end}");
+    assert_eq!(ca_end, 5);
+
+    // The index fully encodes the text: vertebra labels spell it back.
+    let recovered = index.recover_text();
+    assert_eq!(alphabet.decode_all(&recovered), text);
+    println!("recovered the text from the index alone");
+
+    // Prefix partitioning: the index of a prefix is an initial fragment.
+    let prefix = index.prefix(5); // "AACCA"
+    println!(
+        "in the first 5 characters, \"CA\" occurs at {:?}",
+        prefix.find_all(&pattern)
+    );
+    assert_eq!(prefix.find_all(&pattern), vec![3]);
+
+    Ok(())
+}

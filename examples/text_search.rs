@@ -1,0 +1,57 @@
+//! SPINE beyond genomics: indexing plain ASCII text.
+//!
+//! The paper presents SPINE with DNA/protein alphabets, but nothing in the
+//! structure is genome-specific — this example indexes English text,
+//! answers phrase queries, finds the longest repeated phrase, and shows the
+//! k-mismatch search tolerating a typo.
+//!
+//! ```sh
+//! cargo run --example text_search
+//! ```
+
+use spine::Spine;
+use strindex::{Alphabet, StringIndex};
+
+const TEXT: &str = "\
+the index grows at the tail and only at the tail. every node on the \
+backbone stands for one character of the text, and every path from the \
+root follows the first occurrence of the string it spells. the index \
+grows at the tail and never rewrites what it has already built, which is \
+why the index for a prefix of the text is simply a prefix of the index. \
+links point upstream, ribs point downstream, and the thresholds decide \
+which paths are real.";
+
+fn main() -> strindex::Result<()> {
+    let alphabet = Alphabet::ascii();
+    let text = alphabet.encode(TEXT.as_bytes())?;
+    let index = Spine::build(alphabet.clone(), &text)?;
+    println!("indexed {} characters of English text\n", index.len());
+
+    // Phrase queries.
+    for phrase in ["the tail", "the index", "upstream", "downstream", "vertebra"] {
+        let p = alphabet.encode(phrase.as_bytes())?;
+        let hits = index.find_all(&p);
+        println!("{phrase:?}: {} occurrence(s) at {:?}", hits.len(), hits);
+    }
+
+    // The longest phrase that appears twice.
+    let m = index.longest_repeated_substring().expect("prose repeats itself");
+    println!(
+        "\nlongest repeated phrase ({} chars): {:?}",
+        m.len,
+        &TEXT[m.start..m.start + m.len]
+    );
+    assert!(TEXT.matches(&TEXT[m.start..m.start + m.len]).count() >= 2);
+
+    // Typo-tolerant search: "indes" is one substitution from "index".
+    let typo = alphabet.encode(b"indes")?;
+    assert!(index.find_all(&typo).is_empty());
+    let fuzzy = index.find_all_hamming(&typo, 1);
+    println!("\n\"indes\" (typo) within 1 mismatch: {} hit(s)", fuzzy.len());
+    for h in &fuzzy {
+        println!("  at {} → {:?}", h.start, &TEXT[h.start..h.start + 5]);
+    }
+    assert!(!fuzzy.is_empty());
+
+    Ok(())
+}

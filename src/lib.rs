@@ -1,0 +1,14 @@
+//! Workspace umbrella crate.
+//!
+//! Re-exports every crate of the SPINE reproduction so the `examples/` and
+//! the cross-crate integration tests in `tests/` can use one dependency.
+//! Library users should depend on the individual crates (`spine`,
+//! `suffix-tree`, …) directly.
+
+pub use genseq;
+pub use pagestore;
+pub use spine;
+pub use strindex;
+pub use suffix_array;
+pub use suffix_tree;
+pub use suffix_trie;

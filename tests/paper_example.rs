@@ -1,0 +1,101 @@
+//! End-to-end checks against the worked examples in the paper itself.
+
+use spine::{Spine, ROOT};
+use strindex::{Alphabet, MatchingIndex, StringIndex};
+use suffix_tree::SuffixTree;
+use suffix_trie::{NaiveIndex, SuffixTrie};
+
+const PAPER_STRING: &[u8] = b"AACCACAACA";
+
+/// §1.1: the SPINE index for `aaccacaaca` has 11 nodes and 26 edges, while
+/// the suffix tree has 13 nodes (plus terminator artifacts) and the trie is
+/// far larger.
+#[test]
+fn figure_1_2_3_node_counts() {
+    let a = Alphabet::dna();
+    let text = a.encode(PAPER_STRING).unwrap();
+
+    let spine = Spine::build(a.clone(), &text).unwrap();
+    assert_eq!(spine.nodes().len(), 11);
+    let ribs: usize = spine.nodes().iter().map(|n| n.ribs.len()).sum();
+    let extribs: usize = spine.nodes().iter().map(|n| n.extribs.len()).sum();
+    assert_eq!(10 + 10 + ribs + extribs, 26, "vertebras + links + ribs + extribs");
+
+    let trie = SuffixTrie::build(a.clone(), &text);
+    assert!(trie.node_count() > 40, "the raw trie is much larger");
+
+    let st = SuffixTree::build(a.clone(), &text).unwrap();
+    // Figure 2 draws 13 nodes without a terminator; our explicit-terminator
+    // build adds the leaves the terminator makes explicit, but stays well
+    // under the trie and above SPINE's n+1.
+    assert!(st.node_count() > spine.nodes().len());
+    assert!(st.node_count() < trie.node_count());
+}
+
+/// §2.1 + §4: `accaa` looks like a path but is invalid (PT violation);
+/// searching "ac" fills the target buffer with nodes 3, 6, 9.
+#[test]
+fn section_4_search_walkthrough() {
+    let a = Alphabet::dna();
+    let spine = Spine::build_from_bytes(a.clone(), PAPER_STRING).unwrap();
+
+    assert!(!spine.contains(&a.encode(b"ACCAA").unwrap()));
+    assert!(spine.contains(&a.encode(b"ACCA").unwrap()));
+
+    let ends = spine::occurrences::find_all_ends(&spine, &a.encode(b"AC").unwrap());
+    assert_eq!(ends, vec![3, 6, 9]);
+}
+
+/// §2.4: node 5's link facts from the paper's notation example — for node 5
+/// (prefix `aacca`), the LET-suffix is `a`, ending first at node 1.
+#[test]
+fn section_2_notation_example() {
+    let a = Alphabet::dna();
+    let spine = Spine::build_from_bytes(a, PAPER_STRING).unwrap();
+    let n5 = &spine.nodes()[5];
+    assert_eq!((n5.link, n5.lel), (1, 1));
+    // Root has no link; its fields are unused.
+    assert_eq!(spine.nodes()[ROOT as usize].ribs.len(), 1); // rib for 'c'
+}
+
+/// §4's alignment example: the S1/S2 pair with threshold 6. All engines
+/// must agree, and the long shared region around `gattacgaga` must be found.
+#[test]
+fn section_4_alignment_example() {
+    let a = Alphabet::dna();
+    let s1 = a.encode(b"ACACCGACGATACGAGATTACGAGACGAGAATACAACAG").unwrap();
+    let s2 = a.encode(b"CATAGAGAGACGATTACGAGAAAACGGGAAAGACGATCC").unwrap();
+
+    let spine = Spine::build(a.clone(), &s1).unwrap();
+    let st = SuffixTree::build(a.clone(), &s1).unwrap();
+    let oracle = NaiveIndex::new(a.clone(), &s1);
+
+    let m_spine = spine.maximal_matches(&s2, 6);
+    let m_st = st.maximal_matches(&s2, 6);
+    let m_naive = oracle.maximal_matches(&s2, 6);
+    assert_eq!(m_spine, m_naive);
+    assert_eq!(m_st, m_naive);
+    assert!(!m_spine.is_empty(), "threshold-6 matches exist in the paper's pair");
+
+    // The shared region `GATTACGAGA` (length 10) must be among the matches.
+    let best = m_spine.iter().map(|m| m.len).max().unwrap();
+    assert!(best >= 10, "longest match {best} < 10");
+    let witness = m_spine.iter().find(|m| m.len == best).unwrap();
+    assert_eq!(
+        &s1[witness.data_start..witness.data_start + best],
+        &s2[witness.query_start..witness.query_start + best]
+    );
+}
+
+/// §1.1: the data string is recoverable from SPINE — and prefix
+/// partitioning yields the prefix's index.
+#[test]
+fn online_properties() {
+    let a = Alphabet::dna();
+    let text = a.encode(PAPER_STRING).unwrap();
+    let spine = Spine::build(a.clone(), &text).unwrap();
+    assert_eq!(spine.recover_text(), text);
+
+    let prefix = spine.prefix(5);
+    assert_eq!(prefix.find_all(&a.encode(b"CA").unwrap()), vec![3]);
+}

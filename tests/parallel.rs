@@ -1,0 +1,78 @@
+//! Concurrent queries over one shared index.
+//!
+//! The in-memory engines are immutable after construction (counters are
+//! relaxed atomics), so they are `Sync`: many threads can search the same
+//! index at once. This is the read-mostly usage a database engine would
+//! want from the paper's "more amenable for integration with database
+//! engines" pitch.
+
+use crossbeam::thread;
+use genseq::preset;
+use spine::{CompactSpine, Spine};
+use strindex::{Code, MatchingIndex, StringIndex};
+use suffix_tree::SuffixTree;
+
+fn is_sync<T: Sync>() {}
+
+#[test]
+fn engines_are_sync() {
+    is_sync::<Spine>();
+    is_sync::<CompactSpine>();
+    is_sync::<SuffixTree>();
+}
+
+#[test]
+fn parallel_queries_agree_with_serial() {
+    let p = preset("eco-sim").unwrap();
+    let text = p.generate(0.002); // 7 000 bp
+    let index = Spine::build(p.alphabet(), &text).unwrap();
+
+    let patterns: Vec<Vec<Code>> = (0..64)
+        .map(|i| text[(i * 101) % (text.len() - 12)..][..12].to_vec())
+        .collect();
+    let serial: Vec<Vec<usize>> = patterns.iter().map(|p| index.find_all(p)).collect();
+
+    let results = thread::scope(|s| {
+        let handles: Vec<_> = patterns
+            .chunks(16)
+            .map(|chunk| {
+                let index = &index;
+                s.spawn(move |_| chunk.iter().map(|p| index.find_all(p)).collect::<Vec<_>>())
+            })
+            .collect();
+        handles
+            .into_iter()
+            .flat_map(|h| h.join().unwrap())
+            .collect::<Vec<_>>()
+    })
+    .unwrap();
+
+    assert_eq!(results, serial);
+}
+
+#[test]
+fn parallel_matching_statistics() {
+    let p = preset("eco-sim").unwrap();
+    let text = p.generate(0.002);
+    let index = Spine::build(p.alphabet(), &text).unwrap();
+    let queries: Vec<Vec<Code>> =
+        (0..8).map(|i| text[i * 500..i * 500 + 400].to_vec()).collect();
+
+    let serial: Vec<_> = queries.iter().map(|q| index.matching_statistics(q)).collect();
+    let parallel = thread::scope(|s| {
+        let handles: Vec<_> = queries
+            .iter()
+            .map(|q| {
+                let index = &index;
+                s.spawn(move |_| index.matching_statistics(q))
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap()).collect::<Vec<_>>()
+    })
+    .unwrap();
+    assert_eq!(parallel, serial);
+
+    // Counters aggregated across threads: at least one check per query
+    // symbol in total.
+    assert!(index.counters().nodes_checked() > 0);
+}
