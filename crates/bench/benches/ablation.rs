@@ -43,9 +43,7 @@ fn target_buffer(c: &mut Criterion) {
     let first = s.locate(pat).unwrap();
     let mut g = c.benchmark_group("target-buffer");
     g.sample_size(10);
-    g.bench_function("binary-search", |b| {
-        b.iter(|| find_all_ends(&s, pat).len())
-    });
+    g.bench_function("binary-search", |b| b.iter(|| find_all_ends(&s, pat).len()));
     g.bench_function("linear-scan", |b| {
         b.iter(|| occurrences_linear(&s, first, pat.len() as u32).len())
     });
@@ -55,9 +53,8 @@ fn target_buffer(c: &mut Criterion) {
 fn batched_occurrences(c: &mut Criterion) {
     let d = dataset();
     let s = Spine::build(d.alphabet.clone(), &d.seq).unwrap();
-    let pats: Vec<Vec<Code>> = (0..32)
-        .map(|i| d.seq[i * 1013 % (d.seq.len() - 16)..][..16].to_vec())
-        .collect();
+    let pats: Vec<Vec<Code>> =
+        (0..32).map(|i| d.seq[i * 1013 % (d.seq.len() - 16)..][..16].to_vec()).collect();
     let targets: Vec<Target> = pats
         .iter()
         .map(|p| Target { first_end: s.locate(p).unwrap(), len: p.len() as u32 })
@@ -68,12 +65,7 @@ fn batched_occurrences(c: &mut Criterion) {
         b.iter(|| pats.iter().map(|p| find_all_ends(&s, p).len()).sum::<usize>())
     });
     g.bench_function("single-batched-scan", |b| {
-        b.iter(|| {
-            find_all_ends_batch(&s, &targets)
-                .values()
-                .map(Vec::len)
-                .sum::<usize>()
-        })
+        b.iter(|| find_all_ends_batch(&s, &targets).values().map(Vec::len).sum::<usize>())
     });
     g.finish();
 }
@@ -82,9 +74,8 @@ fn layout_query_cost(c: &mut Criterion) {
     let d = dataset();
     let r = Spine::build(d.alphabet.clone(), &d.seq).unwrap();
     let cp = CompactSpine::build(d.alphabet.clone(), &d.seq).unwrap();
-    let pats: Vec<Vec<Code>> = (0..64)
-        .map(|i| d.seq[i * 997 % (d.seq.len() - 24)..][..24].to_vec())
-        .collect();
+    let pats: Vec<Vec<Code>> =
+        (0..64).map(|i| d.seq[i * 997 % (d.seq.len() - 24)..][..24].to_vec()).collect();
     let mut g = c.benchmark_group("layout");
     g.bench_function("reference-find", |b| {
         b.iter(|| pats.iter().filter_map(|p| r.find_first(p)).count())
@@ -113,5 +104,11 @@ fn migration_exposure(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(benches, target_buffer, batched_occurrences, layout_query_cost, migration_exposure);
+criterion_group!(
+    benches,
+    target_buffer,
+    batched_occurrences,
+    layout_query_cost,
+    migration_exposure
+);
 criterion_main!(benches);

@@ -13,9 +13,8 @@ const N: usize = 100_000;
 fn setup() -> (Dataset, Vec<Vec<Code>>, Vec<Code>) {
     let d = Dataset::generate("eco-sim", N as f64 / 3_500_000.0);
     // Patterns: windows of the text (guaranteed hits) + shuffled misses.
-    let mut pats: Vec<Vec<Code>> = (0..64)
-        .map(|i| d.seq[i * 997 % (d.seq.len() - 24)..][..24].to_vec())
-        .collect();
+    let mut pats: Vec<Vec<Code>> =
+        (0..64).map(|i| d.seq[i * 997 % (d.seq.len() - 24)..][..24].to_vec()).collect();
     for i in 0..16 {
         let mut p = pats[i].clone();
         p.reverse();

@@ -3,9 +3,10 @@
 //! One subcommand per experiment (see DESIGN.md §3 for the index):
 //!
 //! ```text
-//! exp table2|table3|table4|fig6|table5|table6|fig7|fig8|table7|protein|space|buffering|verify|figures|all
+//! exp table2|table3|table4|fig6|table5|table6|fig7|fig8|table7|protein|space|buffering|serve|verify|figures|all
 //!     [--scale F]      dataset scale factor vs the paper's lengths (default 0.02)
 //!     [--threshold N]  maximal-match length threshold (default 20)
+//!     [--workers N]    worker threads for the `serve` experiment (default 4)
 //!     [--json]         machine-readable row output
 //!     [--sync-file]    use a real file device with fsync-per-write for disk runs
 //! ```
@@ -14,7 +15,9 @@
 //! factor), not its absolute 2004-hardware values; EXPERIMENTS.md records
 //! both sides.
 
-use pagestore::{Clock, EvictionPolicy, FileDevice, Fifo, Lru, MemDevice, PageDevice, PrefixPriority, PAGE_SIZE};
+use pagestore::{
+    Clock, EvictionPolicy, Fifo, FileDevice, Lru, MemDevice, PageDevice, PrefixPriority, PAGE_SIZE,
+};
 use spine::{CompactSpine, DiskSpine, Spine};
 use spine_bench::{dna_presets, print_table, protein_presets, query_for, secs, time, Dataset, Row};
 use strindex::MatchingIndex;
@@ -25,13 +28,14 @@ use suffix_tree::{DiskSuffixTree, SuffixTree};
 struct Opts {
     scale: f64,
     threshold: usize,
+    workers: usize,
     json: bool,
     sync_file: bool,
 }
 
 impl Default for Opts {
     fn default() -> Self {
-        Opts { scale: 0.02, threshold: 20, json: false, sync_file: false }
+        Opts { scale: 0.02, threshold: 20, workers: 4, json: false, sync_file: false }
     }
 }
 
@@ -49,6 +53,10 @@ fn main() {
             }
             "--threshold" => {
                 opts.threshold = rest[i + 1].parse().expect("--threshold takes an int");
+                i += 2;
+            }
+            "--workers" => {
+                opts.workers = rest[i + 1].parse().expect("--workers takes an int");
                 i += 2;
             }
             "--json" => {
@@ -70,8 +78,8 @@ fn main() {
 
 fn usage() -> ! {
     eprintln!(
-        "usage: exp <table2|table3|table4|fig6|table5|table6|fig7|fig8|table7|protein|space|buffering|verify|figures|all> \
-         [--scale F] [--threshold N] [--json] [--sync-file]"
+        "usage: exp <table2|table3|table4|fig6|table5|table6|fig7|fig8|table7|protein|space|buffering|serve|verify|figures|all> \
+         [--scale F] [--threshold N] [--workers N] [--json] [--sync-file]"
     );
     std::process::exit(2);
 }
@@ -90,12 +98,23 @@ fn run(cmd: &str, opts: &Opts) {
         "protein" => protein(opts),
         "space" => space(opts),
         "buffering" => buffering(opts),
+        "serve" => serve(opts),
         "verify" => verify(opts),
         "figures" => figures(opts),
         "all" => {
             for c in [
-                "table2", "table3", "table4", "fig6", "table5", "table6", "fig7", "fig8",
-                "table7", "protein", "space", "buffering",
+                "table2",
+                "table3",
+                "table4",
+                "fig6",
+                "table5",
+                "table6",
+                "fig7",
+                "fig8",
+                "table7",
+                "protein",
+                "space",
+                "buffering",
             ] {
                 run(c, opts);
             }
@@ -122,11 +141,7 @@ fn table2(opts: &Opts) {
         .cell("paper-naive-B", 48.25)
         .cell("compact-B/char", c.layout_bytes_per_char())
         .cell("paper-opt-B", 12.0)];
-    print_table(
-        "Table 2 — naive node cost vs optimized layout (bytes)",
-        &rows,
-        opts.json,
-    );
+    print_table("Table 2 — naive node cost vs optimized layout (bytes)", &rows, opts.json);
 }
 
 // ---------------------------------------------------------------------------
@@ -168,18 +183,12 @@ fn table4(opts: &Opts) {
                 .cell("1-edge-%", dist.percent(1))
                 .cell("2-edge-%", dist.percent(2))
                 .cell("3-edge-%", dist.percent(3))
-                .cell("4+-edge-%", {
-                    (4..dist.by_fanout.len()).map(|k| dist.percent(k)).sum()
-                })
+                .cell("4+-edge-%", (4..dist.by_fanout.len()).map(|k| dist.percent(k)).sum())
                 .cell("total-%", dist.percent_with_edges())
                 .cell("extrib-collisions", s.extrib_collisions() as f64),
         );
     }
-    print_table(
-        "Table 4 — rib distribution across nodes (paper total: 28–33 %)",
-        &rows,
-        opts.json,
-    );
+    print_table("Table 4 — rib distribution across nodes (paper total: 28–33 %)", &rows, opts.json);
 }
 
 // ---------------------------------------------------------------------------
@@ -391,11 +400,7 @@ fn table7(opts: &Opts) {
                 .cell("speedup-%", 100.0 * (1.0 - secs(t_sp) / secs(t_st).max(1e-12))),
         );
     }
-    print_table(
-        "Table 7 — substring matching on disk (paper: ~50 % speedup)",
-        &rows,
-        opts.json,
-    );
+    print_table("Table 7 — substring matching on disk (paper: ~50 % speedup)", &rows, opts.json);
 }
 
 // ---------------------------------------------------------------------------
@@ -482,14 +487,9 @@ fn buffering(opts: &Opts) {
         // Severe pressure: 2 % of the index resident.
         let per_page = PAGE_SIZE / SPINE_REC;
         let pool = (d.seq.len() / per_page / 50).max(4);
-        let sp = DiskSpine::build(
-            d.alphabet.clone(),
-            &d.seq,
-            Box::new(MemDevice::new()),
-            pool,
-            make(),
-        )
-        .unwrap();
+        let sp =
+            DiskSpine::build(d.alphabet.clone(), &d.seq, Box::new(MemDevice::new()), pool, make())
+                .unwrap();
         let name = {
             // Probe the policy name through a throwaway instance.
             make().name().to_string()
@@ -513,6 +513,70 @@ fn buffering(opts: &Opts) {
     }
     print_table(
         "Buffering — eviction policies under pressure (paper: keep the top of the LT resident)",
+        &rows,
+        opts.json,
+    );
+}
+
+// ---------------------------------------------------------------------------
+// Serve: concurrent batched query serving over one shared index — the
+// "integration with database engines" deployment (§6). Compares a serial
+// one-scan-per-pattern loop against the worker-pool engine, which coalesces
+// admitted patterns into shared backbone scans.
+// ---------------------------------------------------------------------------
+fn serve(opts: &Opts) {
+    use spine::engine::{EngineConfig, QueryEngine};
+    use spine::occurrences::find_all_ends;
+    use std::sync::Arc;
+
+    let d = Dataset::generate("hc21-sim", opts.scale);
+    let index = Arc::new(Spine::build(d.alphabet.clone(), &d.seq).unwrap());
+
+    // Workload: window patterns (hits, occurrence-heavy) plus reversed
+    // variants (mostly misses) — each submitted several times, as a query
+    // server would see repeated traffic.
+    let mut pats: Vec<Vec<strindex::Code>> =
+        (0..256).map(|i| d.seq[i * 883 % (d.seq.len() - 20)..][..12 + i % 8].to_vec()).collect();
+    for i in 0..64 {
+        let mut p = pats[i].clone();
+        p.reverse();
+        pats.push(p);
+    }
+    let workload: Vec<Vec<strindex::Code>> =
+        pats.iter().cycle().take(pats.len() * 4).cloned().collect();
+
+    let (serial_hits, t_serial) =
+        time(|| workload.iter().map(|p| find_all_ends(index.as_ref(), p).len()).sum::<usize>());
+    let qps_serial = workload.len() as f64 / secs(t_serial).max(1e-9);
+
+    let mut rows = vec![Row::new("serial")
+        .cell("workers", 1.0)
+        .cell("queries", workload.len() as f64)
+        .cell("qps", qps_serial)
+        .cell("speedup", 1.0)
+        .cell("mean-batch", 1.0)];
+
+    for workers in [1, 2, opts.workers] {
+        let engine = QueryEngine::new(Arc::clone(&index), EngineConfig { workers, batch_max: 64 });
+        let (results, t) = time(|| {
+            engine.submit_batch(workload.iter().cloned());
+            engine.drain()
+        });
+        let hits: usize = results.iter().map(|r| r.ends.len()).sum();
+        assert_eq!(hits, serial_hits, "engine answers diverge from serial scan");
+        let m = engine.metrics();
+        let qps = workload.len() as f64 / secs(t).max(1e-9);
+        rows.push(
+            Row::new(format!("engine-w{workers}"))
+                .cell("workers", workers as f64)
+                .cell("queries", workload.len() as f64)
+                .cell("qps", qps)
+                .cell("speedup", qps / qps_serial)
+                .cell("mean-batch", m.mean_batch()),
+        );
+    }
+    print_table(
+        "Serve — batched-concurrent throughput vs serial scan (hc21-sim)",
         &rows,
         opts.json,
     );
@@ -566,15 +630,12 @@ fn figures(opts: &Opts) {
     // Plus a small slice of a realistic dataset (the trie is quadratic).
     let mut eco = Dataset::generate("eco-sim", 0.001).seq;
     eco.truncate(1_500);
-    for (name, text, alphabet) in [
-        ("aaccacaaca", &paper, &a),
-        ("eco-sim[..1500]", &eco, &a),
-    ] {
+    for (name, text, alphabet) in [("aaccacaaca", &paper, &a), ("eco-sim[..1500]", &eco, &a)] {
         let trie = SuffixTrie::build(alphabet.clone(), text);
         let st = SuffixTree::build(alphabet.clone(), text).unwrap();
         let sp = Spine::build(alphabet.clone(), text).unwrap();
-        let sp_edges: usize = 2 * sp.len()
-            + sp.nodes().iter().map(|n| n.ribs.len() + n.extribs.len()).sum::<usize>();
+        let sp_edges: usize =
+            2 * sp.len() + sp.nodes().iter().map(|n| n.ribs.len() + n.extribs.len()).sum::<usize>();
         rows.push(
             Row::new(name)
                 .cell("trie-nodes", trie.node_count() as f64)

@@ -51,10 +51,8 @@ pub fn protein_presets() -> [&'static str; 3] {
 /// Derive the query side of a matching pair: a mutated relative of `data`
 /// (≈1 % divergence, a few rearrangements), deterministic per dataset name.
 pub fn query_for(data: &Dataset) -> Vec<Code> {
-    let seed = data
-        .name
-        .bytes()
-        .fold(0xC0FFEEu64, |h, b| h.wrapping_mul(31).wrapping_add(b as u64));
+    let seed =
+        data.name.bytes().fold(0xC0FFEEu64, |h, b| h.wrapping_mul(31).wrapping_add(b as u64));
     let mut r = rng(seed);
     mutate(&data.seq, data.alphabet.size(), &MutationProfile::default(), &mut r)
 }

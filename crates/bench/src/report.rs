@@ -1,9 +1,7 @@
 //! Result reporting: aligned text tables and JSON records.
 
-use serde::Serialize;
-
 /// One row of an experiment table: a label plus named numeric cells.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct Row {
     /// Row label (usually the dataset name).
     pub label: String,

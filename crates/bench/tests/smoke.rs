@@ -4,10 +4,7 @@
 use std::process::Command;
 
 fn run_exp(args: &[&str]) -> String {
-    let out = Command::new(env!("CARGO_BIN_EXE_exp"))
-        .args(args)
-        .output()
-        .expect("exp binary runs");
+    let out = Command::new(env!("CARGO_BIN_EXE_exp")).args(args).output().expect("exp binary runs");
     assert!(
         out.status.success(),
         "exp {args:?} failed:\n{}{}",
@@ -73,10 +70,7 @@ fn json_mode_emits_objects() {
 
 #[test]
 fn unknown_command_exits_nonzero() {
-    let out = Command::new(env!("CARGO_BIN_EXE_exp"))
-        .arg("nonsense")
-        .output()
-        .unwrap();
+    let out = Command::new(env!("CARGO_BIN_EXE_exp")).arg("nonsense").output().unwrap();
     assert!(!out.status.success());
 }
 

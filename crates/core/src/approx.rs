@@ -115,10 +115,8 @@ pub fn find_all_hamming<S: SpineOps + ?Sized>(
     }
     // Expand every distinct matched string to all its occurrences in one
     // backbone scan.
-    let targets: Vec<Target> = leaves
-        .keys()
-        .map(|&first_end| Target { first_end, len: pattern.len() as u32 })
-        .collect();
+    let targets: Vec<Target> =
+        leaves.keys().map(|&first_end| Target { first_end, len: pattern.len() as u32 }).collect();
     let occs = find_all_ends_batch(s, &targets);
     let mut out: FxHashMap<usize, u32> = FxHashMap::default();
     for t in &targets {
@@ -129,10 +127,8 @@ pub fn find_all_hamming<S: SpineOps + ?Sized>(
             *e = (*e).min(miss);
         }
     }
-    let mut v: Vec<ApproxMatch> = out
-        .into_iter()
-        .map(|(start, mismatches)| ApproxMatch { start, mismatches })
-        .collect();
+    let mut v: Vec<ApproxMatch> =
+        out.into_iter().map(|(start, mismatches)| ApproxMatch { start, mismatches }).collect();
     v.sort();
     v
 }
@@ -165,11 +161,9 @@ mod tests {
         }
         (0..=text.len() - pattern.len())
             .filter_map(|i| {
-                let miss = text[i..i + pattern.len()]
-                    .iter()
-                    .zip(pattern)
-                    .filter(|(a, b)| a != b)
-                    .count() as u32;
+                let miss =
+                    text[i..i + pattern.len()].iter().zip(pattern).filter(|(a, b)| a != b).count()
+                        as u32;
                 (miss <= k).then_some(ApproxMatch { start: i, mismatches: miss })
             })
             .collect()

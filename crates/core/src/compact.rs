@@ -359,8 +359,7 @@ impl CompactSpine {
                     self.rts[next].slots[dst + used] = slot;
                     self.rts[next].rows[nidx as usize].2 = (used + 1) as u16;
                     self.rts[class].release(idx);
-                    self.ptrs[node as usize] =
-                        PTR_TAG | ((next as u32) << CLASS_SHIFT) | nidx;
+                    self.ptrs[node as usize] = PTR_TAG | ((next as u32) << CLASS_SHIFT) | nidx;
                     self.stats.migrations += 1;
                     used as u8
                 }
@@ -805,9 +804,7 @@ mod persist {
             1 => Alphabet::protein(),
             2 => Alphabet::ascii(),
             3 => Alphabet::bytes(),
-            other => {
-                return Err(strindex::Error::Parse(format!("unknown alphabet tag {other}")))
-            }
+            other => return Err(strindex::Error::Parse(format!("unknown alphabet tag {other}"))),
         })
     }
 
@@ -1025,10 +1022,7 @@ mod persist_tests {
         let mut buf = Vec::new();
         c.write_to(&mut buf).unwrap();
         for cut in [3usize, 10, buf.len() / 2, buf.len() - 1] {
-            assert!(
-                CompactSpine::read_from(&mut &buf[..cut]).is_err(),
-                "cut at {cut} must fail"
-            );
+            assert!(CompactSpine::read_from(&mut &buf[..cut]).is_err(), "cut at {cut} must fail");
         }
     }
 

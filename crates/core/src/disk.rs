@@ -20,8 +20,8 @@
 
 use crate::node::{NodeId, ROOT};
 use crate::ops::SpineOps;
-use parking_lot::Mutex;
 use pagestore::{EvictionPolicy, PageDevice, PagedVec};
+use parking_lot::Mutex;
 use strindex::{
     Alphabet, Code, Counters, Error, FxHashMap, MatchingIndex, MatchingStats, MaximalMatch,
     OnlineIndex, Result, StringIndex,
@@ -273,10 +273,7 @@ impl DiskSpine {
     fn append(&mut self, c: Code) -> Result<()> {
         let idx = self.records.lock().push_zeroed()?;
         let t = idx as u32;
-        self.records
-            .lock()
-            .write(idx, |r| r[0] = c)
-            .expect("in-bounds write");
+        self.records.lock().write(idx, |r| r[0] = c).expect("in-bounds write");
         self.len += 1;
         let prev = t - 1;
         if prev == ROOT {
@@ -603,9 +600,7 @@ mod reopen_tests {
     #[test]
     fn build_flush_reopen_query() {
         let a = Alphabet::dna();
-        let text = a
-            .encode(&b"AACCACAACAGGTTACGACGACCA".repeat(16))
-            .unwrap();
+        let text = a.encode(&b"AACCACAACAGGTTACGACGACCA".repeat(16)).unwrap();
         let dir = std::env::temp_dir().join("spine-reopen-test");
         std::fs::create_dir_all(&dir).unwrap();
         let dev_path = dir.join(format!("dev-{}.pages", std::process::id()));
@@ -631,10 +626,7 @@ mod reopen_tests {
         )
         .unwrap();
         assert_eq!(reopened.len(), text.len());
-        assert_eq!(
-            StringIndex::find_all(&reopened, &a.encode(b"ACGACG").unwrap()),
-            before
-        );
+        assert_eq!(StringIndex::find_all(&reopened, &a.encode(b"ACGACG").unwrap()), before);
         // Full equivalence against a fresh in-memory build.
         let r = crate::Spine::build(a.clone(), &text).unwrap();
         let q = a.encode(b"TTACGACCACAACAGG").unwrap();

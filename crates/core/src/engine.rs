@@ -1,0 +1,630 @@
+//! Concurrent batched query engine.
+//!
+//! The SPINE structures are immutable after construction and use only
+//! relaxed atomic counters for instrumentation, so one index can serve any
+//! number of concurrent readers. This module packages that property into a
+//! server-shaped front end:
+//!
+//! * a **worker pool** of OS threads sharing one [`Arc`]-held index;
+//! * an **admission queue** that coalesces submitted patterns — each worker
+//!   drains up to [`EngineConfig::batch_max`] requests per wakeup and
+//!   resolves them through a *single* backbone scan
+//!   ([`find_all_ends_batch`]), exactly the batching opportunity §4 of the
+//!   paper identifies for multi-pattern workloads;
+//! * a **metrics surface** ([`MetricsSnapshot`]) aggregating the index's
+//!   [`strindex::Counters`] with per-worker batch statistics and the
+//!   observed queue depth.
+//!
+//! Any [`SpineOps`] engine works: the reference [`crate::Spine`], the §5
+//! [`crate::CompactSpine`], or a [`GeneralizedSpine`] over many documents.
+//! For corpora too large for one backbone, [`ShardedEngine`] partitions
+//! documents across several generalized indexes, broadcasts every pattern,
+//! and merges the per-shard answers into global [`DocMatch`]es.
+//!
+//! ```
+//! use spine::engine::{EngineConfig, QueryEngine};
+//! use spine::Spine;
+//! use std::sync::Arc;
+//! use strindex::Alphabet;
+//!
+//! let alphabet = Alphabet::dna();
+//! let index = Arc::new(Spine::build_from_bytes(alphabet.clone(), b"AACCACAACA").unwrap());
+//! let engine = QueryEngine::new(index, EngineConfig { workers: 2, ..Default::default() });
+//! engine.submit(alphabet.encode(b"CA").unwrap());
+//! engine.submit(alphabet.encode(b"AC").unwrap());
+//! let results = engine.drain();
+//! assert_eq!(results[0].starts(), vec![3, 5, 8]); // CA
+//! assert_eq!(results[1].starts(), vec![1, 4, 7]); // AC
+//! ```
+
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering::Relaxed};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+
+use crate::generalized::{DocMatch, GeneralizedSpine};
+use crate::node::NodeId;
+use crate::occurrences::{find_all_ends_batch, Target};
+use crate::ops::SpineOps;
+use crate::search::locate;
+use strindex::{Alphabet, Code, CountersSnapshot, Result};
+
+/// Tuning knobs for a [`QueryEngine`].
+#[derive(Debug, Clone, Copy)]
+pub struct EngineConfig {
+    /// Worker threads in the pool (clamped to ≥ 1).
+    pub workers: usize,
+    /// Most requests one worker coalesces into a single backbone scan
+    /// (clamped to ≥ 1).
+    pub batch_max: usize,
+}
+
+impl Default for EngineConfig {
+    fn default() -> Self {
+        let workers = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4);
+        EngineConfig { workers, batch_max: 64 }
+    }
+}
+
+/// Monotonic id assigned by [`QueryEngine::submit`]; results carry it so
+/// callers can correlate answers with submissions.
+pub type QueryId = u64;
+
+/// The answer to one submitted pattern.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct QueryResult {
+    /// Id returned by the corresponding `submit`.
+    pub id: QueryId,
+    /// The pattern, handed back so `drain` callers need no side table.
+    pub pattern: Vec<Code>,
+    /// End positions (1-based) of every occurrence, ascending — the same
+    /// values serial [`crate::occurrences::find_all_ends`] yields.
+    pub ends: Vec<NodeId>,
+}
+
+impl QueryResult {
+    /// Occurrence start offsets (0-based), ascending.
+    pub fn starts(&self) -> Vec<usize> {
+        self.ends.iter().map(|&e| e as usize - self.pattern.len()).collect()
+    }
+}
+
+/// Batch statistics for one worker thread.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct WorkerMetrics {
+    /// Backbone scans this worker performed (= coalesced batches).
+    pub batches: u64,
+    /// Individual queries answered.
+    pub queries: u64,
+    /// Largest batch it coalesced.
+    pub max_batch: u64,
+}
+
+/// Point-in-time view of engine activity.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct MetricsSnapshot {
+    /// Index work counters (nodes checked, links followed, …), summed over
+    /// every structure the engine queries (one for a [`QueryEngine`], one
+    /// per shard for a [`ShardedEngine`]).
+    pub index: CountersSnapshot,
+    /// Per-worker batch statistics, one entry per pool thread.
+    pub workers: Vec<WorkerMetrics>,
+    /// Requests admitted over the engine's lifetime.
+    pub submitted: u64,
+    /// Requests fully answered.
+    pub completed: u64,
+    /// Deepest the admission queue has been.
+    pub peak_queue_depth: u64,
+}
+
+impl MetricsSnapshot {
+    /// Total coalesced batches across workers.
+    pub fn batches(&self) -> u64 {
+        self.workers.iter().map(|w| w.batches).sum()
+    }
+
+    /// Mean queries per backbone scan — the coalescing factor. 0 when idle.
+    pub fn mean_batch(&self) -> f64 {
+        let b = self.batches();
+        if b == 0 {
+            0.0
+        } else {
+            self.completed as f64 / b as f64
+        }
+    }
+}
+
+struct WorkerStats {
+    batches: AtomicU64,
+    queries: AtomicU64,
+    max_batch: AtomicU64,
+}
+
+impl WorkerStats {
+    fn new() -> Self {
+        WorkerStats {
+            batches: AtomicU64::new(0),
+            queries: AtomicU64::new(0),
+            max_batch: AtomicU64::new(0),
+        }
+    }
+
+    fn record(&self, batch: usize) {
+        self.batches.fetch_add(1, Relaxed);
+        self.queries.fetch_add(batch as u64, Relaxed);
+        self.max_batch.fetch_max(batch as u64, Relaxed);
+    }
+
+    fn read(&self) -> WorkerMetrics {
+        WorkerMetrics {
+            batches: self.batches.load(Relaxed),
+            queries: self.queries.load(Relaxed),
+            max_batch: self.max_batch.load(Relaxed),
+        }
+    }
+}
+
+struct Request {
+    id: QueryId,
+    pattern: Vec<Code>,
+}
+
+/// Queue + completion state behind one mutex; the two condvars separate the
+/// "work arrived" (workers) and "work finished" (drainers) wakeups.
+struct State {
+    pending: VecDeque<Request>,
+    done: Vec<QueryResult>,
+    in_flight: usize,
+    shutdown: bool,
+}
+
+struct Shared {
+    state: Mutex<State>,
+    work_ready: Condvar,
+    all_done: Condvar,
+    submitted: AtomicU64,
+    completed: AtomicU64,
+    peak_queue_depth: AtomicUsize,
+    worker_stats: Vec<WorkerStats>,
+}
+
+/// A fixed pool of worker threads answering all-occurrence queries against
+/// one shared, immutable SPINE index. See the [module docs](self).
+///
+/// Dropping the engine shuts the pool down; un-drained results are
+/// discarded.
+pub struct QueryEngine<S: SpineOps + Send + Sync + 'static> {
+    index: Arc<S>,
+    shared: Arc<Shared>,
+    next_id: AtomicU64,
+    pool: Vec<JoinHandle<()>>,
+}
+
+impl<S: SpineOps + Send + Sync + 'static> QueryEngine<S> {
+    /// Spin up a worker pool over `index`.
+    pub fn new(index: Arc<S>, config: EngineConfig) -> Self {
+        let workers = config.workers.max(1);
+        let batch_max = config.batch_max.max(1);
+        let shared = Arc::new(Shared {
+            state: Mutex::new(State {
+                pending: VecDeque::new(),
+                done: Vec::new(),
+                in_flight: 0,
+                shutdown: false,
+            }),
+            work_ready: Condvar::new(),
+            all_done: Condvar::new(),
+            submitted: AtomicU64::new(0),
+            completed: AtomicU64::new(0),
+            peak_queue_depth: AtomicUsize::new(0),
+            worker_stats: (0..workers).map(|_| WorkerStats::new()).collect(),
+        });
+        let pool = (0..workers)
+            .map(|w| {
+                let shared = Arc::clone(&shared);
+                let index = Arc::clone(&index);
+                std::thread::Builder::new()
+                    .name(format!("spine-worker-{w}"))
+                    .spawn(move || worker_loop(&*index, &shared, w, batch_max))
+                    .expect("spawn query worker")
+            })
+            .collect();
+        QueryEngine { index, shared, next_id: AtomicU64::new(0), pool }
+    }
+
+    /// The shared index this engine answers from.
+    pub fn index(&self) -> &Arc<S> {
+        &self.index
+    }
+
+    /// Enqueue one pattern; returns its id. Workers pick it up immediately.
+    pub fn submit(&self, pattern: Vec<Code>) -> QueryId {
+        let id = self.next_id.fetch_add(1, Relaxed);
+        self.shared.submitted.fetch_add(1, Relaxed);
+        let mut st = self.shared.state.lock().unwrap();
+        st.pending.push_back(Request { id, pattern });
+        self.shared.peak_queue_depth.fetch_max(st.pending.len(), Relaxed);
+        drop(st);
+        self.shared.work_ready.notify_one();
+        id
+    }
+
+    /// Enqueue many patterns at once (one lock acquisition); returns their
+    /// ids in order. Large batches wake the whole pool.
+    pub fn submit_batch<I>(&self, patterns: I) -> Vec<QueryId>
+    where
+        I: IntoIterator<Item = Vec<Code>>,
+    {
+        let mut ids = Vec::new();
+        let mut st = self.shared.state.lock().unwrap();
+        for pattern in patterns {
+            let id = self.next_id.fetch_add(1, Relaxed);
+            self.shared.submitted.fetch_add(1, Relaxed);
+            st.pending.push_back(Request { id, pattern });
+            ids.push(id);
+        }
+        self.shared.peak_queue_depth.fetch_max(st.pending.len(), Relaxed);
+        drop(st);
+        if ids.len() > 1 {
+            self.shared.work_ready.notify_all();
+        } else {
+            self.shared.work_ready.notify_one();
+        }
+        ids
+    }
+
+    /// Block until every submitted query is answered, then return all
+    /// accumulated results sorted by [`QueryId`].
+    pub fn drain(&self) -> Vec<QueryResult> {
+        let mut st = self.shared.state.lock().unwrap();
+        while !(st.pending.is_empty() && st.in_flight == 0) {
+            st = self.shared.all_done.wait(st).unwrap();
+        }
+        let mut out = std::mem::take(&mut st.done);
+        drop(st);
+        out.sort_by_key(|r| r.id);
+        out
+    }
+
+    /// Current activity counters. Cheap; safe to call while queries run.
+    pub fn metrics(&self) -> MetricsSnapshot {
+        MetricsSnapshot {
+            index: self.index.ops_counters().snapshot(),
+            workers: self.shared.worker_stats.iter().map(WorkerStats::read).collect(),
+            submitted: self.shared.submitted.load(Relaxed),
+            completed: self.shared.completed.load(Relaxed),
+            peak_queue_depth: self.shared.peak_queue_depth.load(Relaxed) as u64,
+        }
+    }
+}
+
+impl<S: SpineOps + Send + Sync + 'static> Drop for QueryEngine<S> {
+    fn drop(&mut self) {
+        self.shared.state.lock().unwrap().shutdown = true;
+        self.shared.work_ready.notify_all();
+        for h in self.pool.drain(..) {
+            let _ = h.join();
+        }
+    }
+}
+
+/// One worker: wait for work, coalesce up to `batch_max` requests, resolve
+/// them in a single backbone scan, publish results, repeat until shutdown.
+fn worker_loop<S: SpineOps + ?Sized>(index: &S, shared: &Shared, who: usize, batch_max: usize) {
+    loop {
+        let batch: Vec<Request> = {
+            let mut st = shared.state.lock().unwrap();
+            loop {
+                if !st.pending.is_empty() {
+                    break;
+                }
+                if st.shutdown {
+                    return;
+                }
+                st = shared.work_ready.wait(st).unwrap();
+            }
+            let take = st.pending.len().min(batch_max);
+            let batch: Vec<Request> = st.pending.drain(..take).collect();
+            st.in_flight += batch.len();
+            batch
+        };
+        shared.worker_stats[who].record(batch.len());
+
+        let results = answer_batch(index, &batch);
+
+        let mut st = shared.state.lock().unwrap();
+        st.in_flight -= batch.len();
+        shared.completed.fetch_add(batch.len() as u64, Relaxed);
+        st.done.extend(results);
+        if st.pending.is_empty() && st.in_flight == 0 {
+            shared.all_done.notify_all();
+        }
+    }
+}
+
+/// Resolve a coalesced batch: locate each pattern's valid path, then answer
+/// every located pattern with one shared backbone scan.
+fn answer_batch<S: SpineOps + ?Sized>(index: &S, batch: &[Request]) -> Vec<QueryResult> {
+    // The locate phase is per-pattern (it walks the valid path); patterns
+    // that don't occur produce no Target and answer with no occurrences.
+    let located: Vec<Option<Target>> = batch
+        .iter()
+        .map(|r| {
+            if r.pattern.is_empty() {
+                return None; // answered positionally below
+            }
+            locate(index, &r.pattern)
+                .map(|first| Target { first_end: first, len: r.pattern.len() as u32 })
+        })
+        .collect();
+    let targets: Vec<Target> = located.iter().flatten().copied().collect();
+    let scanned = find_all_ends_batch(index, &targets);
+    batch
+        .iter()
+        .zip(&located)
+        .map(|(r, t)| {
+            let ends = match t {
+                // The empty pattern ends at every node (serial
+                // `find_all_ends` agrees: its scan accepts all of 0..=n).
+                None if r.pattern.is_empty() => (0..=index.text_len() as NodeId).collect(),
+                None => Vec::new(),
+                // Duplicate targets share one entry in the scan result, so
+                // clone rather than remove. (remove would starve the twin.)
+                Some(t) => scanned.get(t).cloned().unwrap_or_default(),
+            };
+            QueryResult { id: r.id, pattern: r.pattern.clone(), ends }
+        })
+        .collect()
+}
+
+/// An occurrence merged across shards, tagged with the global document id.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ShardedResult {
+    /// Id from [`ShardedEngine::submit`].
+    pub id: QueryId,
+    /// The pattern.
+    pub pattern: Vec<Code>,
+    /// Occurrences across all shards, ordered by (document, offset) with
+    /// documents numbered in global insertion order.
+    pub matches: Vec<DocMatch>,
+}
+
+/// Document-sharded deployment: `n` generalized SPINE indexes, each fronted
+/// by its own [`QueryEngine`], with patterns broadcast to every shard and
+/// the per-shard answers merged back into global document coordinates.
+///
+/// Sharding bounds per-index backbone length (shorter scans, independent
+/// construction) at the cost of running every pattern `n` times; it is the
+/// deployment §6 of the paper gestures at for corpora beyond one index.
+pub struct ShardedEngine {
+    engines: Vec<QueryEngine<GeneralizedSpine>>,
+    /// `global_doc[s][d]` = global id of shard `s`'s local document `d`.
+    global_doc: Vec<Vec<usize>>,
+    submitted: AtomicU64,
+}
+
+impl ShardedEngine {
+    /// Partition `docs` round-robin across `shards` generalized indexes and
+    /// start a worker pool (of `config.workers` threads *per shard*) over
+    /// each.
+    pub fn build(
+        alphabet: Alphabet,
+        docs: &[Vec<Code>],
+        shards: usize,
+        config: EngineConfig,
+    ) -> Result<Self> {
+        let shards = shards.max(1).min(docs.len().max(1));
+        let mut indexes: Vec<GeneralizedSpine> =
+            (0..shards).map(|_| GeneralizedSpine::new(alphabet.clone())).collect();
+        let mut global_doc: Vec<Vec<usize>> = vec![Vec::new(); shards];
+        for (g, doc) in docs.iter().enumerate() {
+            let s = g % shards;
+            indexes[s].add_document(doc)?;
+            global_doc[s].push(g);
+        }
+        let engines =
+            indexes.into_iter().map(|ix| QueryEngine::new(Arc::new(ix), config)).collect();
+        Ok(ShardedEngine { engines, global_doc, submitted: AtomicU64::new(0) })
+    }
+
+    /// Number of shards actually built.
+    pub fn shard_count(&self) -> usize {
+        self.engines.len()
+    }
+
+    /// Broadcast one pattern to every shard.
+    pub fn submit(&self, pattern: Vec<Code>) -> QueryId {
+        for e in &self.engines {
+            e.submit(pattern.clone());
+        }
+        self.submitted.fetch_add(1, Relaxed)
+    }
+
+    /// Wait for all shards, merge each pattern's per-shard occurrences into
+    /// global document coordinates, and return results in submission order.
+    ///
+    /// Every shard receives every pattern in the same order, so the shard-
+    /// local result streams (sorted by shard-local id) align index-for-index
+    /// with the global submission order.
+    pub fn drain(&self) -> Vec<ShardedResult> {
+        let per_shard: Vec<Vec<QueryResult>> = self.engines.iter().map(|e| e.drain()).collect();
+        let n = per_shard.first().map(|v| v.len()).unwrap_or(0);
+        let mut out = Vec::with_capacity(n);
+        for q in 0..n {
+            let pattern = per_shard[0][q].pattern.clone();
+            let plen = pattern.len();
+            let mut matches: Vec<DocMatch> = Vec::new();
+            for (s, results) in per_shard.iter().enumerate() {
+                let shard_index = self.engines[s].index();
+                for &end in &results[q].ends {
+                    let local = shard_index.localize(end as usize - plen);
+                    matches.push(DocMatch {
+                        doc: self.global_doc[s][local.doc],
+                        offset: local.offset,
+                    });
+                }
+            }
+            matches.sort_unstable();
+            out.push(ShardedResult { id: q as QueryId, pattern, matches });
+        }
+        out
+    }
+
+    /// Aggregated metrics: index counters summed across shards, worker lists
+    /// concatenated, queue depth taken as the per-shard maximum.
+    pub fn metrics(&self) -> MetricsSnapshot {
+        let mut agg = MetricsSnapshot::default();
+        for e in &self.engines {
+            let m = e.metrics();
+            agg.index += m.index;
+            agg.workers.extend(m.workers);
+            agg.submitted += m.submitted;
+            agg.completed += m.completed;
+            agg.peak_queue_depth = agg.peak_queue_depth.max(m.peak_queue_depth);
+        }
+        agg
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::build::Spine;
+    use crate::compact::CompactSpine;
+    use crate::occurrences::find_all_ends;
+    use strindex::Alphabet;
+
+    fn paper_engine(workers: usize) -> (Alphabet, QueryEngine<Spine>) {
+        let a = Alphabet::dna();
+        let s = Spine::build_from_bytes(a.clone(), b"AACCACAACA").unwrap();
+        (a.clone(), QueryEngine::new(Arc::new(s), EngineConfig { workers, batch_max: 4 }))
+    }
+
+    #[test]
+    fn answers_match_serial_scan() {
+        let (a, engine) = paper_engine(3);
+        let pats = [&b"CA"[..], b"AC", b"A", b"AACCACAACA", b"GG", b""];
+        let ids: Vec<QueryId> = pats.iter().map(|p| engine.submit(a.encode(p).unwrap())).collect();
+        let results = engine.drain();
+        assert_eq!(results.len(), pats.len());
+        for (i, (r, p)) in results.iter().zip(&pats).enumerate() {
+            assert_eq!(r.id, ids[i]);
+            let serial = find_all_ends(engine.index().as_ref(), &a.encode(p).unwrap());
+            assert_eq!(r.ends, serial, "pattern {p:?}");
+        }
+    }
+
+    #[test]
+    fn starts_are_zero_based_offsets() {
+        let (a, engine) = paper_engine(1);
+        engine.submit(a.encode(b"CA").unwrap());
+        let r = engine.drain();
+        assert_eq!(r[0].ends, vec![5, 7, 10]);
+        assert_eq!(r[0].starts(), vec![3, 5, 8]);
+    }
+
+    #[test]
+    fn duplicate_patterns_each_get_answers() {
+        let (a, engine) = paper_engine(1); // one worker ⇒ one coalesced batch
+        let ca = a.encode(b"CA").unwrap();
+        engine.submit_batch(vec![ca.clone(), ca.clone(), ca.clone(), ca]);
+        let results = engine.drain();
+        assert_eq!(results.len(), 4);
+        for r in results {
+            assert_eq!(r.ends, vec![5, 7, 10]);
+        }
+    }
+
+    #[test]
+    fn drain_on_idle_engine_is_empty_and_repeatable() {
+        let (a, engine) = paper_engine(2);
+        assert!(engine.drain().is_empty());
+        engine.submit(a.encode(b"A").unwrap());
+        assert_eq!(engine.drain().len(), 1);
+        assert!(engine.drain().is_empty()); // results were consumed
+    }
+
+    #[test]
+    fn metrics_count_batches_and_queries() {
+        let (a, engine) = paper_engine(1);
+        engine.submit_batch((0..10).map(|_| a.encode(b"AC").unwrap()));
+        engine.drain();
+        let m = engine.metrics();
+        assert_eq!(m.submitted, 10);
+        assert_eq!(m.completed, 10);
+        assert_eq!(m.workers.iter().map(|w| w.queries).sum::<u64>(), 10);
+        // batch_max = 4 ⇒ at least ⌈10/4⌉ = 3 scans, and coalescing means
+        // strictly fewer scans than queries.
+        let batches = m.batches();
+        assert!((3..=10).contains(&batches), "batches = {batches}");
+        assert!(m.index.nodes_checked > 0);
+        assert!(m.peak_queue_depth >= 1);
+        assert!(m.mean_batch() >= 1.0);
+    }
+
+    #[test]
+    fn works_over_the_compact_layout() {
+        let a = Alphabet::dna();
+        let c = CompactSpine::build_from_bytes(a.clone(), b"AACCACAACA").unwrap();
+        let engine = QueryEngine::new(Arc::new(c), EngineConfig { workers: 2, batch_max: 8 });
+        engine.submit(a.encode(b"AAC").unwrap());
+        let r = engine.drain();
+        assert_eq!(r[0].starts(), vec![0, 6]);
+    }
+
+    #[test]
+    fn empty_text_engine_answers() {
+        let a = Alphabet::dna();
+        let s = Spine::build(a.clone(), &[]).unwrap();
+        let engine = QueryEngine::new(Arc::new(s), EngineConfig::default());
+        engine.submit(a.encode(b"A").unwrap());
+        engine.submit(Vec::new());
+        let r = engine.drain();
+        assert!(r[0].ends.is_empty());
+        assert_eq!(r[1].ends, vec![0]); // empty pattern ends at the root
+    }
+
+    #[test]
+    fn sharded_engine_matches_unsharded_generalized() {
+        let a = Alphabet::dna();
+        let docs: Vec<Vec<Code>> = [&b"ACGTACGT"[..], b"TTACG", b"GGGG", b"ACACAC", b"T"]
+            .iter()
+            .map(|d| a.encode(d).unwrap())
+            .collect();
+
+        let mut reference = GeneralizedSpine::new(a.clone());
+        for d in &docs {
+            reference.add_document(d).unwrap();
+        }
+
+        let sharded =
+            ShardedEngine::build(a.clone(), &docs, 3, EngineConfig { workers: 2, batch_max: 4 })
+                .unwrap();
+        assert_eq!(sharded.shard_count(), 3);
+
+        let pats = [&b"ACG"[..], b"T", b"GG", b"CACA", b"TTT"];
+        for p in pats {
+            sharded.submit(a.encode(p).unwrap());
+        }
+        let results = sharded.drain();
+        assert_eq!(results.len(), pats.len());
+        for (r, p) in results.iter().zip(&pats) {
+            assert_eq!(r.matches, reference.find_all(&a.encode(p).unwrap()), "pattern {p:?}");
+        }
+
+        let m = sharded.metrics();
+        assert_eq!(m.completed, (pats.len() * sharded.shard_count()) as u64);
+        assert_eq!(m.workers.len(), 2 * sharded.shard_count());
+    }
+
+    #[test]
+    fn sharded_engine_single_shard_degenerate() {
+        let a = Alphabet::dna();
+        let docs = vec![a.encode(b"ACGT").unwrap()];
+        let sharded = ShardedEngine::build(a.clone(), &docs, 8, EngineConfig::default()).unwrap();
+        assert_eq!(sharded.shard_count(), 1); // clamped to doc count
+        sharded.submit(a.encode(b"CG").unwrap());
+        let r = sharded.drain();
+        assert_eq!(r[0].matches, vec![DocMatch { doc: 0, offset: 1 }]);
+    }
+}

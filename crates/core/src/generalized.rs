@@ -9,7 +9,9 @@
 //! across a document boundary.
 
 use crate::build::Spine;
-use strindex::{Alphabet, Code, Error, OnlineIndex, Result, StringIndex};
+use crate::node::NodeId;
+use crate::ops::SpineOps;
+use strindex::{Alphabet, Code, Counters, Error, OnlineIndex, Result, StringIndex};
 
 /// An occurrence localized to a document.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
@@ -83,7 +85,11 @@ impl GeneralizedSpine {
     }
 
     /// Map a concatenation offset to `(document, in-document offset)`.
-    fn localize(&self, offset: usize) -> DocMatch {
+    ///
+    /// Public so callers that run the low-level occurrence machinery
+    /// themselves (the concurrent query engine's sharded mode) can translate
+    /// concatenation positions back to documents.
+    pub fn localize(&self, offset: usize) -> DocMatch {
         let doc = match self.starts.binary_search(&offset) {
             Ok(d) => d,
             Err(i) => i - 1,
@@ -99,11 +105,7 @@ impl GeneralizedSpine {
     /// All occurrences of `pattern` across all documents, ordered by
     /// (document, offset).
     pub fn find_all(&self, pattern: &[Code]) -> Vec<DocMatch> {
-        self.spine
-            .find_all(pattern)
-            .into_iter()
-            .map(|off| self.localize(off))
-            .collect()
+        self.spine.find_all(pattern).into_iter().map(|off| self.localize(off)).collect()
     }
 
     /// Documents containing `pattern`, deduplicated and sorted.
@@ -111,6 +113,38 @@ impl GeneralizedSpine {
         let mut docs: Vec<usize> = self.find_all(pattern).into_iter().map(|m| m.doc).collect();
         docs.dedup();
         docs
+    }
+}
+
+// The generalized index exposes the underlying concatenation's SPINE
+// structure directly, so the generic search/occurrence algorithms — and the
+// concurrent query engine built on them — run over it unchanged. Because
+// query patterns cannot contain the separator code (`add_document` rejects
+// it in documents, and search simply finds no edge for it), valid paths
+// never cross a document boundary.
+impl SpineOps for GeneralizedSpine {
+    fn text_len(&self) -> usize {
+        SpineOps::text_len(&self.spine)
+    }
+
+    fn vertebra_out(&self, node: NodeId) -> Option<Code> {
+        self.spine.vertebra_out(node)
+    }
+
+    fn link_of(&self, node: NodeId) -> (NodeId, u32) {
+        self.spine.link_of(node)
+    }
+
+    fn rib_of(&self, node: NodeId, c: Code) -> Option<(NodeId, u32)> {
+        self.spine.rib_of(node, c)
+    }
+
+    fn extrib_of(&self, node: NodeId, prt: u32) -> Option<(NodeId, u32)> {
+        self.spine.extrib_of(node, prt)
+    }
+
+    fn ops_counters(&self) -> &Counters {
+        self.spine.ops_counters()
     }
 }
 

@@ -50,7 +50,8 @@
 //! ```
 //!
 //! Modules: [`build`] (online construction), [`search`] (valid-path
-//! traversal), [`occurrences`] (the all-occurrence backbone scan),
+//! traversal), [`engine`] (concurrent batched query serving),
+//! [`occurrences`] (the all-occurrence backbone scan),
 //! [`matching`] (matching statistics & maximal matches), [`compact`] (the
 //! §5 Link-Table/Rib-Table layout, < 12 bytes per character), [`disk`]
 //! (page-resident engine), [`generalized`] (multi-string indexes),
@@ -61,6 +62,7 @@ pub mod approx;
 pub mod build;
 pub mod compact;
 pub mod disk;
+pub mod engine;
 pub mod generalized;
 pub mod matching;
 pub mod node;
@@ -76,6 +78,7 @@ pub use approx::ApproxMatch;
 pub use build::Spine;
 pub use compact::CompactSpine;
 pub use disk::DiskSpine;
+pub use engine::{EngineConfig, MetricsSnapshot, QueryEngine, ShardedEngine};
 pub use generalized::GeneralizedSpine;
 pub use node::{Extrib, Node, NodeId, Rib, ROOT};
 pub use prefix::{PrefixView, SpinePrefix};

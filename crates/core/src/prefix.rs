@@ -70,11 +70,7 @@ impl SpinePrefix<'_> {
         let prt = rib.pt;
         let mut at = rib.dest;
         loop {
-            let e = self
-                .spine
-                .nodes()[at as usize]
-                .extrib(prt)
-                .filter(|e| e.dest <= self.len)?;
+            let e = self.spine.nodes()[at as usize].extrib(prt).filter(|e| e.dest <= self.len)?;
             if e.pt >= pl {
                 return Some(e.dest);
             }
@@ -294,13 +290,8 @@ mod view_tests {
             let view = full.prefix(k);
             for len in 1..=4usize {
                 for bits in 0..(1u32 << (2 * len)) {
-                    let p: Vec<Code> =
-                        (0..len).map(|i| ((bits >> (2 * i)) & 3) as Code).collect();
-                    assert_eq!(
-                        view.find_all(&p),
-                        fresh.find_all(&p),
-                        "pattern {p:?}, prefix {k}"
-                    );
+                    let p: Vec<Code> = (0..len).map(|i| ((bits >> (2 * i)) & 3) as Code).collect();
+                    assert_eq!(view.find_all(&p), fresh.find_all(&p), "pattern {p:?}, prefix {k}");
                 }
             }
         }

@@ -38,10 +38,8 @@ impl Spine {
                 best_end = i;
             }
         }
-        (best_len > 0).then(|| Match {
-            start: (best_end - best_len) as usize,
-            len: best_len as usize,
-        })
+        (best_len > 0)
+            .then(|| Match { start: (best_end - best_len) as usize, len: best_len as usize })
     }
 
     /// For every text position `i` (1-based end), the length of the longest
@@ -116,14 +114,7 @@ mod tests {
 
     #[test]
     fn lrs_matches_naive_on_many_strings() {
-        for t in [
-            &b"ACGT"[..],
-            b"AAAAAA",
-            b"ACACACAC",
-            b"ACGGTACGGTAC",
-            b"AGGTCCGGATCCGGA",
-            b"A",
-        ] {
+        for t in [&b"ACGT"[..], b"AAAAAA", b"ACACACAC", b"ACGGTACGGTAC", b"AGGTCCGGATCCGGA", b"A"] {
             let (_, s) = build(t);
             let got = s.longest_repeated_substring().map_or(0, |m| m.len);
             assert_eq!(got, naive_lrs(t), "text {:?}", String::from_utf8_lossy(t));

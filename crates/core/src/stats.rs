@@ -245,8 +245,7 @@ mod tests {
     fn heap_bytes_is_positive_and_scales() {
         let a = Alphabet::dna();
         let small = Spine::build_from_bytes(a.clone(), b"ACGT").unwrap();
-        let big =
-            Spine::build_from_bytes(a, &b"ACGTACGTGGTTAACC".repeat(64)).unwrap();
+        let big = Spine::build_from_bytes(a, &b"ACGTACGTGGTTAACC".repeat(64)).unwrap();
         assert!(small.heap_bytes() > 0);
         assert!(big.heap_bytes() > small.heap_bytes());
     }

@@ -135,12 +135,13 @@ mod tests {
             &b"AAAAAAAAAAAAAAAA"[..],
             b"ACACACACACACAC",
             b"ACGTACGTACGTACGT",
-            b"AABAAABAAAABC".map(|c| match c {
-                b'B' => b'C',
-                b'C' => b'G',
-                x => x,
-            })
-            .as_slice(),
+            b"AABAAABAAAABC"
+                .map(|c| match c {
+                    b'B' => b'C',
+                    b'C' => b'G',
+                    x => x,
+                })
+                .as_slice(),
             b"A",
             b"CG",
         ] {

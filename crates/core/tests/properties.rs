@@ -168,11 +168,9 @@ fn naive_hamming(text: &[Code], pattern: &[Code], k: u32) -> Vec<(usize, u32)> {
     }
     (0..=text.len() - pattern.len())
         .filter_map(|i| {
-            let miss = text[i..i + pattern.len()]
-                .iter()
-                .zip(pattern)
-                .filter(|(a, b)| a != b)
-                .count() as u32;
+            let miss =
+                text[i..i + pattern.len()].iter().zip(pattern).filter(|(a, b)| a != b).count()
+                    as u32;
             (miss <= k).then_some((i, miss))
         })
         .collect()

@@ -118,12 +118,7 @@ pub struct FileDevice {
 impl FileDevice {
     /// Create (truncate) a device file at `path`.
     pub fn create<P: AsRef<Path>>(path: P, sync_writes: bool) -> Result<Self> {
-        let file = File::options()
-            .read(true)
-            .write(true)
-            .create(true)
-            .truncate(true)
-            .open(path)?;
+        let file = File::options().read(true).write(true).create(true).truncate(true).open(path)?;
         Ok(FileDevice { file, pages: 0, sync_writes, stats: IoStats::default() })
     }
 

@@ -132,9 +132,7 @@ mod tests {
             v.write(idx, |r| r[..8].copy_from_slice(&(i as u64).to_le_bytes())).unwrap();
         }
         for i in 0..100usize {
-            let got = v
-                .read(i, |r| u64::from_le_bytes(r[..8].try_into().unwrap()))
-                .unwrap();
+            let got = v.read(i, |r| u64::from_le_bytes(r[..8].try_into().unwrap())).unwrap();
             assert_eq!(got, i as u64);
         }
     }

@@ -198,11 +198,8 @@ mod tests {
 
     #[test]
     fn prefix_priority_protects_low_pages() {
-        let mut p = BufferPool::new(
-            Box::new(MemDevice::new()),
-            2,
-            Box::<PrefixPriority>::default(),
-        );
+        let mut p =
+            BufferPool::new(Box::new(MemDevice::new()), 2, Box::<PrefixPriority>::default());
         p.read(0, |_| ()).unwrap();
         p.read(50, |_| ()).unwrap();
         p.read(60, |_| ()).unwrap(); // evicts 50, not 0

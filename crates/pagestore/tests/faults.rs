@@ -22,7 +22,7 @@ fn pool_propagates_eviction_write_faults() {
     let dev = FaultyDevice::new(MemDevice::new(), 1);
     let mut pool = BufferPool::new(Box::new(dev), 1, Box::<Lru>::default());
     pool.write(0, |b| b[0] = 1).unwrap(); // read (op 1) + dirty in cache
-    // Evicting the dirty frame needs a write → injected fault.
+                                          // Evicting the dirty frame needs a write → injected fault.
     assert!(pool.read(1, |_| ()).is_err());
 }
 

@@ -59,10 +59,7 @@ mod tests {
     #[test]
     fn rejects_non_dna() {
         let a = Alphabet::protein();
-        assert!(matches!(
-            reverse_complement(&a, &[0, 1]),
-            Err(Error::AlphabetMismatch)
-        ));
+        assert!(matches!(reverse_complement(&a, &[0, 1]), Err(Error::AlphabetMismatch)));
     }
 
     #[test]

@@ -29,9 +29,9 @@ pub fn read_fasta<R: BufRead>(reader: R) -> Result<Vec<Record>> {
         if let Some(header) = trimmed.strip_prefix('>') {
             records.push(Record { header: header.trim().to_string(), seq: Vec::new() });
         } else {
-            let rec = records
-                .last_mut()
-                .ok_or_else(|| Error::Parse(format!("line {}: sequence before header", lineno + 1)))?;
+            let rec = records.last_mut().ok_or_else(|| {
+                Error::Parse(format!("line {}: sequence before header", lineno + 1))
+            })?;
             rec.seq.extend(trimmed.bytes().filter(|b| !b.is_ascii_whitespace()));
         }
     }

@@ -36,13 +36,55 @@ pub struct Preset {
 }
 
 const PRESETS: &[Preset] = &[
-    Preset { name: "eco-sim", stands_in_for: "E.coli genome (3.5 M)", full_len: 3_500_000, protein: false, seed: 0xEC0 },
-    Preset { name: "cel-sim", stands_in_for: "C.elegans genome (15.5 M)", full_len: 15_500_000, protein: false, seed: 0xCE1 },
-    Preset { name: "hc21-sim", stands_in_for: "Human chromosome 21 (28.5 M)", full_len: 28_500_000, protein: false, seed: 0x21 },
-    Preset { name: "hc19-sim", stands_in_for: "Human chromosome 19 (57.5 M)", full_len: 57_500_000, protein: false, seed: 0x19 },
-    Preset { name: "ecor-sim", stands_in_for: "E.coli residues (1.5 M)", full_len: 1_500_000, protein: true, seed: 0xEC02 },
-    Preset { name: "yst-sim", stands_in_for: "Yeast residues (3.1 M)", full_len: 3_100_000, protein: true, seed: 0x757 },
-    Preset { name: "dros-sim", stands_in_for: "Drosophila residues (7.5 M)", full_len: 7_500_000, protein: true, seed: 0xD05 },
+    Preset {
+        name: "eco-sim",
+        stands_in_for: "E.coli genome (3.5 M)",
+        full_len: 3_500_000,
+        protein: false,
+        seed: 0xEC0,
+    },
+    Preset {
+        name: "cel-sim",
+        stands_in_for: "C.elegans genome (15.5 M)",
+        full_len: 15_500_000,
+        protein: false,
+        seed: 0xCE1,
+    },
+    Preset {
+        name: "hc21-sim",
+        stands_in_for: "Human chromosome 21 (28.5 M)",
+        full_len: 28_500_000,
+        protein: false,
+        seed: 0x21,
+    },
+    Preset {
+        name: "hc19-sim",
+        stands_in_for: "Human chromosome 19 (57.5 M)",
+        full_len: 57_500_000,
+        protein: false,
+        seed: 0x19,
+    },
+    Preset {
+        name: "ecor-sim",
+        stands_in_for: "E.coli residues (1.5 M)",
+        full_len: 1_500_000,
+        protein: true,
+        seed: 0xEC02,
+    },
+    Preset {
+        name: "yst-sim",
+        stands_in_for: "Yeast residues (3.1 M)",
+        full_len: 3_100_000,
+        protein: true,
+        seed: 0x757,
+    },
+    Preset {
+        name: "dros-sim",
+        stands_in_for: "Drosophila residues (7.5 M)",
+        full_len: 7_500_000,
+        protein: true,
+        seed: 0xD05,
+    },
 ];
 
 /// All preset names, in paper order.

@@ -91,7 +91,7 @@ pub fn inject_repeats<R: Rng>(
             }
         } else {
             // Fresh background run.
-            let run = rng.gen_range(20..200).min(len - out.len());
+            let run = rng.gen_range(20usize..200).min(len - out.len());
             for _ in 0..run {
                 out.push(background[bg_pos % background.len()]);
                 bg_pos += 1;

@@ -66,20 +66,13 @@ where
     D: MatchingIndex + ?Sized,
 {
     let stats = data.matching_statistics(query);
-    let (e, &len) = stats
-        .lengths
-        .iter()
-        .enumerate()
-        .max_by_key(|&(e, &l)| (l, std::cmp::Reverse(e)))?;
+    let (e, &len) =
+        stats.lengths.iter().enumerate().max_by_key(|&(e, &l)| (l, std::cmp::Reverse(e)))?;
     if len == 0 {
         return None;
     }
     let len = len as usize;
-    Some(MaximalMatch {
-        query_start: e - len,
-        data_start: stats.first_end[e] as usize - len,
-        len,
-    })
+    Some(MaximalMatch { query_start: e - len, data_start: stats.first_end[e] as usize - len, len })
 }
 
 #[cfg(test)]

@@ -47,10 +47,7 @@ pub struct Alphabet {
 
 impl std::fmt::Debug for Alphabet {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("Alphabet")
-            .field("kind", &self.kind)
-            .field("size", &self.size)
-            .finish()
+        f.debug_struct("Alphabet").field("kind", &self.kind).field("size", &self.size).finish()
     }
 }
 

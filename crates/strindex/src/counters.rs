@@ -79,6 +79,70 @@ impl Counters {
         self.links_followed.store(0, Relaxed);
         self.extribs_scanned.store(0, Relaxed);
     }
+
+    /// A point-in-time copy of all four counters.
+    ///
+    /// Snapshots are plain values: they can be diffed to attribute work to a
+    /// window (`after - before`) and summed to aggregate work across several
+    /// engines (the concurrent query engine does both).
+    pub fn snapshot(&self) -> CountersSnapshot {
+        CountersSnapshot {
+            nodes_checked: self.nodes_checked(),
+            edges_traversed: self.edges_traversed(),
+            links_followed: self.links_followed(),
+            extribs_scanned: self.extribs_scanned(),
+        }
+    }
+}
+
+/// A plain-value copy of a [`Counters`] at one instant.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CountersSnapshot {
+    /// Nodes examined for an outgoing edge (the Table 6 metric).
+    pub nodes_checked: u64,
+    /// Forward edges traversed (vertebra/rib/extrib, or tree edge).
+    pub edges_traversed: u64,
+    /// Upstream links / suffix links followed.
+    pub links_followed: u64,
+    /// Extrib-chain elements examined.
+    pub extribs_scanned: u64,
+}
+
+impl CountersSnapshot {
+    /// Work done since `earlier` (saturating, so a concurrent `reset` cannot
+    /// produce wrap-around garbage).
+    pub fn since(&self, earlier: &CountersSnapshot) -> CountersSnapshot {
+        CountersSnapshot {
+            nodes_checked: self.nodes_checked.saturating_sub(earlier.nodes_checked),
+            edges_traversed: self.edges_traversed.saturating_sub(earlier.edges_traversed),
+            links_followed: self.links_followed.saturating_sub(earlier.links_followed),
+            extribs_scanned: self.extribs_scanned.saturating_sub(earlier.extribs_scanned),
+        }
+    }
+
+    /// Total of all four counters — a scalar "work units" figure.
+    pub fn total(&self) -> u64 {
+        self.nodes_checked + self.edges_traversed + self.links_followed + self.extribs_scanned
+    }
+}
+
+impl std::ops::Add for CountersSnapshot {
+    type Output = CountersSnapshot;
+
+    fn add(self, rhs: CountersSnapshot) -> CountersSnapshot {
+        CountersSnapshot {
+            nodes_checked: self.nodes_checked + rhs.nodes_checked,
+            edges_traversed: self.edges_traversed + rhs.edges_traversed,
+            links_followed: self.links_followed + rhs.links_followed,
+            extribs_scanned: self.extribs_scanned + rhs.extribs_scanned,
+        }
+    }
+}
+
+impl std::ops::AddAssign for CountersSnapshot {
+    fn add_assign(&mut self, rhs: CountersSnapshot) {
+        *self = *self + rhs;
+    }
 }
 
 #[cfg(test)]
@@ -100,6 +164,26 @@ mod tests {
         c.reset();
         assert_eq!(c.nodes_checked(), 0);
         assert_eq!(c.edges_traversed(), 0);
+    }
+
+    #[test]
+    fn snapshots_diff_and_sum() {
+        let c = Counters::new();
+        c.count_node_check();
+        c.count_edge();
+        let before = c.snapshot();
+        c.count_node_check();
+        c.count_link();
+        let after = c.snapshot();
+        let delta = after.since(&before);
+        assert_eq!(delta.nodes_checked, 1);
+        assert_eq!(delta.links_followed, 1);
+        assert_eq!(delta.edges_traversed, 0);
+        assert_eq!((before + delta), after);
+        assert_eq!(after.total(), 4);
+        // `since` across a reset saturates instead of wrapping.
+        c.reset();
+        assert_eq!(c.snapshot().since(&after).total(), 0);
     }
 
     #[test]

@@ -39,11 +39,7 @@ mod tests {
         let mut lcp = vec![0u32; sa.len()];
         for i in 1..sa.len() {
             let (a, b) = (sa[i - 1] as usize, sa[i] as usize);
-            lcp[i] = text[a..]
-                .iter()
-                .zip(&text[b..])
-                .take_while(|(x, y)| x == y)
-                .count() as u32;
+            lcp[i] = text[a..].iter().zip(&text[b..]).take_while(|(x, y)| x == y).count() as u32;
         }
         lcp
     }

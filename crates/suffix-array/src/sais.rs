@@ -205,8 +205,7 @@ mod tests {
 
     #[test]
     fn highly_repetitive_input() {
-        let text: Vec<Code> =
-            std::iter::repeat_n([0u8, 1, 0, 1, 1], 100).flatten().collect();
+        let text: Vec<Code> = std::iter::repeat_n([0u8, 1, 0, 1, 1], 100).flatten().collect();
         assert_eq!(suffix_array(&text, 4), naive_sa(&text));
     }
 }

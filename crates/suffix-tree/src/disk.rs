@@ -12,8 +12,8 @@
 //! its edge labels (the paper points out SPINE does not).
 
 use crate::tree::ST_ROOT;
-use parking_lot::Mutex;
 use pagestore::{EvictionPolicy, PageDevice, PagedVec};
+use parking_lot::Mutex;
 use strindex::{
     Alphabet, Code, Counters, Error, MatchingIndex, MatchingStats, MaximalMatch, OnlineIndex,
     Result, StringIndex,
@@ -512,11 +512,7 @@ impl MatchingIndex for DiskSuffixTree {
                 let off = pos.2;
                 if pos.0 != ST_ROOT {
                     let v = self.slink(pos.0);
-                    pos = if off > 0 {
-                        self.rescan(v, &query[e - off..e])
-                    } else {
-                        (v, v, 0)
-                    };
+                    pos = if off > 0 { self.rescan(v, &query[e - off..e]) } else { (v, v, 0) };
                 } else {
                     debug_assert!(off > 0);
                     pos = self.rescan(ST_ROOT, &query[e - off + 1..e]);
@@ -524,11 +520,8 @@ impl MatchingIndex for DiskSuffixTree {
                 matched -= 1;
             }
             lengths[e + 1] = matched as u32;
-            first_end[e + 1] = if matched > 0 {
-                self.min_start(self.locus(pos)) + matched as u32
-            } else {
-                0
-            };
+            first_end[e + 1] =
+                if matched > 0 { self.min_start(self.locus(pos)) + matched as u32 } else { 0 };
         }
         MatchingStats { lengths, first_end }
     }

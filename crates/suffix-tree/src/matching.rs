@@ -115,22 +115,15 @@ mod tests {
     fn engines(text: &[u8]) -> (Alphabet, SuffixTree, NaiveIndex) {
         let a = Alphabet::dna();
         let codes = a.encode(text).unwrap();
-        (
-            a.clone(),
-            SuffixTree::build(a.clone(), &codes).unwrap(),
-            NaiveIndex::new(a, &codes),
-        )
+        (a.clone(), SuffixTree::build(a.clone(), &codes).unwrap(), NaiveIndex::new(a, &codes))
     }
 
     #[test]
     fn statistics_match_naive() {
         let (a, t, n) = engines(b"ACACCGACGATACGAGATTACGAGACGAGA");
-        for q in [
-            &b"CATAGAGAGACGATTACGAGAAAACGGG"[..],
-            b"ACACCGACGATACGAGATTACGAGACGAGA",
-            b"TTTT",
-            b"A",
-        ] {
+        for q in
+            [&b"CATAGAGAGACGATTACGAGAAAACGGG"[..], b"ACACCGACGATACGAGATTACGAGACGAGA", b"TTTT", b"A"]
+        {
             let q = a.encode(q).unwrap();
             assert_eq!(t.matching_statistics(&q), n.matching_statistics(&q), "query {q:?}");
         }

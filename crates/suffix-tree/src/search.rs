@@ -117,11 +117,7 @@ mod tests {
     fn engines(text: &[u8]) -> (Alphabet, SuffixTree, NaiveIndex) {
         let a = Alphabet::dna();
         let codes = a.encode(text).unwrap();
-        (
-            a.clone(),
-            SuffixTree::build(a.clone(), &codes).unwrap(),
-            NaiveIndex::new(a, &codes),
-        )
+        (a.clone(), SuffixTree::build(a.clone(), &codes).unwrap(), NaiveIndex::new(a, &codes))
     }
 
     #[test]

@@ -208,8 +208,11 @@ impl SuffixTree {
                     }
                     // Rule 2 with split.
                     let split_start = self.nodes[nxt as usize].start;
-                    let split =
-                        self.push_node(StNode::new(split_start, split_start + self.active_len as u32, NOT_LEAF));
+                    let split = self.push_node(StNode::new(
+                        split_start,
+                        split_start + self.active_len as u32,
+                        NOT_LEAF,
+                    ));
                     let suffix_start = (pos + 1 - self.remainder) as u32;
                     let leaf = self.push_node(StNode::new(pos as u32, OPEN_END, suffix_start));
                     // Rewire: active_node -> split -> {nxt, leaf}.
@@ -367,7 +370,8 @@ mod tests {
             let mut i = s;
             while i < text.len() {
                 let ch = t.nodes[node as usize].child(text[i]).expect("edge exists");
-                let (es, ee) = (t.nodes[ch as usize].start as usize, t.nodes[ch as usize].end as usize);
+                let (es, ee) =
+                    (t.nodes[ch as usize].start as usize, t.nodes[ch as usize].end as usize);
                 for k in es..ee.min(es + text.len() - i) {
                     if t.text[k] != text[i] {
                         panic!("suffix {s} mismatched at text pos {i}");

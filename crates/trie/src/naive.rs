@@ -11,9 +11,7 @@ pub fn scan_all(text: &[Code], pattern: &[Code]) -> Vec<usize> {
     if pattern.is_empty() || pattern.len() > text.len() {
         return Vec::new();
     }
-    (0..=text.len() - pattern.len())
-        .filter(|&i| &text[i..i + pattern.len()] == pattern)
-        .collect()
+    (0..=text.len() - pattern.len()).filter(|&i| &text[i..i + pattern.len()] == pattern).collect()
 }
 
 /// The brute-force reference engine.
@@ -35,11 +33,7 @@ impl NaiveIndex {
 
     /// Longest common extension of `query[q..]` and `text[t..]`.
     pub fn lce(&self, query: &[Code], q: usize, t: usize) -> usize {
-        query[q..]
-            .iter()
-            .zip(&self.text[t..])
-            .take_while(|(a, b)| a == b)
-            .count()
+        query[q..].iter().zip(&self.text[t..]).take_while(|(a, b)| a == b).count()
     }
 }
 
@@ -63,8 +57,7 @@ impl StringIndex for NaiveIndex {
         if pattern.len() > self.text.len() {
             return None;
         }
-        (0..=self.text.len() - pattern.len())
-            .find(|&i| &self.text[i..i + pattern.len()] == pattern)
+        (0..=self.text.len() - pattern.len()).find(|&i| &self.text[i..i + pattern.len()] == pattern)
     }
 
     fn find_all(&self, pattern: &[Code]) -> Vec<usize> {

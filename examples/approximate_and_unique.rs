@@ -13,7 +13,7 @@
 
 use genseq::{mutate, preset, rng, MutationProfile};
 use spine::Spine;
-use strindex::{maximal_unique_matches, longest_common_substring, StringIndex};
+use strindex::{longest_common_substring, maximal_unique_matches, StringIndex};
 
 fn main() -> strindex::Result<()> {
     let p = preset("eco-sim").unwrap();

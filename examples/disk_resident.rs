@@ -7,7 +7,7 @@
 //! ```
 
 use genseq::{iid_sequence, preset, rng};
-use pagestore::{Clock, EvictionPolicy, FileDevice, Fifo, Lru, MemDevice, PrefixPriority};
+use pagestore::{Clock, EvictionPolicy, Fifo, FileDevice, Lru, MemDevice, PrefixPriority};
 
 /// A named eviction-policy factory.
 type PolicyMaker = (&'static str, Box<dyn Fn() -> Box<dyn EvictionPolicy>>);
@@ -15,9 +15,7 @@ use spine::DiskSpine;
 use strindex::{MatchingIndex, StringIndex};
 
 fn main() -> strindex::Result<()> {
-    let length: usize = std::env::args()
-        .nth(1)
-        .map_or(150_000, |s| s.parse().expect("length"));
+    let length: usize = std::env::args().nth(1).map_or(150_000, |s| s.parse().expect("length"));
     let p = preset("cel-sim").unwrap();
     let alphabet = p.alphabet();
     let genome = p.generate(length as f64 / p.full_len as f64);

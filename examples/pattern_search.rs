@@ -41,9 +41,7 @@ fn main() -> strindex::Result<()> {
     let pattern_args: Vec<&String> =
         args.iter().skip(if source.ends_with("%") { 0 } else { 1 }).collect();
     let patterns: Vec<Vec<Code>> = if pattern_args.is_empty() {
-        (0..24)
-            .map(|i| seq[(i * 7919) % (seq.len() - 16)..][..16].to_vec())
-            .collect()
+        (0..24).map(|i| seq[(i * 7919) % (seq.len() - 16)..][..16].to_vec()).collect()
     } else {
         pattern_args
             .iter()
@@ -59,9 +57,7 @@ fn main() -> strindex::Result<()> {
     let mut missing = 0usize;
     for p in &patterns {
         match index.locate(p) {
-            Some(first_end) => {
-                targets.push(Target { first_end, len: p.len() as u32 })
-            }
+            Some(first_end) => targets.push(Target { first_end, len: p.len() as u32 }),
             None => missing += 1,
         }
     }
@@ -71,10 +67,7 @@ fn main() -> strindex::Result<()> {
     let t0 = std::time::Instant::now();
     let occurrences = find_all_ends_batch(&index, &targets);
     let total: usize = occurrences.values().map(Vec::len).sum();
-    println!(
-        "batched scan found {total} occurrences in {:.3}s",
-        t0.elapsed().as_secs_f64()
-    );
+    println!("batched scan found {total} occurrences in {:.3}s", t0.elapsed().as_secs_f64());
 
     // Show a summary per pattern (and spot-check against find_all).
     for (p, t) in patterns.iter().zip(&targets).take(8) {

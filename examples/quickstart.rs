@@ -14,8 +14,11 @@ fn main() -> strindex::Result<()> {
     let alphabet = Alphabet::dna();
     let text = b"AACCACAACA";
     let index = Spine::build_from_bytes(alphabet.clone(), text)?;
-    println!("indexed {:?}: {} nodes (always length+1)",
-             String::from_utf8_lossy(text), index.nodes().len());
+    println!(
+        "indexed {:?}: {} nodes (always length+1)",
+        String::from_utf8_lossy(text),
+        index.nodes().len()
+    );
 
     // Exact search: every occurrence of "CA".
     let pattern = alphabet.encode(b"CA")?;
@@ -43,10 +46,7 @@ fn main() -> strindex::Result<()> {
 
     // Prefix partitioning: the index of a prefix is an initial fragment.
     let prefix = index.prefix(5); // "AACCA"
-    println!(
-        "in the first 5 characters, \"CA\" occurs at {:?}",
-        prefix.find_all(&pattern)
-    );
+    println!("in the first 5 characters, \"CA\" occurs at {:?}", prefix.find_all(&pattern));
     assert_eq!(prefix.find_all(&pattern), vec![3]);
 
     Ok(())

@@ -36,11 +36,7 @@ fn main() -> strindex::Result<()> {
 
     // The longest phrase that appears twice.
     let m = index.longest_repeated_substring().expect("prose repeats itself");
-    println!(
-        "\nlongest repeated phrase ({} chars): {:?}",
-        m.len,
-        &TEXT[m.start..m.start + m.len]
-    );
+    println!("\nlongest repeated phrase ({} chars): {:?}", m.len, &TEXT[m.start..m.start + m.len]);
     assert!(TEXT.matches(&TEXT[m.start..m.start + m.len]).count() >= 2);
 
     // Typo-tolerant search: "indes" is one substitution from "index".

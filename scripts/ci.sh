@@ -1,0 +1,20 @@
+#!/usr/bin/env bash
+# The full CI gate: formatting, lints, build, every test, and the paper's
+# correctness experiment. Run from anywhere inside the repository.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "== cargo fmt --check"
+cargo fmt --all --check
+
+echo "== cargo clippy (warnings are errors)"
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "== tier-1: build + tests"
+cargo build --release
+cargo test -q --workspace
+
+echo "== exp verify (invariants + cross-engine agreement, eco-sim & friends)"
+cargo run --release -q -p spine-bench --bin exp -- verify
+
+echo "CI green."

@@ -1,0 +1,220 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! The workspace builds without crates.io access, so the Criterion calling
+//! convention used by the `crates/bench` benches is provided here over a
+//! deliberately small harness: per benchmark it warms up, runs a bounded
+//! number of timed samples, and prints the median time per iteration (plus
+//! derived throughput when declared). No statistics beyond the median, no
+//! HTML reports — the benches stay runnable and comparable, which is what
+//! the experiment workflow needs.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Top-level harness handle.
+pub struct Criterion {
+    sample_size: usize,
+    /// Target measurement time per benchmark.
+    measurement: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion { sample_size: 10, measurement: Duration::from_millis(300) }
+    }
+}
+
+impl Criterion {
+    /// Open a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            sample_size: self.sample_size,
+            measurement: self.measurement,
+            throughput: None,
+            _parent: self,
+        }
+    }
+
+    /// Run a free-standing benchmark.
+    pub fn bench_function<F>(&mut self, id: &str, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_bench(id, self.sample_size, self.measurement, None, f);
+        self
+    }
+}
+
+/// Declared work per iteration, for derived throughput reporting.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Iterations process this many abstract elements.
+    Elements(u64),
+    /// Iterations process this many bytes.
+    Bytes(u64),
+}
+
+/// A benchmark identifier with a parameter, e.g. `spine-ref/20000`.
+pub struct BenchmarkId {
+    full: String,
+}
+
+impl BenchmarkId {
+    /// Combine a function name and a parameter display.
+    pub fn new(name: impl Into<String>, param: impl Display) -> Self {
+        BenchmarkId { full: format!("{}/{}", name.into(), param) }
+    }
+}
+
+/// A named collection of benchmarks sharing sample settings.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    sample_size: usize,
+    measurement: Duration,
+    throughput: Option<Throughput>,
+    _parent: &'a mut Criterion,
+}
+
+impl<'a> BenchmarkGroup<'a> {
+    /// Set the number of timed samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Set the target measurement time per benchmark.
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.measurement = d;
+        self
+    }
+
+    /// Declare per-iteration throughput for subsequent benchmarks.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    /// Run one benchmark in the group.
+    pub fn bench_function<F>(&mut self, id: impl Into<String>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let full = format!("{}/{}", self.name, id.into());
+        run_bench(&full, self.sample_size, self.measurement, self.throughput, f);
+        self
+    }
+
+    /// Run one benchmark with an explicit input value.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let full = format!("{}/{}", self.name, id.full);
+        run_bench(&full, self.sample_size, self.measurement, self.throughput, |b| f(b, input));
+        self
+    }
+
+    /// Close the group.
+    pub fn finish(self) {}
+}
+
+/// Passed to each benchmark closure; call [`Bencher::iter`] with the body.
+pub struct Bencher {
+    /// Median per-iteration duration of the samples taken, filled by `iter`.
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Time `f`, storing the median per-iteration duration.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        black_box(f()); // warm-up, also primes caches/allocations
+        let mut samples = Vec::with_capacity(16);
+        let budget = Instant::now();
+        loop {
+            let start = Instant::now();
+            black_box(f());
+            samples.push(start.elapsed());
+            // At least 3 samples; stop at 15 or when over budget.
+            if samples.len() >= 15
+                || (samples.len() >= 3 && budget.elapsed() > Duration::from_millis(200))
+            {
+                break;
+            }
+        }
+        samples.sort();
+        self.elapsed = samples[samples.len() / 2];
+    }
+}
+
+fn run_bench<F>(
+    id: &str,
+    _sample_size: usize,
+    _measurement: Duration,
+    throughput: Option<Throughput>,
+    mut f: F,
+) where
+    F: FnMut(&mut Bencher),
+{
+    let mut b = Bencher { elapsed: Duration::ZERO };
+    f(&mut b);
+    let per_iter = b.elapsed;
+    match throughput {
+        Some(Throughput::Elements(n)) if per_iter > Duration::ZERO => {
+            let rate = n as f64 / per_iter.as_secs_f64();
+            println!("bench {id:<48} {per_iter:>12.2?}/iter  {:>12.0} elem/s", rate);
+        }
+        Some(Throughput::Bytes(n)) if per_iter > Duration::ZERO => {
+            let rate = n as f64 / per_iter.as_secs_f64() / 1e6;
+            println!("bench {id:<48} {per_iter:>12.2?}/iter  {rate:>9.1} MB/s");
+        }
+        _ => println!("bench {id:<48} {per_iter:>12.2?}/iter"),
+    }
+}
+
+/// Define a benchmark group function from benchmark functions.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Define `main` from benchmark group functions.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            // Accept and ignore harness flags cargo may pass (e.g. --bench).
+            let _ = std::env::args();
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_measures() {
+        let mut c = Criterion::default();
+        let mut g = c.benchmark_group("g");
+        g.sample_size(5).throughput(Throughput::Elements(100));
+        let mut ran = 0u32;
+        g.bench_function("count", |b| b.iter(|| ran += 1));
+        g.bench_with_input(BenchmarkId::new("param", 42), &3u64, |b, &x| b.iter(|| x * 2));
+        g.finish();
+        assert!(ran >= 4, "body should run several times, ran {ran}");
+    }
+}

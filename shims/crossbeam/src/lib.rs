@@ -1,0 +1,96 @@
+//! Offline stand-in for the `crossbeam` crate.
+//!
+//! The workspace builds without crates.io access, so the one crossbeam API
+//! in use — `crossbeam::thread::scope` — is provided here on top of
+//! `std::thread::scope` (stable since Rust 1.63, which postdates crossbeam's
+//! scoped-thread design). Semantics match for the success path; the one
+//! difference is panic propagation: where crossbeam returns `Err` from
+//! `scope` when an unjoined child panicked, the std implementation resumes
+//! the panic instead.
+
+pub mod thread {
+    //! Scoped threads with the `crossbeam::thread` calling convention
+    //! (spawn closures receive `&Scope` so they can spawn siblings).
+
+    use std::thread as std_thread;
+
+    /// A scope handle; mirrors `crossbeam::thread::Scope`.
+    pub struct Scope<'scope, 'env: 'scope> {
+        inner: &'scope std_thread::Scope<'scope, 'env>,
+    }
+
+    impl<'scope, 'env> Clone for Scope<'scope, 'env> {
+        fn clone(&self) -> Self {
+            *self
+        }
+    }
+
+    impl<'scope, 'env> Copy for Scope<'scope, 'env> {}
+
+    impl<'scope, 'env> Scope<'scope, 'env> {
+        /// Spawn a thread inside the scope. The closure receives the scope,
+        /// so spawned threads can spawn further siblings.
+        pub fn spawn<F, T>(&self, f: F) -> ScopedJoinHandle<'scope, T>
+        where
+            F: FnOnce(&Scope<'scope, 'env>) -> T + Send + 'scope,
+            T: Send + 'scope,
+        {
+            let me = *self;
+            ScopedJoinHandle { inner: self.inner.spawn(move || f(&me)) }
+        }
+    }
+
+    /// Handle to a scoped thread; mirrors `crossbeam::thread::ScopedJoinHandle`.
+    pub struct ScopedJoinHandle<'scope, T> {
+        inner: std_thread::ScopedJoinHandle<'scope, T>,
+    }
+
+    impl<'scope, T> ScopedJoinHandle<'scope, T> {
+        /// Wait for the thread and return its result (`Err` if it panicked).
+        pub fn join(self) -> std_thread::Result<T> {
+            self.inner.join()
+        }
+    }
+
+    /// Create a scope: all threads spawned inside are joined before `scope`
+    /// returns. Always `Ok` here (a panicking unjoined child resumes its
+    /// panic on the caller instead of surfacing as `Err`).
+    pub fn scope<'env, F, R>(f: F) -> std_thread::Result<R>
+    where
+        F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+    {
+        Ok(std_thread::scope(|s| f(&Scope { inner: s })))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::thread;
+
+    #[test]
+    fn scope_joins_and_returns() {
+        let data = [1, 2, 3];
+        let sum = thread::scope(|s| {
+            let handles: Vec<_> = data.iter().map(|&x| s.spawn(move |_| x * 10)).collect();
+            handles.into_iter().map(|h| h.join().unwrap()).sum::<i32>()
+        })
+        .unwrap();
+        assert_eq!(sum, 60);
+    }
+
+    #[test]
+    fn nested_spawn_from_child() {
+        let n = thread::scope(|s| s.spawn(|s2| s2.spawn(|_| 7).join().unwrap()).join().unwrap())
+            .unwrap();
+        assert_eq!(n, 7);
+    }
+
+    #[test]
+    fn join_reports_child_panic() {
+        thread::scope(|s| {
+            let h = s.spawn(|_| panic!("boom"));
+            assert!(h.join().is_err());
+        })
+        .unwrap();
+    }
+}

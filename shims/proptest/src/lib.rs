@@ -1,0 +1,487 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! The workspace builds without crates.io access, so the proptest surface
+//! the test suites use is reimplemented here: the [`proptest!`] macro,
+//! [`strategy::Strategy`] with integer-range / string-pattern / tuple /
+//! collection / sample strategies, `ProptestConfig::with_cases`, and the
+//! `prop_assert*` macros.
+//!
+//! Differences from real proptest, deliberately accepted:
+//!
+//! * **No shrinking.** A failing case reports its deterministic case number;
+//!   cases are reproducible (seeded from test name + case index), so a
+//!   failure is stable across runs without minimization.
+//! * **String strategies** support the character-class pattern subset the
+//!   suites use (`"[A-Za-z0-9_ .|-]{0,40}"`), not full regex.
+
+pub mod test_runner {
+    //! Configuration, errors, and the per-case RNG.
+
+    /// Number of random cases to run per property (and future knobs).
+    #[derive(Debug, Clone)]
+    pub struct Config {
+        /// Cases per property test.
+        pub cases: u32,
+    }
+
+    /// The name proptest exports this under.
+    pub type ProptestConfig = Config;
+
+    impl Default for Config {
+        fn default() -> Self {
+            Config { cases: 64 }
+        }
+    }
+
+    impl Config {
+        /// A config running `cases` random cases.
+        pub fn with_cases(cases: u32) -> Self {
+            Config { cases }
+        }
+    }
+
+    /// Why a test case did not pass.
+    #[derive(Debug, Clone)]
+    pub enum TestCaseError {
+        /// The case was rejected (filtered), not failed.
+        Reject(String),
+        /// The case failed an assertion.
+        Fail(String),
+    }
+
+    impl TestCaseError {
+        /// Construct a failure.
+        pub fn fail(msg: impl Into<String>) -> Self {
+            TestCaseError::Fail(msg.into())
+        }
+
+        /// Construct a rejection.
+        pub fn reject(msg: impl Into<String>) -> Self {
+            TestCaseError::Reject(msg.into())
+        }
+    }
+
+    /// Deterministic per-case generator (xoshiro256** seeded by SplitMix64
+    /// over a hash of the test name and the case index).
+    #[derive(Debug, Clone)]
+    pub struct TestRng {
+        s: [u64; 4],
+    }
+
+    #[inline]
+    fn splitmix64(state: &mut u64) -> u64 {
+        *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = *state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    impl TestRng {
+        /// RNG for case `case` of the test named `name`.
+        pub fn for_case(name: &str, case: u64) -> Self {
+            let mut h = 0xcbf2_9ce4_8422_2325u64; // FNV-1a over the name
+            for b in name.bytes() {
+                h = (h ^ b as u64).wrapping_mul(0x100_0000_01b3);
+            }
+            let mut seed = h ^ case.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+            TestRng {
+                s: [
+                    splitmix64(&mut seed),
+                    splitmix64(&mut seed),
+                    splitmix64(&mut seed),
+                    splitmix64(&mut seed),
+                ],
+            }
+        }
+
+        /// The next 64 uniform bits.
+        #[inline]
+        pub fn next_u64(&mut self) -> u64 {
+            let result = self.s[1].wrapping_mul(5).rotate_left(7).wrapping_mul(9);
+            let t = self.s[1] << 17;
+            self.s[2] ^= self.s[0];
+            self.s[3] ^= self.s[1];
+            self.s[1] ^= self.s[2];
+            self.s[0] ^= self.s[3];
+            self.s[2] ^= t;
+            self.s[3] = self.s[3].rotate_left(45);
+            result
+        }
+
+        /// Uniform value in `[0, bound)`; `bound` of 0 yields 0.
+        #[inline]
+        pub fn below(&mut self, bound: u64) -> u64 {
+            if bound == 0 {
+                return 0;
+            }
+            ((self.next_u64() as u128 * bound as u128) >> 64) as u64
+        }
+
+        /// Uniform `usize` in `[lo, hi]`.
+        #[inline]
+        pub fn in_range(&mut self, lo: usize, hi: usize) -> usize {
+            debug_assert!(lo <= hi);
+            lo + self.below((hi - lo) as u64 + 1) as usize
+        }
+    }
+}
+
+pub mod strategy {
+    //! The [`Strategy`] trait and primitive strategies.
+
+    use crate::test_runner::TestRng;
+    use std::ops::{Range, RangeInclusive};
+
+    /// A recipe for generating random values of an associated type.
+    pub trait Strategy {
+        /// The generated type.
+        type Value;
+
+        /// Generate one value.
+        fn generate(&self, rng: &mut TestRng) -> Self::Value;
+    }
+
+    /// Strategy yielding a fixed value.
+    #[derive(Debug, Clone)]
+    pub struct Just<T: Clone>(pub T);
+
+    impl<T: Clone> Strategy for Just<T> {
+        type Value = T;
+
+        fn generate(&self, _rng: &mut TestRng) -> T {
+            self.0.clone()
+        }
+    }
+
+    macro_rules! int_strategy {
+        ($($t:ty),*) => {$(
+            impl Strategy for Range<$t> {
+                type Value = $t;
+
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    assert!(self.start < self.end, "empty strategy range");
+                    let span = (self.end as u128 - self.start as u128) as u64;
+                    self.start + rng.below(span) as $t
+                }
+            }
+            impl Strategy for RangeInclusive<$t> {
+                type Value = $t;
+
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    let (lo, hi) = (*self.start(), *self.end());
+                    assert!(lo <= hi, "empty strategy range");
+                    let span = (hi as u128 - lo as u128) as u64;
+                    lo + rng.below(span.saturating_add(1).max(1)) as $t
+                }
+            }
+        )*};
+    }
+
+    int_strategy!(u8, u16, u32, u64, usize);
+
+    /// String strategy from a character-class pattern: `[class]{lo,hi}`,
+    /// `[class]{n}`, `[class]*` (0..=16), `[class]+` (1..=16) or a bare
+    /// `[class]` (exactly one char). Inside the class, `a-z` spans are
+    /// expanded; a trailing or leading `-` is literal.
+    impl Strategy for &str {
+        type Value = String;
+
+        fn generate(&self, rng: &mut TestRng) -> String {
+            let (chars, lo, hi) = parse_class_pattern(self)
+                .unwrap_or_else(|| panic!("unsupported string strategy pattern: {self:?}"));
+            let len = rng.in_range(lo, hi);
+            (0..len).map(|_| chars[rng.in_range(0, chars.len() - 1)]).collect()
+        }
+    }
+
+    /// Parse `[class]{lo,hi}`-style patterns; `None` if unsupported.
+    fn parse_class_pattern(pat: &str) -> Option<(Vec<char>, usize, usize)> {
+        let rest = pat.strip_prefix('[')?;
+        let close = rest.find(']')?;
+        let class: Vec<char> = rest[..close].chars().collect();
+        let mut chars = Vec::new();
+        let mut i = 0;
+        while i < class.len() {
+            if i + 2 < class.len() && class[i + 1] == '-' {
+                let (a, b) = (class[i], class[i + 2]);
+                for c in a..=b {
+                    chars.push(c);
+                }
+                i += 3;
+            } else {
+                chars.push(class[i]);
+                i += 1;
+            }
+        }
+        if chars.is_empty() {
+            return None;
+        }
+        let suffix = &rest[close + 1..];
+        let (lo, hi) = match suffix {
+            "" => (1, 1),
+            "*" => (0, 16),
+            "+" => (1, 16),
+            s => {
+                let body = s.strip_prefix('{')?.strip_suffix('}')?;
+                match body.split_once(',') {
+                    Some((a, b)) => (a.trim().parse().ok()?, b.trim().parse().ok()?),
+                    None => {
+                        let n = body.trim().parse().ok()?;
+                        (n, n)
+                    }
+                }
+            }
+        };
+        (lo <= hi).then_some((chars, lo, hi))
+    }
+
+    macro_rules! tuple_strategy {
+        ($($name:ident),+) => {
+            impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+                type Value = ($($name::Value,)+);
+
+                #[allow(non_snake_case)]
+                fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                    let ($($name,)+) = self;
+                    ($($name.generate(rng),)+)
+                }
+            }
+        };
+    }
+
+    tuple_strategy!(A);
+    tuple_strategy!(A, B);
+    tuple_strategy!(A, B, C);
+    tuple_strategy!(A, B, C, D);
+    tuple_strategy!(A, B, C, D, E);
+}
+
+pub mod collection {
+    //! Collection strategies.
+
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+    use std::ops::{Range, RangeInclusive};
+
+    /// Size bounds for generated collections.
+    #[derive(Debug, Clone, Copy)]
+    pub struct SizeRange {
+        lo: usize,
+        hi: usize,
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> Self {
+            SizeRange { lo: n, hi: n }
+        }
+    }
+
+    impl From<Range<usize>> for SizeRange {
+        fn from(r: Range<usize>) -> Self {
+            assert!(r.start < r.end, "empty collection size range");
+            SizeRange { lo: r.start, hi: r.end - 1 }
+        }
+    }
+
+    impl From<RangeInclusive<usize>> for SizeRange {
+        fn from(r: RangeInclusive<usize>) -> Self {
+            assert!(r.start() <= r.end(), "empty collection size range");
+            SizeRange { lo: *r.start(), hi: *r.end() }
+        }
+    }
+
+    /// Strategy for `Vec<S::Value>` with a size drawn from a [`SizeRange`].
+    #[derive(Debug, Clone)]
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    /// `Vec` strategy: `size` elements generated by `element`.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy { element, size: size.into() }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn generate(&self, rng: &mut TestRng) -> Self::Value {
+            let len = rng.in_range(self.size.lo, self.size.hi);
+            (0..len).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
+pub mod sample {
+    //! Strategies drawing from explicit value sets.
+
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+
+    /// Strategy choosing uniformly from a fixed list.
+    #[derive(Debug, Clone)]
+    pub struct Select<T: Clone> {
+        options: Vec<T>,
+    }
+
+    /// Choose uniformly from `options` (must be non-empty).
+    pub fn select<T: Clone>(options: Vec<T>) -> Select<T> {
+        assert!(!options.is_empty(), "select requires at least one option");
+        Select { options }
+    }
+
+    impl<T: Clone> Strategy for Select<T> {
+        type Value = T;
+
+        fn generate(&self, rng: &mut TestRng) -> T {
+            self.options[rng.in_range(0, self.options.len() - 1)].clone()
+        }
+    }
+}
+
+pub mod prelude {
+    //! Glob-import surface matching `proptest::prelude::*`.
+
+    pub use crate::strategy::{Just, Strategy};
+    pub use crate::test_runner::ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, proptest};
+
+    /// The `prop` module alias (`prop::collection::vec`, `prop::sample::select`).
+    pub mod prop {
+        pub use crate::collection;
+        pub use crate::sample;
+    }
+}
+
+/// Assert inside a property body (panics with the case context on failure).
+#[macro_export]
+macro_rules! prop_assert {
+    ($($tt:tt)*) => { assert!($($tt)*) };
+}
+
+/// Equality assert inside a property body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($tt:tt)*) => { assert_eq!($($tt)*) };
+}
+
+/// Inequality assert inside a property body.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($tt:tt)*) => { assert_ne!($($tt)*) };
+}
+
+/// Define property tests: each `fn name(arg in strategy, ...) { body }`
+/// becomes a `#[test]` running `cases` deterministic random cases. The body
+/// may `return Ok(())` to accept a case early.
+#[macro_export]
+macro_rules! proptest {
+    (
+        #![proptest_config($config:expr)]
+        $(
+            $(#[$meta:meta])*
+            fn $name:ident($($arg:ident in $strat:expr),+ $(,)?) $body:block
+        )*
+    ) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let __config: $crate::test_runner::ProptestConfig = $config;
+                for __case in 0..__config.cases {
+                    let mut __rng = $crate::test_runner::TestRng::for_case(
+                        concat!(module_path!(), "::", stringify!($name)),
+                        __case as u64,
+                    );
+                    $(let $arg = $crate::strategy::Strategy::generate(&($strat), &mut __rng);)+
+                    // The immediately-invoked closure lets test bodies use
+                    // `return Ok(())` for early exit, as real proptest does.
+                    #[allow(clippy::redundant_closure_call)]
+                    let __result: ::std::result::Result<(), $crate::test_runner::TestCaseError> =
+                        (move || {
+                            $body
+                            #[allow(unreachable_code)]
+                            ::std::result::Result::Ok(())
+                        })();
+                    if let ::std::result::Result::Err(
+                        $crate::test_runner::TestCaseError::Fail(__msg),
+                    ) = __result
+                    {
+                        panic!("proptest case {} failed: {}", __case, __msg);
+                    }
+                }
+            }
+        )*
+    };
+    (
+        $(
+            $(#[$meta:meta])*
+            fn $name:ident($($arg:ident in $strat:expr),+ $(,)?) $body:block
+        )*
+    ) => {
+        $crate::proptest! {
+            #![proptest_config($crate::test_runner::ProptestConfig::default())]
+            $(
+                $(#[$meta])*
+                fn $name($($arg in $strat),+) $body
+            )*
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn ranges_sample_in_bounds(x in 3u32..9, y in 1usize..=4) {
+            prop_assert!((3..9).contains(&x));
+            prop_assert!((1..=4).contains(&y));
+        }
+
+        #[test]
+        fn vecs_obey_size(v in prop::collection::vec(0u8..4, 2..=5)) {
+            prop_assert!((2..=5).contains(&v.len()));
+            prop_assert!(v.iter().all(|&c| c < 4));
+        }
+
+        #[test]
+        fn select_draws_from_options(c in prop::sample::select(vec![b'A', b'C'])) {
+            prop_assert!(c == b'A' || c == b'C');
+        }
+
+        #[test]
+        fn string_pattern_respected(s in "[A-Ca-c0-2_ -]{0,12}") {
+            prop_assert!(s.len() <= 12);
+            prop_assert!(s.chars().all(|ch| {
+                ('A'..='C').contains(&ch)
+                    || ('a'..='c').contains(&ch)
+                    || ('0'..='2').contains(&ch)
+                    || ch == '_' || ch == ' ' || ch == '-'
+            }), "bad char in {:?}", s);
+        }
+
+        #[test]
+        fn tuples_and_early_return(pair in (0u8..2, 0u8..2)) {
+            if pair.0 == 0 {
+                return Ok(());
+            }
+            prop_assert_eq!(pair.0, 1);
+            prop_assert_ne!(pair.0, 0);
+        }
+    }
+
+    #[test]
+    fn cases_are_deterministic() {
+        use crate::strategy::Strategy;
+        let strat = crate::collection::vec(0u8..=255, 0..=32);
+        let mut a = crate::test_runner::TestRng::for_case("t", 5);
+        let mut b = crate::test_runner::TestRng::for_case("t", 5);
+        let mut c = crate::test_runner::TestRng::for_case("t", 6);
+        assert_eq!(strat.generate(&mut a), strat.generate(&mut b));
+        let _ = strat.generate(&mut c); // different case: just must not panic
+    }
+}

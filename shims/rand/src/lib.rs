@@ -1,0 +1,352 @@
+//! Offline stand-in for the `rand` crate.
+//!
+//! This workspace builds in environments with no crates.io access, so the
+//! few `rand 0.8` APIs the sequence generators use are reimplemented here:
+//! [`Rng::gen_range`] / [`Rng::gen_bool`], [`rngs::SmallRng`] seeded via
+//! [`SeedableRng::seed_from_u64`], and
+//! [`distributions::WeightedIndex`] sampling through
+//! [`distributions::Distribution`]. The generator is xoshiro256** (the same
+//! family the real `SmallRng` uses on 64-bit targets), seeded by SplitMix64,
+//! so sequences are deterministic per seed and statistically solid for the
+//! workload generators and property tests in this repo.
+
+use std::ops::{Range, RangeInclusive};
+
+/// Low-level generator interface: a source of uniform `u64`s.
+pub trait RngCore {
+    /// The next 64 uniformly distributed bits.
+    fn next_u64(&mut self) -> u64;
+
+    /// The next 32 uniformly distributed bits (top half of a `u64` draw).
+    fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+}
+
+impl<R: RngCore + ?Sized> RngCore for &mut R {
+    fn next_u64(&mut self) -> u64 {
+        (**self).next_u64()
+    }
+}
+
+/// User-facing sampling methods, blanket-implemented for every [`RngCore`].
+pub trait Rng: RngCore {
+    /// Uniform sample from `range` (half-open or inclusive).
+    ///
+    /// # Panics
+    /// Panics if the range is empty.
+    fn gen_range<T, S>(&mut self, range: S) -> T
+    where
+        S: SampleRange<T>,
+        Self: Sized,
+    {
+        range.sample_single(self)
+    }
+
+    /// `true` with probability `p`.
+    ///
+    /// # Panics
+    /// Panics if `p` is not in `[0, 1]`.
+    fn gen_bool(&mut self, p: f64) -> bool
+    where
+        Self: Sized,
+    {
+        assert!((0.0..=1.0).contains(&p), "gen_bool: p = {p} out of range");
+        unit_f64(self.next_u64()) < p
+    }
+}
+
+impl<R: RngCore + ?Sized> Rng for R {}
+
+/// Seedable generators (the subset: seeding from a `u64`).
+pub trait SeedableRng: Sized {
+    /// Deterministically derive a full generator state from `state`.
+    fn seed_from_u64(state: u64) -> Self;
+}
+
+/// Map a `u64` draw to `[0, 1)` with 53 bits of precision.
+#[inline]
+fn unit_f64(bits: u64) -> f64 {
+    (bits >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+}
+
+/// Types with a uniform sampler over `[lo, hi)` / `[lo, hi]`.
+///
+/// Mirrors rand's `SampleUniform` so integer-literal ranges keep inferring
+/// their type from surrounding context (e.g. `rng.gen_range(20..200).min(n)`
+/// with `n: usize`).
+pub trait SampleUniform: Sized {
+    /// Uniform sample from `[lo, hi)`, or `[lo, hi]` when `inclusive`.
+    fn sample_uniform<R: RngCore + ?Sized>(
+        lo: Self,
+        hi: Self,
+        inclusive: bool,
+        rng: &mut R,
+    ) -> Self;
+}
+
+/// Ranges that can produce a uniform sample.
+pub trait SampleRange<T> {
+    /// Draw one uniform sample from the range.
+    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T;
+}
+
+impl<T: SampleUniform + PartialOrd + Copy> SampleRange<T> for Range<T> {
+    #[inline]
+    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T {
+        assert!(self.start < self.end, "cannot sample empty range");
+        T::sample_uniform(self.start, self.end, false, rng)
+    }
+}
+
+impl<T: SampleUniform + PartialOrd + Copy> SampleRange<T> for RangeInclusive<T> {
+    #[inline]
+    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T {
+        let (lo, hi) = (*self.start(), *self.end());
+        assert!(lo <= hi, "cannot sample empty range");
+        T::sample_uniform(lo, hi, true, rng)
+    }
+}
+
+macro_rules! int_sample_uniform {
+    ($($t:ty),*) => {$(
+        impl SampleUniform for $t {
+            #[inline]
+            fn sample_uniform<R: RngCore + ?Sized>(
+                lo: Self,
+                hi: Self,
+                inclusive: bool,
+                rng: &mut R,
+            ) -> Self {
+                let span = (hi as i128 - lo as i128) as u128 + inclusive as u128;
+                let off = ((rng.next_u64() as u128).wrapping_mul(span) >> 64) as i128;
+                (lo as i128 + off) as $t
+            }
+        }
+    )*};
+}
+
+int_sample_uniform!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl SampleUniform for f64 {
+    #[inline]
+    fn sample_uniform<R: RngCore + ?Sized>(lo: Self, hi: Self, _incl: bool, rng: &mut R) -> Self {
+        lo + (hi - lo) * unit_f64(rng.next_u64())
+    }
+}
+
+impl SampleUniform for f32 {
+    #[inline]
+    fn sample_uniform<R: RngCore + ?Sized>(lo: Self, hi: Self, _incl: bool, rng: &mut R) -> Self {
+        lo + (hi - lo) * unit_f64(rng.next_u64()) as f32
+    }
+}
+
+pub mod rngs {
+    //! Concrete generators.
+
+    use super::{RngCore, SeedableRng};
+
+    /// SplitMix64: expands a `u64` seed into full generator state.
+    #[inline]
+    fn splitmix64(state: &mut u64) -> u64 {
+        *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = *state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// A small, fast, non-cryptographic generator (xoshiro256**).
+    #[derive(Debug, Clone)]
+    pub struct SmallRng {
+        s: [u64; 4],
+    }
+
+    impl SeedableRng for SmallRng {
+        fn seed_from_u64(state: u64) -> Self {
+            let mut sm = state;
+            SmallRng {
+                s: [
+                    splitmix64(&mut sm),
+                    splitmix64(&mut sm),
+                    splitmix64(&mut sm),
+                    splitmix64(&mut sm),
+                ],
+            }
+        }
+    }
+
+    impl RngCore for SmallRng {
+        #[inline]
+        fn next_u64(&mut self) -> u64 {
+            let result = self.s[1].wrapping_mul(5).rotate_left(7).wrapping_mul(9);
+            let t = self.s[1] << 17;
+            self.s[2] ^= self.s[0];
+            self.s[3] ^= self.s[1];
+            self.s[1] ^= self.s[2];
+            self.s[0] ^= self.s[3];
+            self.s[2] ^= t;
+            self.s[3] = self.s[3].rotate_left(45);
+            result
+        }
+    }
+}
+
+pub mod distributions {
+    //! Sampling distributions (the subset: weighted categorical draws).
+
+    use super::Rng;
+    use std::marker::PhantomData;
+
+    /// Types that can be sampled from with an RNG.
+    pub trait Distribution<T> {
+        /// Draw one sample.
+        fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> T;
+    }
+
+    /// Error from constructing a [`WeightedIndex`].
+    #[derive(Debug, Clone, PartialEq, Eq)]
+    pub enum WeightedError {
+        /// The weight list was empty.
+        NoItem,
+        /// A weight was negative or not finite.
+        InvalidWeight,
+        /// All weights were zero.
+        AllWeightsZero,
+    }
+
+    impl std::fmt::Display for WeightedError {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            let what = match self {
+                WeightedError::NoItem => "no weights provided",
+                WeightedError::InvalidWeight => "negative or non-finite weight",
+                WeightedError::AllWeightsZero => "all weights are zero",
+            };
+            f.write_str(what)
+        }
+    }
+
+    impl std::error::Error for WeightedError {}
+
+    /// Categorical distribution over indices `0..n`, where index `i` is drawn
+    /// with probability `weights[i] / sum(weights)`.
+    #[derive(Debug, Clone)]
+    pub struct WeightedIndex<T> {
+        /// Exclusive prefix sums shifted by one: `cumulative[i]` is the total
+        /// weight of items `0..=i`.
+        cumulative: Vec<f64>,
+        total: f64,
+        _weight: PhantomData<T>,
+    }
+
+    impl<T: Copy + Into<f64>> WeightedIndex<T> {
+        /// Build from an iterator of weight references.
+        pub fn new<'a, I>(weights: I) -> Result<Self, WeightedError>
+        where
+            I: IntoIterator<Item = &'a T>,
+            T: 'a,
+        {
+            let mut cumulative = Vec::new();
+            let mut total = 0.0f64;
+            for &w in weights {
+                let w: f64 = w.into();
+                if !(w.is_finite() && w >= 0.0) {
+                    return Err(WeightedError::InvalidWeight);
+                }
+                total += w;
+                cumulative.push(total);
+            }
+            if cumulative.is_empty() {
+                return Err(WeightedError::NoItem);
+            }
+            if total <= 0.0 {
+                return Err(WeightedError::AllWeightsZero);
+            }
+            Ok(WeightedIndex { cumulative, total, _weight: PhantomData })
+        }
+    }
+
+    impl<T> Distribution<usize> for WeightedIndex<T> {
+        fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> usize {
+            let u = super::unit_f64(rng.next_u64()) * self.total;
+            // First index whose cumulative weight exceeds the draw.
+            match self.cumulative.binary_search_by(|c| c.partial_cmp(&u).unwrap()) {
+                Ok(i) => (i + 1).min(self.cumulative.len() - 1),
+                Err(i) => i.min(self.cumulative.len() - 1),
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::distributions::{Distribution, WeightedIndex};
+    use super::rngs::SmallRng;
+    use super::{Rng, SeedableRng};
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = SmallRng::seed_from_u64(42);
+        let mut b = SmallRng::seed_from_u64(42);
+        let mut c = SmallRng::seed_from_u64(43);
+        let xs: Vec<u64> = (0..8).map(|_| a.gen_range(0u64..1_000_000)).collect();
+        let ys: Vec<u64> = (0..8).map(|_| b.gen_range(0u64..1_000_000)).collect();
+        let zs: Vec<u64> = (0..8).map(|_| c.gen_range(0u64..1_000_000)).collect();
+        assert_eq!(xs, ys);
+        assert_ne!(xs, zs);
+    }
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut r = SmallRng::seed_from_u64(7);
+        for _ in 0..10_000 {
+            let x = r.gen_range(3u32..17);
+            assert!((3..17).contains(&x));
+            let y = r.gen_range(1usize..=5);
+            assert!((1..=5).contains(&y));
+            let f = r.gen_range(0.0..1.0);
+            assert!((0.0..1.0).contains(&f));
+        }
+    }
+
+    #[test]
+    fn all_values_reachable() {
+        let mut r = SmallRng::seed_from_u64(1);
+        let mut seen = [false; 4];
+        for _ in 0..1_000 {
+            seen[r.gen_range(0usize..4)] = true;
+        }
+        assert!(seen.iter().all(|&b| b));
+    }
+
+    #[test]
+    fn gen_bool_tracks_probability() {
+        let mut r = SmallRng::seed_from_u64(9);
+        let hits = (0..100_000).filter(|_| r.gen_bool(0.25)).count();
+        assert!((20_000..30_000).contains(&hits), "got {hits}");
+        assert_eq!((0..100).filter(|_| r.gen_bool(0.0)).count(), 0);
+        assert_eq!((0..100).filter(|_| r.gen_bool(1.0)).count(), 100);
+    }
+
+    #[test]
+    fn weighted_index_respects_weights() {
+        let mut r = SmallRng::seed_from_u64(11);
+        let w = WeightedIndex::new(&[1.0f64, 0.0, 3.0]).unwrap();
+        let mut counts = [0usize; 3];
+        for _ in 0..40_000 {
+            counts[w.sample(&mut r)] += 1;
+        }
+        assert_eq!(counts[1], 0);
+        assert!(counts[2] > 2 * counts[0], "counts {counts:?}");
+        assert!(counts[0] > 5_000, "counts {counts:?}");
+    }
+
+    #[test]
+    fn weighted_index_rejects_bad_input() {
+        use super::distributions::WeightedError;
+        assert_eq!(WeightedIndex::<f64>::new(&[]).unwrap_err(), WeightedError::NoItem);
+        assert_eq!(WeightedIndex::new(&[0.0f64, 0.0]).unwrap_err(), WeightedError::AllWeightsZero);
+        assert_eq!(WeightedIndex::new(&[1.0f64, -1.0]).unwrap_err(), WeightedError::InvalidWeight);
+    }
+}

@@ -1,0 +1,246 @@
+//! Cross-engine differential tests.
+//!
+//! Every index engine in the workspace implements the same
+//! [`StringIndex`] / [`MatchingIndex`] contracts, so for any text and any
+//! pattern they must produce *identical* answers. This suite generates
+//! random texts and patterns over the DNA, protein, and raw-byte alphabets
+//! (including empty and length-1 texts) and checks
+//!
+//! * `contains` / `find_first` / `find_all`, and
+//! * `matching_statistics` / `maximal_matches`
+//!
+//! across the reference SPINE, the §5 compact layout, the page-resident
+//! disk engine, the suffix tree, the suffix array, and the naive-scan
+//! oracle — plus the generalized (multi-document) SPINE against a per-
+//! document scan.
+
+use genseq::rng;
+use pagestore::{Lru, MemDevice};
+use rand::Rng;
+use spine::{CompactSpine, DiskSpine, GeneralizedSpine, Spine};
+use strindex::{Alphabet, Code, MatchingIndex};
+use suffix_array::SaIndex;
+use suffix_tree::SuffixTree;
+use suffix_trie::NaiveIndex;
+
+/// Every single-string engine in the workspace, built over one text. The
+/// compact layout caps alphabets at 253 symbols (slot kinds 0xFE/0xFF are
+/// markers), so it sits out for the raw-bytes alphabet.
+fn engines(a: &Alphabet, text: &[Code]) -> Vec<(&'static str, Box<dyn MatchingIndex>)> {
+    let mut built: Vec<(&'static str, Box<dyn MatchingIndex>)> =
+        vec![("spine", Box::new(Spine::build(a.clone(), text).unwrap()))];
+    if a.code_space() < 0xFE {
+        built.push(("compact-spine", Box::new(CompactSpine::build(a.clone(), text).unwrap())));
+    }
+    built.push((
+        "disk-spine",
+        Box::new(
+            DiskSpine::build(
+                a.clone(),
+                text,
+                Box::new(MemDevice::new()),
+                32,
+                Box::<Lru>::default(),
+            )
+            .unwrap(),
+        ),
+    ));
+    built.push(("suffix-tree", Box::new(SuffixTree::build(a.clone(), text).unwrap())));
+    built.push(("suffix-array", Box::new(SaIndex::build(a.clone(), text))));
+    built.push(("naive-oracle", Box::new(NaiveIndex::new(a.clone(), text))));
+    built
+}
+
+/// Straight-line scan, independent of every engine under test.
+fn scan_find_all(text: &[Code], pattern: &[Code]) -> Vec<usize> {
+    if pattern.is_empty() || pattern.len() > text.len() {
+        return Vec::new();
+    }
+    (0..=text.len() - pattern.len()).filter(|&i| &text[i..i + pattern.len()] == pattern).collect()
+}
+
+fn random_text(a: &Alphabet, len: usize, seed: u64) -> Vec<Code> {
+    let mut r = rng(seed);
+    (0..len).map(|_| r.gen_range(0..a.size()) as Code).collect()
+}
+
+/// Mix of present and absent patterns for a text: substrings at random
+/// positions, random strings, single symbols, and the whole text.
+fn patterns_for(a: &Alphabet, text: &[Code], seed: u64) -> Vec<Vec<Code>> {
+    let mut r = rng(seed ^ 0x9e37_79b9);
+    let mut pats: Vec<Vec<Code>> = Vec::new();
+    for _ in 0..12 {
+        if !text.is_empty() {
+            let len = r.gen_range(1..=text.len().min(12));
+            let at = r.gen_range(0..=text.len() - len);
+            pats.push(text[at..at + len].to_vec());
+        }
+        let len = r.gen_range(1..=8usize);
+        pats.push((0..len).map(|_| r.gen_range(0..a.size()) as Code).collect());
+    }
+    pats.push(vec![0]);
+    pats.push(vec![(a.size() - 1) as Code]);
+    if !text.is_empty() {
+        pats.push(text.to_vec());
+    }
+    pats
+}
+
+fn check_text(a: &Alphabet, text: &[Code], seed: u64) {
+    let built = engines(a, text);
+    for pattern in patterns_for(a, text, seed) {
+        let expected = scan_find_all(text, &pattern);
+        for (name, e) in &built {
+            assert_eq!(
+                e.find_all(&pattern),
+                expected,
+                "{name}: find_all, text len {}, pattern {pattern:?}",
+                text.len()
+            );
+            assert_eq!(
+                e.find_first(&pattern),
+                expected.first().copied(),
+                "{name}: find_first, pattern {pattern:?}"
+            );
+            assert_eq!(
+                e.contains(&pattern),
+                !expected.is_empty(),
+                "{name}: contains, pattern {pattern:?}"
+            );
+        }
+    }
+}
+
+#[test]
+fn dna_random_texts() {
+    let a = Alphabet::dna();
+    for (i, len) in [0, 1, 2, 7, 64, 500, 1500].into_iter().enumerate() {
+        check_text(&a, &random_text(&a, len, 100 + i as u64), 200 + i as u64);
+    }
+}
+
+#[test]
+fn protein_random_texts() {
+    let a = Alphabet::protein();
+    for (i, len) in [0, 1, 3, 50, 700].into_iter().enumerate() {
+        check_text(&a, &random_text(&a, len, 300 + i as u64), 400 + i as u64);
+    }
+}
+
+#[test]
+fn byte_random_texts() {
+    let a = Alphabet::bytes();
+    for (i, len) in [0, 1, 16, 400].into_iter().enumerate() {
+        check_text(&a, &random_text(&a, len, 500 + i as u64), 600 + i as u64);
+    }
+}
+
+#[test]
+fn repetitive_texts_stress_occurrence_scan() {
+    // Highly repetitive inputs maximize link fan-in and occurrence counts —
+    // the regime where SPINE's backbone scan does the most work.
+    let a = Alphabet::dna();
+    let mut r = rng(7);
+    for period in [1usize, 2, 3, 5] {
+        let motif: Vec<Code> = (0..period).map(|_| r.gen_range(0..a.size()) as Code).collect();
+        let text: Vec<Code> = motif.iter().copied().cycle().take(600).collect();
+        check_text(&a, &text, 700 + period as u64);
+    }
+}
+
+#[test]
+fn matching_statistics_agree() {
+    let a = Alphabet::dna();
+    for (i, (tlen, qlen)) in
+        [(300usize, 80usize), (1000, 200), (1, 5), (40, 1)].into_iter().enumerate()
+    {
+        let text = random_text(&a, tlen, 800 + i as u64);
+        // Half-mutated copy of a text slice: long matches and breaks.
+        let mut r = rng(900 + i as u64);
+        let mut query: Vec<Code> = (0..qlen)
+            .map(|j| {
+                if j < text.len() && r.gen_bool(0.7) {
+                    text[j % text.len()]
+                } else {
+                    r.gen_range(0..a.size()) as Code
+                }
+            })
+            .collect();
+        if qlen > 2 {
+            query[qlen / 2] = (query[qlen / 2] + 1) % a.size() as Code;
+        }
+
+        let built = engines(&a, &text);
+        let (ref_name, reference) = &built[0];
+        let expect_ms = reference.matching_statistics(&query);
+        let expect_mm = reference.maximal_matches(&query, 4);
+        for (name, e) in &built[1..] {
+            assert_eq!(
+                e.matching_statistics(&query),
+                expect_ms,
+                "{name} vs {ref_name}: matching_statistics, case {i}"
+            );
+            let mut mm = e.maximal_matches(&query, 4);
+            let mut expect = expect_mm.clone();
+            mm.sort_unstable();
+            expect.sort_unstable();
+            assert_eq!(mm, expect, "{name} vs {ref_name}: maximal_matches, case {i}");
+        }
+    }
+}
+
+#[test]
+fn generalized_matches_per_document_scan() {
+    let a = Alphabet::protein();
+    let mut r = rng(42);
+    let docs: Vec<Vec<Code>> = (0..9)
+        .map(|i| {
+            let len = [0, 1, 5, 30, 80][i % 5];
+            (0..len).map(|_| r.gen_range(0..a.size()) as Code).collect()
+        })
+        .collect();
+    let mut g = GeneralizedSpine::new(a.clone());
+    for d in &docs {
+        g.add_document(d).unwrap();
+    }
+
+    let mut pats: Vec<Vec<Code>> = Vec::new();
+    for d in docs.iter().filter(|d| !d.is_empty()) {
+        pats.push(d[..d.len().min(3)].to_vec());
+        pats.push(d.clone());
+    }
+    for _ in 0..10 {
+        let len = r.gen_range(1..=4usize);
+        pats.push((0..len).map(|_| r.gen_range(0..a.size()) as Code).collect());
+    }
+
+    for p in &pats {
+        let mut expected = Vec::new();
+        for (di, d) in docs.iter().enumerate() {
+            for off in scan_find_all(d, p) {
+                expected.push((di, off));
+            }
+        }
+        let got: Vec<(usize, usize)> =
+            g.find_all(p).into_iter().map(|m| (m.doc, m.offset)).collect();
+        assert_eq!(got, expected, "generalized find_all, pattern {p:?}");
+        let docs_with: Vec<usize> = {
+            let mut v: Vec<usize> = expected.iter().map(|&(d, _)| d).collect();
+            v.dedup();
+            v
+        };
+        assert_eq!(g.docs_containing(p), docs_with, "docs_containing, pattern {p:?}");
+    }
+}
+
+#[test]
+fn symbol_at_recovers_text_everywhere() {
+    let a = Alphabet::dna();
+    let text = random_text(&a, 257, 31);
+    for (name, e) in engines(&a, &text) {
+        assert_eq!(e.text_len(), text.len(), "{name}: text_len");
+        for (i, &c) in text.iter().enumerate() {
+            assert_eq!(e.symbol_at(i), c, "{name}: symbol_at({i})");
+        }
+    }
+}
