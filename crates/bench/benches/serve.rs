@@ -37,10 +37,12 @@ fn serve(c: &mut Criterion) {
 
     for workers in [1usize, 2, 4] {
         g.bench_with_input(BenchmarkId::new("engine", workers), &workers, |b, &workers| {
-            let engine =
-                QueryEngine::new(Arc::clone(&index), EngineConfig { workers, batch_max: 64 });
+            let cfg = EngineConfig { workers, batch_max: 64, ..Default::default() };
+            let engine = QueryEngine::new(Arc::clone(&index), cfg);
             b.iter(|| {
-                engine.submit_batch(pats.iter().cloned());
+                for admitted in engine.submit_batch(pats.iter().cloned()) {
+                    admitted.unwrap();
+                }
                 engine.drain().len()
             });
         });

@@ -3,10 +3,11 @@
 //! One subcommand per experiment (see DESIGN.md §3 for the index):
 //!
 //! ```text
-//! exp table2|table3|table4|fig6|table5|table6|fig7|fig8|table7|protein|space|buffering|serve|verify|figures|all
+//! exp table2|table3|table4|fig6|table5|table6|fig7|fig8|table7|protein|space|buffering|serve|faults|verify|figures|all
 //!     [--scale F]      dataset scale factor vs the paper's lengths (default 0.02)
 //!     [--threshold N]  maximal-match length threshold (default 20)
 //!     [--workers N]    worker threads for the `serve` experiment (default 4)
+//!     [--quick]        stride the `faults` crashpoint sweep (CI-sized)
 //!     [--json]         machine-readable row output
 //!     [--sync-file]    use a real file device with fsync-per-write for disk runs
 //! ```
@@ -29,13 +30,14 @@ struct Opts {
     scale: f64,
     threshold: usize,
     workers: usize,
+    quick: bool,
     json: bool,
     sync_file: bool,
 }
 
 impl Default for Opts {
     fn default() -> Self {
-        Opts { scale: 0.02, threshold: 20, workers: 4, json: false, sync_file: false }
+        Opts { scale: 0.02, threshold: 20, workers: 4, quick: false, json: false, sync_file: false }
     }
 }
 
@@ -59,6 +61,10 @@ fn main() {
                 opts.workers = rest[i + 1].parse().expect("--workers takes an int");
                 i += 2;
             }
+            "--quick" => {
+                opts.quick = true;
+                i += 1;
+            }
             "--json" => {
                 opts.json = true;
                 i += 1;
@@ -78,8 +84,8 @@ fn main() {
 
 fn usage() -> ! {
     eprintln!(
-        "usage: exp <table2|table3|table4|fig6|table5|table6|fig7|fig8|table7|protein|space|buffering|serve|verify|figures|all> \
-         [--scale F] [--threshold N] [--workers N] [--json] [--sync-file]"
+        "usage: exp <table2|table3|table4|fig6|table5|table6|fig7|fig8|table7|protein|space|buffering|serve|faults|verify|figures|all> \
+         [--scale F] [--threshold N] [--workers N] [--quick] [--json] [--sync-file]"
     );
     std::process::exit(2);
 }
@@ -99,6 +105,7 @@ fn run(cmd: &str, opts: &Opts) {
         "space" => space(opts),
         "buffering" => buffering(opts),
         "serve" => serve(opts),
+        "faults" => faults(opts),
         "verify" => verify(opts),
         "figures" => figures(opts),
         "all" => {
@@ -557,12 +564,15 @@ fn serve(opts: &Opts) {
         .cell("mean-batch", 1.0)];
 
     for workers in [1, 2, opts.workers] {
-        let engine = QueryEngine::new(Arc::clone(&index), EngineConfig { workers, batch_max: 64 });
+        let cfg = EngineConfig { workers, batch_max: 64, ..Default::default() };
+        let engine = QueryEngine::new(Arc::clone(&index), cfg);
         let (results, t) = time(|| {
-            engine.submit_batch(workload.iter().cloned());
+            for admitted in engine.submit_batch(workload.iter().cloned()) {
+                admitted.expect("default shed policy blocks rather than rejecting");
+            }
             engine.drain()
         });
-        let hits: usize = results.iter().map(|r| r.ends.len()).sum();
+        let hits: usize = results.iter().map(|r| r.expect_ends().len()).sum();
         assert_eq!(hits, serial_hits, "engine answers diverge from serial scan");
         let m = engine.metrics();
         let qps = workload.len() as f64 / secs(t).max(1e-9);
@@ -579,6 +589,45 @@ fn serve(opts: &Opts) {
         "Serve — batched-concurrent throughput vs serial scan (hc21-sim)",
         &rows,
         opts.json,
+    );
+}
+
+// ---------------------------------------------------------------------------
+// Fault tolerance: exhaustive crashpoint sweep + retry-layer oracle check.
+// ---------------------------------------------------------------------------
+fn faults(opts: &Opts) {
+    let (r, t) = time(|| spine_bench::crashpoint_sweep(opts.quick));
+    let rows = vec![
+        Row::new("crashpoints")
+            .cell("trace-ops", r.trace_ops as f64)
+            .cell("tested", r.tested as f64)
+            .cell("build-errs", r.build_faults as f64)
+            .cell("query-errs", r.query_faults as f64)
+            .cell("flush-errs", r.flush_faults as f64)
+            .cell("panics", r.panics as f64)
+            .cell("swallowed", r.swallowed as f64),
+        Row::new("degraded-mode")
+            .cell("burst-oracle-ok", r.burst_oracle_match as u8 as f64)
+            .cell("prob-oracle-ok", r.probability_oracle_match as u8 as f64)
+            .cell("retries-absorbed", r.retries_absorbed as f64)
+            .cell("sweep-secs", secs(t)),
+    ];
+    print_table(
+        "Faults — crashpoint sweep (hard faults) + retry layer vs oracle (transient)",
+        &rows,
+        opts.json,
+    );
+    assert!(
+        r.holds(),
+        "fault-tolerance contract violated: {} panics, {} swallowed, burst ok={}, prob ok={}",
+        r.panics,
+        r.swallowed,
+        r.burst_oracle_match,
+        r.probability_oracle_match
+    );
+    println!(
+        "OK: {} crashpoints -> clean Err; retry-wrapped runs match the in-memory oracle",
+        r.tested
     );
 }
 

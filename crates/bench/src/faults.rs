@@ -1,0 +1,226 @@
+//! Exhaustive crashpoint sweep over the disk-resident SPINE (`exp faults`).
+//!
+//! The drill: record how many device operations a clean build+query+flush
+//! trace performs, then re-run the *same* trace once per operation index
+//! `k`, with a [`FaultyDevice`] that hard-fails every operation from `k`
+//! on. A fault-tolerant stack must turn every such crashpoint into a clean
+//! `Err` — no panic, no hang, no silently wrong answer. A second pass
+//! checks the *degraded-mode* promise: with transient faults (a burst
+//! outage or a seeded per-op failure probability) behind a
+//! [`RetryDevice`], the run must succeed and match the in-memory
+//! [`Spine`] oracle exactly.
+//!
+//! Everything here is deterministic: the text comes from a seeded preset,
+//! the fault schedules are exact windows or seeded draws, and the retry
+//! jitter generator is seeded per device.
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+
+use pagestore::{FaultyDevice, FlakyDevice, Lru, MemDevice, PageDevice, RetryDevice, RetryPolicy};
+use spine::{DiskSpine, Spine};
+use strindex::{Alphabet, Code, StringIndex};
+
+use crate::Dataset;
+
+/// Buffer-pool frames for every sweep run: small enough that queries cause
+/// real device traffic (evictions and re-reads), so crashpoints land in the
+/// query phase too, not only in construction.
+const POOL_PAGES: usize = 2;
+
+/// Which phase of the trace an injected fault surfaced in.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Phase {
+    /// During `DiskSpine::build` (page writes and link-walk reads).
+    Build,
+    /// During `try_find_all` (valid-path walk or backbone scan).
+    Query,
+    /// During the final `flush` of dirty pages.
+    Flush,
+}
+
+/// Outcome of the full sweep; `exp faults` prints it and asserts
+/// [`Self::holds`].
+#[derive(Debug, Clone, Default)]
+pub struct SweepReport {
+    /// Device operations (reads + writes) in the clean trace — the size of
+    /// the crashpoint index space.
+    pub trace_ops: u64,
+    /// Crashpoints actually injected (every index when `stride` is 1).
+    pub tested: u64,
+    /// Faults that surfaced during construction.
+    pub build_faults: u64,
+    /// Faults that surfaced during the query phase.
+    pub query_faults: u64,
+    /// Faults that surfaced during the final flush.
+    pub flush_faults: u64,
+    /// Crashpoints that panicked instead of returning `Err`. Must be 0.
+    pub panics: u64,
+    /// Crashpoints below the trace length that nevertheless reported
+    /// success — a swallowed fault. Must be 0.
+    pub swallowed: u64,
+    /// Transient faults the retry layer absorbed across the degraded runs.
+    pub retries_absorbed: u64,
+    /// Burst-outage run matched the in-memory oracle exactly.
+    pub burst_oracle_match: bool,
+    /// Probabilistic-fault run matched the in-memory oracle exactly.
+    pub probability_oracle_match: bool,
+}
+
+impl SweepReport {
+    /// The sweep's acceptance predicate: every crashpoint degraded to a
+    /// clean `Err`, and every retry-wrapped run matched the oracle.
+    pub fn holds(&self) -> bool {
+        self.panics == 0
+            && self.swallowed == 0
+            && self.burst_oracle_match
+            && self.probability_oracle_match
+            && self.tested > 0
+    }
+}
+
+/// One build+query+flush trace over `device`. On success returns the
+/// per-pattern answers and the number of device operations consumed; on
+/// failure reports which phase the error surfaced in.
+#[allow(clippy::type_complexity)]
+fn run_trace(
+    alphabet: &Alphabet,
+    text: &[Code],
+    patterns: &[Vec<Code>],
+    device: Box<dyn PageDevice>,
+) -> Result<(Vec<Vec<usize>>, u64), (Phase, strindex::Error)> {
+    let spine = DiskSpine::build(alphabet.clone(), text, device, POOL_PAGES, Box::<Lru>::default())
+        .map_err(|e| (Phase::Build, e))?;
+    let mut answers = Vec::with_capacity(patterns.len());
+    for p in patterns {
+        answers.push(spine.try_find_all(p).map_err(|e| (Phase::Query, e))?);
+    }
+    spine.flush().map_err(|e| (Phase::Flush, e))?;
+    let (reads, writes) = spine.io_counts();
+    Ok((answers, reads + writes))
+}
+
+/// Deterministic workload: a seeded DNA text plus a pattern mix of present
+/// substrings, a guaranteed miss, an overlong pattern, and the empty
+/// pattern.
+fn workload(text_len: usize) -> (Alphabet, Vec<Code>, Vec<Vec<Code>>) {
+    // Any positive scale is clamped to ≥ 1 000 symbols; truncate from there.
+    let d = Dataset::generate("eco-sim", 1e-9);
+    let alphabet = d.alphabet.clone();
+    let mut text = d.seq;
+    text.truncate(text_len);
+    let mut patterns: Vec<Vec<Code>> = (0..6)
+        .map(|i| {
+            let start = (i * 131) % (text.len().saturating_sub(12).max(1));
+            text[start..(start + 4 + i * 2).min(text.len())].to_vec()
+        })
+        .collect();
+    patterns.push(alphabet.encode(b"GGGGGGGGGGGGGGGGGGGG").unwrap()); // likely miss
+    patterns.push(text.iter().chain(text.iter()).copied().collect()); // longer than text
+    patterns.push(Vec::new()); // empty
+    (alphabet, text, patterns)
+}
+
+/// Run the full sweep. `quick` strides the crashpoint space (CI-sized);
+/// the full sweep injects at *every* operation index.
+pub fn crashpoint_sweep(quick: bool) -> SweepReport {
+    let text_len = if quick { 200 } else { 600 };
+    let (alphabet, text, patterns) = workload(text_len);
+
+    // In-memory oracle: the reference Spine answers every pattern.
+    let oracle_index = Spine::build(alphabet.clone(), &text).unwrap();
+    // try_find_all mirrors find_all's empty-pattern convention (both return
+    // an empty answer), so the oracle needs no special-casing.
+    let oracle: Vec<Vec<usize>> = patterns.iter().map(|p| oracle_index.find_all(p)).collect();
+
+    // Clean run: establishes the trace length and double-checks answers.
+    let (clean_answers, trace_ops) =
+        run_trace(&alphabet, &text, &patterns, Box::new(MemDevice::new()))
+            .expect("clean trace must not fail");
+    assert_eq!(clean_answers, oracle, "clean disk trace diverges from in-memory oracle");
+
+    let mut report = SweepReport { trace_ops, ..Default::default() };
+
+    // ---- pass 1: hard fault at every (strided) crashpoint ------------------
+    let stride = if quick { (trace_ops / 48).max(1) } else { 1 };
+    // Panics are the bug being hunted; silence the default hook so a
+    // regression doesn't spray hundreds of backtraces mid-table.
+    let prev_hook = std::panic::take_hook();
+    std::panic::set_hook(Box::new(|_| {}));
+    let mut k = 0;
+    while k < trace_ops {
+        let device = Box::new(FaultyDevice::new(MemDevice::new(), k));
+        match catch_unwind(AssertUnwindSafe(|| run_trace(&alphabet, &text, &patterns, device))) {
+            Ok(Ok(_)) => report.swallowed += 1,
+            Ok(Err((phase, e))) => {
+                debug_assert!(!e.is_transient(), "hard faults must classify as permanent: {e}");
+                match phase {
+                    Phase::Build => report.build_faults += 1,
+                    Phase::Query => report.query_faults += 1,
+                    Phase::Flush => report.flush_faults += 1,
+                }
+            }
+            Err(_) => report.panics += 1,
+        }
+        report.tested += 1;
+        k += stride;
+    }
+    std::panic::set_hook(prev_hook);
+
+    // ---- pass 2: transient faults behind the retry layer -------------------
+    // A burst outage mid-trace: every attempt in the window fails
+    // transiently; 8 immediate retries must ride out the 3-op burst.
+    let burst = FlakyDevice::with_burst(MemDevice::new(), trace_ops / 2, 3);
+    let retry = RetryDevice::new(burst, RetryPolicy::immediate(8));
+    match run_trace(&alphabet, &text, &patterns, Box::new(retry)) {
+        Ok((answers, _)) => report.burst_oracle_match = answers == oracle,
+        Err(_) => report.burst_oracle_match = false,
+    }
+
+    // Seeded per-op failure probability: each op fails 5% of the time, so
+    // a budget of 8 retries makes overall failure vanishingly unlikely —
+    // and the seed makes this run exactly reproducible.
+    let flaky = FlakyDevice::with_probability(MemDevice::new(), 0.05, 0xFA017);
+    let retry = RetryDevice::new(flaky, RetryPolicy::immediate(8));
+    match run_trace(&alphabet, &text, &patterns, Box::new(retry)) {
+        Ok((answers, _)) => report.probability_oracle_match = answers == oracle,
+        Err(_) => report.probability_oracle_match = false,
+    }
+
+    // Count absorbed retries with a dedicated instrumented run (the boxed
+    // runs above erase the concrete device type).
+    let flaky = FlakyDevice::with_probability(MemDevice::new(), 0.05, 0xFA017);
+    let mut retry = RetryDevice::new(flaky, RetryPolicy::immediate(8));
+    let mut probe = [0u8; pagestore::PAGE_SIZE];
+    for i in 0..64u32 {
+        retry.write_page(i % 4, &probe).unwrap();
+        retry.read_page(i % 4, &mut probe).unwrap();
+    }
+    report.retries_absorbed = retry.retries();
+
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quick_sweep_holds() {
+        let r = crashpoint_sweep(true);
+        assert!(r.holds(), "sweep violated fault-tolerance contract: {r:?}");
+        assert!(r.trace_ops > 0);
+        assert!(r.build_faults > 0, "some crashpoints must land in build");
+        assert!(
+            r.query_faults + r.flush_faults > 0,
+            "some crashpoints must land after build: {r:?}"
+        );
+    }
+
+    #[test]
+    fn fault_at_zero_fails_immediately_and_cleanly() {
+        let (alphabet, text, patterns) = workload(80);
+        let device = Box::new(FaultyDevice::new(MemDevice::new(), 0));
+        let err = run_trace(&alphabet, &text, &patterns, device);
+        assert!(matches!(err, Err((Phase::Build, _))));
+    }
+}

@@ -6,9 +6,11 @@
 //! text / JSON result reporting.
 
 pub mod datasets;
+pub mod faults;
 pub mod report;
 
 pub use datasets::{dna_presets, protein_presets, query_for, Dataset};
+pub use faults::{crashpoint_sweep, SweepReport};
 pub use report::{print_table, Row};
 
 use std::time::{Duration, Instant};

@@ -18,8 +18,10 @@
 //! All query algorithms are the shared generic ones ([`crate::ops`]);
 //! `SpineOps` takes `&self`, so the pool lives behind a mutex.
 
+use std::sync::atomic::{AtomicU64, Ordering::Relaxed};
+
 use crate::node::{NodeId, ROOT};
-use crate::ops::SpineOps;
+use crate::ops::{FallibleSpineOps, SpineOps};
 use pagestore::{EvictionPolicy, PageDevice, PagedVec};
 use parking_lot::Mutex;
 use strindex::{
@@ -78,7 +80,7 @@ pub struct DiskSpine {
     records: Mutex<PagedVec>,
     /// Extribs beyond the inline slots (rare; see module docs).
     spill: Mutex<FxHashMap<u32, SpillEntry>>,
-    spill_count: std::cell::Cell<u64>,
+    spill_count: AtomicU64,
     len: usize,
     counters: Counters,
 }
@@ -100,7 +102,7 @@ impl DiskSpine {
             layout,
             records: Mutex::new(records),
             spill: Mutex::new(FxHashMap::default()),
-            spill_count: std::cell::Cell::new(0),
+            spill_count: AtomicU64::new(0),
             len: 0,
             counters: Counters::new(),
         })
@@ -148,7 +150,7 @@ impl DiskSpine {
 
     /// Extribs that did not fit the inline record slots.
     pub fn spill_count(&self) -> u64 {
-        self.spill_count.get()
+        self.spill_count.load(Relaxed)
     }
 
     /// Flush dirty pages to the device.
@@ -162,132 +164,120 @@ impl DiskSpine {
     }
 
     // ----- record access ----------------------------------------------------
+    //
+    // Every accessor returns `Result`: the records live behind a buffer pool
+    // over a fallible device, so any hop can surface an I/O error. The
+    // fallible surface ([`FallibleSpineOps`], `try_find_all`) propagates
+    // these; the legacy infallible traits unwrap at their boundary.
 
-    fn read_cl(&self, node: u32) -> Code {
-        self.records.lock().read(node as usize, |r| r[0]).expect("in-bounds read")
+    fn read_cl(&self, node: u32) -> Result<Code> {
+        self.records.lock().read(node as usize, |r| r[0])
     }
 
-    fn read_link(&self, node: u32) -> (u32, u32) {
-        self.records
-            .lock()
-            .read(node as usize, |r| (get_u32(r, 1), get_u32(r, 5)))
-            .expect("in-bounds read")
+    fn read_link(&self, node: u32) -> Result<(u32, u32)> {
+        self.records.lock().read(node as usize, |r| (get_u32(r, 1), get_u32(r, 5)))
     }
 
-    fn find_rib(&self, node: u32, c: Code) -> Option<(u32, u32)> {
+    fn find_rib(&self, node: u32, c: Code) -> Result<Option<(u32, u32)>> {
         let l = &self.layout;
-        self.records
-            .lock()
-            .read(node as usize, |r| {
-                let count = r[9] as usize;
-                for i in 0..count {
-                    let off = l.rib_off(i);
-                    if r[off] == c {
-                        return Some((get_u32(r, off + 1), get_u32(r, off + 5)));
-                    }
+        self.records.lock().read(node as usize, |r| {
+            let count = r[9] as usize;
+            for i in 0..count {
+                let off = l.rib_off(i);
+                if r[off] == c {
+                    return Some((get_u32(r, off + 1), get_u32(r, off + 5)));
                 }
-                None
-            })
-            .expect("in-bounds read")
+            }
+            None
+        })
     }
 
-    fn find_extrib(&self, node: u32, prt: u32) -> Option<(u32, u32)> {
+    fn find_extrib(&self, node: u32, prt: u32) -> Result<Option<(u32, u32)>> {
         let l = &self.layout;
-        let inline = self
-            .records
-            .lock()
-            .read(node as usize, |r| {
-                let count = (r[l.extrib_count_off()] as usize).min(EXTRIB_SLOTS);
-                for i in 0..count {
-                    let off = l.extrib_off(i);
-                    if get_u32(r, off + 8) == prt {
-                        return Some((get_u32(r, off), get_u32(r, off + 4)));
-                    }
+        let inline = self.records.lock().read(node as usize, |r| {
+            let count = (r[l.extrib_count_off()] as usize).min(EXTRIB_SLOTS);
+            for i in 0..count {
+                let off = l.extrib_off(i);
+                if get_u32(r, off + 8) == prt {
+                    return Some((get_u32(r, off), get_u32(r, off + 4)));
                 }
-                None
-            })
-            .expect("in-bounds read");
-        inline.or_else(|| {
+            }
+            None
+        })?;
+        Ok(inline.or_else(|| {
             self.spill
                 .lock()
                 .get(&node)
                 .and_then(|v| v.iter().find(|&&(p, _, _)| p == prt).map(|&(_, pt, d)| (d, pt)))
+        }))
+    }
+
+    fn write_link(&self, node: u32, dest: u32, lel: u32) -> Result<()> {
+        self.records.lock().write(node as usize, |r| {
+            put_u32(r, 1, dest);
+            put_u32(r, 5, lel);
         })
     }
 
-    fn write_link(&self, node: u32, dest: u32, lel: u32) {
-        self.records
-            .lock()
-            .write(node as usize, |r| {
-                put_u32(r, 1, dest);
-                put_u32(r, 5, lel);
-            })
-            .expect("in-bounds write");
+    fn add_rib(&self, node: u32, c: Code, dest: u32, pt: u32) -> Result<()> {
+        let l = &self.layout;
+        self.records.lock().write(node as usize, |r| {
+            let count = r[9] as usize;
+            assert!(count < l.rib_slots, "rib slots exhausted");
+            let off = l.rib_off(count);
+            r[off] = c;
+            put_u32(r, off + 1, dest);
+            put_u32(r, off + 5, pt);
+            r[9] = (count + 1) as u8;
+        })
     }
 
-    fn add_rib(&self, node: u32, c: Code, dest: u32, pt: u32) {
+    fn add_extrib(&self, node: u32, prt: u32, dest: u32, pt: u32) -> Result<()> {
         let l = &self.layout;
-        self.records
-            .lock()
-            .write(node as usize, |r| {
-                let count = r[9] as usize;
-                assert!(count < l.rib_slots, "rib slots exhausted");
-                let off = l.rib_off(count);
-                r[off] = c;
-                put_u32(r, off + 1, dest);
-                put_u32(r, off + 5, pt);
-                r[9] = (count + 1) as u8;
-            })
-            .expect("in-bounds write");
-    }
-
-    fn add_extrib(&self, node: u32, prt: u32, dest: u32, pt: u32) {
-        let l = &self.layout;
-        let spilled = self
-            .records
-            .lock()
-            .write(node as usize, |r| {
-                let co = l.extrib_count_off();
-                let count = r[co] as usize;
-                if count < EXTRIB_SLOTS {
-                    let off = l.extrib_off(count);
-                    put_u32(r, off, dest);
-                    put_u32(r, off + 4, pt);
-                    put_u32(r, off + 8, prt);
-                    r[co] = (count + 1) as u8;
-                    false
-                } else {
-                    true
-                }
-            })
-            .expect("in-bounds write");
+        let spilled = self.records.lock().write(node as usize, |r| {
+            let co = l.extrib_count_off();
+            let count = r[co] as usize;
+            if count < EXTRIB_SLOTS {
+                let off = l.extrib_off(count);
+                put_u32(r, off, dest);
+                put_u32(r, off + 4, pt);
+                put_u32(r, off + 8, prt);
+                r[co] = (count + 1) as u8;
+                false
+            } else {
+                true
+            }
+        })?;
         if spilled {
             self.spill.lock().entry(node).or_default().push((prt, pt, dest));
-            self.spill_count.set(self.spill_count.get() + 1);
+            self.spill_count.fetch_add(1, Relaxed);
         }
+        Ok(())
     }
 
     // ----- construction -----------------------------------------------------
 
-    /// The APPEND procedure over page-resident records.
+    /// The APPEND procedure over page-resident records. Any device error
+    /// propagates cleanly; a retry-wrapped device absorbs transient faults
+    /// before they reach here.
     fn append(&mut self, c: Code) -> Result<()> {
         let idx = self.records.lock().push_zeroed()?;
         let t = idx as u32;
-        self.records.lock().write(idx, |r| r[0] = c).expect("in-bounds write");
+        self.records.lock().write(idx, |r| r[0] = c)?;
         self.len += 1;
         let prev = t - 1;
         if prev == ROOT {
             return Ok(());
         }
-        let (mut cur, mut l) = self.read_link(prev);
+        let (mut cur, mut l) = self.read_link(prev)?;
         loop {
-            if self.read_cl(cur + 1) == c {
-                self.write_link(t, cur + 1, l + 1);
+            if self.read_cl(cur + 1)? == c {
+                self.write_link(t, cur + 1, l + 1)?;
                 return Ok(());
             }
-            match self.find_rib(cur, c) {
+            match self.find_rib(cur, c)? {
                 Some((dest, pt)) if pt >= l => {
-                    self.write_link(t, dest, l + 1);
+                    self.write_link(t, dest, l + 1)?;
                     return Ok(());
                 }
                 Some((dest, pt)) => {
@@ -296,9 +286,9 @@ impl DiskSpine {
                     let mut last_dest = dest;
                     let mut last_pt = pt;
                     loop {
-                        match self.find_extrib(last_dest, prt) {
+                        match self.find_extrib(last_dest, prt)? {
                             Some((edest, ept)) if ept >= l => {
-                                self.write_link(t, edest, l + 1);
+                                self.write_link(t, edest, l + 1)?;
                                 return Ok(());
                             }
                             Some((edest, ept)) => {
@@ -308,24 +298,52 @@ impl DiskSpine {
                             None => break,
                         }
                     }
-                    self.add_extrib(last_dest, prt, t, l);
-                    self.write_link(t, last_dest, last_pt + 1);
+                    self.add_extrib(last_dest, prt, t, l)?;
+                    self.write_link(t, last_dest, last_pt + 1)?;
                     return Ok(());
                 }
                 None => {
-                    self.add_rib(cur, c, t, l);
+                    self.add_rib(cur, c, t, l)?;
                     if cur == ROOT {
-                        self.write_link(t, ROOT, 0);
+                        self.write_link(t, ROOT, 0)?;
                         return Ok(());
                     }
-                    let (nd, nl) = self.read_link(cur);
+                    let (nd, nl) = self.read_link(cur)?;
                     cur = nd;
                     l = nl;
                 }
             }
         }
     }
+
+    // ----- fallible query surface -------------------------------------------
+
+    /// Fallible [`crate::search::locate`]: the end node of `pattern`'s first
+    /// occurrence, `Ok(None)` if absent, `Err` on a storage failure.
+    pub fn try_locate(&self, pattern: &[Code]) -> Result<Option<NodeId>> {
+        crate::search::try_locate(self, pattern)
+    }
+
+    /// Fallible [`StringIndex::find_all`]: start offsets of every occurrence,
+    /// or `Err` if the device fails mid-traversal. This is the entry point
+    /// fault-tolerance harnesses use — an injected fault degrades to a clean
+    /// `Err` here instead of a panic.
+    pub fn try_find_all(&self, pattern: &[Code]) -> Result<Vec<usize>> {
+        if pattern.is_empty() {
+            return Ok(Vec::new());
+        }
+        Ok(crate::occurrences::try_find_all_ends(self, pattern)?
+            .into_iter()
+            .map(|end| end as usize - pattern.len())
+            .collect())
+    }
 }
+
+/// Message for the infallible-trait boundary: callers of plain [`SpineOps`]
+/// opted out of error handling, so a real device error can only panic there.
+/// Fault-aware callers use [`FallibleSpineOps`] / [`DiskSpine::try_find_all`].
+const INFALLIBLE_BOUNDARY: &str =
+    "page device error during infallible traversal (use the try_* surface for fault tolerance)";
 
 impl SpineOps for DiskSpine {
     fn text_len(&self) -> usize {
@@ -333,18 +351,48 @@ impl SpineOps for DiskSpine {
     }
 
     fn vertebra_out(&self, node: NodeId) -> Option<Code> {
-        ((node as usize) < self.len).then(|| self.read_cl(node + 1))
+        ((node as usize) < self.len).then(|| self.read_cl(node + 1).expect(INFALLIBLE_BOUNDARY))
     }
 
     fn link_of(&self, node: NodeId) -> (NodeId, u32) {
-        self.read_link(node)
+        self.read_link(node).expect(INFALLIBLE_BOUNDARY)
     }
 
     fn rib_of(&self, node: NodeId, c: Code) -> Option<(NodeId, u32)> {
-        self.find_rib(node, c)
+        self.find_rib(node, c).expect(INFALLIBLE_BOUNDARY)
     }
 
     fn extrib_of(&self, node: NodeId, prt: u32) -> Option<(NodeId, u32)> {
+        self.find_extrib(node, prt).expect(INFALLIBLE_BOUNDARY)
+    }
+
+    fn ops_counters(&self) -> &Counters {
+        &self.counters
+    }
+}
+
+impl FallibleSpineOps for DiskSpine {
+    fn text_len(&self) -> usize {
+        self.len
+    }
+
+    fn try_vertebra_out(&self, node: NodeId) -> Result<Option<Code>> {
+        if (node as usize) < self.len {
+            Ok(Some(self.read_cl(node + 1)?))
+        } else {
+            Ok(None)
+        }
+    }
+
+    fn try_link_of(&self, node: NodeId) -> Result<(NodeId, u32)> {
+        self.read_link(node)
+    }
+
+    fn try_rib_of(&self, node: NodeId, c: Code) -> Result<Option<(NodeId, u32)>> {
+        self.find_rib(node, c)
+    }
+
+    fn try_extrib_of(&self, node: NodeId, prt: u32) -> Result<Option<(NodeId, u32)>> {
         self.find_extrib(node, prt)
     }
 
@@ -372,7 +420,7 @@ impl StringIndex for DiskSpine {
     }
 
     fn symbol_at(&self, pos: usize) -> Code {
-        self.read_cl(pos as u32 + 1)
+        self.read_cl(pos as u32 + 1).expect(INFALLIBLE_BOUNDARY)
     }
 
     fn find_first(&self, pattern: &[Code]) -> Option<usize> {
@@ -488,6 +536,25 @@ mod tests {
             DiskSpine::new(a, Box::new(MemDevice::new()), 2, Box::<Lru>::default()).unwrap();
         assert!(d.push(9).is_err());
     }
+
+    #[test]
+    fn disk_spine_is_send_and_sync() {
+        // The query engine serves a DiskSpine from multiple workers; this
+        // holds because the device, policy, and spill counter are all
+        // Send/Sync-compatible now.
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<DiskSpine>();
+    }
+
+    #[test]
+    fn try_find_all_matches_infallible_surface() {
+        let text = b"AACCACAACAGGTTACGACGACCA".repeat(4);
+        let (a, d) = disk(&text, 2);
+        for p in [&b"CA"[..], b"ACCAA", b"GGTT", b"TACGACG", b""] {
+            let p = a.encode(p).unwrap();
+            assert_eq!(d.try_find_all(&p).unwrap(), StringIndex::find_all(&d, &p));
+        }
+    }
 }
 
 // ---------------------------------------------------------------------------
@@ -584,7 +651,7 @@ impl DiskSpine {
             alphabet,
             layout,
             records: Mutex::new(records),
-            spill_count: std::cell::Cell::new(spill_total),
+            spill_count: AtomicU64::new(spill_total),
             spill: Mutex::new(spill),
             len,
             counters: Counters::new(),

@@ -1,4 +1,4 @@
-//! Concurrent batched query engine.
+//! Concurrent batched query engine with fault-tolerant serving.
 //!
 //! The SPINE structures are immutable after construction and use only
 //! relaxed atomic counters for instrumentation, so one index can serve any
@@ -6,20 +6,35 @@
 //! server-shaped front end:
 //!
 //! * a **worker pool** of OS threads sharing one [`Arc`]-held index;
-//! * an **admission queue** that coalesces submitted patterns — each worker
-//!   drains up to [`EngineConfig::batch_max`] requests per wakeup and
+//! * a **bounded admission queue** that coalesces submitted patterns — each
+//!   worker drains up to [`EngineConfig::batch_max`] requests per wakeup and
 //!   resolves them through a *single* backbone scan
-//!   ([`find_all_ends_batch`]), exactly the batching opportunity §4 of the
-//!   paper identifies for multi-pattern workloads;
+//!   ([`crate::occurrences::find_all_ends_batch`]), exactly the batching
+//!   opportunity §4 of the paper identifies for multi-pattern workloads.
+//!   When the queue is at [`EngineConfig::queue_capacity`], the
+//!   [`ShedPolicy`] decides whether a new submission blocks for space or is
+//!   shed with [`SubmitError::Overloaded`];
+//! * **per-request deadlines** ([`QueryEngine::submit_with_deadline`]):
+//!   a request whose deadline has passed by the time a worker would batch it
+//!   completes as [`QueryOutcome::TimedOut`] without occupying a batch slot;
+//! * **worker panic isolation**: a panic while answering a batch fails only
+//!   that batch's requests ([`QueryOutcome::Failed`]); the worker is
+//!   respawned (counted in [`MetricsSnapshot::worker_respawns`]) and
+//!   `drain` never hangs;
 //! * a **metrics surface** ([`MetricsSnapshot`]) aggregating the index's
-//!   [`strindex::Counters`] with per-worker batch statistics and the
-//!   observed queue depth.
+//!   [`strindex::Counters`] with per-worker batch statistics, the observed
+//!   queue depth, and the fate of every request. The accounting invariant
+//!   `completed + shed + timed_out + failed == submitted` always holds once
+//!   the engine is idle.
 //!
-//! Any [`SpineOps`] engine works: the reference [`crate::Spine`], the §5
-//! [`crate::CompactSpine`], or a [`GeneralizedSpine`] over many documents.
-//! For corpora too large for one backbone, [`ShardedEngine`] partitions
-//! documents across several generalized indexes, broadcasts every pattern,
-//! and merges the per-shard answers into global [`DocMatch`]es.
+//! Any [`FallibleSpineOps`] engine works: the reference [`crate::Spine`],
+//! the §5 [`crate::CompactSpine`], a [`GeneralizedSpine`] over many
+//! documents, or a page-resident [`crate::DiskSpine`] — whose storage
+//! faults degrade the affected requests to [`QueryOutcome::Failed`] instead
+//! of tearing down the server. For corpora too large for one backbone,
+//! [`ShardedEngine`] partitions documents across several generalized
+//! indexes, broadcasts every pattern, and merges the per-shard answers into
+//! global [`DocMatch`]es.
 //!
 //! ```
 //! use spine::engine::{EngineConfig, QueryEngine};
@@ -30,24 +45,57 @@
 //! let alphabet = Alphabet::dna();
 //! let index = Arc::new(Spine::build_from_bytes(alphabet.clone(), b"AACCACAACA").unwrap());
 //! let engine = QueryEngine::new(index, EngineConfig { workers: 2, ..Default::default() });
-//! engine.submit(alphabet.encode(b"CA").unwrap());
-//! engine.submit(alphabet.encode(b"AC").unwrap());
+//! engine.submit(alphabet.encode(b"CA").unwrap()).unwrap();
+//! engine.submit(alphabet.encode(b"AC").unwrap()).unwrap();
 //! let results = engine.drain();
-//! assert_eq!(results[0].starts(), vec![3, 5, 8]); // CA
-//! assert_eq!(results[1].starts(), vec![1, 4, 7]); // AC
+//! assert_eq!(results[0].expect_starts(), vec![3, 5, 8]); // CA
+//! assert_eq!(results[1].expect_starts(), vec![1, 4, 7]); // AC
 //! ```
 
 use std::collections::VecDeque;
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering::Relaxed};
-use std::sync::{Arc, Condvar, Mutex};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard, PoisonError};
 use std::thread::JoinHandle;
+use std::time::Instant;
 
 use crate::generalized::{DocMatch, GeneralizedSpine};
 use crate::node::NodeId;
-use crate::occurrences::{find_all_ends_batch, Target};
-use crate::ops::SpineOps;
-use crate::search::locate;
+use crate::occurrences::{try_find_all_ends_batch, Target};
+use crate::ops::FallibleSpineOps;
+use crate::search::try_locate;
 use strindex::{Alphabet, Code, CountersSnapshot, Result};
+
+/// What happens to a submission that finds the admission queue full.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub enum ShedPolicy {
+    /// Block the submitting thread until a worker frees queue space.
+    /// Backpressure without loss; the default.
+    #[default]
+    Block,
+    /// Shed the incoming request: `submit` returns
+    /// [`SubmitError::Overloaded`] immediately and the request is counted in
+    /// [`MetricsSnapshot::shed`]. Bounded latency under overload.
+    RejectNewest,
+}
+
+/// Why a submission was not admitted.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SubmitError {
+    /// The admission queue was at capacity and the engine's
+    /// [`ShedPolicy::RejectNewest`] policy shed this request.
+    Overloaded,
+}
+
+impl std::fmt::Display for SubmitError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SubmitError::Overloaded => write!(f, "admission queue full; request shed"),
+        }
+    }
+}
+
+impl std::error::Error for SubmitError {}
 
 /// Tuning knobs for a [`QueryEngine`].
 #[derive(Debug, Clone, Copy)]
@@ -57,18 +105,38 @@ pub struct EngineConfig {
     /// Most requests one worker coalesces into a single backbone scan
     /// (clamped to ≥ 1).
     pub batch_max: usize,
+    /// Most requests the admission queue holds before the [`ShedPolicy`]
+    /// applies (clamped to ≥ 1).
+    pub queue_capacity: usize,
+    /// What to do with submissions that find the queue full.
+    pub shed: ShedPolicy,
 }
 
 impl Default for EngineConfig {
     fn default() -> Self {
         let workers = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4);
-        EngineConfig { workers, batch_max: 64 }
+        EngineConfig { workers, batch_max: 64, queue_capacity: 4096, shed: ShedPolicy::Block }
     }
 }
 
 /// Monotonic id assigned by [`QueryEngine::submit`]; results carry it so
 /// callers can correlate answers with submissions.
 pub type QueryId = u64;
+
+/// How one submitted pattern ended up.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum QueryOutcome {
+    /// Answered: end positions (1-based) of every occurrence, ascending —
+    /// the same values serial [`crate::occurrences::find_all_ends`] yields.
+    Done(Vec<NodeId>),
+    /// The request's deadline passed before a worker batched it; no index
+    /// work was spent on it.
+    TimedOut,
+    /// The request could not be answered: a storage fault surfaced during
+    /// the traversal, or the worker panicked mid-batch. The message
+    /// explains which.
+    Failed(String),
+}
 
 /// The answer to one submitted pattern.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -77,15 +145,32 @@ pub struct QueryResult {
     pub id: QueryId,
     /// The pattern, handed back so `drain` callers need no side table.
     pub pattern: Vec<Code>,
-    /// End positions (1-based) of every occurrence, ascending — the same
-    /// values serial [`crate::occurrences::find_all_ends`] yields.
-    pub ends: Vec<NodeId>,
+    /// How the request ended up.
+    pub outcome: QueryOutcome,
 }
 
 impl QueryResult {
-    /// Occurrence start offsets (0-based), ascending.
-    pub fn starts(&self) -> Vec<usize> {
-        self.ends.iter().map(|&e| e as usize - self.pattern.len()).collect()
+    /// Occurrence end positions if the query completed, `None` if it timed
+    /// out or failed.
+    pub fn ends(&self) -> Option<&[NodeId]> {
+        match &self.outcome {
+            QueryOutcome::Done(ends) => Some(ends),
+            _ => None,
+        }
+    }
+
+    /// Occurrence end positions; panics if the query did not complete.
+    pub fn expect_ends(&self) -> &[NodeId] {
+        match &self.outcome {
+            QueryOutcome::Done(ends) => ends,
+            other => panic!("query {} did not complete: {other:?}", self.id),
+        }
+    }
+
+    /// Occurrence start offsets (0-based), ascending; panics if the query
+    /// did not complete.
+    pub fn expect_starts(&self) -> Vec<usize> {
+        self.expect_ends().iter().map(|&e| e as usize - self.pattern.len()).collect()
     }
 }
 
@@ -109,10 +194,21 @@ pub struct MetricsSnapshot {
     pub index: CountersSnapshot,
     /// Per-worker batch statistics, one entry per pool thread.
     pub workers: Vec<WorkerMetrics>,
-    /// Requests admitted over the engine's lifetime.
+    /// Requests presented to the engine over its lifetime (admitted or
+    /// shed).
     pub submitted: u64,
-    /// Requests fully answered.
+    /// Requests fully answered ([`QueryOutcome::Done`]).
     pub completed: u64,
+    /// Requests shed at admission by [`ShedPolicy::RejectNewest`].
+    pub shed: u64,
+    /// Requests that expired before a worker batched them
+    /// ([`QueryOutcome::TimedOut`]).
+    pub timed_out: u64,
+    /// Requests that ended as [`QueryOutcome::Failed`] (storage fault or
+    /// worker panic).
+    pub failed: u64,
+    /// Worker threads respawned after a panic.
+    pub worker_respawns: u64,
     /// Deepest the admission queue has been.
     pub peak_queue_depth: u64,
 }
@@ -131,6 +227,13 @@ impl MetricsSnapshot {
         } else {
             self.completed as f64 / b as f64
         }
+    }
+
+    /// Requests whose fate is recorded. Equals [`submitted`](Self::submitted)
+    /// whenever the engine is idle — the accounting invariant the
+    /// fault-tolerance tests assert.
+    pub fn accounted(&self) -> u64 {
+        self.completed + self.shed + self.timed_out + self.failed
     }
 }
 
@@ -167,10 +270,12 @@ impl WorkerStats {
 struct Request {
     id: QueryId,
     pattern: Vec<Code>,
+    deadline: Option<Instant>,
 }
 
-/// Queue + completion state behind one mutex; the two condvars separate the
-/// "work arrived" (workers) and "work finished" (drainers) wakeups.
+/// Queue + completion state behind one mutex; the three condvars separate
+/// the "work arrived" (workers), "work finished" (drainers), and "queue
+/// space freed" (blocked submitters) wakeups.
 struct State {
     pending: VecDeque<Request>,
     done: Vec<QueryResult>,
@@ -182,10 +287,34 @@ struct Shared {
     state: Mutex<State>,
     work_ready: Condvar,
     all_done: Condvar,
+    space_free: Condvar,
     submitted: AtomicU64,
     completed: AtomicU64,
+    shed: AtomicU64,
+    timed_out: AtomicU64,
+    failed: AtomicU64,
+    worker_respawns: AtomicU64,
     peak_queue_depth: AtomicUsize,
     worker_stats: Vec<WorkerStats>,
+}
+
+impl Shared {
+    /// Lock the engine state, surviving mutex poisoning: a worker that
+    /// panicked inside `answer_batch` never held this lock, and even if a
+    /// future bug poisons it, serving degraded beats deadlocking `drain`.
+    fn lock(&self) -> MutexGuard<'_, State> {
+        self.state.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    fn wait<'a>(&self, cv: &Condvar, g: MutexGuard<'a, State>) -> MutexGuard<'a, State> {
+        cv.wait(g).unwrap_or_else(PoisonError::into_inner)
+    }
+
+    fn notify_if_idle(&self, st: &State) {
+        if st.pending.is_empty() && st.in_flight == 0 {
+            self.all_done.notify_all();
+        }
+    }
 }
 
 /// A fixed pool of worker threads answering all-occurrence queries against
@@ -193,18 +322,21 @@ struct Shared {
 ///
 /// Dropping the engine shuts the pool down; un-drained results are
 /// discarded.
-pub struct QueryEngine<S: SpineOps + Send + Sync + 'static> {
+pub struct QueryEngine<S: FallibleSpineOps + Send + Sync + 'static> {
     index: Arc<S>,
     shared: Arc<Shared>,
     next_id: AtomicU64,
+    queue_capacity: usize,
+    shed_policy: ShedPolicy,
     pool: Vec<JoinHandle<()>>,
 }
 
-impl<S: SpineOps + Send + Sync + 'static> QueryEngine<S> {
+impl<S: FallibleSpineOps + Send + Sync + 'static> QueryEngine<S> {
     /// Spin up a worker pool over `index`.
     pub fn new(index: Arc<S>, config: EngineConfig) -> Self {
         let workers = config.workers.max(1);
         let batch_max = config.batch_max.max(1);
+        let queue_capacity = config.queue_capacity.max(1);
         let shared = Arc::new(Shared {
             state: Mutex::new(State {
                 pending: VecDeque::new(),
@@ -214,8 +346,13 @@ impl<S: SpineOps + Send + Sync + 'static> QueryEngine<S> {
             }),
             work_ready: Condvar::new(),
             all_done: Condvar::new(),
+            space_free: Condvar::new(),
             submitted: AtomicU64::new(0),
             completed: AtomicU64::new(0),
+            shed: AtomicU64::new(0),
+            timed_out: AtomicU64::new(0),
+            failed: AtomicU64::new(0),
+            worker_respawns: AtomicU64::new(0),
             peak_queue_depth: AtomicUsize::new(0),
             worker_stats: (0..workers).map(|_| WorkerStats::new()).collect(),
         });
@@ -225,11 +362,34 @@ impl<S: SpineOps + Send + Sync + 'static> QueryEngine<S> {
                 let index = Arc::clone(&index);
                 std::thread::Builder::new()
                     .name(format!("spine-worker-{w}"))
-                    .spawn(move || worker_loop(&*index, &shared, w, batch_max))
+                    .spawn(move || {
+                        // Respawn-in-place: a panic escaping `worker_loop`
+                        // (the batch that caused it has already been failed
+                        // and accounted) restarts the loop on this same OS
+                        // thread, so the pool never shrinks.
+                        loop {
+                            let run = catch_unwind(AssertUnwindSafe(|| {
+                                worker_loop(&*index, &shared, w, batch_max)
+                            }));
+                            match run {
+                                Ok(()) => return, // clean shutdown
+                                Err(_) => {
+                                    shared.worker_respawns.fetch_add(1, Relaxed);
+                                }
+                            }
+                        }
+                    })
                     .expect("spawn query worker")
             })
             .collect();
-        QueryEngine { index, shared, next_id: AtomicU64::new(0), pool }
+        QueryEngine {
+            index,
+            shared,
+            next_id: AtomicU64::new(0),
+            queue_capacity,
+            shed_policy: config.shed,
+            pool,
+        }
     }
 
     /// The shared index this engine answers from.
@@ -237,48 +397,89 @@ impl<S: SpineOps + Send + Sync + 'static> QueryEngine<S> {
         &self.index
     }
 
-    /// Enqueue one pattern; returns its id. Workers pick it up immediately.
-    pub fn submit(&self, pattern: Vec<Code>) -> QueryId {
+    /// Enqueue one pattern; returns its id, or
+    /// [`SubmitError::Overloaded`] if the queue is full and the engine
+    /// sheds. Under [`ShedPolicy::Block`] this never errors (it waits for
+    /// space instead).
+    pub fn submit(&self, pattern: Vec<Code>) -> std::result::Result<QueryId, SubmitError> {
+        self.submit_request(pattern, None)
+    }
+
+    /// [`submit`](Self::submit) with a deadline: if `deadline` passes
+    /// before a worker picks the request up, it completes as
+    /// [`QueryOutcome::TimedOut`] without consuming a batch slot.
+    pub fn submit_with_deadline(
+        &self,
+        pattern: Vec<Code>,
+        deadline: Instant,
+    ) -> std::result::Result<QueryId, SubmitError> {
+        self.submit_request(pattern, Some(deadline))
+    }
+
+    fn submit_request(
+        &self,
+        pattern: Vec<Code>,
+        deadline: Option<Instant>,
+    ) -> std::result::Result<QueryId, SubmitError> {
+        let mut st = self.shared.lock();
+        while st.pending.len() >= self.queue_capacity {
+            match self.shed_policy {
+                ShedPolicy::RejectNewest => {
+                    drop(st);
+                    self.shared.submitted.fetch_add(1, Relaxed);
+                    self.shared.shed.fetch_add(1, Relaxed);
+                    return Err(SubmitError::Overloaded);
+                }
+                ShedPolicy::Block => {
+                    st = self.shared.wait(&self.shared.space_free, st);
+                }
+            }
+        }
         let id = self.next_id.fetch_add(1, Relaxed);
         self.shared.submitted.fetch_add(1, Relaxed);
-        let mut st = self.shared.state.lock().unwrap();
-        st.pending.push_back(Request { id, pattern });
+        st.pending.push_back(Request { id, pattern, deadline });
         self.shared.peak_queue_depth.fetch_max(st.pending.len(), Relaxed);
         drop(st);
         self.shared.work_ready.notify_one();
-        id
+        Ok(id)
     }
 
-    /// Enqueue many patterns at once (one lock acquisition); returns their
-    /// ids in order. Large batches wake the whole pool.
-    pub fn submit_batch<I>(&self, patterns: I) -> Vec<QueryId>
+    /// Enqueue many patterns; returns one admission result per pattern, in
+    /// order. Under [`ShedPolicy::RejectNewest`] individual patterns may be
+    /// shed while earlier ones were admitted.
+    pub fn submit_batch<I>(&self, patterns: I) -> Vec<std::result::Result<QueryId, SubmitError>>
     where
         I: IntoIterator<Item = Vec<Code>>,
     {
-        let mut ids = Vec::new();
-        let mut st = self.shared.state.lock().unwrap();
-        for pattern in patterns {
-            let id = self.next_id.fetch_add(1, Relaxed);
-            self.shared.submitted.fetch_add(1, Relaxed);
-            st.pending.push_back(Request { id, pattern });
-            ids.push(id);
-        }
-        self.shared.peak_queue_depth.fetch_max(st.pending.len(), Relaxed);
-        drop(st);
-        if ids.len() > 1 {
+        let out: Vec<_> = patterns.into_iter().map(|p| self.submit_request(p, None)).collect();
+        if out.len() > 1 {
             self.shared.work_ready.notify_all();
-        } else {
-            self.shared.work_ready.notify_one();
         }
-        ids
+        out
     }
 
-    /// Block until every submitted query is answered, then return all
+    /// True when the admission queue is at capacity (advisory; used by
+    /// [`ShardedEngine`] to make broadcast admission all-or-nothing).
+    pub(crate) fn is_full(&self) -> bool {
+        self.shared.lock().pending.len() >= self.queue_capacity
+    }
+
+    /// Account one request shed before reaching this engine's queue.
+    pub(crate) fn record_shed(&self) {
+        self.shared.submitted.fetch_add(1, Relaxed);
+        self.shared.shed.fetch_add(1, Relaxed);
+    }
+
+    /// Block until every admitted query has an outcome, then return all
     /// accumulated results sorted by [`QueryId`].
+    ///
+    /// Never hangs: timed-out requests are finalized by workers without
+    /// index work, and a worker panic fails its batch (restoring the
+    /// in-flight count) before the worker respawns.
     pub fn drain(&self) -> Vec<QueryResult> {
-        let mut st = self.shared.state.lock().unwrap();
+        let mut st = self.shared.lock();
         while !(st.pending.is_empty() && st.in_flight == 0) {
-            st = self.shared.all_done.wait(st).unwrap();
+            st = self.shared.wait(&self.shared.all_done, st);
         }
         let mut out = std::mem::take(&mut st.done);
         drop(st);
@@ -293,100 +494,245 @@ impl<S: SpineOps + Send + Sync + 'static> QueryEngine<S> {
             workers: self.shared.worker_stats.iter().map(WorkerStats::read).collect(),
             submitted: self.shared.submitted.load(Relaxed),
             completed: self.shared.completed.load(Relaxed),
+            shed: self.shared.shed.load(Relaxed),
+            timed_out: self.shared.timed_out.load(Relaxed),
+            failed: self.shared.failed.load(Relaxed),
+            worker_respawns: self.shared.worker_respawns.load(Relaxed),
             peak_queue_depth: self.shared.peak_queue_depth.load(Relaxed) as u64,
         }
     }
 }
 
-impl<S: SpineOps + Send + Sync + 'static> Drop for QueryEngine<S> {
+impl<S: FallibleSpineOps + Send + Sync + 'static> Drop for QueryEngine<S> {
     fn drop(&mut self) {
-        self.shared.state.lock().unwrap().shutdown = true;
+        self.shared.lock().shutdown = true;
         self.shared.work_ready.notify_all();
+        self.shared.space_free.notify_all();
         for h in self.pool.drain(..) {
             let _ = h.join();
         }
     }
 }
 
-/// One worker: wait for work, coalesce up to `batch_max` requests, resolve
-/// them in a single backbone scan, publish results, repeat until shutdown.
-fn worker_loop<S: SpineOps + ?Sized>(index: &S, shared: &Shared, who: usize, batch_max: usize) {
+/// One worker: wait for work, coalesce up to `batch_max` live requests
+/// (finalizing expired ones as [`QueryOutcome::TimedOut`] on the way),
+/// resolve them in a single backbone scan, publish results, repeat until
+/// shutdown.
+///
+/// A panic inside [`answer_batch`] (e.g. an index whose accessors panic) is
+/// caught here just long enough to fail the batch's requests and restore the
+/// accounting, then re-raised so the spawn loop in [`QueryEngine::new`] can
+/// count the respawn.
+fn worker_loop<S: FallibleSpineOps + ?Sized>(
+    index: &S,
+    shared: &Shared,
+    who: usize,
+    batch_max: usize,
+) {
     loop {
         let batch: Vec<Request> = {
-            let mut st = shared.state.lock().unwrap();
+            let mut st = shared.lock();
+            let mut batch = Vec::new();
             loop {
                 if !st.pending.is_empty() {
-                    break;
+                    let now = Instant::now();
+                    let mut expired = 0u64;
+                    while batch.len() < batch_max {
+                        let Some(req) = st.pending.pop_front() else { break };
+                        if req.deadline.is_some_and(|d| d <= now) {
+                            // Deadline passed while queued: finalize without
+                            // spending a batch slot or any index work.
+                            st.done.push(QueryResult {
+                                id: req.id,
+                                pattern: req.pattern,
+                                outcome: QueryOutcome::TimedOut,
+                            });
+                            expired += 1;
+                        } else {
+                            batch.push(req);
+                        }
+                    }
+                    if expired > 0 {
+                        shared.timed_out.fetch_add(expired, Relaxed);
+                        shared.space_free.notify_all();
+                    }
+                    if !batch.is_empty() {
+                        break;
+                    }
+                    // Everything we popped had expired; the queue may be
+                    // empty now, so fall through to the wait/shutdown checks.
+                    shared.notify_if_idle(&st);
+                    if st.pending.is_empty() {
+                        if st.shutdown {
+                            return;
+                        }
+                        st = shared.wait(&shared.work_ready, st);
+                    }
+                    continue;
                 }
                 if st.shutdown {
                     return;
                 }
-                st = shared.work_ready.wait(st).unwrap();
+                st = shared.wait(&shared.work_ready, st);
             }
-            let take = st.pending.len().min(batch_max);
-            let batch: Vec<Request> = st.pending.drain(..take).collect();
             st.in_flight += batch.len();
+            drop(st);
+            shared.space_free.notify_all();
             batch
         };
         shared.worker_stats[who].record(batch.len());
 
-        let results = answer_batch(index, &batch);
+        let results = match catch_unwind(AssertUnwindSafe(|| answer_batch(index, &batch))) {
+            Ok(results) => results,
+            Err(payload) => {
+                // Poisoned batch: every request in it fails, the in-flight
+                // count is restored so `drain` cannot hang, and the panic
+                // continues upward to be counted as a respawn.
+                let msg = panic_message(payload.as_ref());
+                let mut st = shared.lock();
+                st.in_flight -= batch.len();
+                shared.failed.fetch_add(batch.len() as u64, Relaxed);
+                for req in batch {
+                    st.done.push(QueryResult {
+                        id: req.id,
+                        pattern: req.pattern,
+                        outcome: QueryOutcome::Failed(format!("worker panicked: {msg}")),
+                    });
+                }
+                shared.notify_if_idle(&st);
+                drop(st);
+                resume_unwind(payload);
+            }
+        };
 
-        let mut st = shared.state.lock().unwrap();
+        let mut st = shared.lock();
         st.in_flight -= batch.len();
-        shared.completed.fetch_add(batch.len() as u64, Relaxed);
-        st.done.extend(results);
-        if st.pending.is_empty() && st.in_flight == 0 {
-            shared.all_done.notify_all();
+        for r in &results {
+            match r.outcome {
+                QueryOutcome::Done(_) => shared.completed.fetch_add(1, Relaxed),
+                QueryOutcome::TimedOut => shared.timed_out.fetch_add(1, Relaxed),
+                QueryOutcome::Failed(_) => shared.failed.fetch_add(1, Relaxed),
+            };
         }
+        st.done.extend(results);
+        shared.notify_if_idle(&st);
     }
+}
+
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    payload
+        .downcast_ref::<&str>()
+        .map(|s| s.to_string())
+        .or_else(|| payload.downcast_ref::<String>().cloned())
+        .unwrap_or_else(|| "non-string panic payload".into())
+}
+
+/// Per-request fate after the locate phase, before the shared scan.
+enum Located {
+    /// Empty pattern: answered positionally, no scan needed.
+    Empty,
+    /// Pattern does not occur; answers with no occurrences.
+    Absent,
+    /// First occurrence found; the shared scan resolves the rest.
+    At(Target),
+    /// Storage failure during the valid-path walk.
+    Error(String),
 }
 
 /// Resolve a coalesced batch: locate each pattern's valid path, then answer
 /// every located pattern with one shared backbone scan.
-fn answer_batch<S: SpineOps + ?Sized>(index: &S, batch: &[Request]) -> Vec<QueryResult> {
-    // The locate phase is per-pattern (it walks the valid path); patterns
-    // that don't occur produce no Target and answer with no occurrences.
-    let located: Vec<Option<Target>> = batch
+///
+/// Failure is per-request: a storage fault during one pattern's locate fails
+/// only that pattern; a fault during the shared scan fails exactly the
+/// requests that depended on the scan (patterns already known absent still
+/// answer `Done([])`).
+fn answer_batch<S: FallibleSpineOps + ?Sized>(index: &S, batch: &[Request]) -> Vec<QueryResult> {
+    let located: Vec<Located> = batch
         .iter()
         .map(|r| {
             if r.pattern.is_empty() {
-                return None; // answered positionally below
+                return Located::Empty;
             }
-            locate(index, &r.pattern)
-                .map(|first| Target { first_end: first, len: r.pattern.len() as u32 })
+            match try_locate(index, &r.pattern) {
+                Ok(Some(first)) => {
+                    Located::At(Target { first_end: first, len: r.pattern.len() as u32 })
+                }
+                Ok(None) => Located::Absent,
+                Err(e) => Located::Error(e.to_string()),
+            }
         })
         .collect();
-    let targets: Vec<Target> = located.iter().flatten().copied().collect();
-    let scanned = find_all_ends_batch(index, &targets);
+    let targets: Vec<Target> = located
+        .iter()
+        .filter_map(|l| match l {
+            Located::At(t) => Some(*t),
+            _ => None,
+        })
+        .collect();
+    let scanned: std::result::Result<_, String> =
+        try_find_all_ends_batch(index, &targets).map_err(|e| e.to_string());
     batch
         .iter()
         .zip(&located)
-        .map(|(r, t)| {
-            let ends = match t {
+        .map(|(r, l)| {
+            let outcome = match (l, &scanned) {
                 // The empty pattern ends at every node (serial
                 // `find_all_ends` agrees: its scan accepts all of 0..=n).
-                None if r.pattern.is_empty() => (0..=index.text_len() as NodeId).collect(),
-                None => Vec::new(),
+                (Located::Empty, _) => {
+                    QueryOutcome::Done((0..=index.text_len() as NodeId).collect())
+                }
+                (Located::Absent, _) => QueryOutcome::Done(Vec::new()),
+                (Located::Error(e), _) => QueryOutcome::Failed(e.clone()),
                 // Duplicate targets share one entry in the scan result, so
                 // clone rather than remove. (remove would starve the twin.)
-                Some(t) => scanned.get(t).cloned().unwrap_or_default(),
+                (Located::At(t), Ok(map)) => {
+                    QueryOutcome::Done(map.get(t).cloned().unwrap_or_default())
+                }
+                (Located::At(_), Err(e)) => QueryOutcome::Failed(e.clone()),
             };
-            QueryResult { id: r.id, pattern: r.pattern.clone(), ends }
+            QueryResult { id: r.id, pattern: r.pattern.clone(), outcome }
         })
         .collect()
 }
 
-/// An occurrence merged across shards, tagged with the global document id.
+/// How one broadcast pattern ended up across every shard.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ShardedOutcome {
+    /// Every shard answered; occurrences are merged in global coordinates.
+    Done(Vec<DocMatch>),
+    /// At least one shard timed the request out (and none failed).
+    TimedOut,
+    /// At least one shard failed the request; messages are joined.
+    Failed(String),
+}
+
+/// An occurrence set merged across shards, tagged with global document ids.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct ShardedResult {
     /// Id from [`ShardedEngine::submit`].
     pub id: QueryId,
     /// The pattern.
     pub pattern: Vec<Code>,
-    /// Occurrences across all shards, ordered by (document, offset) with
-    /// documents numbered in global insertion order.
-    pub matches: Vec<DocMatch>,
+    /// How the broadcast ended up.
+    pub outcome: ShardedOutcome,
+}
+
+impl ShardedResult {
+    /// Merged matches if every shard answered, `None` otherwise.
+    pub fn matches(&self) -> Option<&[DocMatch]> {
+        match &self.outcome {
+            ShardedOutcome::Done(m) => Some(m),
+            _ => None,
+        }
+    }
+
+    /// Merged matches; panics if any shard timed out or failed.
+    pub fn expect_matches(&self) -> &[DocMatch] {
+        match &self.outcome {
+            ShardedOutcome::Done(m) => m,
+            other => panic!("sharded query {} did not complete: {other:?}", self.id),
+        }
+    }
 }
 
 /// Document-sharded deployment: `n` generalized SPINE indexes, each fronted
@@ -396,10 +742,19 @@ pub struct ShardedResult {
 /// Sharding bounds per-index backbone length (shorter scans, independent
 /// construction) at the cost of running every pattern `n` times; it is the
 /// deployment §6 of the paper gestures at for corpora beyond one index.
+///
+/// Admission is all-or-nothing: under [`ShedPolicy::RejectNewest`] a
+/// broadcast is shed *before* reaching any shard queue when any shard is
+/// full, so the per-shard result streams always stay index-aligned.
 pub struct ShardedEngine {
     engines: Vec<QueryEngine<GeneralizedSpine>>,
     /// `global_doc[s][d]` = global id of shard `s`'s local document `d`.
     global_doc: Vec<Vec<usize>>,
+    shed_policy: ShedPolicy,
+    /// Serializes broadcasts so every shard sees the same request order and
+    /// the all-shards-have-space check cannot interleave with another
+    /// submitter's pushes.
+    submit_lock: Mutex<()>,
     submitted: AtomicU64,
 }
 
@@ -424,7 +779,13 @@ impl ShardedEngine {
         }
         let engines =
             indexes.into_iter().map(|ix| QueryEngine::new(Arc::new(ix), config)).collect();
-        Ok(ShardedEngine { engines, global_doc, submitted: AtomicU64::new(0) })
+        Ok(ShardedEngine {
+            engines,
+            global_doc,
+            shed_policy: config.shed,
+            submit_lock: Mutex::new(()),
+            submitted: AtomicU64::new(0),
+        })
     }
 
     /// Number of shards actually built.
@@ -432,20 +793,54 @@ impl ShardedEngine {
         self.engines.len()
     }
 
-    /// Broadcast one pattern to every shard.
-    pub fn submit(&self, pattern: Vec<Code>) -> QueryId {
-        for e in &self.engines {
-            e.submit(pattern.clone());
+    /// Broadcast one pattern to every shard, or shed it from all of them.
+    pub fn submit(&self, pattern: Vec<Code>) -> std::result::Result<QueryId, SubmitError> {
+        self.submit_request(pattern, None)
+    }
+
+    /// [`submit`](Self::submit) with a deadline applied on every shard.
+    pub fn submit_with_deadline(
+        &self,
+        pattern: Vec<Code>,
+        deadline: Instant,
+    ) -> std::result::Result<QueryId, SubmitError> {
+        self.submit_request(pattern, Some(deadline))
+    }
+
+    fn submit_request(
+        &self,
+        pattern: Vec<Code>,
+        deadline: Option<Instant>,
+    ) -> std::result::Result<QueryId, SubmitError> {
+        let _serial = self.submit_lock.lock().unwrap_or_else(PoisonError::into_inner);
+        if self.shed_policy == ShedPolicy::RejectNewest
+            && self.engines.iter().any(QueryEngine::is_full)
+        {
+            // Shed from every shard before touching any queue: workers only
+            // ever *free* space, so a non-full check under the submit lock
+            // cannot be invalidated before the pushes below.
+            for e in &self.engines {
+                e.record_shed();
+            }
+            return Err(SubmitError::Overloaded);
         }
-        self.submitted.fetch_add(1, Relaxed)
+        for e in &self.engines {
+            let admitted = match deadline {
+                Some(d) => e.submit_with_deadline(pattern.clone(), d),
+                None => e.submit(pattern.clone()),
+            };
+            admitted.expect("shard admission is all-or-nothing under the submit lock");
+        }
+        Ok(self.submitted.fetch_add(1, Relaxed))
     }
 
     /// Wait for all shards, merge each pattern's per-shard occurrences into
     /// global document coordinates, and return results in submission order.
     ///
-    /// Every shard receives every pattern in the same order, so the shard-
-    /// local result streams (sorted by shard-local id) align index-for-index
-    /// with the global submission order.
+    /// Every shard receives every admitted pattern in the same order, so the
+    /// shard-local result streams (sorted by shard-local id) align
+    /// index-for-index with the global submission order. A request that
+    /// failed or timed out on any shard reports that fate globally.
     pub fn drain(&self) -> Vec<ShardedResult> {
         let per_shard: Vec<Vec<QueryResult>> = self.engines.iter().map(|e| e.drain()).collect();
         let n = per_shard.first().map(|v| v.len()).unwrap_or(0);
@@ -454,18 +849,33 @@ impl ShardedEngine {
             let pattern = per_shard[0][q].pattern.clone();
             let plen = pattern.len();
             let mut matches: Vec<DocMatch> = Vec::new();
+            let mut timed_out = false;
+            let mut failures: Vec<String> = Vec::new();
             for (s, results) in per_shard.iter().enumerate() {
                 let shard_index = self.engines[s].index();
-                for &end in &results[q].ends {
-                    let local = shard_index.localize(end as usize - plen);
-                    matches.push(DocMatch {
-                        doc: self.global_doc[s][local.doc],
-                        offset: local.offset,
-                    });
+                match &results[q].outcome {
+                    QueryOutcome::Done(ends) => {
+                        for &end in ends {
+                            let local = shard_index.localize(end as usize - plen);
+                            matches.push(DocMatch {
+                                doc: self.global_doc[s][local.doc],
+                                offset: local.offset,
+                            });
+                        }
+                    }
+                    QueryOutcome::TimedOut => timed_out = true,
+                    QueryOutcome::Failed(e) => failures.push(format!("shard {s}: {e}")),
                 }
             }
-            matches.sort_unstable();
-            out.push(ShardedResult { id: q as QueryId, pattern, matches });
+            let outcome = if !failures.is_empty() {
+                ShardedOutcome::Failed(failures.join("; "))
+            } else if timed_out {
+                ShardedOutcome::TimedOut
+            } else {
+                matches.sort_unstable();
+                ShardedOutcome::Done(matches)
+            };
+            out.push(ShardedResult { id: q as QueryId, pattern, outcome });
         }
         out
     }
@@ -480,6 +890,10 @@ impl ShardedEngine {
             agg.workers.extend(m.workers);
             agg.submitted += m.submitted;
             agg.completed += m.completed;
+            agg.shed += m.shed;
+            agg.timed_out += m.timed_out;
+            agg.failed += m.failed;
+            agg.worker_respawns += m.worker_respawns;
             agg.peak_queue_depth = agg.peak_queue_depth.max(m.peak_queue_depth);
         }
         agg
@@ -492,46 +906,52 @@ mod tests {
     use crate::build::Spine;
     use crate::compact::CompactSpine;
     use crate::occurrences::find_all_ends;
+    use std::time::Duration;
     use strindex::Alphabet;
 
     fn paper_engine(workers: usize) -> (Alphabet, QueryEngine<Spine>) {
         let a = Alphabet::dna();
         let s = Spine::build_from_bytes(a.clone(), b"AACCACAACA").unwrap();
-        (a.clone(), QueryEngine::new(Arc::new(s), EngineConfig { workers, batch_max: 4 }))
+        let cfg = EngineConfig { workers, batch_max: 4, ..Default::default() };
+        (a.clone(), QueryEngine::new(Arc::new(s), cfg))
     }
 
     #[test]
     fn answers_match_serial_scan() {
         let (a, engine) = paper_engine(3);
         let pats = [&b"CA"[..], b"AC", b"A", b"AACCACAACA", b"GG", b""];
-        let ids: Vec<QueryId> = pats.iter().map(|p| engine.submit(a.encode(p).unwrap())).collect();
+        let ids: Vec<QueryId> =
+            pats.iter().map(|p| engine.submit(a.encode(p).unwrap()).unwrap()).collect();
         let results = engine.drain();
         assert_eq!(results.len(), pats.len());
         for (i, (r, p)) in results.iter().zip(&pats).enumerate() {
             assert_eq!(r.id, ids[i]);
             let serial = find_all_ends(engine.index().as_ref(), &a.encode(p).unwrap());
-            assert_eq!(r.ends, serial, "pattern {p:?}");
+            assert_eq!(r.expect_ends(), serial, "pattern {p:?}");
         }
     }
 
     #[test]
     fn starts_are_zero_based_offsets() {
         let (a, engine) = paper_engine(1);
-        engine.submit(a.encode(b"CA").unwrap());
+        engine.submit(a.encode(b"CA").unwrap()).unwrap();
         let r = engine.drain();
-        assert_eq!(r[0].ends, vec![5, 7, 10]);
-        assert_eq!(r[0].starts(), vec![3, 5, 8]);
+        assert_eq!(r[0].expect_ends(), [5, 7, 10]);
+        assert_eq!(r[0].expect_starts(), vec![3, 5, 8]);
+        assert_eq!(r[0].ends(), Some(&[5, 7, 10][..]));
     }
 
     #[test]
     fn duplicate_patterns_each_get_answers() {
         let (a, engine) = paper_engine(1); // one worker ⇒ one coalesced batch
         let ca = a.encode(b"CA").unwrap();
-        engine.submit_batch(vec![ca.clone(), ca.clone(), ca.clone(), ca]);
+        for admitted in engine.submit_batch(vec![ca.clone(), ca.clone(), ca.clone(), ca]) {
+            admitted.unwrap();
+        }
         let results = engine.drain();
         assert_eq!(results.len(), 4);
         for r in results {
-            assert_eq!(r.ends, vec![5, 7, 10]);
+            assert_eq!(r.expect_ends(), [5, 7, 10]);
         }
     }
 
@@ -539,7 +959,7 @@ mod tests {
     fn drain_on_idle_engine_is_empty_and_repeatable() {
         let (a, engine) = paper_engine(2);
         assert!(engine.drain().is_empty());
-        engine.submit(a.encode(b"A").unwrap());
+        engine.submit(a.encode(b"A").unwrap()).unwrap();
         assert_eq!(engine.drain().len(), 1);
         assert!(engine.drain().is_empty()); // results were consumed
     }
@@ -547,11 +967,14 @@ mod tests {
     #[test]
     fn metrics_count_batches_and_queries() {
         let (a, engine) = paper_engine(1);
-        engine.submit_batch((0..10).map(|_| a.encode(b"AC").unwrap()));
+        for admitted in engine.submit_batch((0..10).map(|_| a.encode(b"AC").unwrap())) {
+            admitted.unwrap();
+        }
         engine.drain();
         let m = engine.metrics();
         assert_eq!(m.submitted, 10);
         assert_eq!(m.completed, 10);
+        assert_eq!(m.accounted(), m.submitted);
         assert_eq!(m.workers.iter().map(|w| w.queries).sum::<u64>(), 10);
         // batch_max = 4 ⇒ at least ⌈10/4⌉ = 3 scans, and coalescing means
         // strictly fewer scans than queries.
@@ -560,16 +983,18 @@ mod tests {
         assert!(m.index.nodes_checked > 0);
         assert!(m.peak_queue_depth >= 1);
         assert!(m.mean_batch() >= 1.0);
+        assert_eq!(m.worker_respawns, 0);
     }
 
     #[test]
     fn works_over_the_compact_layout() {
         let a = Alphabet::dna();
         let c = CompactSpine::build_from_bytes(a.clone(), b"AACCACAACA").unwrap();
-        let engine = QueryEngine::new(Arc::new(c), EngineConfig { workers: 2, batch_max: 8 });
-        engine.submit(a.encode(b"AAC").unwrap());
+        let cfg = EngineConfig { workers: 2, batch_max: 8, ..Default::default() };
+        let engine = QueryEngine::new(Arc::new(c), cfg);
+        engine.submit(a.encode(b"AAC").unwrap()).unwrap();
         let r = engine.drain();
-        assert_eq!(r[0].starts(), vec![0, 6]);
+        assert_eq!(r[0].expect_starts(), vec![0, 6]);
     }
 
     #[test]
@@ -577,11 +1002,55 @@ mod tests {
         let a = Alphabet::dna();
         let s = Spine::build(a.clone(), &[]).unwrap();
         let engine = QueryEngine::new(Arc::new(s), EngineConfig::default());
-        engine.submit(a.encode(b"A").unwrap());
-        engine.submit(Vec::new());
+        engine.submit(a.encode(b"A").unwrap()).unwrap();
+        engine.submit(Vec::new()).unwrap();
         let r = engine.drain();
-        assert!(r[0].ends.is_empty());
-        assert_eq!(r[1].ends, vec![0]); // empty pattern ends at the root
+        assert_eq!(r[0].expect_ends(), [] as [NodeId; 0]);
+        assert_eq!(r[1].expect_ends(), [0]); // empty pattern ends at the root
+    }
+
+    #[test]
+    fn edge_patterns_through_engine() {
+        let (a, engine) = paper_engine(2);
+        let n = 10; // text length of AACCACAACA
+        let empty = engine.submit(Vec::new()).unwrap();
+        let longer = engine.submit(a.encode(&b"A".repeat(n + 5)).unwrap()).unwrap();
+        let out_of_alphabet = engine.submit(vec![9, 200, 7]).unwrap();
+        let results = engine.drain();
+        let by_id = |id| results.iter().find(|r| r.id == id).unwrap();
+        // Empty pattern ends at every node.
+        assert_eq!(by_id(empty).expect_ends().len(), n + 1);
+        // A pattern longer than the text cannot occur, and must not panic.
+        assert_eq!(by_id(longer).expect_ends(), [] as [NodeId; 0]);
+        // Codes outside the alphabet simply never match a rib or vertebra.
+        assert_eq!(by_id(out_of_alphabet).expect_ends(), [] as [NodeId; 0]);
+        let m = engine.metrics();
+        assert_eq!(m.accounted(), m.submitted);
+    }
+
+    #[test]
+    fn expired_deadline_times_out_without_index_work() {
+        let (a, engine) = paper_engine(1);
+        let past = Instant::now() - Duration::from_secs(1);
+        let id = engine.submit_with_deadline(a.encode(b"CA").unwrap(), past).unwrap();
+        let r = engine.drain();
+        assert_eq!(r.len(), 1);
+        assert_eq!(r[0].id, id);
+        assert_eq!(r[0].outcome, QueryOutcome::TimedOut);
+        assert!(r[0].ends().is_none());
+        let m = engine.metrics();
+        assert_eq!(m.timed_out, 1);
+        assert_eq!(m.completed, 0);
+        assert_eq!(m.accounted(), m.submitted);
+    }
+
+    #[test]
+    fn generous_deadline_completes_normally() {
+        let (a, engine) = paper_engine(2);
+        let soon = Instant::now() + Duration::from_secs(60);
+        engine.submit_with_deadline(a.encode(b"CA").unwrap(), soon).unwrap();
+        let r = engine.drain();
+        assert_eq!(r[0].expect_starts(), vec![3, 5, 8]);
     }
 
     #[test]
@@ -597,24 +1066,28 @@ mod tests {
             reference.add_document(d).unwrap();
         }
 
-        let sharded =
-            ShardedEngine::build(a.clone(), &docs, 3, EngineConfig { workers: 2, batch_max: 4 })
-                .unwrap();
+        let cfg = EngineConfig { workers: 2, batch_max: 4, ..Default::default() };
+        let sharded = ShardedEngine::build(a.clone(), &docs, 3, cfg).unwrap();
         assert_eq!(sharded.shard_count(), 3);
 
         let pats = [&b"ACG"[..], b"T", b"GG", b"CACA", b"TTT"];
         for p in pats {
-            sharded.submit(a.encode(p).unwrap());
+            sharded.submit(a.encode(p).unwrap()).unwrap();
         }
         let results = sharded.drain();
         assert_eq!(results.len(), pats.len());
         for (r, p) in results.iter().zip(&pats) {
-            assert_eq!(r.matches, reference.find_all(&a.encode(p).unwrap()), "pattern {p:?}");
+            assert_eq!(
+                r.expect_matches(),
+                reference.find_all(&a.encode(p).unwrap()),
+                "pattern {p:?}"
+            );
         }
 
         let m = sharded.metrics();
         assert_eq!(m.completed, (pats.len() * sharded.shard_count()) as u64);
         assert_eq!(m.workers.len(), 2 * sharded.shard_count());
+        assert_eq!(m.accounted(), m.submitted);
     }
 
     #[test]
@@ -623,8 +1096,50 @@ mod tests {
         let docs = vec![a.encode(b"ACGT").unwrap()];
         let sharded = ShardedEngine::build(a.clone(), &docs, 8, EngineConfig::default()).unwrap();
         assert_eq!(sharded.shard_count(), 1); // clamped to doc count
-        sharded.submit(a.encode(b"CG").unwrap());
+        sharded.submit(a.encode(b"CG").unwrap()).unwrap();
         let r = sharded.drain();
-        assert_eq!(r[0].matches, vec![DocMatch { doc: 0, offset: 1 }]);
+        assert_eq!(r[0].expect_matches(), [DocMatch { doc: 0, offset: 1 }]);
+    }
+
+    #[test]
+    fn sharded_edge_patterns() {
+        let a = Alphabet::dna();
+        let docs: Vec<Vec<Code>> =
+            [&b"ACGT"[..], b"TT"].iter().map(|d| a.encode(d).unwrap()).collect();
+        let sharded = ShardedEngine::build(a.clone(), &docs, 2, EngineConfig::default()).unwrap();
+        sharded.submit(a.encode(&b"A".repeat(64)).unwrap()).unwrap(); // longer than any doc
+        sharded.submit(vec![17]).unwrap(); // out-of-alphabet code
+        let r = sharded.drain();
+        assert_eq!(r[0].expect_matches(), [] as [DocMatch; 0]);
+        assert_eq!(r[1].expect_matches(), [] as [DocMatch; 0]);
+    }
+
+    #[test]
+    fn sharded_expired_deadline_reports_timeout() {
+        let a = Alphabet::dna();
+        let docs = vec![a.encode(b"ACGTACGT").unwrap(), a.encode(b"TTACG").unwrap()];
+        let cfg = EngineConfig { workers: 1, ..Default::default() };
+        let sharded = ShardedEngine::build(a.clone(), &docs, 2, cfg).unwrap();
+        let past = Instant::now() - Duration::from_secs(1);
+        sharded.submit_with_deadline(a.encode(b"ACG").unwrap(), past).unwrap();
+        let r = sharded.drain();
+        assert_eq!(r[0].outcome, ShardedOutcome::TimedOut);
+        assert!(r[0].matches().is_none());
+        let m = sharded.metrics();
+        assert_eq!(m.accounted(), m.submitted);
+    }
+
+    #[test]
+    fn zero_capacity_clamps_to_one() {
+        let a = Alphabet::dna();
+        let s = Spine::build_from_bytes(a.clone(), b"AACCACAACA").unwrap();
+        let cfg = EngineConfig {
+            workers: 1,
+            queue_capacity: 0, // clamped to 1: the engine must stay usable
+            ..Default::default()
+        };
+        let engine = QueryEngine::new(Arc::new(s), cfg);
+        engine.submit(a.encode(b"CA").unwrap()).unwrap();
+        assert_eq!(engine.drain()[0].expect_starts(), vec![3, 5, 8]);
     }
 }

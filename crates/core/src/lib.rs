@@ -78,7 +78,12 @@ pub use approx::ApproxMatch;
 pub use build::Spine;
 pub use compact::CompactSpine;
 pub use disk::DiskSpine;
-pub use engine::{EngineConfig, MetricsSnapshot, QueryEngine, ShardedEngine};
+pub use engine::{
+    EngineConfig, MetricsSnapshot, QueryEngine, QueryOutcome, QueryResult, ShardedEngine,
+    ShardedOutcome, ShardedResult, ShedPolicy, SubmitError,
+};
 pub use generalized::GeneralizedSpine;
 pub use node::{Extrib, Node, NodeId, Rib, ROOT};
+pub use ops::{FallibleSpineOps, Infallible, SpineOps};
 pub use prefix::{PrefixView, SpinePrefix};
+pub use search::{locate, step, try_locate, try_step};

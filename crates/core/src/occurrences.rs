@@ -14,30 +14,48 @@
 //! workload.
 
 use crate::node::NodeId;
-use crate::ops::SpineOps;
-use crate::search::locate;
-use strindex::{Code, FxHashMap};
+use crate::ops::{FallibleSpineOps, Infallible, SpineOps};
+use crate::search::try_locate;
+use strindex::{Code, FxHashMap, Result};
 
 /// End positions (1-based) of all occurrences of `pattern`, ascending.
 pub fn find_all_ends<S: SpineOps + ?Sized>(s: &S, pattern: &[Code]) -> Vec<NodeId> {
-    let Some(first) = locate(s, pattern) else {
-        return Vec::new();
+    try_find_all_ends(&Infallible(s), pattern).expect("in-memory SPINE ops are infallible")
+}
+
+/// Fallible [`find_all_ends`]: a storage failure during the valid-path walk
+/// or the backbone scan surfaces as `Err` instead of a panic.
+pub fn try_find_all_ends<S: FallibleSpineOps + ?Sized>(
+    s: &S,
+    pattern: &[Code],
+) -> Result<Vec<NodeId>> {
+    let Some(first) = try_locate(s, pattern)? else {
+        return Ok(Vec::new());
     };
-    occurrences_from(s, first, pattern.len() as u32)
+    try_occurrences_from(s, first, pattern.len() as u32)
 }
 
 /// Single-target scan: all nodes ending an occurrence of the length-`len`
 /// string whose first occurrence ends at `first`.
 pub fn occurrences_from<S: SpineOps + ?Sized>(s: &S, first: NodeId, len: u32) -> Vec<NodeId> {
+    try_occurrences_from(&Infallible(s), first, len).expect("in-memory SPINE ops are infallible")
+}
+
+/// Fallible [`occurrences_from`].
+pub fn try_occurrences_from<S: FallibleSpineOps + ?Sized>(
+    s: &S,
+    first: NodeId,
+    len: u32,
+) -> Result<Vec<NodeId>> {
     let mut buffer: Vec<NodeId> = vec![first];
     let n = s.text_len() as NodeId;
     for j in first + 1..=n {
-        let (dest, lel) = s.link_of(j);
+        let (dest, lel) = s.try_link_of(j)?;
         if lel >= len && buffer.binary_search(&dest).is_ok() {
             buffer.push(j); // scan order keeps the buffer sorted
         }
     }
-    buffer
+    Ok(buffer)
 }
 
 /// One pattern of a batched all-occurrences request.
@@ -59,6 +77,15 @@ pub fn find_all_ends_batch<S: SpineOps + ?Sized>(
     s: &S,
     targets: &[Target],
 ) -> FxHashMap<Target, Vec<NodeId>> {
+    try_find_all_ends_batch(&Infallible(s), targets).expect("in-memory SPINE ops are infallible")
+}
+
+/// Fallible [`find_all_ends_batch`]: the scan stops at the first storage
+/// failure and surfaces it as `Err` (no partial result escapes).
+pub fn try_find_all_ends_batch<S: FallibleSpineOps + ?Sized>(
+    s: &S,
+    targets: &[Target],
+) -> Result<FxHashMap<Target, Vec<NodeId>>> {
     let mut result: FxHashMap<Target, Vec<NodeId>> = FxHashMap::default();
     // node id -> indices of targets whose buffer contains that node.
     let mut buffered: FxHashMap<NodeId, Vec<u32>> = FxHashMap::default();
@@ -72,12 +99,12 @@ pub fn find_all_ends_batch<S: SpineOps + ?Sized>(
         uniq.push(t);
     }
     if uniq.is_empty() {
-        return result;
+        return Ok(result);
     }
     let start = uniq.iter().map(|t| t.first_end).min().unwrap() + 1;
     let n = s.text_len() as NodeId;
     for j in start..=n {
-        let (dest, lel) = s.link_of(j);
+        let (dest, lel) = s.try_link_of(j)?;
         if lel == 0 {
             continue;
         }
@@ -98,7 +125,7 @@ pub fn find_all_ends_batch<S: SpineOps + ?Sized>(
         }
         buffered.entry(j).or_default().extend(added);
     }
-    result
+    Ok(result)
 }
 
 #[cfg(test)]

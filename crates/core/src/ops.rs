@@ -6,9 +6,19 @@
 //! exposes that structure — vertebra labels, links, ribs, extrib chains —
 //! and the generic algorithms in [`crate::search`], [`crate::occurrences`]
 //! and [`crate::matching`] are written once against it.
+//!
+//! Storage-backed representations can fail mid-traversal (a page read can
+//! error), so there is a second, *fallible* surface: [`FallibleSpineOps`]
+//! returns `Result` from every structural accessor. The in-memory engines
+//! implement it by wrapping their infallible answers in `Ok`;
+//! [`crate::DiskSpine`] implements it by propagating real device errors.
+//! The core traversals ([`crate::search::try_locate`],
+//! [`crate::occurrences::try_find_all_ends`]) are written once against the
+//! fallible surface, and the infallible entry points delegate through the
+//! [`Infallible`] adapter.
 
 use crate::node::NodeId;
-use strindex::{Code, Counters};
+use strindex::{Code, Counters, Result};
 
 /// Read access to a SPINE structure. Node ids are `0..=text_len()`, with 0
 /// the root.
@@ -34,3 +44,113 @@ pub trait SpineOps {
     /// Work counters (see [`strindex::Counters`]).
     fn ops_counters(&self) -> &Counters;
 }
+
+/// Fallible read access to a SPINE structure: every structural accessor can
+/// report a storage error instead of an answer.
+///
+/// This is the surface the concurrent query engine and the fault-tolerant
+/// traversals are written against. In-memory representations cannot fail
+/// and implement it with `Ok(...)` wrappers; [`crate::DiskSpine`] surfaces
+/// buffer-pool/device errors so an injected storage fault degrades a query
+/// to a clean `Err` (and, at the engine level, a `Failed` outcome) instead
+/// of a panic.
+pub trait FallibleSpineOps {
+    /// Number of indexed characters (metadata; never touches storage).
+    fn text_len(&self) -> usize;
+
+    /// Fallible [`SpineOps::vertebra_out`].
+    fn try_vertebra_out(&self, node: NodeId) -> Result<Option<Code>>;
+
+    /// Fallible [`SpineOps::link_of`].
+    fn try_link_of(&self, node: NodeId) -> Result<(NodeId, u32)>;
+
+    /// Fallible [`SpineOps::rib_of`].
+    fn try_rib_of(&self, node: NodeId, c: Code) -> Result<Option<(NodeId, u32)>>;
+
+    /// Fallible [`SpineOps::extrib_of`].
+    fn try_extrib_of(&self, node: NodeId, prt: u32) -> Result<Option<(NodeId, u32)>>;
+
+    /// Work counters (see [`strindex::Counters`]).
+    fn ops_counters(&self) -> &Counters;
+}
+
+/// Adapter viewing any infallible [`SpineOps`] as a [`FallibleSpineOps`]
+/// that never errors. Lets the fallible traversals serve as the single
+/// implementation of the core algorithms.
+pub struct Infallible<'a, S: ?Sized>(pub &'a S);
+
+impl<S: SpineOps + ?Sized> FallibleSpineOps for Infallible<'_, S> {
+    #[inline]
+    fn text_len(&self) -> usize {
+        self.0.text_len()
+    }
+
+    #[inline]
+    fn try_vertebra_out(&self, node: NodeId) -> Result<Option<Code>> {
+        Ok(self.0.vertebra_out(node))
+    }
+
+    #[inline]
+    fn try_link_of(&self, node: NodeId) -> Result<(NodeId, u32)> {
+        Ok(self.0.link_of(node))
+    }
+
+    #[inline]
+    fn try_rib_of(&self, node: NodeId, c: Code) -> Result<Option<(NodeId, u32)>> {
+        Ok(self.0.rib_of(node, c))
+    }
+
+    #[inline]
+    fn try_extrib_of(&self, node: NodeId, prt: u32) -> Result<Option<(NodeId, u32)>> {
+        Ok(self.0.extrib_of(node, prt))
+    }
+
+    #[inline]
+    fn ops_counters(&self) -> &Counters {
+        self.0.ops_counters()
+    }
+}
+
+/// Implements [`FallibleSpineOps`] for in-memory representations whose
+/// [`SpineOps`] accessors cannot fail.
+macro_rules! fallible_from_spine_ops {
+    ($($t:ty),* $(,)?) => {$(
+        impl FallibleSpineOps for $t {
+            #[inline]
+            fn text_len(&self) -> usize {
+                SpineOps::text_len(self)
+            }
+
+            #[inline]
+            fn try_vertebra_out(&self, node: NodeId) -> Result<Option<Code>> {
+                Ok(SpineOps::vertebra_out(self, node))
+            }
+
+            #[inline]
+            fn try_link_of(&self, node: NodeId) -> Result<(NodeId, u32)> {
+                Ok(SpineOps::link_of(self, node))
+            }
+
+            #[inline]
+            fn try_rib_of(&self, node: NodeId, c: Code) -> Result<Option<(NodeId, u32)>> {
+                Ok(SpineOps::rib_of(self, node, c))
+            }
+
+            #[inline]
+            fn try_extrib_of(&self, node: NodeId, prt: u32) -> Result<Option<(NodeId, u32)>> {
+                Ok(SpineOps::extrib_of(self, node, prt))
+            }
+
+            #[inline]
+            fn ops_counters(&self) -> &Counters {
+                SpineOps::ops_counters(self)
+            }
+        }
+    )*};
+}
+
+fallible_from_spine_ops!(
+    crate::build::Spine,
+    crate::compact::CompactSpine,
+    crate::generalized::GeneralizedSpine,
+);

@@ -14,48 +14,76 @@
 
 use crate::build::Spine;
 use crate::node::{NodeId, ROOT};
-use crate::ops::SpineOps;
-use strindex::{Alphabet, Code, StringIndex};
+use crate::ops::{FallibleSpineOps, Infallible, SpineOps};
+use strindex::{Alphabet, Code, Result, StringIndex};
 
-/// One valid-path step: from `node` with current path length `pl`, follow
-/// the edge labeled `c`. Returns the destination, or `None` if no
-/// traversable edge exists (⇒ the extended string is not a substring).
+/// One valid-path step over a fallible structure: from `node` with current
+/// path length `pl`, follow the edge labeled `c`. `Ok(None)` means no
+/// traversable edge exists (⇒ the extended string is not a substring);
+/// `Err` surfaces a storage failure mid-traversal.
 #[inline]
-pub fn step<S: SpineOps + ?Sized>(s: &S, node: NodeId, pl: u32, c: Code) -> Option<NodeId> {
+pub fn try_step<S: FallibleSpineOps + ?Sized>(
+    s: &S,
+    node: NodeId,
+    pl: u32,
+    c: Code,
+) -> Result<Option<NodeId>> {
     s.ops_counters().count_node_check();
     // Vertebras are unconstrained.
-    if s.vertebra_out(node) == Some(c) {
+    if s.try_vertebra_out(node)? == Some(c) {
         s.ops_counters().count_edge();
-        return Some(node + 1);
+        return Ok(Some(node + 1));
     }
-    let (dest, pt) = s.rib_of(node, c)?;
+    let Some((dest, pt)) = s.try_rib_of(node, c)? else {
+        return Ok(None);
+    };
     if pl <= pt {
         s.ops_counters().count_edge();
-        return Some(dest);
+        return Ok(Some(dest));
     }
     // Rib fails the threshold test: follow its extrib chain.
     let prt = pt;
     let mut at = dest;
     loop {
         s.ops_counters().count_extrib();
-        let (edest, ept) = s.extrib_of(at, prt)?;
+        let Some((edest, ept)) = s.try_extrib_of(at, prt)? else {
+            return Ok(None);
+        };
         if ept >= pl {
             s.ops_counters().count_edge();
-            return Some(edest);
+            return Ok(Some(edest));
         }
         at = edest;
     }
+}
+
+/// Walk the valid path for `pattern` over a fallible structure. Returns the
+/// end node of the pattern's first occurrence, `Ok(None)` if the pattern
+/// does not occur, or `Err` on a storage failure.
+pub fn try_locate<S: FallibleSpineOps + ?Sized>(s: &S, pattern: &[Code]) -> Result<Option<NodeId>> {
+    let mut node = ROOT;
+    for (pl, &c) in pattern.iter().enumerate() {
+        match try_step(s, node, pl as u32, c)? {
+            Some(next) => node = next,
+            None => return Ok(None),
+        }
+    }
+    Ok(Some(node))
+}
+
+/// One valid-path step: from `node` with current path length `pl`, follow
+/// the edge labeled `c`. Returns the destination, or `None` if no
+/// traversable edge exists (⇒ the extended string is not a substring).
+#[inline]
+pub fn step<S: SpineOps + ?Sized>(s: &S, node: NodeId, pl: u32, c: Code) -> Option<NodeId> {
+    try_step(&Infallible(s), node, pl, c).expect("in-memory SPINE ops are infallible")
 }
 
 /// Walk the valid path for `pattern`. Returns the end node — which, by the
 /// SPINE invariant, is the 1-based end position of the pattern's first
 /// occurrence — or `None` if the pattern does not occur.
 pub fn locate<S: SpineOps + ?Sized>(s: &S, pattern: &[Code]) -> Option<NodeId> {
-    let mut node = ROOT;
-    for (pl, &c) in pattern.iter().enumerate() {
-        node = step(s, node, pl as u32, c)?;
-    }
-    Some(node)
+    try_locate(&Infallible(s), pattern).expect("in-memory SPINE ops are infallible")
 }
 
 impl Spine {

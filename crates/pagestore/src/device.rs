@@ -1,49 +1,87 @@
-//! Page-granular storage devices.
+//! Page-granular storage devices, plus the fault-injection and retry
+//! wrappers used to prove the stack degrades cleanly under storage failure.
+//!
+//! The wrapper devices compose: a [`RetryDevice`] over a [`FlakyDevice`]
+//! over a [`MemDevice`] is a storage stack that suffers transient faults
+//! and rides them out; a [`FaultyDevice`] injects a *permanent* fault at an
+//! exact operation index, which the `exp faults` crashpoint sweep uses to
+//! hit every I/O site of a recorded trace.
 
-use std::cell::Cell;
 use std::fs::File;
 use std::io::{Read, Seek, SeekFrom, Write};
 use std::path::Path;
-use strindex::Result;
+use std::sync::atomic::{AtomicU64, Ordering::Relaxed};
+use std::time::Duration;
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use strindex::{Error, IoOp, Result};
 
 /// Fixed page size, matching a common filesystem block multiple.
 pub const PAGE_SIZE: usize = 4096;
 
 /// Cumulative I/O counters. Page counts are the hardware-independent
 /// locality signal used to reproduce the shape of the paper's disk results.
+///
+/// Counters are relaxed atomics so devices stay `Send + Sync`-compatible
+/// and can sit behind a shared index serving concurrent queries.
 #[derive(Debug, Default)]
 pub struct IoStats {
-    reads: Cell<u64>,
-    writes: Cell<u64>,
-    syncs: Cell<u64>,
+    reads: AtomicU64,
+    writes: AtomicU64,
+    syncs: AtomicU64,
 }
 
 impl IoStats {
     /// Pages read from the device.
     pub fn reads(&self) -> u64 {
-        self.reads.get()
+        self.reads.load(Relaxed)
     }
 
     /// Pages written to the device.
     pub fn writes(&self) -> u64 {
-        self.writes.get()
+        self.writes.load(Relaxed)
     }
 
     /// Explicit syncs issued (fsync-per-write devices).
     pub fn syncs(&self) -> u64 {
-        self.syncs.get()
+        self.syncs.load(Relaxed)
+    }
+
+    /// Total page operations (reads + writes) — the operation index space
+    /// the crashpoint sweep enumerates.
+    pub fn ops(&self) -> u64 {
+        self.reads() + self.writes()
     }
 
     /// Zero all counters.
     pub fn reset(&self) {
-        self.reads.set(0);
-        self.writes.set(0);
-        self.syncs.set(0);
+        self.reads.store(0, Relaxed);
+        self.writes.store(0, Relaxed);
+        self.syncs.store(0, Relaxed);
+    }
+
+    #[inline]
+    fn count_read(&self) {
+        self.reads.fetch_add(1, Relaxed);
+    }
+
+    #[inline]
+    fn count_write(&self) {
+        self.writes.fetch_add(1, Relaxed);
+    }
+
+    #[inline]
+    fn count_sync(&self) {
+        self.syncs.fetch_add(1, Relaxed);
     }
 }
 
 /// A device storing fixed-size pages addressed by index.
-pub trait PageDevice {
+///
+/// `Send` so a device (and anything built over one) can live behind a
+/// mutex shared across a query-engine worker pool.
+pub trait PageDevice: Send {
     /// Read page `id` into `buf` (must be `PAGE_SIZE` long). Reading a
     /// never-written page yields zeroes.
     fn read_page(&mut self, id: u32, buf: &mut [u8]) -> Result<()>;
@@ -77,7 +115,7 @@ impl MemDevice {
 impl PageDevice for MemDevice {
     fn read_page(&mut self, id: u32, buf: &mut [u8]) -> Result<()> {
         debug_assert_eq!(buf.len(), PAGE_SIZE);
-        self.stats.reads.set(self.stats.reads.get() + 1);
+        self.stats.count_read();
         match self.pages.get(id as usize) {
             Some(p) => buf.copy_from_slice(p),
             None => buf.fill(0),
@@ -87,7 +125,7 @@ impl PageDevice for MemDevice {
 
     fn write_page(&mut self, id: u32, buf: &[u8]) -> Result<()> {
         debug_assert_eq!(buf.len(), PAGE_SIZE);
-        self.stats.writes.set(self.stats.writes.get() + 1);
+        self.stats.count_write();
         while self.pages.len() <= id as usize {
             self.pages.push(vec![0u8; PAGE_SIZE].into_boxed_slice());
         }
@@ -118,15 +156,25 @@ pub struct FileDevice {
 impl FileDevice {
     /// Create (truncate) a device file at `path`.
     pub fn create<P: AsRef<Path>>(path: P, sync_writes: bool) -> Result<Self> {
-        let file = File::options().read(true).write(true).create(true).truncate(true).open(path)?;
+        let file = File::options()
+            .read(true)
+            .write(true)
+            .create(true)
+            .truncate(true)
+            .open(path)
+            .map_err(|e| Error::io(e, IoOp::Meta, None))?;
         Ok(FileDevice { file, pages: 0, sync_writes, stats: IoStats::default() })
     }
 
     /// Open an existing device file at `path`, recovering its page count
     /// from the file length.
     pub fn open<P: AsRef<Path>>(path: P, sync_writes: bool) -> Result<Self> {
-        let file = File::options().read(true).write(true).open(path)?;
-        let len = file.metadata()?.len();
+        let file = File::options()
+            .read(true)
+            .write(true)
+            .open(path)
+            .map_err(|e| Error::io(e, IoOp::Meta, None))?;
+        let len = file.metadata().map_err(|e| Error::io(e, IoOp::Meta, None))?.len();
         let pages = len.div_ceil(PAGE_SIZE as u64) as u32;
         Ok(FileDevice { file, pages, sync_writes, stats: IoStats::default() })
     }
@@ -135,33 +183,35 @@ impl FileDevice {
 impl PageDevice for FileDevice {
     fn read_page(&mut self, id: u32, buf: &mut [u8]) -> Result<()> {
         debug_assert_eq!(buf.len(), PAGE_SIZE);
-        self.stats.reads.set(self.stats.reads.get() + 1);
+        self.stats.count_read();
         if id >= self.pages {
             buf.fill(0);
             return Ok(());
         }
-        self.file.seek(SeekFrom::Start(id as u64 * PAGE_SIZE as u64))?;
-        self.file.read_exact(buf)?;
+        let io = |e| Error::io(e, IoOp::Read, Some(id));
+        self.file.seek(SeekFrom::Start(id as u64 * PAGE_SIZE as u64)).map_err(io)?;
+        self.file.read_exact(buf).map_err(io)?;
         Ok(())
     }
 
     fn write_page(&mut self, id: u32, buf: &[u8]) -> Result<()> {
         debug_assert_eq!(buf.len(), PAGE_SIZE);
-        self.stats.writes.set(self.stats.writes.get() + 1);
+        self.stats.count_write();
+        let io = |e| Error::io(e, IoOp::Write, Some(id));
         if id >= self.pages {
             // Extend with zero pages up to id.
             let zeroes = vec![0u8; PAGE_SIZE];
-            self.file.seek(SeekFrom::Start(self.pages as u64 * PAGE_SIZE as u64))?;
+            self.file.seek(SeekFrom::Start(self.pages as u64 * PAGE_SIZE as u64)).map_err(io)?;
             for _ in self.pages..id {
-                self.file.write_all(&zeroes)?;
+                self.file.write_all(&zeroes).map_err(io)?;
             }
             self.pages = id + 1;
         }
-        self.file.seek(SeekFrom::Start(id as u64 * PAGE_SIZE as u64))?;
-        self.file.write_all(buf)?;
+        self.file.seek(SeekFrom::Start(id as u64 * PAGE_SIZE as u64)).map_err(io)?;
+        self.file.write_all(buf).map_err(io)?;
         if self.sync_writes {
-            self.file.sync_data()?;
-            self.stats.syncs.set(self.stats.syncs.get() + 1);
+            self.file.sync_data().map_err(|e| Error::io(e, IoOp::Sync, Some(id)))?;
+            self.stats.count_sync();
         }
         Ok(())
     }
@@ -172,6 +222,268 @@ impl PageDevice for FileDevice {
 
     fn stats(&self) -> &IoStats {
         &self.stats
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Fault injection and retry.
+// ---------------------------------------------------------------------------
+
+/// A fault-injection wrapper: forwards to an inner device until a budget of
+/// operations is spent, then fails every call with a **permanent** I/O
+/// error. Used by the crashpoint sweep to verify that the buffer pool and
+/// the engines built on it propagate storage failures as `Err` instead of
+/// corrupting state or panicking.
+pub struct FaultyDevice<D: PageDevice> {
+    inner: D,
+    remaining: u64,
+}
+
+impl<D: PageDevice> FaultyDevice<D> {
+    /// Fail every operation after the first `ops_before_failure` succeed.
+    pub fn new(inner: D, ops_before_failure: u64) -> Self {
+        FaultyDevice { inner, remaining: ops_before_failure }
+    }
+
+    fn spend(&mut self, op: IoOp, page: u32) -> Result<()> {
+        if self.remaining == 0 {
+            return Err(Error::io(std::io::Error::other("injected device fault"), op, Some(page)));
+        }
+        self.remaining -= 1;
+        Ok(())
+    }
+}
+
+impl<D: PageDevice> PageDevice for FaultyDevice<D> {
+    fn read_page(&mut self, id: u32, buf: &mut [u8]) -> Result<()> {
+        self.spend(IoOp::Read, id)?;
+        self.inner.read_page(id, buf)
+    }
+
+    fn write_page(&mut self, id: u32, buf: &[u8]) -> Result<()> {
+        self.spend(IoOp::Write, id)?;
+        self.inner.write_page(id, buf)
+    }
+
+    fn page_count(&self) -> u32 {
+        self.inner.page_count()
+    }
+
+    fn stats(&self) -> &IoStats {
+        self.inner.stats()
+    }
+}
+
+enum FlakyMode {
+    /// Each operation fails independently with this probability.
+    Probability { p: f64, rng: SmallRng },
+    /// Operations with index in `[start, start + len)` fail.
+    Burst { start: u64, len: u64 },
+}
+
+/// A device suffering **transient** faults: failed operations return a
+/// retryable error ([`strindex::Error::is_transient`]) and leave the inner
+/// device untouched, so a later attempt of the same operation can succeed.
+/// Deterministic: the probabilistic mode draws from the seeded in-tree
+/// `SmallRng`, and the burst mode fails an exact window of operation
+/// indices.
+pub struct FlakyDevice<D: PageDevice> {
+    inner: D,
+    mode: FlakyMode,
+    attempts: u64,
+}
+
+impl<D: PageDevice> FlakyDevice<D> {
+    /// Fail each operation independently with probability `p` (seeded, so
+    /// the fault schedule is reproducible).
+    pub fn with_probability(inner: D, p: f64, seed: u64) -> Self {
+        assert!((0.0..1.0).contains(&p), "fault probability must be in [0, 1)");
+        FlakyDevice {
+            inner,
+            mode: FlakyMode::Probability { p, rng: SmallRng::seed_from_u64(seed) },
+            attempts: 0,
+        }
+    }
+
+    /// Fail the `len` operations starting at attempt index `start` (a
+    /// single outage burst), succeed everywhere else.
+    pub fn with_burst(inner: D, start: u64, len: u64) -> Self {
+        FlakyDevice { inner, mode: FlakyMode::Burst { start, len }, attempts: 0 }
+    }
+
+    /// Operations attempted so far (including failed ones — retries of one
+    /// logical operation each count).
+    pub fn attempts(&self) -> u64 {
+        self.attempts
+    }
+
+    fn trip(&mut self, op: IoOp, page: u32) -> Result<()> {
+        let k = self.attempts;
+        self.attempts += 1;
+        let fail = match &mut self.mode {
+            FlakyMode::Probability { p, rng } => rng.gen_bool(*p),
+            FlakyMode::Burst { start, len } => k >= *start && k < *start + *len,
+        };
+        if fail {
+            return Err(Error::io(
+                std::io::Error::new(
+                    std::io::ErrorKind::Interrupted,
+                    format!("injected transient device fault (op {k})"),
+                ),
+                op,
+                Some(page),
+            ));
+        }
+        Ok(())
+    }
+}
+
+impl<D: PageDevice> PageDevice for FlakyDevice<D> {
+    fn read_page(&mut self, id: u32, buf: &mut [u8]) -> Result<()> {
+        self.trip(IoOp::Read, id)?;
+        self.inner.read_page(id, buf)
+    }
+
+    fn write_page(&mut self, id: u32, buf: &[u8]) -> Result<()> {
+        self.trip(IoOp::Write, id)?;
+        self.inner.write_page(id, buf)
+    }
+
+    fn page_count(&self) -> u32 {
+        self.inner.page_count()
+    }
+
+    fn stats(&self) -> &IoStats {
+        self.inner.stats()
+    }
+}
+
+/// Retry schedule for a [`RetryDevice`]: bounded exponential backoff with
+/// deterministic jitter.
+#[derive(Debug, Clone, Copy)]
+pub struct RetryPolicy {
+    /// Retries per operation after the initial attempt.
+    pub max_retries: u32,
+    /// Backoff before retry `k` is `base_delay << k` (capped), plus jitter.
+    pub base_delay: Duration,
+    /// Upper bound on any single backoff sleep.
+    pub max_delay: Duration,
+    /// Seed for the jitter generator (deterministic per device instance).
+    pub seed: u64,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy {
+            max_retries: 8,
+            base_delay: Duration::from_millis(1),
+            max_delay: Duration::from_millis(100),
+            seed: 0x5EED,
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// A policy that never sleeps — for tests and in-memory fault drills.
+    pub fn immediate(max_retries: u32) -> Self {
+        RetryPolicy {
+            max_retries,
+            base_delay: Duration::ZERO,
+            max_delay: Duration::ZERO,
+            seed: 0x5EED,
+        }
+    }
+}
+
+/// A retry layer over any [`PageDevice`]: **transient** errors (see
+/// [`strindex::Error::is_transient`]) are retried up to
+/// [`RetryPolicy::max_retries`] times with bounded exponential backoff and
+/// deterministic jitter; permanent errors propagate immediately.
+pub struct RetryDevice<D: PageDevice> {
+    inner: D,
+    policy: RetryPolicy,
+    jitter: SmallRng,
+    retries: u64,
+    exhausted: u64,
+}
+
+impl<D: PageDevice> RetryDevice<D> {
+    /// Wrap `inner` with the given retry schedule.
+    pub fn new(inner: D, policy: RetryPolicy) -> Self {
+        RetryDevice {
+            inner,
+            policy,
+            jitter: SmallRng::seed_from_u64(policy.seed),
+            retries: 0,
+            exhausted: 0,
+        }
+    }
+
+    /// Transient faults absorbed (each is one re-attempted operation).
+    pub fn retries(&self) -> u64 {
+        self.retries
+    }
+
+    /// Operations that stayed transiently failing past the retry budget
+    /// (their final transient error was propagated to the caller).
+    pub fn exhausted(&self) -> u64 {
+        self.exhausted
+    }
+
+    /// The wrapped device.
+    pub fn inner(&self) -> &D {
+        &self.inner
+    }
+
+    fn backoff(&mut self, attempt: u32) {
+        if self.policy.base_delay.is_zero() {
+            return;
+        }
+        let shift = attempt.min(16);
+        let exp = self.policy.base_delay.saturating_mul(1u32 << shift).min(self.policy.max_delay);
+        // Deterministic jitter in [0, exp/2]: decorrelates device instances
+        // without losing reproducibility (the rng is seeded per device).
+        let jitter_ns =
+            if exp.is_zero() { 0 } else { self.jitter.gen_range(0..=exp.as_nanos() as u64 / 2) };
+        std::thread::sleep(exp + Duration::from_nanos(jitter_ns));
+    }
+
+    fn with_retry<T>(&mut self, mut op: impl FnMut(&mut D) -> Result<T>) -> Result<T> {
+        let mut attempt = 0u32;
+        loop {
+            match op(&mut self.inner) {
+                Ok(v) => return Ok(v),
+                Err(e) if e.is_transient() && attempt < self.policy.max_retries => {
+                    self.retries += 1;
+                    self.backoff(attempt);
+                    attempt += 1;
+                }
+                Err(e) => {
+                    if e.is_transient() {
+                        self.exhausted += 1;
+                    }
+                    return Err(e);
+                }
+            }
+        }
+    }
+}
+
+impl<D: PageDevice> PageDevice for RetryDevice<D> {
+    fn read_page(&mut self, id: u32, buf: &mut [u8]) -> Result<()> {
+        self.with_retry(|d| d.read_page(id, buf))
+    }
+
+    fn write_page(&mut self, id: u32, buf: &[u8]) -> Result<()> {
+        self.with_retry(|d| d.write_page(id, buf))
+    }
+
+    fn page_count(&self) -> u32 {
+        self.inner.page_count()
+    }
+
+    fn stats(&self) -> &IoStats {
+        self.inner.stats()
     }
 }
 
@@ -194,6 +506,7 @@ mod tests {
         assert!(dev.page_count() >= 4);
         assert_eq!(dev.stats().reads(), 2);
         assert_eq!(dev.stats().writes(), 1);
+        assert_eq!(dev.stats().ops(), 3);
     }
 
     #[test]
@@ -230,49 +543,34 @@ mod tests {
         assert!(buf.iter().all(|&b| b == 0));
         assert_eq!(dev.page_count(), 0);
     }
-}
 
-/// A fault-injection wrapper: forwards to an inner device until a budget of
-/// operations is spent, then fails every call with an I/O error. Used to
-/// verify that the buffer pool and the engines built on it propagate
-/// storage failures as `Err` instead of corrupting state or panicking.
-pub struct FaultyDevice<D: PageDevice> {
-    inner: D,
-    remaining: u64,
-}
-
-impl<D: PageDevice> FaultyDevice<D> {
-    /// Fail every operation after the first `ops_before_failure` succeed.
-    pub fn new(inner: D, ops_before_failure: u64) -> Self {
-        FaultyDevice { inner, remaining: ops_before_failure }
+    #[test]
+    fn stats_count_from_threads() {
+        let stats = IoStats::default();
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                s.spawn(|| {
+                    for _ in 0..1_000 {
+                        stats.count_read();
+                        stats.count_write();
+                    }
+                });
+            }
+        });
+        assert_eq!(stats.reads(), 4_000);
+        assert_eq!(stats.writes(), 4_000);
+        assert_eq!(stats.ops(), 8_000);
     }
 
-    fn spend(&mut self) -> Result<()> {
-        if self.remaining == 0 {
-            return Err(std::io::Error::other("injected device fault").into());
-        }
-        self.remaining -= 1;
-        Ok(())
-    }
-}
-
-impl<D: PageDevice> PageDevice for FaultyDevice<D> {
-    fn read_page(&mut self, id: u32, buf: &mut [u8]) -> Result<()> {
-        self.spend()?;
-        self.inner.read_page(id, buf)
-    }
-
-    fn write_page(&mut self, id: u32, buf: &[u8]) -> Result<()> {
-        self.spend()?;
-        self.inner.write_page(id, buf)
-    }
-
-    fn page_count(&self) -> u32 {
-        self.inner.page_count()
-    }
-
-    fn stats(&self) -> &IoStats {
-        self.inner.stats()
+    #[test]
+    fn devices_are_send() {
+        fn is_send<T: Send>() {}
+        is_send::<MemDevice>();
+        is_send::<FileDevice>();
+        is_send::<FaultyDevice<MemDevice>>();
+        is_send::<FlakyDevice<MemDevice>>();
+        is_send::<RetryDevice<FlakyDevice<MemDevice>>>();
+        is_send::<Box<dyn PageDevice>>();
     }
 }
 
@@ -289,5 +587,79 @@ mod faulty_tests {
         assert!(d.write_page(2, &buf).is_err());
         let mut rbuf = [0u8; PAGE_SIZE];
         assert!(d.read_page(0, &mut rbuf).is_err());
+    }
+
+    #[test]
+    fn hard_faults_are_permanent_and_contextual() {
+        let mut d = FaultyDevice::new(MemDevice::new(), 0);
+        let mut buf = [0u8; PAGE_SIZE];
+        let e = d.read_page(7, &mut buf).unwrap_err();
+        assert!(!e.is_transient());
+        let msg = e.to_string();
+        assert!(msg.contains("read of page 7"), "{msg}");
+    }
+
+    #[test]
+    fn flaky_burst_fails_exact_window() {
+        let mut d = FlakyDevice::with_burst(MemDevice::new(), 2, 3);
+        let buf = [0u8; PAGE_SIZE];
+        assert!(d.write_page(0, &buf).is_ok()); // op 0
+        assert!(d.write_page(1, &buf).is_ok()); // op 1
+        for _ in 0..3 {
+            let e = d.write_page(2, &buf).unwrap_err(); // ops 2..5 fail
+            assert!(e.is_transient());
+        }
+        assert!(d.write_page(2, &buf).is_ok()); // op 5: burst over
+        assert_eq!(d.attempts(), 6);
+        // The inner device saw only the successful operations.
+        assert_eq!(d.stats().writes(), 3);
+    }
+
+    #[test]
+    fn flaky_probability_is_deterministic_per_seed() {
+        let schedule = |seed: u64| -> Vec<bool> {
+            let mut d = FlakyDevice::with_probability(MemDevice::new(), 0.3, seed);
+            let buf = [0u8; PAGE_SIZE];
+            (0..64).map(|_| d.write_page(0, &buf).is_ok()).collect()
+        };
+        assert_eq!(schedule(1), schedule(1));
+        assert_ne!(schedule(1), schedule(2));
+        let fails = schedule(1).iter().filter(|ok| !**ok).count();
+        assert!((5..30).contains(&fails), "p=0.3 over 64 ops failed {fails} times");
+    }
+
+    #[test]
+    fn retry_rides_out_transient_burst() {
+        let flaky = FlakyDevice::with_burst(MemDevice::new(), 1, 3);
+        let mut d = RetryDevice::new(flaky, RetryPolicy::immediate(4));
+        let buf = [1u8; PAGE_SIZE];
+        d.write_page(0, &buf).unwrap(); // op 0 clean
+        d.write_page(1, &buf).unwrap(); // ops 1..4 transient, absorbed
+        assert_eq!(d.retries(), 3);
+        assert_eq!(d.exhausted(), 0);
+        let mut rbuf = [0u8; PAGE_SIZE];
+        d.read_page(1, &mut rbuf).unwrap();
+        assert_eq!(rbuf[0], 1);
+    }
+
+    #[test]
+    fn retry_budget_exhaustion_propagates_transient_error() {
+        let flaky = FlakyDevice::with_burst(MemDevice::new(), 0, 100);
+        let mut d = RetryDevice::new(flaky, RetryPolicy::immediate(3));
+        let buf = [0u8; PAGE_SIZE];
+        let e = d.write_page(0, &buf).unwrap_err();
+        assert!(e.is_transient());
+        assert_eq!(d.retries(), 3);
+        assert_eq!(d.exhausted(), 1);
+    }
+
+    #[test]
+    fn retry_does_not_mask_permanent_faults() {
+        let faulty = FaultyDevice::new(MemDevice::new(), 0);
+        let mut d = RetryDevice::new(faulty, RetryPolicy::immediate(8));
+        let buf = [0u8; PAGE_SIZE];
+        let e = d.write_page(0, &buf).unwrap_err();
+        assert!(!e.is_transient());
+        assert_eq!(d.retries(), 0, "permanent faults must not be retried");
     }
 }

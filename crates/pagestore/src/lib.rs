@@ -23,7 +23,10 @@ pub mod paged;
 pub mod policy;
 pub mod pool;
 
-pub use device::{FaultyDevice, FileDevice, IoStats, MemDevice, PageDevice, PAGE_SIZE};
+pub use device::{
+    FaultyDevice, FileDevice, FlakyDevice, IoStats, MemDevice, PageDevice, RetryDevice,
+    RetryPolicy, PAGE_SIZE,
+};
 pub use paged::PagedVec;
 pub use policy::{Clock, EvictionPolicy, Fifo, Lru, PrefixPriority};
 pub use pool::BufferPool;

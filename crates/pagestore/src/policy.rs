@@ -9,7 +9,10 @@
 
 /// Chooses which frame to evict. Frames are dense indices `0..capacity`;
 /// the pool reports every access and load.
-pub trait EvictionPolicy {
+///
+/// `Send` so pools (and the disk indexes built over them) can move across
+/// threads and live behind a mutex shared by a worker pool.
+pub trait EvictionPolicy: Send {
     /// A page already resident in `frame` was accessed.
     fn on_access(&mut self, frame: usize, page: u32);
 

@@ -3,7 +3,7 @@
 use crate::device::{IoStats, PageDevice, PAGE_SIZE};
 use crate::policy::EvictionPolicy;
 use std::cell::Cell;
-use strindex::{FxHashMap, Result};
+use strindex::{FxHashMap, IoOp, Result};
 
 struct Frame {
     page: u32,
@@ -96,13 +96,17 @@ impl BufferPool {
             let victim = self.policy.victim();
             let old = &mut self.frames[victim];
             if old.dirty {
-                self.device.write_page(old.page, &old.data)?;
+                self.device
+                    .write_page(old.page, &old.data)
+                    .map_err(|e| e.with_io_context(IoOp::Write, old.page))?;
                 old.dirty = false;
             }
             self.map.remove(&old.page);
             victim
         };
-        self.device.read_page(page, &mut self.frames[frame].data)?;
+        self.device
+            .read_page(page, &mut self.frames[frame].data)
+            .map_err(|e| e.with_io_context(IoOp::Read, page))?;
         self.frames[frame].page = page;
         self.frames[frame].dirty = false;
         self.map.insert(page, frame);
@@ -127,7 +131,9 @@ impl BufferPool {
     pub fn flush(&mut self) -> Result<()> {
         for frame in &mut self.frames {
             if frame.dirty {
-                self.device.write_page(frame.page, &frame.data)?;
+                self.device
+                    .write_page(frame.page, &frame.data)
+                    .map_err(|e| e.with_io_context(IoOp::Flush, frame.page))?;
                 frame.dirty = false;
             }
         }

@@ -1,7 +1,12 @@
 //! Fault-injection tests: storage failures must surface as errors, never
-//! panics or silent corruption.
+//! panics or silent corruption — and transient ones must be absorbable by
+//! the retry layer without the pool noticing.
 
-use pagestore::{BufferPool, FaultyDevice, Lru, MemDevice, PagedVec, PAGE_SIZE};
+use pagestore::{
+    BufferPool, FaultyDevice, FlakyDevice, Lru, MemDevice, PagedVec, RetryDevice, RetryPolicy,
+    PAGE_SIZE,
+};
+use strindex::IoOp;
 
 #[test]
 fn pool_propagates_read_faults() {
@@ -45,4 +50,62 @@ fn flush_fault_is_an_error() {
     let mut pool = BufferPool::new(Box::new(dev), 2, Box::<Lru>::default());
     pool.write(0, |b| b[0] = 7).unwrap(); // op 1 (read on miss)
     assert!(pool.flush().is_err()); // write is op 2 → fault
+}
+
+#[test]
+fn pool_errors_carry_operation_context() {
+    let dev = FaultyDevice::new(MemDevice::new(), 3);
+    let mut pool = BufferPool::new(Box::new(dev), 2, Box::<Lru>::default());
+    pool.read(0, |_| ()).unwrap();
+    pool.read(1, |_| ()).unwrap();
+    pool.read(2, |_| ()).unwrap();
+    let err = pool.read(7, |_| ()).unwrap_err();
+    let ctx = err.io_context().expect("pool reads must annotate their errors");
+    assert_eq!(ctx.op, IoOp::Read);
+    assert_eq!(ctx.page, Some(7));
+    let msg = err.to_string();
+    assert!(msg.contains("read of page 7"), "context missing from message: {msg}");
+    assert!(msg.contains("permanent"), "hard faults must read as permanent: {msg}");
+}
+
+#[test]
+fn retry_layer_hides_transient_faults_from_the_pool() {
+    // Ops 5..25 fail transiently; 8 retries per op ride out any schedule
+    // where at least one attempt in 9 lands outside the burst — here each
+    // retried op eventually exits the window as attempts advance.
+    let flaky = FlakyDevice::with_burst(MemDevice::new(), 5, 4);
+    let retry = RetryDevice::new(flaky, RetryPolicy::immediate(8));
+    let mut vec = PagedVec::new(Box::new(retry), 1, Box::<Lru>::default(), PAGE_SIZE / 4);
+    let records = 24;
+    for i in 0..records {
+        let idx = vec.push_zeroed().unwrap();
+        vec.write(idx, |r| r[0] = i as u8).unwrap();
+    }
+    vec.flush().unwrap();
+    for i in 0..records {
+        assert_eq!(vec.read(i, |r| r[0]).unwrap(), i as u8, "record {i} corrupted");
+    }
+}
+
+#[test]
+fn retry_layer_does_not_hide_permanent_faults() {
+    // A permanent fault after 2 ops: the retry layer must give up at once.
+    let faulty = FaultyDevice::new(MemDevice::new(), 2);
+    let retry = RetryDevice::new(faulty, RetryPolicy::immediate(8));
+    let mut pool = BufferPool::new(Box::new(retry), 1, Box::<Lru>::default());
+    pool.read(0, |_| ()).unwrap();
+    pool.read(1, |_| ()).unwrap();
+    let err = pool.read(2, |_| ()).unwrap_err();
+    assert!(!err.is_transient());
+}
+
+#[test]
+fn exhausted_retry_budget_propagates_the_transient_error() {
+    // Every op fails: even 8 retries cannot save the first read.
+    let flaky = FlakyDevice::with_burst(MemDevice::new(), 0, u64::MAX);
+    let retry = RetryDevice::new(flaky, RetryPolicy::immediate(8));
+    let mut pool = BufferPool::new(Box::new(retry), 1, Box::<Lru>::default());
+    let err = pool.read(0, |_| ()).unwrap_err();
+    assert!(err.is_transient(), "the last transient error is what the caller sees");
+    assert!(err.to_string().contains("transient"), "taxonomy visible in message");
 }

@@ -27,6 +27,6 @@ pub mod traits;
 pub use algo::{longest_common_substring, maximal_unique_matches};
 pub use alphabet::{Alphabet, AlphabetKind, Code};
 pub use counters::{Counters, CountersSnapshot};
-pub use error::{Error, Result};
+pub use error::{Error, IoContext, IoOp, Result};
 pub use hash::{FxHashMap, FxHashSet, FxHasher};
 pub use traits::{Match, MatchingIndex, MatchingStats, MaximalMatch, OnlineIndex, StringIndex};

@@ -21,7 +21,8 @@ fn main() {
     let index = Arc::new(Spine::build(p.alphabet(), &text).unwrap());
     println!("indexed {} bp; starting 4 workers", text.len());
 
-    let engine = QueryEngine::new(Arc::clone(&index), EngineConfig { workers: 4, batch_max: 32 });
+    let cfg = EngineConfig { workers: 4, batch_max: 32, ..Default::default() };
+    let engine = QueryEngine::new(Arc::clone(&index), cfg);
 
     // Simulate request traffic: several client threads submit interleaved
     // pattern lookups against the one engine.
@@ -33,7 +34,9 @@ fn main() {
             let patterns = &patterns;
             s.spawn(move || {
                 for i in 0..patterns.len() / 4 {
-                    engine.submit(patterns[(client + 4 * i) % patterns.len()].clone());
+                    engine
+                        .submit(patterns[(client + 4 * i) % patterns.len()].clone())
+                        .expect("default shed policy blocks rather than rejecting");
                 }
             });
         }
@@ -42,7 +45,7 @@ fn main() {
     // Collect every answer. Results carry their pattern and all occurrence
     // positions (identical to a serial scan, in ascending order).
     let results = engine.drain();
-    let hits: usize = results.iter().map(|r| r.ends.len()).sum();
+    let hits: usize = results.iter().map(|r| r.expect_ends().len()).sum();
     println!("{} queries answered, {} total occurrences", results.len(), hits);
 
     let m = engine.metrics();
@@ -61,20 +64,19 @@ fn main() {
     // Sharded mode: documents partitioned across generalized indexes,
     // patterns broadcast, answers merged into global document coordinates.
     let docs: Vec<Vec<Code>> = text.chunks(4_096).map(|c| c.to_vec()).collect();
-    let sharded =
-        ShardedEngine::build(p.alphabet(), &docs, 3, EngineConfig { workers: 2, batch_max: 32 })
-            .unwrap();
+    let shard_cfg = EngineConfig { workers: 2, batch_max: 32, ..Default::default() };
+    let sharded = ShardedEngine::build(p.alphabet(), &docs, 3, shard_cfg).unwrap();
     println!("\nsharded: {} documents across {} shards", docs.len(), sharded.shard_count());
     for pat in &patterns[..3] {
-        sharded.submit(pat.clone());
+        sharded.submit(pat.clone()).unwrap();
     }
     for r in sharded.drain() {
         println!(
             "pattern of length {:>2}: {:>3} occurrences in {} documents",
             r.pattern.len(),
-            r.matches.len(),
+            r.expect_matches().len(),
             {
-                let mut d: Vec<usize> = r.matches.iter().map(|m| m.doc).collect();
+                let mut d: Vec<usize> = r.expect_matches().iter().map(|m| m.doc).collect();
                 d.dedup();
                 d.len()
             }

@@ -17,4 +17,11 @@ cargo test -q --workspace
 echo "== exp verify (invariants + cross-engine agreement, eco-sim & friends)"
 cargo run --release -q -p spine-bench --bin exp -- verify
 
+echo "== exp faults --quick (crashpoint sweep + retry layer vs oracle)"
+cargo run --release -q -p spine-bench --bin exp -- faults --quick
+
+echo "== fault-tolerance integration tests"
+cargo test -q --test fault_tolerance
+cargo test -q -p pagestore --test faults
+
 echo "CI green."

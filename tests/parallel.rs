@@ -92,7 +92,8 @@ fn query_engine_stress_many_submitters() {
         (0..48).map(|i| text[(i * 131) % (text.len() - 10)..][..3 + i % 8].to_vec()).collect();
     let serial: Vec<Vec<u32>> = patterns.iter().map(|p| find_all_ends(index.as_ref(), p)).collect();
 
-    let engine = QueryEngine::new(Arc::clone(&index), EngineConfig { workers: 4, batch_max: 8 });
+    let cfg = EngineConfig { workers: 4, batch_max: 8, ..Default::default() };
+    let engine = QueryEngine::new(Arc::clone(&index), cfg);
     let submitters = 6;
     thread::scope(|s| {
         for t in 0..submitters {
@@ -102,7 +103,9 @@ fn query_engine_stress_many_submitters() {
                 // Each thread submits every pattern, at a thread-specific
                 // rotation so the queue interleaves differently.
                 for i in 0..patterns.len() {
-                    engine.submit(patterns[(i + t * 7) % patterns.len()].clone());
+                    engine
+                        .submit(patterns[(i + t * 7) % patterns.len()].clone())
+                        .expect("default shed policy blocks rather than rejecting");
                 }
             });
         }
@@ -113,7 +116,7 @@ fn query_engine_stress_many_submitters() {
     assert_eq!(results.len(), submitters * patterns.len());
     for r in &results {
         let i = patterns.iter().position(|p| *p == r.pattern).unwrap();
-        assert_eq!(r.ends, serial[i], "pattern {:?}", r.pattern);
+        assert_eq!(r.expect_ends(), serial[i], "pattern {:?}", r.pattern);
     }
     // Order-normalized equivalence: each distinct pattern was answered once
     // per submission, i.e. `submitters` × its multiplicity in the list.
@@ -136,14 +139,15 @@ fn query_engine_drain_races_with_submit() {
     let p = preset("eco-sim").unwrap();
     let text = p.generate(0.001);
     let index = Arc::new(Spine::build(p.alphabet(), &text).unwrap());
-    let engine = QueryEngine::new(index, EngineConfig { workers: 2, batch_max: 4 });
+    let cfg = EngineConfig { workers: 2, batch_max: 4, ..Default::default() };
+    let engine = QueryEngine::new(index, cfg);
 
     let total = 200usize;
     let drained = thread::scope(|s| {
         let e = &engine;
         s.spawn(move |_| {
             for i in 0..total {
-                e.submit(text[(i * 37) % (text.len() - 6)..][..5].to_vec());
+                e.submit(text[(i * 37) % (text.len() - 6)..][..5].to_vec()).unwrap();
             }
         });
         // Drain concurrently; whatever this drain misses, a final drain
