@@ -7,8 +7,12 @@
 //!     [--scale F]      dataset scale factor vs the paper's lengths (default 0.02)
 //!     [--threshold N]  maximal-match length threshold (default 20)
 //!     [--workers N]    worker threads for the `serve` experiment (default 4)
-//!     [--quick]        stride the `faults` crashpoint sweep (CI-sized)
+//!     [--quick]        stride the `faults` crashpoint sweep (CI-sized);
+//!                      shrink the `--metrics` workload likewise
 //!     [--json]         machine-readable row output
+//!     [--metrics]      `serve` only: instrumented run with the telemetry
+//!                      registry attached; prints a JSON MetricsReport and
+//!                      asserts the ledger + stage-timing invariants
 //!     [--sync-file]    use a real file device with fsync-per-write for disk runs
 //! ```
 //!
@@ -32,12 +36,21 @@ struct Opts {
     workers: usize,
     quick: bool,
     json: bool,
+    metrics: bool,
     sync_file: bool,
 }
 
 impl Default for Opts {
     fn default() -> Self {
-        Opts { scale: 0.02, threshold: 20, workers: 4, quick: false, json: false, sync_file: false }
+        Opts {
+            scale: 0.02,
+            threshold: 20,
+            workers: 4,
+            quick: false,
+            json: false,
+            metrics: false,
+            sync_file: false,
+        }
     }
 }
 
@@ -69,6 +82,10 @@ fn main() {
                 opts.json = true;
                 i += 1;
             }
+            "--metrics" => {
+                opts.metrics = true;
+                i += 1;
+            }
             "--sync-file" => {
                 opts.sync_file = true;
                 i += 1;
@@ -85,7 +102,7 @@ fn main() {
 fn usage() -> ! {
     eprintln!(
         "usage: exp <table2|table3|table4|fig6|table5|table6|fig7|fig8|table7|protein|space|buffering|serve|faults|verify|figures|all> \
-         [--scale F] [--threshold N] [--workers N] [--quick] [--json] [--sync-file]"
+         [--scale F] [--threshold N] [--workers N] [--quick] [--json] [--metrics] [--sync-file]"
     );
     std::process::exit(2);
 }
@@ -531,26 +548,33 @@ fn buffering(opts: &Opts) {
 // one-scan-per-pattern loop against the worker-pool engine, which coalesces
 // admitted patterns into shared backbone scans.
 // ---------------------------------------------------------------------------
+/// The `serve` traffic: window patterns (hits, occurrence-heavy) plus
+/// reversed variants (mostly misses) — each submitted several times, as a
+/// query server would see repeated traffic.
+fn serve_workload(d: &Dataset, windows: usize, cycles: usize) -> Vec<Vec<strindex::Code>> {
+    let mut pats: Vec<Vec<strindex::Code>> = (0..windows)
+        .map(|i| d.seq[i * 883 % (d.seq.len() - 20)..][..12 + i % 8].to_vec())
+        .collect();
+    for i in 0..windows / 4 {
+        let mut p = pats[i].clone();
+        p.reverse();
+        pats.push(p);
+    }
+    pats.iter().cycle().take(pats.len() * cycles).cloned().collect()
+}
+
 fn serve(opts: &Opts) {
     use spine::engine::{EngineConfig, QueryEngine};
     use spine::occurrences::find_all_ends;
     use std::sync::Arc;
 
+    if opts.metrics {
+        return serve_metrics(opts);
+    }
+
     let d = Dataset::generate("hc21-sim", opts.scale);
     let index = Arc::new(Spine::build(d.alphabet.clone(), &d.seq).unwrap());
-
-    // Workload: window patterns (hits, occurrence-heavy) plus reversed
-    // variants (mostly misses) — each submitted several times, as a query
-    // server would see repeated traffic.
-    let mut pats: Vec<Vec<strindex::Code>> =
-        (0..256).map(|i| d.seq[i * 883 % (d.seq.len() - 20)..][..12 + i % 8].to_vec()).collect();
-    for i in 0..64 {
-        let mut p = pats[i].clone();
-        p.reverse();
-        pats.push(p);
-    }
-    let workload: Vec<Vec<strindex::Code>> =
-        pats.iter().cycle().take(pats.len() * 4).cloned().collect();
+    let workload = serve_workload(&d, 256, 4);
 
     let (serial_hits, t_serial) =
         time(|| workload.iter().map(|p| find_all_ends(index.as_ref(), p).len()).sum::<usize>());
@@ -589,6 +613,93 @@ fn serve(opts: &Opts) {
         "Serve — batched-concurrent throughput vs serial scan (hc21-sim)",
         &rows,
         opts.json,
+    );
+}
+
+// ---------------------------------------------------------------------------
+// Serve --metrics: the observability layer exercised end to end. A plain
+// engine and a telemetry-attached engine answer the same workload; the run
+// reports telemetry overhead, checks the ledger invariant on the final
+// snapshot, and checks that the per-stage busy time respects the
+// `workers × wall` ceiling. Output is one JSON MetricsReport.
+// ---------------------------------------------------------------------------
+fn serve_metrics(opts: &Opts) {
+    use spine::engine::{EngineConfig, QueryEngine};
+    use spine::telemetry::{MetricsRegistry, Stage};
+    use spine_bench::MetricsReport;
+    use std::sync::Arc;
+
+    let scale = if opts.quick { opts.scale * 0.25 } else { opts.scale };
+    let cycles = if opts.quick { 2 } else { 4 };
+    let d = Dataset::generate("hc21-sim", scale);
+    let index = Arc::new(Spine::build(d.alphabet.clone(), &d.seq).unwrap());
+    let workload = serve_workload(&d, 256, cycles);
+    let cfg = EngineConfig { workers: opts.workers, batch_max: 64, ..Default::default() };
+
+    let run = |engine: &QueryEngine<Spine>| {
+        let (results, t) = time(|| {
+            for admitted in engine.submit_batch(workload.iter().cloned()) {
+                admitted.expect("default shed policy blocks rather than rejecting");
+            }
+            engine.drain()
+        });
+        let hits: usize = results.iter().map(|r| r.expect_ends().len()).sum();
+        (hits, t)
+    };
+
+    // Warmup pass (untimed): fault the index into cache so the plain run
+    // doesn't pay the cold-start cost the instrumented run then skips.
+    run(&QueryEngine::new(Arc::clone(&index), cfg));
+
+    // Baseline: same engine, no registry — what telemetry costs is the
+    // difference between these two runs.
+    let plain = QueryEngine::new(Arc::clone(&index), cfg);
+    let (plain_hits, t_plain) = run(&plain);
+
+    let registry = Arc::new(MetricsRegistry::new());
+    let engine = QueryEngine::with_telemetry(Arc::clone(&index), cfg, Arc::clone(&registry));
+    let (hits, t) = run(&engine);
+    assert_eq!(hits, plain_hits, "instrumented engine diverges from plain engine");
+
+    let m = engine.metrics();
+    assert!(m.is_consistent(), "ledger invariant violated: {m:?}");
+    assert_eq!(m.completed, workload.len() as u64, "not every query completed");
+
+    let snap = registry.snapshot();
+    for stage in [Stage::BatchFormation, Stage::IndexScan, Stage::ResultMerge] {
+        let h = snap.stage(stage).expect("stage histogram registered");
+        assert!(!h.is_empty(), "empty histogram for {}", stage.metric_name());
+    }
+    let lat = snap.histogram("engine.query_latency").expect("latency histogram");
+    assert_eq!(lat.count, workload.len() as u64, "latency histogram misses queries");
+
+    let report = MetricsReport {
+        workers: opts.workers,
+        queries: workload.len() as u64,
+        wall_s: secs(t),
+        baseline_wall_s: secs(t_plain),
+        submitted: m.submitted,
+        completed: m.completed,
+        shed: m.shed,
+        timed_out: m.timed_out,
+        failed: m.failed,
+        ledger_consistent: m.is_consistent(),
+        registry: snap,
+    };
+    assert!(
+        report.stages_bounded(),
+        "stage timings exceed workers × wall: busy {:.4}s > bound {:.4}s",
+        report.busy_stage_s(),
+        report.busy_bound_s()
+    );
+    println!("{}", report.to_json());
+    eprintln!(
+        "OK: {} queries, {:.0} qps, telemetry overhead {:+.1}%, busy stages {:.4}s <= {:.4}s",
+        report.queries,
+        report.qps(),
+        report.overhead_pct(),
+        report.busy_stage_s(),
+        report.busy_bound_s()
     );
 }
 

@@ -11,7 +11,7 @@ pub mod report;
 
 pub use datasets::{dna_presets, protein_presets, query_for, Dataset};
 pub use faults::{crashpoint_sweep, SweepReport};
-pub use report::{print_table, Row};
+pub use report::{print_table, MetricsReport, Row};
 
 use std::time::{Duration, Instant};
 

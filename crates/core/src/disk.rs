@@ -19,11 +19,13 @@
 //! `SpineOps` takes `&self`, so the pool lives behind a mutex.
 
 use std::sync::atomic::{AtomicU64, Ordering::Relaxed};
+use std::sync::{Arc, OnceLock};
 
 use crate::node::{NodeId, ROOT};
 use crate::ops::{FallibleSpineOps, SpineOps};
-use pagestore::{EvictionPolicy, PageDevice, PagedVec};
+use pagestore::{CacheStats, EvictionPolicy, PageDevice, PagedVec};
 use parking_lot::Mutex;
+use strindex::telemetry::{Counter, Histogram, MetricsRegistry};
 use strindex::{
     Alphabet, Code, Counters, Error, FxHashMap, MatchingIndex, MatchingStats, MaximalMatch,
     OnlineIndex, Result, StringIndex,
@@ -73,6 +75,19 @@ fn put_u32(r: &mut [u8], off: usize, v: u32) {
     r[off..off + 4].copy_from_slice(&v.to_le_bytes());
 }
 
+/// Registry handles for per-query disk accounting
+/// ([`DiskSpine::attach_telemetry`]).
+struct DiskTelemetry {
+    /// The pool's shared cache counters, sampled around each query to turn
+    /// cumulative hits+misses into a per-query page-touch count.
+    cache: Arc<CacheStats>,
+    /// Pages touched per `try_locate`/`try_find_all` ("disk.pages_per_query").
+    pages_per_query: Arc<Histogram>,
+    /// Extrib lookups that fell through to the spill side table
+    /// ("disk.spill_lookups").
+    spill_lookups: Arc<Counter>,
+}
+
 /// A SPINE index whose node table lives on a page device.
 pub struct DiskSpine {
     alphabet: Alphabet,
@@ -83,6 +98,7 @@ pub struct DiskSpine {
     spill_count: AtomicU64,
     len: usize,
     counters: Counters,
+    telemetry: OnceLock<DiskTelemetry>,
 }
 
 impl DiskSpine {
@@ -105,6 +121,7 @@ impl DiskSpine {
             spill_count: AtomicU64::new(0),
             len: 0,
             counters: Counters::new(),
+            telemetry: OnceLock::new(),
         })
     }
 
@@ -163,6 +180,39 @@ impl DiskSpine {
         &self.counters
     }
 
+    /// Wire this index's storage accounting into `registry`: the buffer
+    /// pool's hit/miss/eviction counts as `disk.pool.*` gauges, pages
+    /// touched per query as the `disk.pages_per_query` histogram, and spill
+    /// side-table consultations as the `disk.spill_lookups` counter.
+    ///
+    /// Attach once, before serving; later calls keep the first hookup.
+    pub fn attach_telemetry(&self, registry: &MetricsRegistry) {
+        let records = self.records.lock();
+        records.pool().attach_telemetry(registry, "disk.pool");
+        let _ = self.telemetry.set(DiskTelemetry {
+            cache: records.pool().stats_handle(),
+            pages_per_query: registry.histogram("disk.pages_per_query"),
+            spill_lookups: registry.counter("disk.spill_lookups"),
+        });
+    }
+
+    /// Pool accesses so far, if telemetry is attached — the before/after
+    /// sample that turns cumulative counters into a per-query delta.
+    /// Concurrent queries share the counters, so a query racing others may
+    /// attribute their page touches to itself; per-query numbers are exact
+    /// in single-query flows (the `exp disk` experiments) and an upper
+    /// bound under concurrency.
+    fn sample_accesses(&self) -> Option<u64> {
+        self.telemetry.get().map(|t| t.cache.snapshot().accesses())
+    }
+
+    fn record_query_pages(&self, before: Option<u64>) {
+        if let (Some(t), Some(b)) = (self.telemetry.get(), before) {
+            let after = t.cache.snapshot().accesses();
+            t.pages_per_query.record_value(after.saturating_sub(b));
+        }
+    }
+
     // ----- record access ----------------------------------------------------
     //
     // Every accessor returns `Result`: the records live behind a buffer pool
@@ -205,6 +255,9 @@ impl DiskSpine {
             None
         })?;
         Ok(inline.or_else(|| {
+            if let Some(t) = self.telemetry.get() {
+                t.spill_lookups.incr();
+            }
             self.spill
                 .lock()
                 .get(&node)
@@ -321,7 +374,10 @@ impl DiskSpine {
     /// Fallible [`crate::search::locate`]: the end node of `pattern`'s first
     /// occurrence, `Ok(None)` if absent, `Err` on a storage failure.
     pub fn try_locate(&self, pattern: &[Code]) -> Result<Option<NodeId>> {
-        crate::search::try_locate(self, pattern)
+        let before = self.sample_accesses();
+        let r = crate::search::try_locate(self, pattern);
+        self.record_query_pages(before);
+        r
     }
 
     /// Fallible [`StringIndex::find_all`]: start offsets of every occurrence,
@@ -332,10 +388,10 @@ impl DiskSpine {
         if pattern.is_empty() {
             return Ok(Vec::new());
         }
-        Ok(crate::occurrences::try_find_all_ends(self, pattern)?
-            .into_iter()
-            .map(|end| end as usize - pattern.len())
-            .collect())
+        let before = self.sample_accesses();
+        let r = crate::occurrences::try_find_all_ends(self, pattern);
+        self.record_query_pages(before);
+        Ok(r?.into_iter().map(|end| end as usize - pattern.len()).collect())
     }
 }
 
@@ -547,6 +603,29 @@ mod tests {
     }
 
     #[test]
+    fn telemetry_accounts_pages_and_pool_state() {
+        let text = b"AACCACAACAGGTTACGACGACCA".repeat(8);
+        let (a, d) = disk(&text, 1); // single-frame pool: every hop touches a page
+        let reg = MetricsRegistry::new();
+        d.attach_telemetry(&reg);
+        d.try_find_all(&a.encode(b"ACGACG").unwrap()).unwrap();
+        d.try_locate(&a.encode(b"CA").unwrap()).unwrap();
+        let snap = reg.snapshot();
+        let pages = snap.histogram("disk.pages_per_query").unwrap();
+        assert_eq!(pages.count, 2);
+        assert!(pages.max > 0, "queries under pressure must touch pages");
+        // Pool gauges are live views of the same pool the queries used.
+        let hits = snap.gauge("disk.pool.hits").unwrap();
+        let misses = snap.gauge("disk.pool.misses").unwrap();
+        let (h, m) = d.pool_counts();
+        assert_eq!((hits, misses), (h, m));
+        assert!(snap.gauge("disk.pool.evictions").unwrap() > 0);
+        // Registered at attach time (counts consultations of the side
+        // table, i.e. extrib lookups the inline slots could not answer).
+        assert!(snap.counter("disk.spill_lookups").is_some());
+    }
+
+    #[test]
     fn try_find_all_matches_infallible_surface() {
         let text = b"AACCACAACAGGTTACGACGACCA".repeat(4);
         let (a, d) = disk(&text, 2);
@@ -655,6 +734,7 @@ impl DiskSpine {
             spill: Mutex::new(spill),
             len,
             counters: Counters::new(),
+            telemetry: OnceLock::new(),
         })
     }
 }

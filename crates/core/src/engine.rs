@@ -23,9 +23,16 @@
 //!   `drain` never hangs;
 //! * a **metrics surface** ([`MetricsSnapshot`]) aggregating the index's
 //!   [`strindex::Counters`] with per-worker batch statistics, the observed
-//!   queue depth, and the fate of every request. The accounting invariant
-//!   `completed + shed + timed_out + failed == submitted` always holds once
-//!   the engine is idle.
+//!   queue depth, and the fate of every request. The request ledger lives
+//!   under the state lock and is snapshotted atomically, so
+//!   `completed + shed + timed_out + failed + pending + in_flight ==
+//!   submitted` holds on *every* snapshot, not just at idle;
+//! * an optional **telemetry hookup** ([`QueryEngine::with_telemetry`]):
+//!   given a shared [`MetricsRegistry`], the engine records per-stage
+//!   latency histograms ([`Stage::AdmissionWait`], [`Stage::BatchFormation`],
+//!   [`Stage::IndexScan`], [`Stage::ResultMerge`]), end-to-end query
+//!   latencies, batch sizes, and per-query/per-batch tracing spans. Engines
+//!   built with [`QueryEngine::new`] record nothing and pay nothing.
 //!
 //! Any [`FallibleSpineOps`] engine works: the reference [`crate::Spine`],
 //! the §5 [`crate::CompactSpine`], a [`GeneralizedSpine`] over many
@@ -54,16 +61,17 @@
 
 use std::collections::VecDeque;
 use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
-use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering::Relaxed};
+use std::sync::atomic::{AtomicU64, Ordering::Relaxed};
 use std::sync::{Arc, Condvar, Mutex, MutexGuard, PoisonError};
 use std::thread::JoinHandle;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 use crate::generalized::{DocMatch, GeneralizedSpine};
 use crate::node::NodeId;
 use crate::occurrences::{try_find_all_ends_batch, Target};
 use crate::ops::FallibleSpineOps;
 use crate::search::try_locate;
+use strindex::telemetry::{Histogram, MetricsRegistry, Stage};
 use strindex::{Alphabet, Code, CountersSnapshot, Result};
 
 /// What happens to a submission that finds the admission queue full.
@@ -207,6 +215,10 @@ pub struct MetricsSnapshot {
     /// Requests that ended as [`QueryOutcome::Failed`] (storage fault or
     /// worker panic).
     pub failed: u64,
+    /// Requests sitting in the admission queue at snapshot time.
+    pub pending: u64,
+    /// Requests inside worker batches at snapshot time.
+    pub in_flight: u64,
     /// Worker threads respawned after a panic.
     pub worker_respawns: u64,
     /// Deepest the admission queue has been.
@@ -234,6 +246,14 @@ impl MetricsSnapshot {
     /// fault-tolerance tests assert.
     pub fn accounted(&self) -> u64 {
         self.completed + self.shed + self.timed_out + self.failed
+    }
+
+    /// The full-strength ledger invariant: every submitted request is either
+    /// finalized, waiting in the queue, or inside a worker batch. Because
+    /// the ledger is snapshotted under the engine's state lock, this holds
+    /// on every snapshot — including ones taken mid-flight.
+    pub fn is_consistent(&self) -> bool {
+        self.accounted() + self.pending + self.in_flight == self.submitted
     }
 }
 
@@ -271,6 +291,23 @@ struct Request {
     id: QueryId,
     pattern: Vec<Code>,
     deadline: Option<Instant>,
+    submitted_at: Instant,
+}
+
+/// The request-fate ledger. Plain fields mutated only under the state lock,
+/// so a locked read is always internally consistent: `completed + shed +
+/// timed_out + failed + pending.len() + in_flight == submitted`. (These were
+/// once independent relaxed atomics, and snapshots taken concurrently with a
+/// completion could transiently violate the invariant.)
+#[derive(Default)]
+struct Ledger {
+    submitted: u64,
+    completed: u64,
+    shed: u64,
+    timed_out: u64,
+    failed: u64,
+    worker_respawns: u64,
+    peak_queue_depth: u64,
 }
 
 /// Queue + completion state behind one mutex; the three condvars separate
@@ -281,6 +318,36 @@ struct State {
     done: Vec<QueryResult>,
     in_flight: usize,
     shutdown: bool,
+    ledger: Ledger,
+}
+
+/// Stage histograms and span plumbing for one engine, pre-registered so the
+/// worker loop's recording is wait-free. Present only on engines built with
+/// [`QueryEngine::with_telemetry`].
+struct EngineTelemetry {
+    registry: Arc<MetricsRegistry>,
+    admission_wait: Arc<Histogram>,
+    batch_formation: Arc<Histogram>,
+    index_scan: Arc<Histogram>,
+    result_merge: Arc<Histogram>,
+    /// Submit → publish, per query ("engine.query_latency").
+    query_latency: Arc<Histogram>,
+    /// Requests coalesced per backbone scan ("engine.batch_size").
+    batch_size: Arc<Histogram>,
+}
+
+impl EngineTelemetry {
+    fn new(registry: Arc<MetricsRegistry>) -> Self {
+        EngineTelemetry {
+            admission_wait: registry.stage(Stage::AdmissionWait),
+            batch_formation: registry.stage(Stage::BatchFormation),
+            index_scan: registry.stage(Stage::IndexScan),
+            result_merge: registry.stage(Stage::ResultMerge),
+            query_latency: registry.histogram("engine.query_latency"),
+            batch_size: registry.histogram("engine.batch_size"),
+            registry,
+        }
+    }
 }
 
 struct Shared {
@@ -288,14 +355,8 @@ struct Shared {
     work_ready: Condvar,
     all_done: Condvar,
     space_free: Condvar,
-    submitted: AtomicU64,
-    completed: AtomicU64,
-    shed: AtomicU64,
-    timed_out: AtomicU64,
-    failed: AtomicU64,
-    worker_respawns: AtomicU64,
-    peak_queue_depth: AtomicUsize,
     worker_stats: Vec<WorkerStats>,
+    telemetry: Option<EngineTelemetry>,
 }
 
 impl Shared {
@@ -332,8 +393,23 @@ pub struct QueryEngine<S: FallibleSpineOps + Send + Sync + 'static> {
 }
 
 impl<S: FallibleSpineOps + Send + Sync + 'static> QueryEngine<S> {
-    /// Spin up a worker pool over `index`.
+    /// Spin up a worker pool over `index` with telemetry disabled.
     pub fn new(index: Arc<S>, config: EngineConfig) -> Self {
+        Self::build(index, config, None)
+    }
+
+    /// Spin up a worker pool that records stage timings, query latencies,
+    /// and tracing spans into `registry` (shareable with the storage layer
+    /// so one snapshot covers the whole serving path).
+    pub fn with_telemetry(
+        index: Arc<S>,
+        config: EngineConfig,
+        registry: Arc<MetricsRegistry>,
+    ) -> Self {
+        Self::build(index, config, Some(EngineTelemetry::new(registry)))
+    }
+
+    fn build(index: Arc<S>, config: EngineConfig, telemetry: Option<EngineTelemetry>) -> Self {
         let workers = config.workers.max(1);
         let batch_max = config.batch_max.max(1);
         let queue_capacity = config.queue_capacity.max(1);
@@ -343,18 +419,13 @@ impl<S: FallibleSpineOps + Send + Sync + 'static> QueryEngine<S> {
                 done: Vec::new(),
                 in_flight: 0,
                 shutdown: false,
+                ledger: Ledger::default(),
             }),
             work_ready: Condvar::new(),
             all_done: Condvar::new(),
             space_free: Condvar::new(),
-            submitted: AtomicU64::new(0),
-            completed: AtomicU64::new(0),
-            shed: AtomicU64::new(0),
-            timed_out: AtomicU64::new(0),
-            failed: AtomicU64::new(0),
-            worker_respawns: AtomicU64::new(0),
-            peak_queue_depth: AtomicUsize::new(0),
             worker_stats: (0..workers).map(|_| WorkerStats::new()).collect(),
+            telemetry,
         });
         let pool = (0..workers)
             .map(|w| {
@@ -374,7 +445,7 @@ impl<S: FallibleSpineOps + Send + Sync + 'static> QueryEngine<S> {
                             match run {
                                 Ok(()) => return, // clean shutdown
                                 Err(_) => {
-                                    shared.worker_respawns.fetch_add(1, Relaxed);
+                                    shared.lock().ledger.worker_respawns += 1;
                                 }
                             }
                         }
@@ -390,6 +461,11 @@ impl<S: FallibleSpineOps + Send + Sync + 'static> QueryEngine<S> {
             shed_policy: config.shed,
             pool,
         }
+    }
+
+    /// The telemetry registry this engine records into, if any.
+    pub fn registry(&self) -> Option<&Arc<MetricsRegistry>> {
+        self.shared.telemetry.as_ref().map(|t| &t.registry)
     }
 
     /// The shared index this engine answers from.
@@ -425,9 +501,10 @@ impl<S: FallibleSpineOps + Send + Sync + 'static> QueryEngine<S> {
         while st.pending.len() >= self.queue_capacity {
             match self.shed_policy {
                 ShedPolicy::RejectNewest => {
-                    drop(st);
-                    self.shared.submitted.fetch_add(1, Relaxed);
-                    self.shared.shed.fetch_add(1, Relaxed);
+                    // Still under the lock: submitted and shed move together
+                    // so no snapshot can catch one without the other.
+                    st.ledger.submitted += 1;
+                    st.ledger.shed += 1;
                     return Err(SubmitError::Overloaded);
                 }
                 ShedPolicy::Block => {
@@ -436,9 +513,9 @@ impl<S: FallibleSpineOps + Send + Sync + 'static> QueryEngine<S> {
             }
         }
         let id = self.next_id.fetch_add(1, Relaxed);
-        self.shared.submitted.fetch_add(1, Relaxed);
-        st.pending.push_back(Request { id, pattern, deadline });
-        self.shared.peak_queue_depth.fetch_max(st.pending.len(), Relaxed);
+        st.ledger.submitted += 1;
+        st.pending.push_back(Request { id, pattern, deadline, submitted_at: Instant::now() });
+        st.ledger.peak_queue_depth = st.ledger.peak_queue_depth.max(st.pending.len() as u64);
         drop(st);
         self.shared.work_ready.notify_one();
         Ok(id)
@@ -466,8 +543,9 @@ impl<S: FallibleSpineOps + Send + Sync + 'static> QueryEngine<S> {
 
     /// Account one request shed before reaching this engine's queue.
     pub(crate) fn record_shed(&self) {
-        self.shared.submitted.fetch_add(1, Relaxed);
-        self.shared.shed.fetch_add(1, Relaxed);
+        let mut st = self.shared.lock();
+        st.ledger.submitted += 1;
+        st.ledger.shed += 1;
     }
 
     /// Block until every admitted query has an outcome, then return all
@@ -488,17 +566,23 @@ impl<S: FallibleSpineOps + Send + Sync + 'static> QueryEngine<S> {
     }
 
     /// Current activity counters. Cheap; safe to call while queries run.
+    ///
+    /// The ledger is read under the state lock, so the snapshot is
+    /// self-consistent ([`MetricsSnapshot::is_consistent`]) even mid-flight.
     pub fn metrics(&self) -> MetricsSnapshot {
+        let st = self.shared.lock();
         MetricsSnapshot {
             index: self.index.ops_counters().snapshot(),
             workers: self.shared.worker_stats.iter().map(WorkerStats::read).collect(),
-            submitted: self.shared.submitted.load(Relaxed),
-            completed: self.shared.completed.load(Relaxed),
-            shed: self.shared.shed.load(Relaxed),
-            timed_out: self.shared.timed_out.load(Relaxed),
-            failed: self.shared.failed.load(Relaxed),
-            worker_respawns: self.shared.worker_respawns.load(Relaxed),
-            peak_queue_depth: self.shared.peak_queue_depth.load(Relaxed) as u64,
+            submitted: st.ledger.submitted,
+            completed: st.ledger.completed,
+            shed: st.ledger.shed,
+            timed_out: st.ledger.timed_out,
+            failed: st.ledger.failed,
+            pending: st.pending.len() as u64,
+            in_flight: st.in_flight as u64,
+            worker_respawns: st.ledger.worker_respawns,
+            peak_queue_depth: st.ledger.peak_queue_depth,
         }
     }
 }
@@ -529,13 +613,21 @@ fn worker_loop<S: FallibleSpineOps + ?Sized>(
     who: usize,
     batch_max: usize,
 ) {
+    let telemetry = shared.telemetry.as_ref();
     loop {
-        let batch: Vec<Request> = {
+        // Submit instants of the batch's requests, kept so publish can
+        // record end-to-end latencies; empty when telemetry is off.
+        let mut submitted_at: Vec<Instant> = Vec::new();
+        let (batch, formation): (Vec<Request>, Duration) = {
             let mut st = shared.lock();
             let mut batch = Vec::new();
+            let formation;
             loop {
                 if !st.pending.is_empty() {
-                    let now = Instant::now();
+                    // Formation time covers only the coalescing pass, never
+                    // the condvar waits below — it is worker *busy* time.
+                    let form_start = Instant::now();
+                    let now = form_start;
                     let mut expired = 0u64;
                     while batch.len() < batch_max {
                         let Some(req) = st.pending.pop_front() else { break };
@@ -549,14 +641,18 @@ fn worker_loop<S: FallibleSpineOps + ?Sized>(
                             });
                             expired += 1;
                         } else {
+                            if let Some(t) = telemetry {
+                                t.admission_wait.record(now - req.submitted_at);
+                            }
                             batch.push(req);
                         }
                     }
                     if expired > 0 {
-                        shared.timed_out.fetch_add(expired, Relaxed);
+                        st.ledger.timed_out += expired;
                         shared.space_free.notify_all();
                     }
                     if !batch.is_empty() {
+                        formation = form_start.elapsed();
                         break;
                     }
                     // Everything we popped had expired; the queue may be
@@ -578,10 +674,16 @@ fn worker_loop<S: FallibleSpineOps + ?Sized>(
             st.in_flight += batch.len();
             drop(st);
             shared.space_free.notify_all();
-            batch
+            (batch, formation)
         };
         shared.worker_stats[who].record(batch.len());
+        if let Some(t) = telemetry {
+            t.batch_formation.record(formation);
+            t.batch_size.record_value(batch.len() as u64);
+            submitted_at = batch.iter().map(|r| r.submitted_at).collect();
+        }
 
+        let scan_start = Instant::now();
         let results = match catch_unwind(AssertUnwindSafe(|| answer_batch(index, &batch))) {
             Ok(results) => results,
             Err(payload) => {
@@ -591,7 +693,7 @@ fn worker_loop<S: FallibleSpineOps + ?Sized>(
                 let msg = panic_message(payload.as_ref());
                 let mut st = shared.lock();
                 st.in_flight -= batch.len();
-                shared.failed.fetch_add(batch.len() as u64, Relaxed);
+                st.ledger.failed += batch.len() as u64;
                 for req in batch {
                     st.done.push(QueryResult {
                         id: req.id,
@@ -604,15 +706,35 @@ fn worker_loop<S: FallibleSpineOps + ?Sized>(
                 resume_unwind(payload);
             }
         };
+        let scan_elapsed = scan_start.elapsed();
+        if let Some(t) = telemetry {
+            t.index_scan.record(scan_elapsed);
+        }
 
+        let merge_start = Instant::now();
         let mut st = shared.lock();
         st.in_flight -= batch.len();
         for r in &results {
             match r.outcome {
-                QueryOutcome::Done(_) => shared.completed.fetch_add(1, Relaxed),
-                QueryOutcome::TimedOut => shared.timed_out.fetch_add(1, Relaxed),
-                QueryOutcome::Failed(_) => shared.failed.fetch_add(1, Relaxed),
+                QueryOutcome::Done(_) => st.ledger.completed += 1,
+                QueryOutcome::TimedOut => st.ledger.timed_out += 1,
+                QueryOutcome::Failed(_) => st.ledger.failed += 1,
             };
+        }
+        if let Some(t) = telemetry {
+            // Recorded before notify_if_idle wakes drainers, so a snapshot
+            // taken after `drain` returns deterministically covers every
+            // drained query. Histogram records are wait-free; the span ring
+            // mutex nests inside the state lock (never the reverse).
+            let published = Instant::now();
+            t.result_merge.record(published - merge_start);
+            // One span per batch, one per query (submit → publish).
+            t.registry.record_span(format!("w{who}.batch"), scan_start, published - scan_start);
+            for (r, at) in results.iter().zip(&submitted_at) {
+                let latency = published - *at;
+                t.query_latency.record(latency);
+                t.registry.record_span(format!("q{}", r.id), *at, latency);
+            }
         }
         st.done.extend(results);
         shared.notify_if_idle(&st);
@@ -756,6 +878,8 @@ pub struct ShardedEngine {
     /// submitter's pushes.
     submit_lock: Mutex<()>,
     submitted: AtomicU64,
+    /// Registry + merge histogram when built with telemetry.
+    telemetry: Option<(Arc<MetricsRegistry>, Arc<Histogram>)>,
 }
 
 impl ShardedEngine {
@@ -768,6 +892,28 @@ impl ShardedEngine {
         shards: usize,
         config: EngineConfig,
     ) -> Result<Self> {
+        Self::build_inner(alphabet, docs, shards, config, None)
+    }
+
+    /// [`build`](Self::build), with every shard engine and the cross-shard
+    /// merge recording into one shared `registry`.
+    pub fn build_with_telemetry(
+        alphabet: Alphabet,
+        docs: &[Vec<Code>],
+        shards: usize,
+        config: EngineConfig,
+        registry: Arc<MetricsRegistry>,
+    ) -> Result<Self> {
+        Self::build_inner(alphabet, docs, shards, config, Some(registry))
+    }
+
+    fn build_inner(
+        alphabet: Alphabet,
+        docs: &[Vec<Code>],
+        shards: usize,
+        config: EngineConfig,
+        registry: Option<Arc<MetricsRegistry>>,
+    ) -> Result<Self> {
         let shards = shards.max(1).min(docs.len().max(1));
         let mut indexes: Vec<GeneralizedSpine> =
             (0..shards).map(|_| GeneralizedSpine::new(alphabet.clone())).collect();
@@ -777,14 +923,23 @@ impl ShardedEngine {
             indexes[s].add_document(doc)?;
             global_doc[s].push(g);
         }
-        let engines =
-            indexes.into_iter().map(|ix| QueryEngine::new(Arc::new(ix), config)).collect();
+        let engines = indexes
+            .into_iter()
+            .map(|ix| match &registry {
+                Some(r) => QueryEngine::with_telemetry(Arc::new(ix), config, Arc::clone(r)),
+                None => QueryEngine::new(Arc::new(ix), config),
+            })
+            .collect();
         Ok(ShardedEngine {
             engines,
             global_doc,
             shed_policy: config.shed,
             submit_lock: Mutex::new(()),
             submitted: AtomicU64::new(0),
+            telemetry: registry.map(|r| {
+                let merge = r.stage(Stage::ResultMerge);
+                (r, merge)
+            }),
         })
     }
 
@@ -843,6 +998,9 @@ impl ShardedEngine {
     /// failed or timed out on any shard reports that fate globally.
     pub fn drain(&self) -> Vec<ShardedResult> {
         let per_shard: Vec<Vec<QueryResult>> = self.engines.iter().map(|e| e.drain()).collect();
+        // Timed from here: only the cross-shard merge below, not the blocking
+        // shard drains above.
+        let merge_start = Instant::now();
         let n = per_shard.first().map(|v| v.len()).unwrap_or(0);
         let mut out = Vec::with_capacity(n);
         for q in 0..n {
@@ -877,11 +1035,21 @@ impl ShardedEngine {
             };
             out.push(ShardedResult { id: q as QueryId, pattern, outcome });
         }
+        if let Some((registry, merge)) = &self.telemetry {
+            let elapsed = merge_start.elapsed();
+            merge.record(elapsed);
+            registry.record_span("sharded.merge", merge_start, elapsed);
+        }
         out
     }
 
     /// Aggregated metrics: index counters summed across shards, worker lists
     /// concatenated, queue depth taken as the per-shard maximum.
+    ///
+    /// Each shard's snapshot is consistent, but the shards are sampled one
+    /// after another, so the *aggregate* invariant only holds when no
+    /// submission is racing the aggregation (per-shard ledgers move
+    /// independently between samples).
     pub fn metrics(&self) -> MetricsSnapshot {
         let mut agg = MetricsSnapshot::default();
         for e in &self.engines {
@@ -893,6 +1061,8 @@ impl ShardedEngine {
             agg.shed += m.shed;
             agg.timed_out += m.timed_out;
             agg.failed += m.failed;
+            agg.pending += m.pending;
+            agg.in_flight += m.in_flight;
             agg.worker_respawns += m.worker_respawns;
             agg.peak_queue_depth = agg.peak_queue_depth.max(m.peak_queue_depth);
         }
@@ -1127,6 +1297,102 @@ mod tests {
         assert!(r[0].matches().is_none());
         let m = sharded.metrics();
         assert_eq!(m.accounted(), m.submitted);
+    }
+
+    #[test]
+    fn snapshot_invariant_holds_mid_flight() {
+        // Regression for torn MetricsSnapshot reads: the ledger was a set of
+        // independent relaxed atomics, so a snapshot racing completions
+        // could observe submitted without the matching outcome. With the
+        // ledger under the state lock, every snapshot must satisfy
+        // accounted + pending + in_flight == submitted — sampled here as
+        // fast as possible while queries stream through the engine.
+        let a = Alphabet::dna();
+        let s = Spine::build_from_bytes(a.clone(), &b"ACGTACGTGGTTAACC".repeat(32)).unwrap();
+        let cfg = EngineConfig { workers: 3, batch_max: 4, ..Default::default() };
+        let engine = QueryEngine::new(Arc::new(s), cfg);
+        let pat = a.encode(b"ACGT").unwrap();
+        std::thread::scope(|scope| {
+            let eng = &engine;
+            let submitter = scope.spawn(move || {
+                for _ in 0..2_000 {
+                    eng.submit(pat.clone()).unwrap();
+                }
+            });
+            let mut samples = 0u64;
+            while !submitter.is_finished() || samples < 100 {
+                let m = eng.metrics();
+                assert!(
+                    m.is_consistent(),
+                    "torn snapshot: {} accounted + {} pending + {} in-flight != {} submitted",
+                    m.accounted(),
+                    m.pending,
+                    m.in_flight,
+                    m.submitted
+                );
+                samples += 1;
+            }
+            submitter.join().unwrap();
+        });
+        engine.drain();
+        let m = engine.metrics();
+        assert!(m.is_consistent());
+        assert_eq!(m.accounted(), m.submitted); // idle: nothing queued
+        assert_eq!(m.completed, 2_000);
+    }
+
+    #[test]
+    fn telemetry_records_stages_latency_and_spans() {
+        let a = Alphabet::dna();
+        let s = Spine::build_from_bytes(a.clone(), b"AACCACAACA").unwrap();
+        let registry = Arc::new(MetricsRegistry::new());
+        let cfg = EngineConfig { workers: 2, batch_max: 4, ..Default::default() };
+        let engine = QueryEngine::with_telemetry(Arc::new(s), cfg, Arc::clone(&registry));
+        assert!(engine.registry().is_some());
+        for _ in 0..10 {
+            engine.submit(a.encode(b"CA").unwrap()).unwrap();
+        }
+        engine.drain();
+        let snap = registry.snapshot();
+        for stage in
+            [Stage::AdmissionWait, Stage::BatchFormation, Stage::IndexScan, Stage::ResultMerge]
+        {
+            let h = snap.stage(stage).unwrap_or_else(|| panic!("{stage:?} not registered"));
+            assert!(!h.is_empty(), "{stage:?} recorded nothing");
+        }
+        let lat = snap.histogram("engine.query_latency").unwrap();
+        assert_eq!(lat.count, 10);
+        assert!(lat.p50() <= lat.p99());
+        let sizes = snap.histogram("engine.batch_size").unwrap();
+        assert!(sizes.max >= 1 && sizes.max <= 4);
+        // Per-query and per-batch spans both present.
+        assert!(snap.spans.iter().any(|s| s.name.starts_with('q')));
+        assert!(snap.spans.iter().any(|s| s.name.contains(".batch")));
+        // A plain engine records nothing and has no registry.
+        let plain = paper_engine(1).1;
+        assert!(plain.registry().is_none());
+    }
+
+    #[test]
+    fn sharded_telemetry_shares_one_registry() {
+        let a = Alphabet::dna();
+        let docs: Vec<Vec<Code>> =
+            [&b"ACGTACGT"[..], b"TTACG", b"GGGG"].iter().map(|d| a.encode(d).unwrap()).collect();
+        let registry = Arc::new(MetricsRegistry::new());
+        let cfg = EngineConfig { workers: 1, batch_max: 4, ..Default::default() };
+        let sharded =
+            ShardedEngine::build_with_telemetry(a.clone(), &docs, 2, cfg, Arc::clone(&registry))
+                .unwrap();
+        sharded.submit(a.encode(b"ACG").unwrap()).unwrap();
+        sharded.submit(a.encode(b"G").unwrap()).unwrap();
+        sharded.drain();
+        let snap = registry.snapshot();
+        // Both shards fed the same stage histograms (2 queries × 2 shards).
+        assert_eq!(snap.histogram("engine.query_latency").unwrap().count, 4);
+        // The cross-shard merge recorded into ResultMerge and left a span.
+        assert!(snap.spans.iter().any(|s| s.name == "sharded.merge"));
+        let m = sharded.metrics();
+        assert!(m.is_consistent());
     }
 
     #[test]

@@ -87,3 +87,4 @@ pub use node::{Extrib, Node, NodeId, Rib, ROOT};
 pub use ops::{FallibleSpineOps, Infallible, SpineOps};
 pub use prefix::{PrefixView, SpinePrefix};
 pub use search::{locate, step, try_locate, try_step};
+pub use strindex::telemetry;

@@ -61,7 +61,7 @@ pub fn try_occurrences_from<S: FallibleSpineOps + ?Sized>(
 /// One pattern of a batched all-occurrences request.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct Target {
-    /// End node of the pattern's first occurrence (from [`locate`]).
+    /// End node of the pattern's first occurrence (from [`crate::search::locate`]).
     pub first_end: NodeId,
     /// Pattern length.
     pub len: u32,

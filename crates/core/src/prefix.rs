@@ -193,7 +193,7 @@ mod tests {
 // Generic prefix views: the partitioning property holds for every backend.
 // ---------------------------------------------------------------------------
 
-/// A prefix view over *any* SPINE representation ([`SpineOps`]): the §2.7
+/// A prefix view over *any* SPINE representation ([`crate::ops::SpineOps`]): the §2.7
 /// partitioning property is purely structural — every rib/extrib created
 /// while appending character `t` points to node `t`, so restricting to
 /// destinations ≤ `len` yields exactly the index of the length-`len` prefix.

@@ -52,8 +52,13 @@ impl RibDistribution {
     }
 
     /// Percentage of nodes with *any* downstream edge (the paper's
-    /// "only around 30 to 35 percent").
+    /// "only around 30 to 35 percent"). 0 for an empty index — the
+    /// complement form `100 − percent(0)` would claim every node of an
+    /// empty trie has edges.
     pub fn percent_with_edges(&self) -> f64 {
+        if self.total == 0 {
+            return 0.0;
+        }
         100.0 - self.percent(0)
     }
 }
@@ -257,5 +262,19 @@ mod tests {
         assert_eq!(s.label_maxima(), LabelMaxima::default());
         let _ = s.link_distribution(4);
         let _ = s.node_cost();
+    }
+
+    #[test]
+    fn empty_index_percentages_are_zero() {
+        // Regression: percent_with_edges used to return 100.0 − percent(0)
+        // unconditionally, reporting 100 % of an empty index's zero nodes
+        // as having downstream edges.
+        let d = Spine::new(Alphabet::dna()).rib_distribution();
+        assert_eq!(d.percent_with_edges(), 0.0);
+        assert_eq!(d.percent(0), 0.0);
+        assert_eq!(d.percent(7), 0.0);
+        let empty_links = LinkDistribution { buckets: vec![0; 4] };
+        assert_eq!(empty_links.percent(0), 0.0);
+        assert_eq!(empty_links.percent(3), 0.0);
     }
 }

@@ -11,10 +11,12 @@ use std::fs::File;
 use std::io::{Read, Seek, SeekFrom, Write};
 use std::path::Path;
 use std::sync::atomic::{AtomicU64, Ordering::Relaxed};
+use std::sync::Arc;
 use std::time::Duration;
 
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
+use strindex::telemetry::{Counter, Histogram, MetricsRegistry, Stage};
 use strindex::{Error, IoOp, Result};
 
 /// Fixed page size, matching a common filesystem block multiple.
@@ -395,6 +397,17 @@ impl RetryPolicy {
     }
 }
 
+/// Registry handles the retry layer feeds ([`RetryDevice::attach_telemetry`]):
+/// backoff sleeps land in the shared [`Stage::RetryBackoff`] histogram, and
+/// absorbed retries are counted per operation kind (the `IoContext`
+/// annotation the error taxonomy already carries).
+struct RetryTelemetry {
+    backoff: Arc<Histogram>,
+    retries_read: Arc<Counter>,
+    retries_write: Arc<Counter>,
+    exhausted: Arc<Counter>,
+}
+
 /// A retry layer over any [`PageDevice`]: **transient** errors (see
 /// [`strindex::Error::is_transient`]) are retried up to
 /// [`RetryPolicy::max_retries`] times with bounded exponential backoff and
@@ -405,6 +418,7 @@ pub struct RetryDevice<D: PageDevice> {
     jitter: SmallRng,
     retries: u64,
     exhausted: u64,
+    telemetry: Option<RetryTelemetry>,
 }
 
 impl<D: PageDevice> RetryDevice<D> {
@@ -416,7 +430,21 @@ impl<D: PageDevice> RetryDevice<D> {
             jitter: SmallRng::seed_from_u64(policy.seed),
             retries: 0,
             exhausted: 0,
+            telemetry: None,
         }
+    }
+
+    /// Record this device's retry activity into `registry`: backoff sleeps
+    /// into the [`Stage::RetryBackoff`] histogram, absorbed retries into
+    /// `io.retries.read` / `io.retries.write`, and budget exhaustions into
+    /// `io.retry_exhausted`.
+    pub fn attach_telemetry(&mut self, registry: &MetricsRegistry) {
+        self.telemetry = Some(RetryTelemetry {
+            backoff: registry.stage(Stage::RetryBackoff),
+            retries_read: registry.counter("io.retries.read"),
+            retries_write: registry.counter("io.retries.write"),
+            exhausted: registry.counter("io.retry_exhausted"),
+        });
     }
 
     /// Transient faults absorbed (each is one re-attempted operation).
@@ -437,6 +465,11 @@ impl<D: PageDevice> RetryDevice<D> {
 
     fn backoff(&mut self, attempt: u32) {
         if self.policy.base_delay.is_zero() {
+            // Record the zero sleep too: the backoff histogram then counts
+            // every absorbed retry even under immediate (test) policies.
+            if let Some(t) = &self.telemetry {
+                t.backoff.record(Duration::ZERO);
+            }
             return;
         }
         let shift = attempt.min(16);
@@ -445,22 +478,35 @@ impl<D: PageDevice> RetryDevice<D> {
         // without losing reproducibility (the rng is seeded per device).
         let jitter_ns =
             if exp.is_zero() { 0 } else { self.jitter.gen_range(0..=exp.as_nanos() as u64 / 2) };
-        std::thread::sleep(exp + Duration::from_nanos(jitter_ns));
+        let sleep = exp + Duration::from_nanos(jitter_ns);
+        if let Some(t) = &self.telemetry {
+            t.backoff.record(sleep);
+        }
+        std::thread::sleep(sleep);
     }
 
-    fn with_retry<T>(&mut self, mut op: impl FnMut(&mut D) -> Result<T>) -> Result<T> {
+    fn with_retry<T>(&mut self, kind: IoOp, mut op: impl FnMut(&mut D) -> Result<T>) -> Result<T> {
         let mut attempt = 0u32;
         loop {
             match op(&mut self.inner) {
                 Ok(v) => return Ok(v),
                 Err(e) if e.is_transient() && attempt < self.policy.max_retries => {
                     self.retries += 1;
+                    if let Some(t) = &self.telemetry {
+                        match kind {
+                            IoOp::Write => t.retries_write.incr(),
+                            _ => t.retries_read.incr(),
+                        }
+                    }
                     self.backoff(attempt);
                     attempt += 1;
                 }
                 Err(e) => {
                     if e.is_transient() {
                         self.exhausted += 1;
+                        if let Some(t) = &self.telemetry {
+                            t.exhausted.incr();
+                        }
                     }
                     return Err(e);
                 }
@@ -471,11 +517,11 @@ impl<D: PageDevice> RetryDevice<D> {
 
 impl<D: PageDevice> PageDevice for RetryDevice<D> {
     fn read_page(&mut self, id: u32, buf: &mut [u8]) -> Result<()> {
-        self.with_retry(|d| d.read_page(id, buf))
+        self.with_retry(IoOp::Read, |d| d.read_page(id, buf))
     }
 
     fn write_page(&mut self, id: u32, buf: &[u8]) -> Result<()> {
-        self.with_retry(|d| d.write_page(id, buf))
+        self.with_retry(IoOp::Write, |d| d.write_page(id, buf))
     }
 
     fn page_count(&self) -> u32 {
@@ -651,6 +697,32 @@ mod faulty_tests {
         assert!(e.is_transient());
         assert_eq!(d.retries(), 3);
         assert_eq!(d.exhausted(), 1);
+    }
+
+    #[test]
+    fn retry_telemetry_feeds_registry_per_op() {
+        let reg = MetricsRegistry::new();
+        let flaky = FlakyDevice::with_burst(MemDevice::new(), 1, 2);
+        let mut d = RetryDevice::new(flaky, RetryPolicy::immediate(4));
+        d.attach_telemetry(&reg);
+        let buf = [1u8; PAGE_SIZE];
+        d.write_page(0, &buf).unwrap(); // op 0 clean
+        d.write_page(1, &buf).unwrap(); // ops 1..3 transient, absorbed
+        let mut rbuf = [0u8; PAGE_SIZE];
+        d.read_page(1, &mut rbuf).unwrap();
+        let snap = reg.snapshot();
+        assert_eq!(snap.counter("io.retries.write"), Some(2));
+        assert_eq!(snap.counter("io.retries.read"), Some(0));
+        assert_eq!(snap.counter("io.retry_exhausted"), Some(0));
+        // Every absorbed retry recorded a backoff (zero-length here).
+        assert_eq!(snap.stage(Stage::RetryBackoff).unwrap().count, 2);
+
+        // Exhaustion counts into the same registry.
+        let flaky = FlakyDevice::with_burst(MemDevice::new(), 0, 100);
+        let mut d = RetryDevice::new(flaky, RetryPolicy::immediate(1));
+        d.attach_telemetry(&reg);
+        assert!(d.read_page(0, &mut rbuf).is_err());
+        assert_eq!(reg.snapshot().counter("io.retry_exhausted"), Some(1));
     }
 
     #[test]

@@ -29,4 +29,4 @@ pub use device::{
 };
 pub use paged::PagedVec;
 pub use policy::{Clock, EvictionPolicy, Fifo, Lru, PrefixPriority};
-pub use pool::BufferPool;
+pub use pool::{BufferPool, CacheStats, CacheStatsSnapshot};

@@ -2,8 +2,72 @@
 
 use crate::device::{IoStats, PageDevice, PAGE_SIZE};
 use crate::policy::EvictionPolicy;
-use std::cell::Cell;
+use std::sync::atomic::{AtomicU64, Ordering::Relaxed};
+use std::sync::Arc;
+use strindex::telemetry::MetricsRegistry;
 use strindex::{FxHashMap, IoOp, Result};
+
+/// Shared cache counters: hits, misses, and evictions as relaxed atomics,
+/// so observers on other threads (the telemetry registry's gauges, an
+/// engine polling a [`BufferPool`] it holds behind a lock) can read them
+/// without touching the pool itself. Clone the `Arc` out with
+/// [`BufferPool::stats_handle`].
+#[derive(Debug, Default)]
+pub struct CacheStats {
+    hits: AtomicU64,
+    misses: AtomicU64,
+    evictions: AtomicU64,
+}
+
+impl CacheStats {
+    /// Cache hits so far.
+    pub fn hits(&self) -> u64 {
+        self.hits.load(Relaxed)
+    }
+
+    /// Cache misses so far.
+    pub fn misses(&self) -> u64 {
+        self.misses.load(Relaxed)
+    }
+
+    /// Frames evicted to make room so far.
+    pub fn evictions(&self) -> u64 {
+        self.evictions.load(Relaxed)
+    }
+
+    /// One coherent copy of all three counters.
+    pub fn snapshot(&self) -> CacheStatsSnapshot {
+        CacheStatsSnapshot { hits: self.hits(), misses: self.misses(), evictions: self.evictions() }
+    }
+}
+
+/// Plain-value copy of [`CacheStats`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct CacheStatsSnapshot {
+    /// Cache hits.
+    pub hits: u64,
+    /// Cache misses.
+    pub misses: u64,
+    /// Frames evicted.
+    pub evictions: u64,
+}
+
+impl CacheStatsSnapshot {
+    /// Total page accesses.
+    pub fn accesses(&self) -> u64 {
+        self.hits + self.misses
+    }
+
+    /// Hit ratio in [0, 1] (0 when nothing was accessed).
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.accesses();
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+}
 
 struct Frame {
     page: u32,
@@ -18,8 +82,7 @@ pub struct BufferPool {
     capacity: usize,
     frames: Vec<Frame>,
     map: FxHashMap<u32, usize>,
-    hits: Cell<u64>,
-    misses: Cell<u64>,
+    stats: Arc<CacheStats>,
 }
 
 impl BufferPool {
@@ -37,8 +100,7 @@ impl BufferPool {
             capacity,
             frames: Vec::new(),
             map: FxHashMap::default(),
-            hits: Cell::new(0),
-            misses: Cell::new(0),
+            stats: Arc::new(CacheStats::default()),
         }
     }
 
@@ -49,22 +111,40 @@ impl BufferPool {
 
     /// Cache hits so far.
     pub fn hits(&self) -> u64 {
-        self.hits.get()
+        self.stats.hits()
     }
 
     /// Cache misses so far.
     pub fn misses(&self) -> u64 {
-        self.misses.get()
+        self.stats.misses()
+    }
+
+    /// Frames evicted to make room so far.
+    pub fn evictions(&self) -> u64 {
+        self.stats.evictions()
     }
 
     /// Hit ratio in [0, 1].
     pub fn hit_rate(&self) -> f64 {
-        let total = self.hits.get() + self.misses.get();
-        if total == 0 {
-            0.0
-        } else {
-            self.hits.get() as f64 / total as f64
-        }
+        self.stats.snapshot().hit_rate()
+    }
+
+    /// A shareable handle to this pool's cache counters; stays live (and
+    /// keeps counting) for as long as the pool does.
+    pub fn stats_handle(&self) -> Arc<CacheStats> {
+        Arc::clone(&self.stats)
+    }
+
+    /// Register this pool's cache counters as `{prefix}.hits` /
+    /// `{prefix}.misses` / `{prefix}.evictions` gauges on `registry`,
+    /// polled live at snapshot time.
+    pub fn attach_telemetry(&self, registry: &MetricsRegistry, prefix: &str) {
+        let s = self.stats_handle();
+        registry.gauge(&format!("{prefix}.hits"), move || s.hits());
+        let s = self.stats_handle();
+        registry.gauge(&format!("{prefix}.misses"), move || s.misses());
+        let s = self.stats_handle();
+        registry.gauge(&format!("{prefix}.evictions"), move || s.evictions());
     }
 
     /// Device I/O counters.
@@ -80,11 +160,11 @@ impl BufferPool {
     /// Ensure `page` is resident; return its frame index.
     fn fetch(&mut self, page: u32) -> Result<usize> {
         if let Some(&f) = self.map.get(&page) {
-            self.hits.set(self.hits.get() + 1);
+            self.stats.hits.fetch_add(1, Relaxed);
             self.policy.on_access(f, page);
             return Ok(f);
         }
-        self.misses.set(self.misses.get() + 1);
+        self.stats.misses.fetch_add(1, Relaxed);
         let frame = if self.frames.len() < self.capacity {
             self.frames.push(Frame {
                 page: u32::MAX,
@@ -102,6 +182,7 @@ impl BufferPool {
                 old.dirty = false;
             }
             self.map.remove(&old.page);
+            self.stats.evictions.fetch_add(1, Relaxed);
             victim
         };
         self.device
@@ -212,5 +293,38 @@ mod tests {
         let misses = p.misses();
         p.read(0, |_| ()).unwrap(); // still resident
         assert_eq!(p.misses(), misses);
+    }
+
+    #[test]
+    fn cache_stats_handle_counts_evictions_and_outlives_borrows() {
+        // Regression for the Cell-based counters: stats must be readable
+        // from a shared handle (Sync) and evictions must be counted.
+        fn is_sync<T: Sync + Send>(_: &T) {}
+        let mut p = pool(2);
+        let stats = p.stats_handle();
+        is_sync(&*stats);
+        assert_eq!(stats.evictions(), 0);
+        p.read(0, |_| ()).unwrap();
+        p.read(1, |_| ()).unwrap();
+        p.read(2, |_| ()).unwrap(); // full pool: this miss evicts
+        let snap = stats.snapshot();
+        assert_eq!(snap.misses, 3);
+        assert_eq!(snap.evictions, 1);
+        assert_eq!(snap.accesses(), 3);
+        assert_eq!(snap.hit_rate(), 0.0);
+        assert_eq!(CacheStatsSnapshot::default().hit_rate(), 0.0);
+    }
+
+    #[test]
+    fn attach_telemetry_registers_live_gauges() {
+        let reg = MetricsRegistry::new();
+        let mut p = pool(1);
+        p.attach_telemetry(&reg, "pool");
+        p.read(0, |_| ()).unwrap();
+        p.read(1, |_| ()).unwrap(); // evicts page 0
+        let snap = reg.snapshot();
+        assert_eq!(snap.gauge("pool.misses"), Some(2));
+        assert_eq!(snap.gauge("pool.evictions"), Some(1));
+        assert_eq!(snap.gauge("pool.hits"), Some(0));
     }
 }

@@ -14,6 +14,8 @@
 //!   and maximal-substring search;
 //! * [`Counters`] — the instrumentation used to reproduce the paper's
 //!   Table 6 ("number of nodes checked");
+//! * [`telemetry`] — the serving stack's unified observability layer
+//!   (metrics registry, log-scale latency histograms, tracing spans);
 //! * [`FxHashMap`] — an in-tree FxHash so no external hashing crate is
 //!   needed.
 
@@ -22,6 +24,7 @@ pub mod alphabet;
 pub mod counters;
 pub mod error;
 pub mod hash;
+pub mod telemetry;
 pub mod traits;
 
 pub use algo::{longest_common_substring, maximal_unique_matches};
@@ -29,4 +32,7 @@ pub use alphabet::{Alphabet, AlphabetKind, Code};
 pub use counters::{Counters, CountersSnapshot};
 pub use error::{Error, IoContext, IoOp, Result};
 pub use hash::{FxHashMap, FxHashSet, FxHasher};
+pub use telemetry::{
+    Counter, Histogram, HistogramSnapshot, MetricsRegistry, RegistrySnapshot, SpanRecord, Stage,
+};
 pub use traits::{Match, MatchingIndex, MatchingStats, MaximalMatch, OnlineIndex, StringIndex};

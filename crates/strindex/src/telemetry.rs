@@ -1,0 +1,780 @@
+//! Unified observability: a metrics registry, log-scale latency histograms,
+//! and lightweight tracing spans.
+//!
+//! The serving stack built in this workspace (engine worker pool, buffer
+//! pool, retry layer, disk-resident index) each kept private counters; this
+//! module gives them one shared, dependency-free home so a single snapshot
+//! describes a whole serving run:
+//!
+//! * [`MetricsRegistry`] — named [`Histogram`]s, [`Counter`]s, and gauge
+//!   callbacks, plus a bounded ring of [`SpanRecord`]s. Cheap to share
+//!   (`Arc`), cheap to record into (relaxed atomics on the hot paths).
+//! * [`Histogram`] — fixed-bucket log-scale value histogram (2 significand
+//!   bits per power of two, ≤ 25 % relative error) with p50/p95/p99/max
+//!   quantile estimates. Values are nanoseconds for latencies, but any
+//!   `u64` works (page counts, batch sizes).
+//! * [`Stage`] — the per-stage timing vocabulary of the query engine
+//!   (admission wait, batch formation, index scan, result merge, retry
+//!   backoff), so every layer records under the same names.
+//! * Spans — `registry.record_span(name, start, dur)` appends to a bounded
+//!   ring buffer (oldest entries overwritten); [`RegistrySnapshot::to_text`]
+//!   renders a readable trace.
+//!
+//! Everything is `Send + Sync`; recording never blocks except for span
+//! recording and registration, which take a short mutex.
+//!
+//! ```
+//! use strindex::telemetry::{MetricsRegistry, Stage};
+//! use std::time::{Duration, Instant};
+//!
+//! let reg = MetricsRegistry::new();
+//! let h = reg.stage(Stage::IndexScan);
+//! let t0 = Instant::now();
+//! // ... do the work ...
+//! h.record(t0.elapsed());
+//! reg.record_span("scan", t0, t0.elapsed());
+//! reg.counter("scans").incr();
+//! let snap = reg.snapshot();
+//! assert_eq!(snap.counter("scans"), Some(1));
+//! assert_eq!(snap.histogram("stage.index_scan").unwrap().count, 1);
+//! ```
+
+use std::sync::atomic::{AtomicU64, Ordering::Relaxed};
+use std::sync::{Arc, Mutex, MutexGuard, PoisonError};
+use std::time::{Duration, Instant};
+
+/// Number of histogram buckets: values 0–3 exactly, then 4 sub-buckets per
+/// power of two up to `u64::MAX`.
+pub const HISTOGRAM_BUCKETS: usize = 252;
+
+/// Default capacity of a registry's span ring buffer.
+pub const DEFAULT_SPAN_CAPACITY: usize = 1024;
+
+fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+// ---------------------------------------------------------------------------
+// Histogram.
+// ---------------------------------------------------------------------------
+
+/// A fixed-bucket log-scale histogram of `u64` values (latency nanoseconds,
+/// page counts, batch sizes).
+///
+/// Buckets keep the top two bits below the leading one, so each power of two
+/// is split into 4 sub-buckets and any recorded value's bucket bound is
+/// within 25 % of the value. Recording is wait-free (relaxed atomics);
+/// quantiles come from [`Histogram::snapshot`].
+#[derive(Debug)]
+pub struct Histogram {
+    sum: AtomicU64,
+    max: AtomicU64,
+    buckets: [AtomicU64; HISTOGRAM_BUCKETS],
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Histogram {
+            sum: AtomicU64::new(0),
+            max: AtomicU64::new(0),
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+        }
+    }
+}
+
+impl Histogram {
+    /// An empty histogram.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The bucket index `value` lands in.
+    pub fn bucket_index(value: u64) -> usize {
+        if value < 4 {
+            return value as usize;
+        }
+        let msb = 63 - value.leading_zeros() as usize; // ≥ 2
+        let sub = ((value >> (msb - 2)) & 3) as usize;
+        4 * (msb - 1) + sub
+    }
+
+    /// The inclusive `(low, high)` value range of bucket `index`.
+    pub fn bucket_range(index: usize) -> (u64, u64) {
+        assert!(index < HISTOGRAM_BUCKETS, "bucket {index} out of range");
+        if index < 4 {
+            return (index as u64, index as u64);
+        }
+        let msb = index / 4 + 1;
+        let sub = (index % 4) as u64;
+        let width = 1u64 << (msb - 2);
+        let lo = (1u64 << msb) + sub * width;
+        (lo, lo.saturating_add(width - 1))
+    }
+
+    /// Record one value.
+    pub fn record_value(&self, value: u64) {
+        // Max first: a snapshot reads buckets before max, so every bucketed
+        // entry it sees already has its max applied (quantiles are capped
+        // at max and must never undercut a recorded value's bucket).
+        self.max.fetch_max(value, Relaxed);
+        self.sum.fetch_add(value, Relaxed);
+        self.buckets[Self::bucket_index(value)].fetch_add(1, Relaxed);
+    }
+
+    /// Record a duration as nanoseconds.
+    pub fn record(&self, d: Duration) {
+        self.record_value(d.as_nanos().min(u64::MAX as u128) as u64);
+    }
+
+    /// Values recorded so far.
+    pub fn count(&self) -> u64 {
+        self.buckets.iter().map(|b| b.load(Relaxed)).sum()
+    }
+
+    /// A self-consistent point-in-time copy (bucket counts are read first,
+    /// so the derived count always equals the bucket sum).
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        let buckets: Vec<u64> = self.buckets.iter().map(|b| b.load(Relaxed)).collect();
+        let count = buckets.iter().sum();
+        HistogramSnapshot {
+            count,
+            sum: self.sum.load(Relaxed),
+            max: self.max.load(Relaxed),
+            buckets,
+        }
+    }
+}
+
+/// Plain-value copy of a [`Histogram`]; the quantile surface.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HistogramSnapshot {
+    /// Values recorded (sum of all bucket counts).
+    pub count: u64,
+    /// Sum of all recorded values (for means and stage-time totals).
+    pub sum: u64,
+    /// Largest recorded value.
+    pub max: u64,
+    /// Per-bucket counts ([`Histogram::bucket_range`] gives each range).
+    pub buckets: Vec<u64>,
+}
+
+impl HistogramSnapshot {
+    /// Nothing recorded?
+    pub fn is_empty(&self) -> bool {
+        self.count == 0
+    }
+
+    /// Mean recorded value (0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// An upper bound on the `q`-quantile (`0.0 ..= 1.0`) of the recorded
+    /// values: the high edge of the bucket holding the rank-`⌈q·count⌉`
+    /// value, capped at the recorded max. Monotone in `q`; 0 when empty.
+    pub fn quantile(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let rank = ((q.clamp(0.0, 1.0) * self.count as f64).ceil() as u64).clamp(1, self.count);
+        let mut seen = 0u64;
+        for (i, &c) in self.buckets.iter().enumerate() {
+            seen += c;
+            if seen >= rank {
+                return Histogram::bucket_range(i).1.min(self.max);
+            }
+        }
+        self.max
+    }
+
+    /// Median upper bound.
+    pub fn p50(&self) -> u64 {
+        self.quantile(0.50)
+    }
+
+    /// 95th-percentile upper bound.
+    pub fn p95(&self) -> u64 {
+        self.quantile(0.95)
+    }
+
+    /// 99th-percentile upper bound.
+    pub fn p99(&self) -> u64 {
+        self.quantile(0.99)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Counter.
+// ---------------------------------------------------------------------------
+
+/// A named monotonic counter handle ([`MetricsRegistry::counter`]).
+#[derive(Debug, Default)]
+pub struct Counter(AtomicU64);
+
+impl Counter {
+    /// A fresh zeroed counter.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Add one.
+    #[inline]
+    pub fn incr(&self) {
+        self.add(1);
+    }
+
+    /// Add `n`.
+    #[inline]
+    pub fn add(&self, n: u64) {
+        self.0.fetch_add(n, Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.0.load(Relaxed)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Stages.
+// ---------------------------------------------------------------------------
+
+/// The serving pipeline's per-stage timing vocabulary. Every layer records
+/// into the stage histogram of the *same shared registry*, so one snapshot
+/// attributes a run's time across the whole path.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Stage {
+    /// Submit → batch pick: time a request sat in the admission queue.
+    AdmissionWait,
+    /// Lock-held time a worker spent coalescing requests into one batch.
+    BatchFormation,
+    /// Time answering a coalesced batch with backbone scans.
+    IndexScan,
+    /// Time publishing/merging answers (worker publish, shard merge).
+    ResultMerge,
+    /// Backoff slept by the storage retry layer riding out transient faults.
+    RetryBackoff,
+}
+
+impl Stage {
+    /// Every stage, in pipeline order.
+    pub const ALL: [Stage; 5] = [
+        Stage::AdmissionWait,
+        Stage::BatchFormation,
+        Stage::IndexScan,
+        Stage::ResultMerge,
+        Stage::RetryBackoff,
+    ];
+
+    /// The registry metric name (`stage.*`) this stage records under.
+    pub fn metric_name(self) -> &'static str {
+        match self {
+            Stage::AdmissionWait => "stage.admission_wait",
+            Stage::BatchFormation => "stage.batch_formation",
+            Stage::IndexScan => "stage.index_scan",
+            Stage::ResultMerge => "stage.result_merge",
+            Stage::RetryBackoff => "stage.retry_backoff",
+        }
+    }
+
+    /// Is this stage exclusive worker busy-time? Busy stages are the ones
+    /// whose summed durations are bounded by `workers × wall time` (the
+    /// check `exp serve --metrics` enforces); queue-overlapped stages
+    /// (admission wait) and sleep stages (retry backoff) are not.
+    pub fn is_worker_busy(self) -> bool {
+        matches!(self, Stage::BatchFormation | Stage::IndexScan | Stage::ResultMerge)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Spans.
+// ---------------------------------------------------------------------------
+
+/// One completed tracing span: a named interval relative to the registry's
+/// epoch (its creation instant).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SpanRecord {
+    /// Span label (`"q17"`, `"w0.batch"`, `"sharded.merge"`, …).
+    pub name: String,
+    /// Microseconds from the registry epoch to the span start.
+    pub start_us: u64,
+    /// Span duration in microseconds.
+    pub duration_us: u64,
+}
+
+impl SpanRecord {
+    /// Microseconds from the registry epoch to the span end.
+    pub fn end_us(&self) -> u64 {
+        self.start_us.saturating_add(self.duration_us)
+    }
+}
+
+/// Bounded span storage: a ring that overwrites its oldest entry once full.
+#[derive(Debug)]
+struct SpanRing {
+    capacity: usize,
+    inner: Mutex<SpanRingInner>,
+}
+
+#[derive(Debug, Default)]
+struct SpanRingInner {
+    slots: Vec<SpanRecord>,
+    /// Next write position once `slots` has grown to capacity.
+    next: usize,
+    /// Spans ever recorded (≥ `slots.len()`; the excess was overwritten).
+    recorded: u64,
+}
+
+impl SpanRing {
+    fn new(capacity: usize) -> Self {
+        SpanRing { capacity: capacity.max(1), inner: Mutex::new(SpanRingInner::default()) }
+    }
+
+    fn push(&self, rec: SpanRecord) {
+        let mut g = lock(&self.inner);
+        if g.slots.len() < self.capacity {
+            g.slots.push(rec);
+        } else {
+            let at = g.next;
+            g.slots[at] = rec;
+            g.next = (at + 1) % self.capacity;
+        }
+        g.recorded += 1;
+    }
+
+    /// Retained spans, oldest first, plus the total ever recorded.
+    fn snapshot(&self) -> (Vec<SpanRecord>, u64) {
+        let g = lock(&self.inner);
+        let mut out = Vec::with_capacity(g.slots.len());
+        if g.slots.len() == self.capacity {
+            out.extend_from_slice(&g.slots[g.next..]);
+            out.extend_from_slice(&g.slots[..g.next]);
+        } else {
+            out.extend_from_slice(&g.slots);
+        }
+        (out, g.recorded)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Registry.
+// ---------------------------------------------------------------------------
+
+type Gauge = Box<dyn Fn() -> u64 + Send + Sync>;
+
+#[derive(Default)]
+struct Named {
+    histograms: Vec<(String, Arc<Histogram>)>,
+    counters: Vec<(String, Arc<Counter>)>,
+    gauges: Vec<(String, Gauge)>,
+}
+
+/// The unified metrics registry: named histograms, counters, gauges, and a
+/// bounded span ring, shared by every layer of one serving deployment.
+///
+/// Registration (`histogram`/`counter`) is get-or-create by name and meant
+/// for setup paths; hot paths hold the returned `Arc` handles and record
+/// lock-free. Gauges are pull-style callbacks polled at snapshot time —
+/// the buffer pool registers its hit/miss/eviction counts this way.
+pub struct MetricsRegistry {
+    epoch: Instant,
+    named: Mutex<Named>,
+    spans: SpanRing,
+}
+
+impl Default for MetricsRegistry {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl std::fmt::Debug for MetricsRegistry {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let g = lock(&self.named);
+        f.debug_struct("MetricsRegistry")
+            .field("histograms", &g.histograms.len())
+            .field("counters", &g.counters.len())
+            .field("gauges", &g.gauges.len())
+            .finish()
+    }
+}
+
+impl MetricsRegistry {
+    /// A fresh registry with the default span capacity.
+    pub fn new() -> Self {
+        Self::with_span_capacity(DEFAULT_SPAN_CAPACITY)
+    }
+
+    /// A fresh registry retaining at most `span_capacity` spans.
+    pub fn with_span_capacity(span_capacity: usize) -> Self {
+        MetricsRegistry {
+            epoch: Instant::now(),
+            named: Mutex::new(Named::default()),
+            spans: SpanRing::new(span_capacity),
+        }
+    }
+
+    /// The instant span timestamps are measured from.
+    pub fn epoch(&self) -> Instant {
+        self.epoch
+    }
+
+    /// Get or create the histogram named `name`.
+    pub fn histogram(&self, name: &str) -> Arc<Histogram> {
+        let mut g = lock(&self.named);
+        if let Some((_, h)) = g.histograms.iter().find(|(n, _)| n == name) {
+            return Arc::clone(h);
+        }
+        let h = Arc::new(Histogram::new());
+        g.histograms.push((name.to_string(), Arc::clone(&h)));
+        h
+    }
+
+    /// The histogram for an engine [`Stage`].
+    pub fn stage(&self, stage: Stage) -> Arc<Histogram> {
+        self.histogram(stage.metric_name())
+    }
+
+    /// Get or create the counter named `name`.
+    pub fn counter(&self, name: &str) -> Arc<Counter> {
+        let mut g = lock(&self.named);
+        if let Some((_, c)) = g.counters.iter().find(|(n, _)| n == name) {
+            return Arc::clone(c);
+        }
+        let c = Arc::new(Counter::new());
+        g.counters.push((name.to_string(), Arc::clone(&c)));
+        c
+    }
+
+    /// Register a pull-style gauge: `read` is polled at snapshot time.
+    /// Re-registering a name replaces the callback.
+    pub fn gauge(&self, name: &str, read: impl Fn() -> u64 + Send + Sync + 'static) {
+        let mut g = lock(&self.named);
+        if let Some((_, slot)) = g.gauges.iter_mut().find(|(n, _)| n == name) {
+            *slot = Box::new(read);
+        } else {
+            g.gauges.push((name.to_string(), Box::new(read)));
+        }
+    }
+
+    /// Record a completed span that started at `start` and ran `duration`.
+    pub fn record_span(&self, name: impl Into<String>, start: Instant, duration: Duration) {
+        self.spans.push(SpanRecord {
+            name: name.into(),
+            start_us: start.saturating_duration_since(self.epoch).as_micros() as u64,
+            duration_us: duration.as_micros() as u64,
+        });
+    }
+
+    /// Time a closure and record it as a span named `name`.
+    pub fn span_timed<R>(&self, name: impl Into<String>, f: impl FnOnce() -> R) -> R {
+        let start = Instant::now();
+        let r = f();
+        self.record_span(name, start, start.elapsed());
+        r
+    }
+
+    /// A consistent point-in-time view of everything registered, with names
+    /// sorted for deterministic output.
+    pub fn snapshot(&self) -> RegistrySnapshot {
+        let (histograms, counters, gauges) = {
+            let g = lock(&self.named);
+            let mut hs: Vec<(String, HistogramSnapshot)> =
+                g.histograms.iter().map(|(n, h)| (n.clone(), h.snapshot())).collect();
+            let mut cs: Vec<(String, u64)> =
+                g.counters.iter().map(|(n, c)| (n.clone(), c.get())).collect();
+            let mut gs: Vec<(String, u64)> =
+                g.gauges.iter().map(|(n, f)| (n.clone(), f())).collect();
+            hs.sort_by(|a, b| a.0.cmp(&b.0));
+            cs.sort_by(|a, b| a.0.cmp(&b.0));
+            gs.sort_by(|a, b| a.0.cmp(&b.0));
+            (hs, cs, gs)
+        };
+        let (spans, spans_recorded) = self.spans.snapshot();
+        RegistrySnapshot {
+            histograms,
+            counters,
+            gauges,
+            spans,
+            spans_recorded,
+            span_capacity: self.spans.capacity,
+        }
+    }
+}
+
+/// Everything a [`MetricsRegistry`] held at one instant.
+#[derive(Debug, Clone)]
+pub struct RegistrySnapshot {
+    /// `(name, snapshot)` per histogram, sorted by name.
+    pub histograms: Vec<(String, HistogramSnapshot)>,
+    /// `(name, value)` per counter, sorted by name.
+    pub counters: Vec<(String, u64)>,
+    /// `(name, value)` per gauge (polled at snapshot time), sorted by name.
+    pub gauges: Vec<(String, u64)>,
+    /// Retained spans, oldest first (at most `span_capacity`).
+    pub spans: Vec<SpanRecord>,
+    /// Spans ever recorded; the excess over `spans.len()` was overwritten.
+    pub spans_recorded: u64,
+    /// Ring capacity.
+    pub span_capacity: usize,
+}
+
+impl RegistrySnapshot {
+    /// The histogram named `name`, if registered.
+    pub fn histogram(&self, name: &str) -> Option<&HistogramSnapshot> {
+        self.histograms.iter().find(|(n, _)| n == name).map(|(_, h)| h)
+    }
+
+    /// The stage histogram for `stage`, if registered.
+    pub fn stage(&self, stage: Stage) -> Option<&HistogramSnapshot> {
+        self.histogram(stage.metric_name())
+    }
+
+    /// The counter named `name`, if registered.
+    pub fn counter(&self, name: &str) -> Option<u64> {
+        self.counters.iter().find(|(n, _)| n == name).map(|&(_, v)| v)
+    }
+
+    /// The gauge named `name`, if registered.
+    pub fn gauge(&self, name: &str) -> Option<u64> {
+        self.gauges.iter().find(|(n, _)| n == name).map(|&(_, v)| v)
+    }
+
+    /// Total seconds recorded across the worker-busy stages
+    /// ([`Stage::is_worker_busy`]) — the quantity bounded by
+    /// `workers × wall time`.
+    pub fn busy_stage_seconds(&self) -> f64 {
+        Stage::ALL
+            .iter()
+            .filter(|s| s.is_worker_busy())
+            .filter_map(|s| self.stage(*s))
+            .map(|h| h.sum as f64 / 1e9)
+            .sum()
+    }
+
+    /// Human-readable text export: one line per metric, then the span trace.
+    pub fn to_text(&self) -> String {
+        use std::fmt::Write;
+        let mut out = String::new();
+        for (name, h) in &self.histograms {
+            let _ = writeln!(
+                out,
+                "hist    {name}: n={} mean={:.1} p50={} p95={} p99={} max={}",
+                h.count,
+                h.mean(),
+                h.p50(),
+                h.p95(),
+                h.p99(),
+                h.max,
+            );
+        }
+        for (name, v) in &self.counters {
+            let _ = writeln!(out, "counter {name}: {v}");
+        }
+        for (name, v) in &self.gauges {
+            let _ = writeln!(out, "gauge   {name}: {v}");
+        }
+        let _ = writeln!(
+            out,
+            "spans   {} retained of {} recorded (capacity {})",
+            self.spans.len(),
+            self.spans_recorded,
+            self.span_capacity
+        );
+        for s in &self.spans {
+            let _ = writeln!(out, "  [{:>10}us +{:>8}us] {}", s.start_us, s.duration_us, s.name);
+        }
+        out
+    }
+
+    /// Machine-readable JSON export (hand-rolled; no external crates).
+    pub fn to_json(&self) -> String {
+        use std::fmt::Write;
+        let mut out = String::from("{");
+        out.push_str("\"histograms\":{");
+        for (i, (name, h)) in self.histograms.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(
+                out,
+                "\"{}\":{{\"count\":{},\"sum\":{},\"mean\":{:.3},\"p50\":{},\"p95\":{},\"p99\":{},\"max\":{}}}",
+                json_escape(name),
+                h.count,
+                h.sum,
+                h.mean(),
+                h.p50(),
+                h.p95(),
+                h.p99(),
+                h.max
+            );
+        }
+        out.push_str("},\"counters\":{");
+        for (i, (name, v)) in self.counters.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(out, "\"{}\":{v}", json_escape(name));
+        }
+        out.push_str("},\"gauges\":{");
+        for (i, (name, v)) in self.gauges.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(out, "\"{}\":{v}", json_escape(name));
+        }
+        let _ = write!(
+            out,
+            "}},\"spans\":{{\"recorded\":{},\"retained\":{},\"capacity\":{}}}}}",
+            self.spans_recorded,
+            self.spans.len(),
+            self.span_capacity
+        );
+        out
+    }
+}
+
+fn json_escape(s: &str) -> String {
+    s.replace('\\', "\\\\").replace('"', "\\\"")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_index_and_range_agree() {
+        for v in [0u64, 1, 2, 3, 4, 5, 7, 8, 9, 100, 1_000, 1 << 20, u64::MAX] {
+            let i = Histogram::bucket_index(v);
+            let (lo, hi) = Histogram::bucket_range(i);
+            assert!(lo <= v && v <= hi, "value {v} outside bucket {i} [{lo}, {hi}]");
+        }
+        // Small values are exact; larger buckets are within 25 %.
+        for i in 0..HISTOGRAM_BUCKETS {
+            let (lo, hi) = Histogram::bucket_range(i);
+            assert!(hi as f64 <= lo as f64 * 1.25 + 1.0, "bucket {i} too wide: [{lo}, {hi}]");
+        }
+    }
+
+    #[test]
+    fn quantiles_bound_recorded_values() {
+        let h = Histogram::new();
+        for v in [10u64, 20, 30, 40, 50, 60, 70, 80, 90, 1_000] {
+            h.record_value(v);
+        }
+        let s = h.snapshot();
+        assert_eq!(s.count, 10);
+        assert_eq!(s.max, 1_000);
+        assert!(s.p50() >= 50 && s.p50() <= 63, "p50 = {}", s.p50());
+        assert_eq!(s.quantile(1.0), 1_000);
+        assert!(s.p50() <= s.p95() && s.p95() <= s.p99() && s.p99() <= s.max);
+        assert!((s.mean() - 145.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_histogram_is_all_zero() {
+        let s = Histogram::new().snapshot();
+        assert!(s.is_empty());
+        assert_eq!(s.p50(), 0);
+        assert_eq!(s.quantile(1.0), 0);
+        assert_eq!(s.mean(), 0.0);
+    }
+
+    #[test]
+    fn concurrent_recording_loses_nothing() {
+        let h = Histogram::new();
+        std::thread::scope(|s| {
+            for t in 0..4 {
+                let h = &h;
+                s.spawn(move || {
+                    for i in 0..10_000u64 {
+                        h.record_value(t * 10_000 + i);
+                    }
+                });
+            }
+        });
+        assert_eq!(h.count(), 40_000);
+        assert_eq!(h.snapshot().max, 39_999);
+    }
+
+    #[test]
+    fn registry_names_are_get_or_create() {
+        let r = MetricsRegistry::new();
+        let a = r.histogram("x");
+        let b = r.histogram("x");
+        a.record_value(7);
+        assert_eq!(b.count(), 1);
+        let c = r.counter("y");
+        r.counter("y").add(5);
+        assert_eq!(c.get(), 5);
+        let snap = r.snapshot();
+        assert_eq!(snap.histogram("x").unwrap().count, 1);
+        assert_eq!(snap.counter("y"), Some(5));
+        assert_eq!(snap.counter("missing"), None);
+    }
+
+    #[test]
+    fn gauges_poll_at_snapshot_time() {
+        let r = MetricsRegistry::new();
+        let v = Arc::new(AtomicU64::new(3));
+        let v2 = Arc::clone(&v);
+        r.gauge("g", move || v2.load(Relaxed));
+        assert_eq!(r.snapshot().gauge("g"), Some(3));
+        v.store(9, Relaxed);
+        assert_eq!(r.snapshot().gauge("g"), Some(9));
+    }
+
+    #[test]
+    fn span_ring_wraps_keeping_newest() {
+        let r = MetricsRegistry::with_span_capacity(4);
+        let t0 = r.epoch();
+        for i in 0..10u64 {
+            r.record_span(format!("s{i}"), t0 + Duration::from_micros(i), Duration::from_micros(1));
+        }
+        let snap = r.snapshot();
+        assert_eq!(snap.spans_recorded, 10);
+        assert_eq!(snap.spans.len(), 4);
+        let names: Vec<&str> = snap.spans.iter().map(|s| s.name.as_str()).collect();
+        assert_eq!(names, ["s6", "s7", "s8", "s9"], "oldest spans overwritten, order kept");
+        assert!(snap.spans.windows(2).all(|w| w[0].start_us <= w[1].start_us));
+    }
+
+    #[test]
+    fn exports_are_well_formed() {
+        let r = MetricsRegistry::new();
+        r.histogram("h\"x").record_value(5);
+        r.counter("c").incr();
+        r.gauge("g", || 2);
+        r.span_timed("work", || ());
+        let snap = r.snapshot();
+        let json = snap.to_json();
+        assert!(json.starts_with('{') && json.ends_with('}'));
+        assert!(json.contains("\\\""), "histogram name must be escaped: {json}");
+        assert!(json.contains("\"c\":1"));
+        let text = snap.to_text();
+        assert!(text.contains("counter c: 1"));
+        assert!(text.contains("spans   1 retained"));
+    }
+
+    #[test]
+    fn stage_names_are_distinct_and_busy_set_is_right() {
+        let names: std::collections::HashSet<_> =
+            Stage::ALL.iter().map(|s| s.metric_name()).collect();
+        assert_eq!(names.len(), Stage::ALL.len());
+        assert_eq!(Stage::ALL.iter().filter(|s| s.is_worker_busy()).count(), 3);
+        assert!(!Stage::AdmissionWait.is_worker_busy());
+        assert!(!Stage::RetryBackoff.is_worker_busy());
+    }
+
+    #[test]
+    fn registry_is_send_sync() {
+        fn check<T: Send + Sync>() {}
+        check::<MetricsRegistry>();
+        check::<Histogram>();
+        check::<Counter>();
+    }
+}

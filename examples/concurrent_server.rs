@@ -11,6 +11,7 @@ use std::sync::Arc;
 
 use genseq::preset;
 use spine::engine::{EngineConfig, QueryEngine, ShardedEngine};
+use spine::telemetry::{MetricsRegistry, Stage};
 use spine::Spine;
 use strindex::Code;
 
@@ -21,8 +22,11 @@ fn main() {
     let index = Arc::new(Spine::build(p.alphabet(), &text).unwrap());
     println!("indexed {} bp; starting 4 workers", text.len());
 
+    // Observability: attach a metrics registry so the engine records
+    // per-stage latency histograms and per-query tracing spans as it works.
+    let registry = Arc::new(MetricsRegistry::new());
     let cfg = EngineConfig { workers: 4, batch_max: 32, ..Default::default() };
-    let engine = QueryEngine::new(Arc::clone(&index), cfg);
+    let engine = QueryEngine::with_telemetry(Arc::clone(&index), cfg, Arc::clone(&registry));
 
     // Simulate request traffic: several client threads submit interleaved
     // pattern lookups against the one engine.
@@ -60,6 +64,39 @@ fn main() {
         "index work: {} nodes checked, {} links followed",
         m.index.nodes_checked, m.index.links_followed
     );
+
+    // What the registry saw: per-stage latency quantiles (microseconds) and
+    // the tail of the span trace.
+    let snap = registry.snapshot();
+    println!("\ntelemetry ({} spans recorded):", snap.spans_recorded);
+    for stage in Stage::ALL {
+        if let Some(h) = snap.stage(stage) {
+            if !h.is_empty() {
+                println!(
+                    "  {:<22} n={:<4} p50={:>6}us p95={:>6}us max={:>6}us",
+                    stage.metric_name(),
+                    h.count,
+                    h.p50() / 1_000,
+                    h.p95() / 1_000,
+                    h.max / 1_000
+                );
+            }
+        }
+    }
+    if let Some(h) = snap.histogram("engine.query_latency") {
+        println!(
+            "  {:<22} n={:<4} p50={:>6}us p95={:>6}us max={:>6}us",
+            "engine.query_latency",
+            h.count,
+            h.p50() / 1_000,
+            h.p95() / 1_000,
+            h.max / 1_000
+        );
+    }
+    println!("last spans:");
+    for s in snap.spans.iter().rev().take(4).rev() {
+        println!("  [{:>8}us +{:>6}us] {}", s.start_us, s.duration_us, s.name);
+    }
 
     // Sharded mode: documents partitioned across generalized indexes,
     // patterns broadcast, answers merged into global document coordinates.

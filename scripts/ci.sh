@@ -24,4 +24,16 @@ echo "== fault-tolerance integration tests"
 cargo test -q --test fault_tolerance
 cargo test -q -p pagestore --test faults
 
+echo "== exp serve --metrics --quick (ledger invariant + stage histograms)"
+metrics_json=$(cargo run --release -q -p spine-bench --bin exp -- serve --metrics --quick)
+echo "$metrics_json" | grep -q '"ledger_consistent":true' \
+  || { echo "metrics smoke: ledger inconsistent"; exit 1; }
+echo "$metrics_json" | grep -q '"stages_bounded":true' \
+  || { echo "metrics smoke: stage timings exceed workers × wall"; exit 1; }
+echo "$metrics_json" | grep -q '"stage.index_scan":{"count":[1-9]' \
+  || { echo "metrics smoke: empty index-scan histogram"; exit 1; }
+
+echo "== cargo doc (warnings are errors)"
+RUSTDOCFLAGS="-D warnings" cargo doc --no-deps --workspace -q
+
 echo "CI green."

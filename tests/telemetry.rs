@@ -1,0 +1,134 @@
+//! Telemetry invariants, machine-checked across the stack:
+//!
+//! * histogram bucket containment and ≤25 % width on randomized values;
+//! * quantile monotonicity and the `quantile ≤ max` cap;
+//! * span-ring wraparound keeping exactly the newest `capacity` spans;
+//! * the differential stage-timing check — a real single-worker engine's
+//!   busy-stage time never exceeds the run's wall time.
+
+use std::sync::Arc;
+use std::time::Instant;
+
+use proptest::prelude::*;
+use spine::engine::{EngineConfig, QueryEngine};
+use spine::telemetry::{Histogram, MetricsRegistry, Stage, DEFAULT_SPAN_CAPACITY};
+use spine::Spine;
+use strindex::{Alphabet, Code};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Every value lands in a bucket that contains it, and that bucket is
+    /// never wider than 25 % of its lower bound (plus one for the integer
+    /// floor) — the error bound all quantile estimates inherit.
+    #[test]
+    fn bucket_contains_value_within_width_bound(v in 0u64..=u64::MAX) {
+        let i = Histogram::bucket_index(v);
+        let (lo, hi) = Histogram::bucket_range(i);
+        prop_assert!(lo <= v && v <= hi, "value {} outside bucket {} [{}, {}]", v, i, lo, hi);
+        prop_assert!(
+            hi as f64 <= lo as f64 * 1.25 + 1.0,
+            "bucket {} too wide: [{}, {}]", i, lo, hi
+        );
+    }
+
+    /// Quantiles are monotone in `q`, bracketed by the recorded extremes,
+    /// and capped by the exact max.
+    #[test]
+    fn quantiles_monotone_and_capped(values in prop::collection::vec(0u64..1 << 40, 1..200)) {
+        let h = Histogram::new();
+        for &v in &values {
+            h.record_value(v);
+        }
+        let s = h.snapshot();
+        let mut values = values;
+        values.sort_unstable();
+        let max = *values.last().unwrap();
+        prop_assert_eq!(s.count, values.len() as u64);
+        prop_assert_eq!(s.max, max);
+        let qs: Vec<u64> = [0.0, 0.25, 0.5, 0.75, 0.9, 0.95, 0.99, 1.0]
+            .iter()
+            .map(|&q| s.quantile(q))
+            .collect();
+        for w in qs.windows(2) {
+            prop_assert!(w[0] <= w[1], "quantiles not monotone: {:?}", qs);
+        }
+        for &q in &qs {
+            prop_assert!(q <= max, "quantile {} exceeds max {}", q, max);
+        }
+        // The median is within the bucket error bound of the true median.
+        let true_med = values[values.len() / 2];
+        prop_assert!(
+            s.quantile(0.5) as f64 <= true_med as f64 * 1.25 + 1.0
+                || s.quantile(0.5) <= true_med,
+            "p50 {} far above true median {}", s.quantile(0.5), true_med
+        );
+    }
+}
+
+#[test]
+fn span_ring_wraps_keeping_newest() {
+    let cap = 8;
+    let reg = MetricsRegistry::with_span_capacity(cap);
+    let epoch = reg.epoch();
+    for i in 0..3 * cap {
+        reg.record_span(format!("span{i}"), epoch, std::time::Duration::from_micros(i as u64));
+    }
+    let snap = reg.snapshot();
+    assert_eq!(snap.spans_recorded, (3 * cap) as u64);
+    assert_eq!(snap.span_capacity, cap);
+    assert_eq!(snap.spans.len(), cap);
+    // Oldest-first, and exactly the last `cap` spans survive.
+    let names: Vec<&str> = snap.spans.iter().map(|s| s.name.as_str()).collect();
+    let expect: Vec<String> = (2 * cap..3 * cap).map(|i| format!("span{i}")).collect();
+    assert_eq!(names, expect.iter().map(String::as_str).collect::<Vec<_>>());
+
+    let default = MetricsRegistry::new();
+    default.record_span("only", default.epoch(), std::time::Duration::from_micros(1));
+    assert_eq!(default.snapshot().span_capacity, DEFAULT_SPAN_CAPACITY);
+}
+
+/// The differential check behind `exp serve --metrics`: with ONE worker, the
+/// busy stages (batch formation, index scan, result merge) are strictly
+/// sequential segments of that worker's life, so their recorded sum must be
+/// bounded by the whole run's wall time.
+#[test]
+fn single_worker_busy_stages_bounded_by_wall_time() {
+    let a = Alphabet::dna();
+    let text: Vec<Code> = (0..20_000u64).map(|i| ((i * i / 7 + i / 11) % 4) as Code).collect();
+    let index = Arc::new(Spine::build(a, &text).unwrap());
+    let patterns: Vec<Vec<Code>> =
+        (0..300).map(|i| text[i * 61 % (text.len() - 16)..][..8 + i % 8].to_vec()).collect();
+
+    let registry = Arc::new(MetricsRegistry::new());
+    let cfg = EngineConfig { workers: 1, batch_max: 16, ..Default::default() };
+    let engine = QueryEngine::with_telemetry(index, cfg, Arc::clone(&registry));
+
+    let start = Instant::now();
+    for r in engine.submit_batch(patterns.iter().cloned()) {
+        r.unwrap();
+    }
+    let results = engine.drain();
+    let wall = start.elapsed().as_secs_f64();
+
+    assert_eq!(results.len(), patterns.len());
+    let m = engine.metrics();
+    assert!(m.is_consistent(), "ledger invariant violated: {m:?}");
+
+    let snap = registry.snapshot();
+    let busy = snap.busy_stage_seconds();
+    assert!(busy > 0.0, "no stage time recorded");
+    // 1 worker × wall, with a little slack for timer-read skew at the edges.
+    assert!(
+        busy <= wall * 1.05 + 0.001,
+        "busy stages {busy:.6}s exceed single-worker wall {wall:.6}s"
+    );
+    // Each busy stage individually recorded work.
+    for stage in [Stage::BatchFormation, Stage::IndexScan, Stage::ResultMerge] {
+        assert!(
+            !snap.stage(stage).expect("stage registered").is_empty(),
+            "no samples for {}",
+            stage.metric_name()
+        );
+    }
+}
