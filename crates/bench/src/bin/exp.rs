@@ -3,16 +3,25 @@
 //! One subcommand per experiment (see DESIGN.md §3 for the index):
 //!
 //! ```text
-//! exp table2|table3|table4|fig6|table5|table6|fig7|fig8|table7|protein|space|buffering|serve|faults|verify|figures|all
+//! exp table2|table3|table4|fig6|table5|table6|fig7|fig8|table7|protein|space|buffering|serve|faults|verify|figures|explain|bench-snapshot|all
+//!     [PATTERN]        `explain` only: the pattern to trace (default ACA)
 //!     [--scale F]      dataset scale factor vs the paper's lengths (default 0.02)
 //!     [--threshold N]  maximal-match length threshold (default 20)
 //!     [--workers N]    worker threads for the `serve` experiment (default 4)
 //!     [--quick]        stride the `faults` crashpoint sweep (CI-sized);
-//!                      shrink the `--metrics` workload likewise
-//!     [--json]         machine-readable row output
+//!                      shrink the `--metrics`/`bench-snapshot`/`explain`
+//!                      workloads likewise
+//!     [--json]         machine-readable row output (`explain`: QueryTrace JSON)
 //!     [--metrics]      `serve` only: instrumented run with the telemetry
 //!                      registry attached; prints a JSON MetricsReport and
 //!                      asserts the ledger + stage-timing invariants
+//!     [--prom]         `serve --metrics` only: print the registry in
+//!                      Prometheus text exposition format (self-validated)
+//!     [--chrome-trace] `serve --metrics` only: print the span ring as a
+//!                      Chrome trace_event JSON document
+//!     [--out PATH]     `bench-snapshot` only: snapshot path (default BENCH_serve.json)
+//!     [--check PATH]   `bench-snapshot` only: compare against a committed
+//!                      baseline; exit 1 on a >20 % regression
 //!     [--sync-file]    use a real file device with fsync-per-write for disk runs
 //! ```
 //!
@@ -37,7 +46,15 @@ struct Opts {
     quick: bool,
     json: bool,
     metrics: bool,
+    prom: bool,
+    chrome_trace: bool,
     sync_file: bool,
+    /// `explain`: the pattern to trace (ASCII, in the dataset's alphabet).
+    pattern: Option<String>,
+    /// `bench-snapshot`: where to write the snapshot JSON.
+    out: Option<String>,
+    /// `bench-snapshot`: baseline snapshot to regress against.
+    check: Option<String>,
 }
 
 impl Default for Opts {
@@ -49,7 +66,12 @@ impl Default for Opts {
             quick: false,
             json: false,
             metrics: false,
+            prom: false,
+            chrome_trace: false,
             sync_file: false,
+            pattern: None,
+            out: None,
+            check: None,
         }
     }
 }
@@ -86,8 +108,28 @@ fn main() {
                 opts.metrics = true;
                 i += 1;
             }
+            "--prom" => {
+                opts.prom = true;
+                i += 1;
+            }
+            "--chrome-trace" => {
+                opts.chrome_trace = true;
+                i += 1;
+            }
+            "--out" => {
+                opts.out = Some(rest[i + 1].clone());
+                i += 2;
+            }
+            "--check" => {
+                opts.check = Some(rest[i + 1].clone());
+                i += 2;
+            }
             "--sync-file" => {
                 opts.sync_file = true;
+                i += 1;
+            }
+            other if !other.starts_with('-') && opts.pattern.is_none() => {
+                opts.pattern = Some(other.to_string());
                 i += 1;
             }
             other => {
@@ -101,8 +143,9 @@ fn main() {
 
 fn usage() -> ! {
     eprintln!(
-        "usage: exp <table2|table3|table4|fig6|table5|table6|fig7|fig8|table7|protein|space|buffering|serve|faults|verify|figures|all> \
-         [--scale F] [--threshold N] [--workers N] [--quick] [--json] [--metrics] [--sync-file]"
+        "usage: exp <table2|table3|table4|fig6|table5|table6|fig7|fig8|table7|protein|space|buffering|serve|faults|verify|figures|explain|bench-snapshot|all> \
+         [PATTERN] [--scale F] [--threshold N] [--workers N] [--quick] [--json] [--metrics] \
+         [--prom] [--chrome-trace] [--out PATH] [--check PATH] [--sync-file]"
     );
     std::process::exit(2);
 }
@@ -125,6 +168,8 @@ fn run(cmd: &str, opts: &Opts) {
         "faults" => faults(opts),
         "verify" => verify(opts),
         "figures" => figures(opts),
+        "explain" => explain(opts),
+        "bench-snapshot" => bench_snapshot(opts),
         "all" => {
             for c in [
                 "table2",
@@ -617,11 +662,17 @@ fn serve(opts: &Opts) {
 }
 
 // ---------------------------------------------------------------------------
-// Serve --metrics: the observability layer exercised end to end. A plain
-// engine and a telemetry-attached engine answer the same workload; the run
-// reports telemetry overhead, checks the ledger invariant on the final
-// snapshot, and checks that the per-stage busy time respects the
-// `workers × wall` ceiling. Output is one JSON MetricsReport.
+// Serve --metrics: the observability layer exercised end to end. Plain and
+// telemetry-attached engines answer the same workload; the run reports
+// telemetry overhead, checks the ledger invariant on the final snapshot, and
+// checks that the per-stage busy time respects the `workers × wall` ceiling.
+// Output is one JSON MetricsReport (or, with `--prom`/`--chrome-trace`, the
+// registry in those export formats).
+//
+// Overhead is measured as median-of-3: a pinned warmup phase first faults
+// the index and workload into cache, then three plain and three instrumented
+// runs each take the median wall time. A single-sample comparison regularly
+// swung past ±2 % on scheduler noise alone; the median pair is stable.
 // ---------------------------------------------------------------------------
 fn serve_metrics(opts: &Opts) {
     use spine::engine::{EngineConfig, QueryEngine};
@@ -647,37 +698,56 @@ fn serve_metrics(opts: &Opts) {
         (hits, t)
     };
 
-    // Warmup pass (untimed): fault the index into cache so the plain run
-    // doesn't pay the cold-start cost the instrumented run then skips.
-    run(&QueryEngine::new(Arc::clone(&index), cfg));
-
-    // Baseline: same engine, no registry — what telemetry costs is the
-    // difference between these two runs.
-    let plain = QueryEngine::new(Arc::clone(&index), cfg);
-    let (plain_hits, t_plain) = run(&plain);
-
-    let registry = Arc::new(MetricsRegistry::new());
-    let engine = QueryEngine::with_telemetry(Arc::clone(&index), cfg, Arc::clone(&registry));
-    let (hits, t) = run(&engine);
-    assert_eq!(hits, plain_hits, "instrumented engine diverges from plain engine");
-
-    let m = engine.metrics();
-    assert!(m.is_consistent(), "ledger invariant violated: {m:?}");
-    assert_eq!(m.completed, workload.len() as u64, "not every query completed");
-
-    let snap = registry.snapshot();
-    for stage in [Stage::BatchFormation, Stage::IndexScan, Stage::ResultMerge] {
-        let h = snap.stage(stage).expect("stage histogram registered");
-        assert!(!h.is_empty(), "empty histogram for {}", stage.metric_name());
+    // Pinned warmup phase (untimed, fixed pass count): fault the index and
+    // workload into cache so no timed run pays the cold-start cost.
+    const WARMUP_PASSES: usize = 2;
+    for _ in 0..WARMUP_PASSES {
+        run(&QueryEngine::new(Arc::clone(&index), cfg));
     }
-    let lat = snap.histogram("engine.query_latency").expect("latency histogram");
-    assert_eq!(lat.count, workload.len() as u64, "latency histogram misses queries");
+
+    const RUNS: usize = 3;
+
+    // Baseline: three plain runs, median wall time.
+    let mut plain_walls = Vec::with_capacity(RUNS);
+    let mut plain_hits = None;
+    for _ in 0..RUNS {
+        let (hits, t) = run(&QueryEngine::new(Arc::clone(&index), cfg));
+        assert_eq!(*plain_hits.get_or_insert(hits), hits, "plain runs diverge");
+        plain_walls.push(secs(t));
+    }
+    plain_walls.sort_by(f64::total_cmp);
+    let baseline_wall = plain_walls[RUNS / 2];
+
+    // Instrumented: three runs, each with a fresh registry + engine so the
+    // per-run invariants stay exact; keep the median run's snapshot.
+    let mut inst = Vec::with_capacity(RUNS);
+    for _ in 0..RUNS {
+        let registry = Arc::new(MetricsRegistry::new());
+        let engine = QueryEngine::with_telemetry(Arc::clone(&index), cfg, Arc::clone(&registry));
+        let (hits, t) = run(&engine);
+        assert_eq!(Some(hits), plain_hits, "instrumented engine diverges from plain engine");
+
+        let m = engine.metrics();
+        assert!(m.is_consistent(), "ledger invariant violated: {m:?}");
+        assert_eq!(m.completed, workload.len() as u64, "not every query completed");
+
+        let snap = registry.snapshot();
+        for stage in [Stage::BatchFormation, Stage::IndexScan, Stage::ResultMerge] {
+            let h = snap.stage(stage).expect("stage histogram registered");
+            assert!(!h.is_empty(), "empty histogram for {}", stage.metric_name());
+        }
+        let lat = snap.histogram("engine.query_latency").expect("latency histogram");
+        assert_eq!(lat.count, workload.len() as u64, "latency histogram misses queries");
+        inst.push((secs(t), m, snap));
+    }
+    inst.sort_by(|a, b| a.0.total_cmp(&b.0));
+    let (wall, m, snap) = inst.swap_remove(RUNS / 2);
 
     let report = MetricsReport {
         workers: opts.workers,
         queries: workload.len() as u64,
-        wall_s: secs(t),
-        baseline_wall_s: secs(t_plain),
+        wall_s: wall,
+        baseline_wall_s: baseline_wall,
         submitted: m.submitted,
         completed: m.completed,
         shed: m.shed,
@@ -692,9 +762,21 @@ fn serve_metrics(opts: &Opts) {
         report.busy_stage_s(),
         report.busy_bound_s()
     );
-    println!("{}", report.to_json());
+    if opts.prom {
+        let text = report.registry.to_prometheus("spine");
+        strindex::telemetry::validate_prometheus_text(&text)
+            .expect("generated Prometheus exposition must self-validate");
+        print!("{text}");
+    }
+    if opts.chrome_trace {
+        println!("{}", report.registry.to_chrome_trace());
+    }
+    if !opts.prom && !opts.chrome_trace {
+        println!("{}", report.to_json());
+    }
     eprintln!(
-        "OK: {} queries, {:.0} qps, telemetry overhead {:+.1}%, busy stages {:.4}s <= {:.4}s",
+        "OK: {} queries, {:.0} qps, telemetry overhead {:+.1}% (median of {RUNS}), \
+         busy stages {:.4}s <= {:.4}s",
         report.queries,
         report.qps(),
         report.overhead_pct(),
@@ -810,4 +892,193 @@ fn figures(opts: &Opts) {
         opts.json,
     );
     let _ = opts;
+}
+
+// ---------------------------------------------------------------------------
+// Explain: per-query EXPLAIN tracing on the paper's running example — the
+// Figure 3 valid-path walk, rendered step by step — plus a page-resident run
+// with buffer-pool attribution and a visit heatmap. Every trace printed here
+// is also replayed against the naive oracle (`verify_against_text`).
+// ---------------------------------------------------------------------------
+fn explain(opts: &Opts) {
+    use spine::{Heatmap, TraceEvent};
+
+    let a = strindex::Alphabet::dna();
+    let text = b"AACCACAACA";
+    let seq = a.encode(text).unwrap();
+    let pattern_str = opts.pattern.clone().unwrap_or_else(|| "ACA".to_string());
+    let pattern = a
+        .encode(pattern_str.as_bytes())
+        .unwrap_or_else(|e| panic!("pattern {pattern_str:?} is not DNA: {e:?}"));
+
+    let s = Spine::build(a.clone(), &seq).unwrap();
+    let trace = s.explain(&pattern);
+    println!("EXPLAIN {pattern_str} over {}", String::from_utf8_lossy(text));
+    if opts.json {
+        println!("{}", trace.to_json());
+    } else {
+        print!("{}", trace.to_text(&a));
+    }
+    trace.verify_against_text(&seq).expect("trace must replay against the naive oracle");
+
+    if pattern_str == "ACA" {
+        // The paper's hand-derived path for "aca": vertebra 0→1 on A, rib
+        // 1→3 on C (pt 1 admits pl 1), rib 3→5 rejected (pl 2 > pt 1),
+        // extrib at 5 (prt 1, pt 2) lands on node 7; the backbone scan then
+        // adds the second occurrence ending at 10.
+        let ev = trace.structural_events();
+        assert_eq!(ev[0], TraceEvent::Vertebra { node: 0, pl: 0, ch: 0 });
+        assert_eq!(
+            ev[1],
+            TraceEvent::Rib { node: 1, ch: 1, dest: 3, pt: 1, pl: 1, admitted: true }
+        );
+        assert_eq!(
+            ev[2],
+            TraceEvent::Rib { node: 3, ch: 0, dest: 5, pt: 1, pl: 2, admitted: false }
+        );
+        assert_eq!(ev[3], TraceEvent::Extrib { at: 5, prt: 1, dest: 7, pt: 2, pl: 2, taken: true });
+        assert_eq!(trace.first_end, Some(7));
+        assert_eq!(trace.ends, vec![7, 10]);
+        eprintln!("OK: trace matches the paper's hand-derived Figure 3 path (ends [7, 10])");
+    }
+
+    // The same pattern over a page-resident index under a single-frame pool:
+    // the trace attributes buffer-pool hits and device reads to the
+    // traversal that caused them.
+    let big = seq.repeat(8);
+    let disk =
+        DiskSpine::build(a.clone(), &big, Box::new(MemDevice::new()), 1, Box::<Lru>::default())
+            .unwrap();
+    let dtrace = disk.explain(&pattern);
+    dtrace.verify_against_text(&big).expect("disk trace must replay against the naive oracle");
+    let (hits, misses) = dtrace.page_fetches();
+    println!(
+        "\ndisk (x8 text, single-frame pool): {} occurrence(s), {hits} page hit(s), \
+         {misses} page miss(es)",
+        dtrace.ends.len()
+    );
+
+    // Heatmap: fold every length-2 window of the text plus the traced
+    // pattern into per-node visit counts.
+    let mut heat = Heatmap::new(seq.len());
+    for w in seq.windows(2) {
+        heat.add(&s.explain(w));
+    }
+    heat.add(&trace);
+    println!("\nheatmap over {} traces (hottest: {:?})", heat.traces(), heat.hottest(3));
+    print!("{}", heat.render(5, 40));
+
+    if !opts.quick {
+        // A realistic dataset: trace a 12-mer over eco-sim and replay it
+        // against the oracle there too.
+        let d = Dataset::generate("eco-sim", opts.scale.min(0.01));
+        let s2 = Spine::build(d.alphabet.clone(), &d.seq).unwrap();
+        let q = query_for(&d);
+        let p2 = &q[..q.len().min(12)];
+        let t2 = s2.explain(p2);
+        t2.verify_against_text(&d.seq).expect("eco-sim trace must replay against the naive oracle");
+        println!(
+            "\neco-sim[{} chars]: {} structural events, {} occurrence(s) for a 12-mer",
+            d.seq.len(),
+            t2.structural_events().len(),
+            t2.ends.len()
+        );
+    }
+    eprintln!("OK: explain traces replay cleanly against the naive oracle");
+}
+
+// ---------------------------------------------------------------------------
+// Bench-snapshot: BENCH_serve.json — the serving benchmark's headline
+// numbers (throughput, tail latency from `engine.query_latency`, mean
+// pages/query from `disk.pages_per_query`), with an optional `--check`
+// regression gate against a committed baseline.
+// ---------------------------------------------------------------------------
+fn bench_snapshot(opts: &Opts) {
+    use spine::engine::{EngineConfig, QueryEngine};
+    use spine::telemetry::MetricsRegistry;
+    use spine_bench::BenchSnapshot;
+    use std::sync::Arc;
+
+    // Serving phase: the `serve --metrics` workload with telemetry attached.
+    let scale = if opts.quick { opts.scale * 0.25 } else { opts.scale };
+    let cycles = if opts.quick { 2 } else { 4 };
+    let d = Dataset::generate("hc21-sim", scale);
+    let index = Arc::new(Spine::build(d.alphabet.clone(), &d.seq).unwrap());
+    let workload = serve_workload(&d, 256, cycles);
+    let cfg = EngineConfig { workers: opts.workers, batch_max: 64, ..Default::default() };
+
+    let run = |engine: &QueryEngine<Spine>| {
+        let (results, t) = time(|| {
+            for admitted in engine.submit_batch(workload.iter().cloned()) {
+                admitted.expect("default shed policy blocks rather than rejecting");
+            }
+            engine.drain()
+        });
+        std::hint::black_box(results.len());
+        t
+    };
+
+    // Pinned warmup, then one timed instrumented run. The snapshot records
+    // absolute numbers; run-to-run noise is absorbed by the 20 % regression
+    // tolerances in `BenchSnapshot::check_against`.
+    run(&QueryEngine::new(Arc::clone(&index), cfg));
+    let registry = Arc::new(MetricsRegistry::new());
+    let engine = QueryEngine::with_telemetry(Arc::clone(&index), cfg, Arc::clone(&registry));
+    let t = run(&engine);
+    let m = engine.metrics();
+    assert!(m.is_consistent(), "ledger invariant violated: {m:?}");
+    assert_eq!(m.completed, workload.len() as u64, "not every query completed");
+
+    // Disk phase: pages/query under memory pressure, recorded into the same
+    // registry's `disk.pages_per_query` histogram.
+    let dd = Dataset::generate("eco-sim", scale.min(0.005));
+    let pool = pool_pages(dd.seq.len(), SPINE_REC);
+    let disk = DiskSpine::build(
+        dd.alphabet.clone(),
+        &dd.seq,
+        Box::new(MemDevice::new()),
+        pool,
+        Box::<Lru>::default(),
+    )
+    .unwrap();
+    disk.attach_telemetry(&registry);
+    for i in (0..dd.seq.len().saturating_sub(16)).step_by(997) {
+        let w = &dd.seq[i..i + 12];
+        std::hint::black_box(disk.try_find_all(w).expect("MemDevice cannot fail").len());
+    }
+
+    let snap = registry.snapshot();
+    let lat = snap.histogram("engine.query_latency").expect("latency histogram");
+    assert_eq!(lat.count, workload.len() as u64, "latency histogram misses queries");
+    let pages = snap.histogram("disk.pages_per_query").expect("pages-per-query histogram");
+    assert!(!pages.is_empty(), "no disk queries recorded");
+
+    let s = BenchSnapshot {
+        workers: opts.workers as u64,
+        queries: workload.len() as u64,
+        wall_s: secs(t),
+        qps: workload.len() as f64 / secs(t).max(1e-9),
+        p50_us: lat.p50() / 1_000, // histograms record nanoseconds
+        p99_us: lat.p99() / 1_000,
+        pages_per_query: pages.mean(),
+    };
+    let json = s.to_json();
+    let out = opts.out.clone().unwrap_or_else(|| "BENCH_serve.json".to_string());
+    std::fs::write(&out, format!("{json}\n")).unwrap_or_else(|e| panic!("writing {out}: {e}"));
+    println!("{json}");
+    eprintln!("OK: snapshot written to {out}");
+
+    if let Some(base_path) = &opts.check {
+        let text = std::fs::read_to_string(base_path)
+            .unwrap_or_else(|e| panic!("reading baseline {base_path}: {e}"));
+        let base = BenchSnapshot::from_json(&text)
+            .unwrap_or_else(|e| panic!("parsing baseline {base_path}: {e}"));
+        match s.check_against(&base) {
+            Ok(msg) => eprintln!("OK: {msg}"),
+            Err(e) => {
+                eprintln!("BENCH REGRESSION vs {base_path}: {e}");
+                std::process::exit(1);
+            }
+        }
+    }
 }

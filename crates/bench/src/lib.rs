@@ -8,10 +8,12 @@
 pub mod datasets;
 pub mod faults;
 pub mod report;
+pub mod snapshot;
 
 pub use datasets::{dna_presets, protein_presets, query_for, Dataset};
 pub use faults::{crashpoint_sweep, SweepReport};
 pub use report::{print_table, MetricsReport, Row};
+pub use snapshot::BenchSnapshot;
 
 use std::time::{Duration, Instant};
 

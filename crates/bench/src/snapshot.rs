@@ -1,0 +1,205 @@
+//! Benchmark snapshots: the `exp bench-snapshot` deliverable.
+//!
+//! A [`BenchSnapshot`] is a small flat JSON record of the serving benchmark's
+//! headline numbers — throughput, tail latency, and buffer-pool traffic per
+//! query — written to `BENCH_serve.json`. CI re-runs the benchmark and
+//! compares against the committed baseline with [`BenchSnapshot::check_against`],
+//! failing on a >20 % regression in throughput or pages-per-query.
+//!
+//! The format is deliberately flat (one object, numeric fields) so the
+//! parser here can stay a keyed number scan instead of a JSON library.
+
+/// Headline numbers of one serving-benchmark run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BenchSnapshot {
+    /// Worker threads in the engine.
+    pub workers: u64,
+    /// Queries answered in the timed run.
+    pub queries: u64,
+    /// Wall time of the timed run, seconds.
+    pub wall_s: f64,
+    /// Throughput, queries per second.
+    pub qps: f64,
+    /// Median query latency, microseconds (from `engine.query_latency`).
+    pub p50_us: u64,
+    /// 99th-percentile query latency, microseconds.
+    pub p99_us: u64,
+    /// Mean buffer-pool pages touched per disk query
+    /// (from `disk.pages_per_query`).
+    pub pages_per_query: f64,
+}
+
+/// Throughput may drop to this fraction of the baseline before CI fails.
+pub const QPS_FLOOR: f64 = 0.8;
+/// Pages-per-query may grow to this multiple of the baseline before CI fails.
+pub const PAGES_CEIL: f64 = 1.2;
+
+impl BenchSnapshot {
+    /// Serialize as one flat JSON object.
+    pub fn to_json(&self) -> String {
+        format!(
+            "{{\"workers\":{},\"queries\":{},\"wall_s\":{:.6},\"qps\":{:.3},\
+             \"p50_us\":{},\"p99_us\":{},\"pages_per_query\":{:.3}}}",
+            self.workers,
+            self.queries,
+            self.wall_s,
+            self.qps,
+            self.p50_us,
+            self.p99_us,
+            self.pages_per_query
+        )
+    }
+
+    /// Parse a snapshot back out of [`Self::to_json`]'s output (or any JSON
+    /// text containing the same keys with numeric values).
+    pub fn from_json(text: &str) -> Result<Self, String> {
+        let get = |key: &str| {
+            json_number(text, key).ok_or_else(|| format!("missing numeric field {key:?}"))
+        };
+        Ok(BenchSnapshot {
+            workers: get("workers")? as u64,
+            queries: get("queries")? as u64,
+            wall_s: get("wall_s")?,
+            qps: get("qps")?,
+            p50_us: get("p50_us")? as u64,
+            p99_us: get("p99_us")? as u64,
+            pages_per_query: get("pages_per_query")?,
+        })
+    }
+
+    /// The CI regression gate: `Ok` with a summary line when this run is
+    /// within tolerance of `baseline`, `Err` describing the first regression
+    /// otherwise. Throughput must stay above [`QPS_FLOOR`] × baseline;
+    /// pages-per-query must stay below [`PAGES_CEIL`] × baseline (an
+    /// absolute +0.5-page slack absorbs tiny baselines). Latency is reported
+    /// but not gated: single-run tail latency is too noisy to fail CI on.
+    pub fn check_against(&self, baseline: &Self) -> Result<String, String> {
+        let qps_floor = baseline.qps * QPS_FLOOR;
+        if self.qps < qps_floor {
+            return Err(format!(
+                "throughput regression: {:.0} qps < {:.0} ({}% of baseline {:.0})",
+                self.qps,
+                qps_floor,
+                (QPS_FLOOR * 100.0) as u64,
+                baseline.qps
+            ));
+        }
+        let pages_ceil = baseline.pages_per_query * PAGES_CEIL + 0.5;
+        if self.pages_per_query > pages_ceil {
+            return Err(format!(
+                "pages-per-query regression: {:.2} > {:.2} ({}% of baseline {:.2} + 0.5)",
+                self.pages_per_query,
+                pages_ceil,
+                (PAGES_CEIL * 100.0) as u64,
+                baseline.pages_per_query
+            ));
+        }
+        Ok(format!(
+            "qps {:.0} vs baseline {:.0} (floor {:.0}); pages/query {:.2} vs {:.2} (ceil {:.2}); \
+             p99 {} µs vs {} µs (informational)",
+            self.qps,
+            baseline.qps,
+            qps_floor,
+            self.pages_per_query,
+            baseline.pages_per_query,
+            pages_ceil,
+            self.p99_us,
+            baseline.p99_us
+        ))
+    }
+}
+
+/// Extract the numeric value following `"key":` in a flat JSON object.
+/// Returns `None` when the key is absent or the value is not a number.
+pub fn json_number(text: &str, key: &str) -> Option<f64> {
+    let needle = format!("\"{key}\":");
+    let at = text.find(&needle)? + needle.len();
+    let rest = text[at..].trim_start();
+    let end = rest
+        .find(|c: char| !(c.is_ascii_digit() || matches!(c, '.' | '-' | '+' | 'e' | 'E')))
+        .unwrap_or(rest.len());
+    rest[..end].parse().ok()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> BenchSnapshot {
+        BenchSnapshot {
+            workers: 4,
+            queries: 1280,
+            wall_s: 0.25,
+            qps: 5120.0,
+            p50_us: 180,
+            p99_us: 900,
+            pages_per_query: 6.4,
+        }
+    }
+
+    #[test]
+    fn json_round_trips() {
+        let s = sample();
+        let parsed = BenchSnapshot::from_json(&s.to_json()).unwrap();
+        assert_eq!(parsed.workers, s.workers);
+        assert_eq!(parsed.queries, s.queries);
+        assert_eq!(parsed.p50_us, s.p50_us);
+        assert_eq!(parsed.p99_us, s.p99_us);
+        assert!((parsed.qps - s.qps).abs() < 1e-3);
+        assert!((parsed.pages_per_query - s.pages_per_query).abs() < 1e-3);
+    }
+
+    #[test]
+    fn from_json_rejects_missing_fields() {
+        let err = BenchSnapshot::from_json("{\"workers\":4}").unwrap_err();
+        assert!(err.contains("missing numeric field"), "{err}");
+    }
+
+    #[test]
+    fn check_passes_within_tolerance() {
+        let base = sample();
+        let mut run = sample();
+        run.qps = base.qps * 0.85; // above the 0.8 floor
+        run.pages_per_query = base.pages_per_query * 1.1; // below the 1.2 ceiling
+        run.p99_us = base.p99_us * 10; // latency is informational only
+        assert!(run.check_against(&base).is_ok());
+    }
+
+    #[test]
+    fn check_fails_on_throughput_regression() {
+        let base = sample();
+        let mut run = sample();
+        run.qps = base.qps * 0.5;
+        let err = run.check_against(&base).unwrap_err();
+        assert!(err.contains("throughput regression"), "{err}");
+    }
+
+    #[test]
+    fn check_fails_on_pages_regression() {
+        let base = sample();
+        let mut run = sample();
+        run.pages_per_query = base.pages_per_query * 2.0;
+        let err = run.check_against(&base).unwrap_err();
+        assert!(err.contains("pages-per-query regression"), "{err}");
+    }
+
+    #[test]
+    fn tiny_baseline_pages_get_absolute_slack() {
+        let mut base = sample();
+        base.pages_per_query = 0.0;
+        let mut run = sample();
+        run.pages_per_query = 0.4; // within the +0.5 absolute slack
+        assert!(run.check_against(&base).is_ok());
+        run.pages_per_query = 0.6;
+        assert!(run.check_against(&base).is_err());
+    }
+
+    #[test]
+    fn json_number_scans_flat_objects() {
+        let t = "{\"a\":1,\"b\":-2.5e3,\"c\":\"str\"}";
+        assert_eq!(json_number(t, "a"), Some(1.0));
+        assert_eq!(json_number(t, "b"), Some(-2500.0));
+        assert_eq!(json_number(t, "c"), None);
+        assert_eq!(json_number(t, "d"), None);
+    }
+}

@@ -393,6 +393,21 @@ impl DiskSpine {
         self.record_query_pages(before);
         Ok(r?.into_iter().map(|end| end as usize - pattern.len()).collect())
     }
+
+    /// EXPLAIN `pattern` over the page-resident index: the structural trace
+    /// of [`crate::trace::explain`] plus
+    /// [`crate::trace::TraceEvent::PageFetches`] events attributing buffer
+    /// pool hits and device reads to individual traversal steps (sampled
+    /// from the pool's cumulative counters around each step — exact in
+    /// single-query flows, an upper bound while concurrent queries share
+    /// the pool). A storage failure mid-traversal is captured in
+    /// [`crate::trace::QueryTrace::error`] with the partial trace retained.
+    pub fn explain(&self, pattern: &[Code]) -> crate::trace::QueryTrace {
+        let before = self.sample_accesses();
+        let t = crate::trace::explain(self, pattern);
+        self.record_query_pages(before);
+        t
+    }
 }
 
 /// Message for the infallible-trait boundary: callers of plain [`SpineOps`]
@@ -454,6 +469,10 @@ impl FallibleSpineOps for DiskSpine {
 
     fn ops_counters(&self) -> &Counters {
         &self.counters
+    }
+
+    fn storage_counters(&self) -> Option<(u64, u64)> {
+        Some(self.pool_counts())
     }
 }
 
@@ -623,6 +642,24 @@ mod tests {
         // Registered at attach time (counts consultations of the side
         // table, i.e. extrib lookups the inline slots could not answer).
         assert!(snap.counter("disk.spill_lookups").is_some());
+    }
+
+    #[test]
+    fn explain_attributes_page_fetches() {
+        let text = b"AACCACAACAGGTTACGACGACCA".repeat(8);
+        let (a, d) = disk(&text, 1); // single-frame pool: every hop faults
+        let codes = a.encode(&text).unwrap();
+        let r = Spine::build_from_bytes(a.clone(), &text).unwrap();
+        for p in [&b"CA"[..], b"ACCAA", b"TACGACG", b"TTTT"] {
+            let p = a.encode(p).unwrap();
+            let dt = d.explain(&p);
+            dt.verify_against_text(&codes).unwrap();
+            // Same logical traversal as the reference engine; pages are the
+            // only physical difference.
+            assert_eq!(dt.structural_events(), r.explain(&p).structural_events());
+            let (hits, misses) = dt.page_fetches();
+            assert!(hits + misses > 0, "a single-frame pool must show traffic");
+        }
     }
 
     #[test]

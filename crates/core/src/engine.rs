@@ -521,6 +521,49 @@ impl<S: FallibleSpineOps + Send + Sync + 'static> QueryEngine<S> {
         Ok(id)
     }
 
+    /// Answer one pattern synchronously on the calling thread with a full
+    /// EXPLAIN trace attached ([`crate::trace::QueryTrace`]).
+    ///
+    /// The request flows through the same ledger as queued submissions
+    /// (submitted → in-flight → completed/failed), so
+    /// [`MetricsSnapshot::is_consistent`] holds on every snapshot taken
+    /// while the traced query runs, and telemetry-enabled engines record
+    /// its end-to-end latency plus a `q<id>.explain` span like any other
+    /// query. It bypasses the admission queue — EXPLAIN is a diagnostic
+    /// read, not load — and never sheds.
+    ///
+    /// A storage fault ends as [`QueryOutcome::Failed`] with the partial
+    /// trace retained ([`crate::trace::QueryTrace::error`]).
+    pub fn submit_traced(&self, pattern: Vec<Code>) -> (QueryResult, crate::trace::QueryTrace) {
+        let start = Instant::now();
+        let id = self.next_id.fetch_add(1, Relaxed);
+        {
+            let mut st = self.shared.lock();
+            st.ledger.submitted += 1;
+            st.in_flight += 1;
+        }
+        let trace = crate::trace::explain(self.index.as_ref(), &pattern);
+        let outcome = match &trace.error {
+            Some(e) => QueryOutcome::Failed(e.clone()),
+            None => QueryOutcome::Done(trace.ends.clone()),
+        };
+        let mut st = self.shared.lock();
+        st.in_flight -= 1;
+        match outcome {
+            QueryOutcome::Done(_) => st.ledger.completed += 1,
+            _ => st.ledger.failed += 1,
+        }
+        if let Some(t) = &self.shared.telemetry {
+            let published = Instant::now();
+            let latency = published - start;
+            t.query_latency.record(latency);
+            t.registry.record_span(format!("q{id}.explain"), start, latency);
+        }
+        self.shared.notify_if_idle(&st);
+        drop(st);
+        (QueryResult { id, pattern, outcome }, trace)
+    }
+
     /// Enqueue many patterns; returns one admission result per pattern, in
     /// order. Under [`ShedPolicy::RejectNewest`] individual patterns may be
     /// shed while earlier ones were admitted.
@@ -1393,6 +1436,42 @@ mod tests {
         assert!(snap.spans.iter().any(|s| s.name == "sharded.merge"));
         let m = sharded.metrics();
         assert!(m.is_consistent());
+    }
+
+    #[test]
+    fn submit_traced_accounts_and_matches_queued_answers() {
+        let (a, engine) = paper_engine(2);
+        let (r, t) = engine.submit_traced(a.encode(b"CA").unwrap());
+        assert_eq!(r.expect_ends(), [5, 7, 10]);
+        assert_eq!(t.ends, vec![5, 7, 10]);
+        assert!(t.error.is_none());
+        t.verify_against_text(&a.encode(b"AACCACAACA").unwrap()).unwrap();
+        // Queued and traced submissions share one ledger.
+        engine.submit(a.encode(b"AC").unwrap()).unwrap();
+        engine.drain();
+        let m = engine.metrics();
+        assert_eq!((m.submitted, m.completed), (2, 2));
+        assert!(m.is_consistent());
+        // Absent patterns trace their mismatch and answer Done([]).
+        let (r, t) = engine.submit_traced(a.encode(b"GG").unwrap());
+        assert_eq!(r.expect_ends(), [] as [NodeId; 0]);
+        assert_eq!(t.first_end, None);
+    }
+
+    #[test]
+    fn submit_traced_records_latency_and_span() {
+        let a = Alphabet::dna();
+        let s = Spine::build_from_bytes(a.clone(), b"AACCACAACA").unwrap();
+        let registry = Arc::new(MetricsRegistry::new());
+        let engine = QueryEngine::with_telemetry(
+            Arc::new(s),
+            EngineConfig::default(),
+            Arc::clone(&registry),
+        );
+        engine.submit_traced(a.encode(b"ACA").unwrap());
+        let snap = registry.snapshot();
+        assert_eq!(snap.histogram("engine.query_latency").unwrap().count, 1);
+        assert!(snap.spans.iter().any(|sp| sp.name.ends_with(".explain")));
     }
 
     #[test]

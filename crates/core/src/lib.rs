@@ -56,7 +56,8 @@
 //! §5 Link-Table/Rib-Table layout, < 12 bytes per character), [`disk`]
 //! (page-resident engine), [`generalized`] (multi-string indexes),
 //! [`prefix`] (prefix partitioning), [`stats`] (the paper's measurement
-//! hooks), [`verify`] (invariant checker).
+//! hooks), [`trace`] (per-query EXPLAIN tracing and heatmaps), [`verify`]
+//! (invariant checker).
 
 pub mod approx;
 pub mod build;
@@ -72,6 +73,7 @@ pub mod prefix;
 pub mod repeats;
 pub mod search;
 pub mod stats;
+pub mod trace;
 pub mod verify;
 
 pub use approx::ApproxMatch;
@@ -88,3 +90,7 @@ pub use ops::{FallibleSpineOps, Infallible, SpineOps};
 pub use prefix::{PrefixView, SpinePrefix};
 pub use search::{locate, step, try_locate, try_step};
 pub use strindex::telemetry;
+pub use trace::{
+    explain, Heatmap, NoTrace, QueryTrace, RecordingSink, TraceEvent, TraceSink,
+    DEFAULT_TRACE_CAPACITY,
+};

@@ -15,7 +15,8 @@
 
 use crate::node::NodeId;
 use crate::ops::{FallibleSpineOps, Infallible, SpineOps};
-use crate::search::try_locate;
+use crate::search::try_locate_traced;
+use crate::trace::{NoTrace, TraceEvent, TraceSink};
 use strindex::{Code, FxHashMap, Result};
 
 /// End positions (1-based) of all occurrences of `pattern`, ascending.
@@ -29,10 +30,21 @@ pub fn try_find_all_ends<S: FallibleSpineOps + ?Sized>(
     s: &S,
     pattern: &[Code],
 ) -> Result<Vec<NodeId>> {
-    let Some(first) = try_locate(s, pattern)? else {
+    try_find_all_ends_traced(s, &mut NoTrace, pattern)
+}
+
+/// [`try_find_all_ends`] with a [`TraceSink`] attached: the valid-path walk
+/// and the backbone scan both report their decisions. This is the traversal
+/// behind `explain` ([`crate::trace::explain`]).
+pub fn try_find_all_ends_traced<S: FallibleSpineOps + ?Sized, T: TraceSink + ?Sized>(
+    s: &S,
+    sink: &mut T,
+    pattern: &[Code],
+) -> Result<Vec<NodeId>> {
+    let Some(first) = try_locate_traced(s, sink, pattern)? else {
         return Ok(Vec::new());
     };
-    try_occurrences_from(s, first, pattern.len() as u32)
+    try_occurrences_from_traced(s, sink, first, pattern.len() as u32)
 }
 
 /// Single-target scan: all nodes ending an occurrence of the length-`len`
@@ -47,13 +59,37 @@ pub fn try_occurrences_from<S: FallibleSpineOps + ?Sized>(
     first: NodeId,
     len: u32,
 ) -> Result<Vec<NodeId>> {
-    let mut buffer: Vec<NodeId> = vec![first];
+    try_occurrences_from_traced(s, &mut NoTrace, first, len)
+}
+
+/// [`try_occurrences_from`] with a [`TraceSink`] attached: emits one
+/// [`TraceEvent::ScanStart`] for the backbone range, one
+/// [`TraceEvent::Occurrence`] per link-accepted end, and (for page-resident
+/// structures) a single [`TraceEvent::PageFetches`] aggregating the scan's
+/// buffer-pool traffic.
+pub fn try_occurrences_from_traced<S: FallibleSpineOps + ?Sized, T: TraceSink + ?Sized>(
+    s: &S,
+    sink: &mut T,
+    first: NodeId,
+    len: u32,
+) -> Result<Vec<NodeId>> {
     let n = s.text_len() as NodeId;
+    if T::ENABLED {
+        sink.event(TraceEvent::ScanStart { from: first + 1, to: n, len });
+    }
+    let before = if T::ENABLED { s.storage_counters() } else { None };
+    let mut buffer: Vec<NodeId> = vec![first];
     for j in first + 1..=n {
         let (dest, lel) = s.try_link_of(j)?;
         if lel >= len && buffer.binary_search(&dest).is_ok() {
+            if T::ENABLED {
+                sink.event(TraceEvent::Occurrence { node: j, link: dest, lel });
+            }
             buffer.push(j); // scan order keeps the buffer sorted
         }
+    }
+    if let Some(e) = crate::trace::page_delta_event(s, before) {
+        sink.event(e);
     }
     Ok(buffer)
 }

@@ -72,6 +72,16 @@ pub trait FallibleSpineOps {
 
     /// Work counters (see [`strindex::Counters`]).
     fn ops_counters(&self) -> &Counters;
+
+    /// Cumulative `(hits, misses)` of the backing page cache, when this
+    /// representation is page-resident; `None` for in-memory structures.
+    /// The traced traversals sample this around each step to attribute
+    /// buffer-pool traffic to individual traversal decisions
+    /// ([`crate::trace::TraceEvent::PageFetches`]) — and only when a
+    /// recording sink is attached, so the untraced paths never pay for it.
+    fn storage_counters(&self) -> Option<(u64, u64)> {
+        None
+    }
 }
 
 /// Adapter viewing any infallible [`SpineOps`] as a [`FallibleSpineOps`]

@@ -15,7 +15,65 @@
 use crate::build::Spine;
 use crate::node::{NodeId, ROOT};
 use crate::ops::{FallibleSpineOps, Infallible, SpineOps};
+use crate::trace::{NoTrace, TraceEvent, TraceSink};
 use strindex::{Alphabet, Code, Result, StringIndex};
+
+/// [`try_step`] with a [`TraceSink`] attached: every traversal decision —
+/// the vertebra match, the rib's PT comparison, each extrib-chain probe,
+/// and the two mismatch terminations — is reported as a [`TraceEvent`].
+/// With [`NoTrace`] (whose `ENABLED` is `false`) this monomorphizes to the
+/// untraced step.
+#[inline]
+pub fn try_step_traced<S: FallibleSpineOps + ?Sized, T: TraceSink + ?Sized>(
+    s: &S,
+    sink: &mut T,
+    node: NodeId,
+    pl: u32,
+    c: Code,
+) -> Result<Option<NodeId>> {
+    s.ops_counters().count_node_check();
+    // Vertebras are unconstrained.
+    if s.try_vertebra_out(node)? == Some(c) {
+        s.ops_counters().count_edge();
+        if T::ENABLED {
+            sink.event(TraceEvent::Vertebra { node, pl, ch: c });
+        }
+        return Ok(Some(node + 1));
+    }
+    let Some((dest, pt)) = s.try_rib_of(node, c)? else {
+        if T::ENABLED {
+            sink.event(TraceEvent::NoEdge { node, pl, ch: c });
+        }
+        return Ok(None);
+    };
+    if T::ENABLED {
+        sink.event(TraceEvent::Rib { node, ch: c, dest, pt, pl, admitted: pl <= pt });
+    }
+    if pl <= pt {
+        s.ops_counters().count_edge();
+        return Ok(Some(dest));
+    }
+    // Rib fails the threshold test: follow its extrib chain.
+    let prt = pt;
+    let mut at = dest;
+    loop {
+        s.ops_counters().count_extrib();
+        let Some((edest, ept)) = s.try_extrib_of(at, prt)? else {
+            if T::ENABLED {
+                sink.event(TraceEvent::ChainExhausted { at, prt, pl, ch: c });
+            }
+            return Ok(None);
+        };
+        if T::ENABLED {
+            sink.event(TraceEvent::Extrib { at, prt, dest: edest, pt: ept, pl, taken: ept >= pl });
+        }
+        if ept >= pl {
+            s.ops_counters().count_edge();
+            return Ok(Some(edest));
+        }
+        at = edest;
+    }
+}
 
 /// One valid-path step over a fallible structure: from `node` with current
 /// path length `pl`, follow the edge labeled `c`. `Ok(None)` means no
@@ -28,47 +86,38 @@ pub fn try_step<S: FallibleSpineOps + ?Sized>(
     pl: u32,
     c: Code,
 ) -> Result<Option<NodeId>> {
-    s.ops_counters().count_node_check();
-    // Vertebras are unconstrained.
-    if s.try_vertebra_out(node)? == Some(c) {
-        s.ops_counters().count_edge();
-        return Ok(Some(node + 1));
-    }
-    let Some((dest, pt)) = s.try_rib_of(node, c)? else {
-        return Ok(None);
-    };
-    if pl <= pt {
-        s.ops_counters().count_edge();
-        return Ok(Some(dest));
-    }
-    // Rib fails the threshold test: follow its extrib chain.
-    let prt = pt;
-    let mut at = dest;
-    loop {
-        s.ops_counters().count_extrib();
-        let Some((edest, ept)) = s.try_extrib_of(at, prt)? else {
-            return Ok(None);
-        };
-        if ept >= pl {
-            s.ops_counters().count_edge();
-            return Ok(Some(edest));
+    try_step_traced(s, &mut NoTrace, node, pl, c)
+}
+
+/// [`try_locate`] with a [`TraceSink`] attached. When the structure is
+/// page-resident, buffer-pool traffic is sampled around each step and
+/// emitted as [`TraceEvent::PageFetches`] (skipped entirely — including the
+/// sampling — when the sink is disabled).
+pub fn try_locate_traced<S: FallibleSpineOps + ?Sized, T: TraceSink + ?Sized>(
+    s: &S,
+    sink: &mut T,
+    pattern: &[Code],
+) -> Result<Option<NodeId>> {
+    let mut node = ROOT;
+    for (pl, &c) in pattern.iter().enumerate() {
+        let before = if T::ENABLED { s.storage_counters() } else { None };
+        let stepped = try_step_traced(s, sink, node, pl as u32, c)?;
+        if let Some(e) = crate::trace::page_delta_event(s, before) {
+            sink.event(e);
         }
-        at = edest;
+        match stepped {
+            Some(next) => node = next,
+            None => return Ok(None),
+        }
     }
+    Ok(Some(node))
 }
 
 /// Walk the valid path for `pattern` over a fallible structure. Returns the
 /// end node of the pattern's first occurrence, `Ok(None)` if the pattern
 /// does not occur, or `Err` on a storage failure.
 pub fn try_locate<S: FallibleSpineOps + ?Sized>(s: &S, pattern: &[Code]) -> Result<Option<NodeId>> {
-    let mut node = ROOT;
-    for (pl, &c) in pattern.iter().enumerate() {
-        match try_step(s, node, pl as u32, c)? {
-            Some(next) => node = next,
-            None => return Ok(None),
-        }
-    }
-    Ok(Some(node))
+    try_locate_traced(s, &mut NoTrace, pattern)
 }
 
 /// One valid-path step: from `node` with current path length `pl`, follow

@@ -629,17 +629,285 @@ impl RegistrySnapshot {
         }
         let _ = write!(
             out,
-            "}},\"spans\":{{\"recorded\":{},\"retained\":{},\"capacity\":{}}}}}",
+            "}},\"spans\":{{\"recorded\":{},\"retained\":{},\"capacity\":{},\"events\":[",
             self.spans_recorded,
             self.spans.len(),
             self.span_capacity
         );
+        for (i, s) in self.spans.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(
+                out,
+                "{{\"name\":\"{}\",\"start_us\":{},\"duration_us\":{}}}",
+                json_escape(&s.name),
+                s.start_us,
+                s.duration_us
+            );
+        }
+        out.push_str("]}}");
+        out
+    }
+
+    /// Prometheus text-exposition export (format version 0.0.4), with every
+    /// metric name prefixed by `namespace` and sanitized to the Prometheus
+    /// charset. Histograms export as summaries (quantile series plus
+    /// `_sum`/`_count`), counters gain the conventional `_total` suffix,
+    /// gauges export as-is, and the span ring contributes
+    /// `<ns>_spans_recorded_total` / `<ns>_spans_retained`. The output
+    /// passes [`validate_prometheus_text`].
+    pub fn to_prometheus(&self, namespace: &str) -> String {
+        use std::fmt::Write;
+        let mut out = String::new();
+        let full = |name: &str| sanitize_metric_name(&format!("{namespace}_{name}"));
+        for (name, h) in &self.histograms {
+            let m = full(name);
+            let _ = writeln!(out, "# HELP {m} Log-scale histogram of {name}");
+            let _ = writeln!(out, "# TYPE {m} summary");
+            for (q, v) in [(0.5, h.p50()), (0.95, h.p95()), (0.99, h.p99())] {
+                let _ = writeln!(out, "{m}{{quantile=\"{q}\"}} {v}");
+            }
+            let _ = writeln!(out, "{m}_sum {}", h.sum);
+            let _ = writeln!(out, "{m}_count {}", h.count);
+        }
+        for (name, v) in &self.counters {
+            let m = format!("{}_total", full(name));
+            let _ = writeln!(out, "# HELP {m} Monotonic counter {name}");
+            let _ = writeln!(out, "# TYPE {m} counter");
+            let _ = writeln!(out, "{m} {v}");
+        }
+        for (name, v) in &self.gauges {
+            let m = full(name);
+            let _ = writeln!(out, "# HELP {m} Gauge {name}");
+            let _ = writeln!(out, "# TYPE {m} gauge");
+            let _ = writeln!(out, "{m} {v}");
+        }
+        let spans_total = format!("{}_total", full("spans_recorded"));
+        let _ = writeln!(out, "# TYPE {spans_total} counter");
+        let _ = writeln!(out, "{spans_total} {}", self.spans_recorded);
+        let retained = full("spans_retained");
+        let _ = writeln!(out, "# TYPE {retained} gauge");
+        let _ = writeln!(out, "{retained} {}", self.spans.len());
+        out
+    }
+
+    /// Chrome `trace_event` JSON export of the span ring, loadable in
+    /// `chrome://tracing` and Perfetto. Spans become complete (`"ph":"X"`)
+    /// events with microsecond timestamps relative to the registry epoch.
+    /// Tracks (`tid`) are assigned by span-name convention: worker spans
+    /// (`w3.batch`) land on track `3 + worker`, per-query spans (`q17`) on
+    /// track 1, everything else on track 2.
+    pub fn to_chrome_trace(&self) -> String {
+        use std::fmt::Write;
+        let mut out = String::from(
+            "{\"traceEvents\":[{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":1,\"tid\":0,\
+             \"args\":{\"name\":\"spine\"}}",
+        );
+        for s in &self.spans {
+            let _ = write!(
+                out,
+                ",{{\"name\":\"{}\",\"cat\":\"span\",\"ph\":\"X\",\"ts\":{},\"dur\":{},\
+                 \"pid\":1,\"tid\":{}}}",
+                json_escape(&s.name),
+                s.start_us,
+                s.duration_us,
+                chrome_tid(&s.name)
+            );
+        }
+        out.push_str("],\"displayTimeUnit\":\"ms\"}");
         out
     }
 }
 
-fn json_escape(s: &str) -> String {
-    s.replace('\\', "\\\\").replace('"', "\\\"")
+/// The Perfetto track a span renders on; see
+/// [`RegistrySnapshot::to_chrome_trace`].
+fn chrome_tid(name: &str) -> u64 {
+    if let Some(rest) = name.strip_prefix('w') {
+        let digits: String = rest.chars().take_while(|c| c.is_ascii_digit()).collect();
+        if !digits.is_empty() && rest[digits.len()..].starts_with('.') {
+            return 3 + digits.parse::<u64>().unwrap_or(0);
+        }
+    }
+    if name.starts_with('q') {
+        return 1;
+    }
+    2
+}
+
+/// Escape `s` for inclusion inside a JSON string literal: backslash, quote,
+/// and every control character (`\n`, `\t`, …, `\u00XX`).
+pub fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '"' => out.push_str("\\\""),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            '\u{8}' => out.push_str("\\b"),
+            '\u{c}' => out.push_str("\\f"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Coerce `s` into a legal Prometheus metric name: `[a-zA-Z_:][a-zA-Z0-9_:]*`.
+/// Illegal characters (most commonly the `.` in this crate's metric names)
+/// become `_`; a leading digit gains a `_` prefix.
+pub fn sanitize_metric_name(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for (i, c) in s.chars().enumerate() {
+        let ok = c.is_ascii_alphabetic() || c == '_' || c == ':' || (i > 0 && c.is_ascii_digit());
+        if ok {
+            out.push(c);
+        } else if i == 0 && c.is_ascii_digit() {
+            out.push('_');
+            out.push(c);
+        } else {
+            out.push('_');
+        }
+    }
+    if out.is_empty() {
+        out.push('_');
+    }
+    out
+}
+
+/// Check `text` against the Prometheus text-exposition line format
+/// (format version 0.0.4): `# HELP`/`# TYPE` comment structure, metric-name
+/// charset, label syntax with escaped values, and numeric sample values.
+/// Returns the first offending line and why. This is the checker CI runs
+/// over `exp serve --metrics --prom` output.
+pub fn validate_prometheus_text(text: &str) -> Result<(), String> {
+    const TYPES: [&str; 5] = ["counter", "gauge", "histogram", "summary", "untyped"];
+    let name_ok = |s: &str| {
+        !s.is_empty()
+            && s.chars().next().is_some_and(|c| c.is_ascii_alphabetic() || c == '_' || c == ':')
+            && s.chars().all(|c| c.is_ascii_alphanumeric() || c == '_' || c == ':')
+    };
+    let fail = |ln: usize, line: &str, why: &str| Err(format!("line {}: {why}: {line:?}", ln + 1));
+    for (ln, line) in text.lines().enumerate() {
+        if line.is_empty() {
+            continue;
+        }
+        if let Some(comment) = line.strip_prefix('#') {
+            let mut parts = comment.trim_start().splitn(3, ' ');
+            match parts.next() {
+                Some("HELP") => {
+                    let Some(name) = parts.next() else {
+                        return fail(ln, line, "HELP without metric name");
+                    };
+                    if !name_ok(name) {
+                        return fail(ln, line, "bad metric name in HELP");
+                    }
+                }
+                Some("TYPE") => {
+                    let Some(name) = parts.next() else {
+                        return fail(ln, line, "TYPE without metric name");
+                    };
+                    if !name_ok(name) {
+                        return fail(ln, line, "bad metric name in TYPE");
+                    }
+                    let ty = parts.next().unwrap_or("").trim();
+                    if !TYPES.contains(&ty) {
+                        return fail(ln, line, "unknown TYPE");
+                    }
+                }
+                _ => {} // plain comment: legal
+            }
+            continue;
+        }
+        // Sample line: name[{labels}] value [timestamp]
+        let (name_and_labels, rest) = match line.find(['{', ' ']) {
+            Some(i) if line.as_bytes()[i] == b'{' => {
+                let Some(close) = line[i..].find('}') else {
+                    return fail(ln, line, "unclosed label braces");
+                };
+                let labels = &line[i + 1..i + close];
+                if !labels_ok(labels) {
+                    return fail(ln, line, "malformed labels");
+                }
+                ((&line[..i], Some(labels)), line[i + close + 1..].trim_start())
+            }
+            Some(i) => ((&line[..i], None), line[i..].trim_start()),
+            None => return fail(ln, line, "no sample value"),
+        };
+        if !name_ok(name_and_labels.0) {
+            return fail(ln, line, "bad metric name");
+        }
+        let mut fields = rest.split_ascii_whitespace();
+        let Some(value) = fields.next() else {
+            return fail(ln, line, "no sample value");
+        };
+        if value.parse::<f64>().is_err() && !["+Inf", "-Inf", "NaN"].contains(&value) {
+            return fail(ln, line, "unparseable sample value");
+        }
+        if let Some(ts) = fields.next() {
+            if ts.parse::<i64>().is_err() {
+                return fail(ln, line, "unparseable timestamp");
+            }
+        }
+        if fields.next().is_some() {
+            return fail(ln, line, "trailing garbage after sample");
+        }
+    }
+    Ok(())
+}
+
+/// Are `labels` (the text between `{` and `}`) well-formed
+/// `name="value",...` pairs with legal escapes?
+fn labels_ok(labels: &str) -> bool {
+    let mut rest = labels;
+    loop {
+        let Some(eq) = rest.find('=') else { return rest.trim().is_empty() };
+        let name = rest[..eq].trim();
+        if name.is_empty()
+            || !name
+                .chars()
+                .enumerate()
+                .all(|(i, c)| c.is_ascii_alphabetic() || c == '_' || (i > 0 && c.is_ascii_digit()))
+        {
+            return false;
+        }
+        let after = &rest[eq + 1..];
+        if !after.starts_with('"') {
+            return false;
+        }
+        // Scan the quoted value honoring \" \\ \n escapes.
+        let mut chars = after[1..].char_indices();
+        let mut end = None;
+        while let Some((i, c)) = chars.next() {
+            match c {
+                '\\' => {
+                    match chars.next() {
+                        Some((_, '\\' | '"' | 'n')) => {}
+                        _ => return false,
+                    };
+                }
+                '"' => {
+                    end = Some(i);
+                    break;
+                }
+                _ => {}
+            }
+        }
+        let Some(end) = end else { return false };
+        rest = after[1 + end + 1..].trim_start();
+        if rest.is_empty() {
+            return true;
+        }
+        let Some(stripped) = rest.strip_prefix(',') else { return false };
+        rest = stripped.trim_start();
+        if rest.is_empty() {
+            return true; // trailing comma is legal
+        }
+    }
 }
 
 #[cfg(test)]
@@ -758,6 +1026,72 @@ mod tests {
         let text = snap.to_text();
         assert!(text.contains("counter c: 1"));
         assert!(text.contains("spans   1 retained"));
+    }
+
+    #[test]
+    fn span_names_are_escaped_in_json() {
+        // Regression: span names used to be omitted from to_json entirely,
+        // and json_escape passed control characters through raw.
+        let r = MetricsRegistry::new();
+        r.record_span("evil \"name\"\nwith\\ctl\u{1}", r.epoch(), Duration::from_micros(5));
+        let json = r.snapshot().to_json();
+        assert!(json.contains("evil \\\"name\\\"\\nwith\\\\ctl\\u0001"), "{json}");
+        assert!(!json.contains('\n'), "raw control characters must not survive");
+        assert!(json.contains("\"events\":["));
+    }
+
+    #[test]
+    fn prometheus_export_self_validates() {
+        let r = MetricsRegistry::new();
+        r.stage(Stage::IndexScan).record_value(1234);
+        r.counter("disk.spill_lookups").add(2);
+        r.gauge("disk.pool.hits", || 7);
+        r.span_timed("w", || ());
+        let prom = r.snapshot().to_prometheus("spine");
+        validate_prometheus_text(&prom).unwrap();
+        assert!(prom.contains("# TYPE spine_stage_index_scan summary"));
+        assert!(prom.contains("spine_stage_index_scan{quantile=\"0.5\"}"));
+        assert!(prom.contains("spine_disk_spill_lookups_total 2"));
+        assert!(prom.contains("spine_disk_pool_hits 7"));
+        assert!(prom.contains("spine_spans_recorded_total 1"));
+    }
+
+    #[test]
+    fn prometheus_validator_rejects_malformed_lines() {
+        assert!(validate_prometheus_text("ok_metric 1").is_ok());
+        assert!(validate_prometheus_text("m{a=\"x\",b=\"y\"} +Inf").is_ok());
+        assert!(validate_prometheus_text("m{a=\"esc\\\"aped\"} 2 123456").is_ok());
+        assert!(validate_prometheus_text("# plain comment\n\nm 1").is_ok());
+        assert!(validate_prometheus_text("bad.name 1").is_err());
+        assert!(validate_prometheus_text("metric notanumber").is_err());
+        assert!(validate_prometheus_text("m{l=\"unterminated} 1").is_err());
+        assert!(validate_prometheus_text("# TYPE m sideways").is_err());
+        assert!(validate_prometheus_text("lonely_name").is_err());
+        assert!(validate_prometheus_text("m 1 ts_not_int").is_err());
+    }
+
+    #[test]
+    fn chrome_trace_exports_spans_on_tracks() {
+        let r = MetricsRegistry::new();
+        r.record_span("q1", r.epoch(), Duration::from_micros(10));
+        r.record_span("w0.batch", r.epoch(), Duration::from_micros(20));
+        r.record_span("sharded.merge", r.epoch(), Duration::from_micros(3));
+        let trace = r.snapshot().to_chrome_trace();
+        assert!(trace.starts_with("{\"traceEvents\":["));
+        assert!(trace.ends_with("}"));
+        assert!(trace.contains("\"ph\":\"X\""));
+        assert!(trace.contains("\"name\":\"q1\",\"cat\":\"span\",\"ph\":\"X\""));
+        assert!(trace.contains("\"tid\":1")); // q1
+        assert!(trace.contains("\"tid\":3")); // w0.batch
+        assert!(trace.contains("\"tid\":2")); // sharded.merge
+    }
+
+    #[test]
+    fn metric_name_sanitization() {
+        assert_eq!(sanitize_metric_name("disk.pool.hits"), "disk_pool_hits");
+        assert_eq!(sanitize_metric_name("9lives"), "_9lives");
+        assert_eq!(sanitize_metric_name("ok_name:x"), "ok_name:x");
+        assert_eq!(sanitize_metric_name(""), "_");
     }
 
     #[test]

@@ -1,8 +1,19 @@
 #!/usr/bin/env bash
 # The full CI gate: formatting, lints, build, every test, and the paper's
 # correctness experiment. Run from anywhere inside the repository.
+#
+#   --bench-check   additionally re-run the serving benchmark and fail on a
+#                   >20 % regression against the committed BENCH_serve.json
 set -euo pipefail
 cd "$(dirname "$0")/.."
+
+BENCH_CHECK=0
+for arg in "$@"; do
+  case "$arg" in
+    --bench-check) BENCH_CHECK=1 ;;
+    *) echo "unknown argument: $arg (supported: --bench-check)"; exit 2 ;;
+  esac
+done
 
 echo "== cargo fmt --check"
 cargo fmt --all --check
@@ -32,6 +43,22 @@ echo "$metrics_json" | grep -q '"stages_bounded":true' \
   || { echo "metrics smoke: stage timings exceed workers × wall"; exit 1; }
 echo "$metrics_json" | grep -q '"stage.index_scan":{"count":[1-9]' \
   || { echo "metrics smoke: empty index-scan histogram"; exit 1; }
+
+echo "== exp explain --quick (Figure 3 trace vs hand-derived path + oracle replay)"
+cargo run --release -q -p spine-bench --bin exp -- explain --quick >/dev/null
+
+echo "== exp serve --metrics --prom (Prometheus exposition self-check)"
+prom_text=$(cargo run --release -q -p spine-bench --bin exp -- serve --metrics --quick --prom)
+echo "$prom_text" | grep -q '^spine_engine_query_latency_count ' \
+  || { echo "prom smoke: missing engine.query_latency samples"; exit 1; }
+
+if [ "$BENCH_CHECK" = 1 ]; then
+  echo "== bench regression gate (vs committed BENCH_serve.json)"
+  tmp_snap=$(mktemp)
+  cargo run --release -q -p spine-bench --bin exp -- bench-snapshot --quick \
+    --out "$tmp_snap" --check BENCH_serve.json >/dev/null
+  rm -f "$tmp_snap"
+fi
 
 echo "== cargo doc (warnings are errors)"
 RUSTDOCFLAGS="-D warnings" cargo doc --no-deps --workspace -q

@@ -132,3 +132,250 @@ fn single_worker_busy_stages_bounded_by_wall_time() {
         );
     }
 }
+
+// ---------------------------------------------------------------------------
+// Exporter schemas. A minimal JSON value parser (strings with escapes,
+// numbers, objects, arrays, literals) keeps the assertions structural: the
+// Chrome trace must PARSE, not merely look plausible, and adversarial span
+// names must survive the round trip.
+// ---------------------------------------------------------------------------
+
+#[derive(Debug, PartialEq)]
+enum Json {
+    Null,
+    Bool(bool),
+    Num(f64),
+    Str(String),
+    Arr(Vec<Json>),
+    Obj(Vec<(String, Json)>),
+}
+
+impl Json {
+    fn get(&self, key: &str) -> Option<&Json> {
+        match self {
+            Json::Obj(fields) => fields.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    fn as_str(&self) -> Option<&str> {
+        match self {
+            Json::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    fn as_num(&self) -> Option<f64> {
+        match self {
+            Json::Num(n) => Some(*n),
+            _ => None,
+        }
+    }
+}
+
+fn parse_json(text: &str) -> Result<Json, String> {
+    let bytes = text.as_bytes();
+    let mut at = 0;
+    let v = parse_value(bytes, &mut at)?;
+    skip_ws(bytes, &mut at);
+    if at != bytes.len() {
+        return Err(format!("trailing garbage at byte {at}"));
+    }
+    Ok(v)
+}
+
+fn skip_ws(b: &[u8], at: &mut usize) {
+    while *at < b.len() && matches!(b[*at], b' ' | b'\t' | b'\n' | b'\r') {
+        *at += 1;
+    }
+}
+
+fn parse_value(b: &[u8], at: &mut usize) -> Result<Json, String> {
+    skip_ws(b, at);
+    match b.get(*at) {
+        None => Err("unexpected end of input".into()),
+        Some(b'{') => {
+            *at += 1;
+            let mut fields = Vec::new();
+            skip_ws(b, at);
+            if b.get(*at) == Some(&b'}') {
+                *at += 1;
+                return Ok(Json::Obj(fields));
+            }
+            loop {
+                skip_ws(b, at);
+                let Json::Str(key) = parse_value(b, at)? else {
+                    return Err(format!("non-string object key at byte {at}"));
+                };
+                skip_ws(b, at);
+                if b.get(*at) != Some(&b':') {
+                    return Err(format!("expected ':' at byte {at}"));
+                }
+                *at += 1;
+                fields.push((key, parse_value(b, at)?));
+                skip_ws(b, at);
+                match b.get(*at) {
+                    Some(b',') => *at += 1,
+                    Some(b'}') => {
+                        *at += 1;
+                        return Ok(Json::Obj(fields));
+                    }
+                    _ => return Err(format!("expected ',' or '}}' at byte {at}")),
+                }
+            }
+        }
+        Some(b'[') => {
+            *at += 1;
+            let mut items = Vec::new();
+            skip_ws(b, at);
+            if b.get(*at) == Some(&b']') {
+                *at += 1;
+                return Ok(Json::Arr(items));
+            }
+            loop {
+                items.push(parse_value(b, at)?);
+                skip_ws(b, at);
+                match b.get(*at) {
+                    Some(b',') => *at += 1,
+                    Some(b']') => {
+                        *at += 1;
+                        return Ok(Json::Arr(items));
+                    }
+                    _ => return Err(format!("expected ',' or ']' at byte {at}")),
+                }
+            }
+        }
+        Some(b'"') => {
+            *at += 1;
+            let mut s = String::new();
+            loop {
+                match b.get(*at) {
+                    None => return Err("unterminated string".into()),
+                    Some(b'"') => {
+                        *at += 1;
+                        return Ok(Json::Str(s));
+                    }
+                    Some(b'\\') => {
+                        *at += 1;
+                        match b.get(*at) {
+                            Some(b'"') => s.push('"'),
+                            Some(b'\\') => s.push('\\'),
+                            Some(b'/') => s.push('/'),
+                            Some(b'n') => s.push('\n'),
+                            Some(b'r') => s.push('\r'),
+                            Some(b't') => s.push('\t'),
+                            Some(b'b') => s.push('\u{8}'),
+                            Some(b'f') => s.push('\u{c}'),
+                            Some(b'u') => {
+                                let hex = b.get(*at + 1..*at + 5).ok_or("truncated \\u escape")?;
+                                let code = u32::from_str_radix(
+                                    std::str::from_utf8(hex).map_err(|e| e.to_string())?,
+                                    16,
+                                )
+                                .map_err(|e| e.to_string())?;
+                                s.push(char::from_u32(code).ok_or("surrogate in \\u escape")?);
+                                *at += 4;
+                            }
+                            other => return Err(format!("bad escape {other:?}")),
+                        }
+                        *at += 1;
+                    }
+                    Some(&c) if c < 0x20 => {
+                        return Err(format!("raw control byte {c:#x} in string"))
+                    }
+                    Some(_) => {
+                        // Consume one UTF-8 scalar (input is a &str, so
+                        // boundaries are valid).
+                        let rest = std::str::from_utf8(&b[*at..]).map_err(|e| e.to_string())?;
+                        let ch = rest.chars().next().unwrap();
+                        s.push(ch);
+                        *at += ch.len_utf8();
+                    }
+                }
+            }
+        }
+        Some(_) => {
+            let start = *at;
+            while *at < b.len()
+                && !matches!(b[*at], b',' | b'}' | b']' | b' ' | b'\t' | b'\n' | b'\r')
+            {
+                *at += 1;
+            }
+            let tok = std::str::from_utf8(&b[start..*at]).map_err(|e| e.to_string())?;
+            match tok {
+                "null" => Ok(Json::Null),
+                "true" => Ok(Json::Bool(true)),
+                "false" => Ok(Json::Bool(false)),
+                _ => tok
+                    .parse::<f64>()
+                    .map(Json::Num)
+                    .map_err(|_| format!("bad literal {tok:?} at byte {start}")),
+            }
+        }
+    }
+}
+
+/// The Chrome `trace_event` export parses as JSON and matches the format's
+/// schema: a `traceEvents` array whose complete events (`ph:"X"`) carry
+/// name/cat/ts/dur/pid/tid, with engine span names intact.
+#[test]
+fn chrome_trace_export_matches_schema() {
+    let reg = MetricsRegistry::new();
+    let epoch = reg.epoch();
+    reg.record_span("q1", epoch, std::time::Duration::from_micros(40));
+    reg.record_span("w2.batch", epoch, std::time::Duration::from_micros(75));
+    reg.record_span("flush", epoch, std::time::Duration::from_micros(5));
+    let doc = parse_json(&reg.snapshot().to_chrome_trace()).expect("chrome trace must parse");
+
+    assert_eq!(doc.get("displayTimeUnit").and_then(Json::as_str), Some("ms"));
+    let Some(Json::Arr(events)) = doc.get("traceEvents") else {
+        panic!("traceEvents array missing");
+    };
+    // Metadata event first, then the three spans.
+    assert_eq!(events.len(), 4);
+    assert_eq!(events[0].get("ph").and_then(Json::as_str), Some("M"));
+    let mut names = Vec::new();
+    for e in &events[1..] {
+        assert_eq!(e.get("ph").and_then(Json::as_str), Some("X"), "span events are complete");
+        assert_eq!(e.get("cat").and_then(Json::as_str), Some("span"));
+        for field in ["ts", "dur", "pid", "tid"] {
+            let v = e.get(field).and_then(Json::as_num);
+            assert!(v.is_some_and(|n| n >= 0.0), "missing numeric {field}: {e:?}");
+        }
+        names.push(e.get("name").and_then(Json::as_str).unwrap().to_string());
+    }
+    assert_eq!(names, ["q1", "w2.batch", "flush"]);
+    // Query and worker spans land on different tracks.
+    assert_ne!(events[1].get("tid"), events[2].get("tid"));
+}
+
+/// Adversarial span names — quotes, backslashes, newlines, control bytes —
+/// survive both JSON exporters: the documents still parse and the decoded
+/// names are byte-identical to the originals.
+#[test]
+fn adversarial_span_names_round_trip_through_exporters() {
+    let evil = ["q\"uote", "back\\slash", "new\nline", "ctl\u{1}\u{1f}", "tab\tbell\u{7}"];
+    let reg = MetricsRegistry::new();
+    let epoch = reg.epoch();
+    for (i, name) in evil.iter().enumerate() {
+        reg.record_span(*name, epoch, std::time::Duration::from_micros(i as u64 + 1));
+    }
+    let snap = reg.snapshot();
+
+    for (tag, text) in [("registry", snap.to_json()), ("chrome", snap.to_chrome_trace())] {
+        let doc = parse_json(&text).unwrap_or_else(|e| panic!("{tag} export must parse: {e}"));
+        let events = match tag {
+            "registry" => doc.get("spans").and_then(|s| s.get("events")),
+            _ => doc.get("traceEvents"),
+        };
+        let Some(Json::Arr(events)) = events else {
+            panic!("{tag}: span event array missing");
+        };
+        let names: Vec<&str> = events
+            .iter()
+            .filter(|e| e.get("ph").and_then(Json::as_str) != Some("M"))
+            .map(|e| e.get("name").and_then(Json::as_str).unwrap())
+            .collect();
+        assert_eq!(names, evil, "{tag}: span names mangled");
+    }
+}
