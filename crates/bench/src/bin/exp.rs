@@ -22,8 +22,20 @@
 //!     [--out PATH]     `bench-snapshot` only: snapshot path (default BENCH_serve.json)
 //!     [--check PATH]   `bench-snapshot` only: compare against a committed
 //!                      baseline; exit 1 on a >20 % regression
+//!     [--out-build PATH]   `bench-snapshot` only: construction snapshot path
+//!                          (default BENCH_build.json)
+//!     [--check-build PATH] `bench-snapshot` only: construction baseline to
+//!                          regress against; exit 1 on a >20 % regression
+//!     [--http PORT]    `serve` only: expose /metrics, /health and /explain
+//!                      over HTTP until /quit (port 0 picks an ephemeral one)
+//!     [--flaky]        `serve --http` only: inject transient faults into the
+//!                      disk probe index so /health flips to 503
 //!     [--sync-file]    use a real file device with fsync-per-write for disk runs
 //! ```
+//!
+//! `exp http-get ADDR/PATH [--prom]` is the matching std-only client
+//! (CI's curl replacement); `--prom` additionally validates the body as
+//! Prometheus text exposition.
 //!
 //! Numbers are expected to reproduce the paper's *shape* (who wins, by what
 //! factor), not its absolute 2004-hardware values; EXPERIMENTS.md records
@@ -55,6 +67,15 @@ struct Opts {
     out: Option<String>,
     /// `bench-snapshot`: baseline snapshot to regress against.
     check: Option<String>,
+    /// `bench-snapshot`: where to write the construction snapshot JSON.
+    out_build: Option<String>,
+    /// `bench-snapshot`: construction baseline to regress against.
+    check_build: Option<String>,
+    /// `serve`: port for the live monitoring endpoint (0 = ephemeral).
+    http: Option<u16>,
+    /// `serve --http`: wrap the disk probe index's device in a
+    /// `FlakyDevice` so `/health` flips to 503 once the SLO burns.
+    flaky: bool,
 }
 
 impl Default for Opts {
@@ -72,6 +93,10 @@ impl Default for Opts {
             pattern: None,
             out: None,
             check: None,
+            out_build: None,
+            check_build: None,
+            http: None,
+            flaky: false,
         }
     }
 }
@@ -124,6 +149,22 @@ fn main() {
                 opts.check = Some(rest[i + 1].clone());
                 i += 2;
             }
+            "--out-build" => {
+                opts.out_build = Some(rest[i + 1].clone());
+                i += 2;
+            }
+            "--check-build" => {
+                opts.check_build = Some(rest[i + 1].clone());
+                i += 2;
+            }
+            "--http" => {
+                opts.http = Some(rest[i + 1].parse().expect("--http takes a port number"));
+                i += 2;
+            }
+            "--flaky" => {
+                opts.flaky = true;
+                i += 1;
+            }
             "--sync-file" => {
                 opts.sync_file = true;
                 i += 1;
@@ -143,9 +184,10 @@ fn main() {
 
 fn usage() -> ! {
     eprintln!(
-        "usage: exp <table2|table3|table4|fig6|table5|table6|fig7|fig8|table7|protein|space|buffering|serve|faults|verify|figures|explain|bench-snapshot|all> \
+        "usage: exp <table2|table3|table4|fig6|table5|table6|fig7|fig8|table7|protein|space|buffering|serve|faults|verify|figures|explain|bench-snapshot|http-get|all> \
          [PATTERN] [--scale F] [--threshold N] [--workers N] [--quick] [--json] [--metrics] \
-         [--prom] [--chrome-trace] [--out PATH] [--check PATH] [--sync-file]"
+         [--prom] [--chrome-trace] [--out PATH] [--check PATH] [--out-build PATH] \
+         [--check-build PATH] [--http PORT] [--flaky] [--sync-file]"
     );
     std::process::exit(2);
 }
@@ -170,6 +212,7 @@ fn run(cmd: &str, opts: &Opts) {
         "figures" => figures(opts),
         "explain" => explain(opts),
         "bench-snapshot" => bench_snapshot(opts),
+        "http-get" => http_get_cmd(opts),
         "all" => {
             for c in [
                 "table2",
@@ -613,6 +656,9 @@ fn serve(opts: &Opts) {
     use spine::occurrences::find_all_ends;
     use std::sync::Arc;
 
+    if let Some(port) = opts.http {
+        return serve_http(opts, port);
+    }
     if opts.metrics {
         return serve_metrics(opts);
     }
@@ -783,6 +829,209 @@ fn serve_metrics(opts: &Opts) {
         report.busy_stage_s(),
         report.busy_bound_s()
     );
+}
+
+// ---------------------------------------------------------------------------
+// Serve --http: the live monitoring endpoint. One hc21-sim engine with the
+// full observability stack (registry + sliding window + SLO tracker) and one
+// small disk probe index share a registry; /metrics exposes it in Prometheus
+// format, /health turns the ledger invariant + SLO burn rate into 200/503
+// (each request also fires a probe query against the disk index, so device
+// faults burn the error budget), and /explain?q=PAT traces a pattern over
+// the serving index. With --flaky the probe device starts failing right
+// after construction, demonstrating the 503 flip.
+// ---------------------------------------------------------------------------
+
+/// Register one engine's [`spine::BuildStats`] as `build.*` labeled gauges
+/// (label `engine` distinguishes layouts sharing a registry).
+fn register_build_gauges(
+    registry: &spine::telemetry::MetricsRegistry,
+    engine: &str,
+    stats: &spine::BuildStats,
+) {
+    let labels = [("engine", engine)];
+    let fixed: [(&str, u64); 7] = [
+        ("build.insertions", stats.insertions),
+        ("build.ribs", stats.ribs_created - stats.ribs_absorbed),
+        ("build.extribs", stats.extribs_created),
+        ("build.extrib_spills", stats.extrib_spills),
+        ("build.chain_steps", stats.chain_steps),
+        ("build.max_lel", stats.max_lel as u64),
+        ("build.mem_bytes", stats.mem.total()),
+    ];
+    for (name, v) in fixed {
+        registry.labeled_gauge(name, &labels, move || v);
+    }
+    let nps = stats.nodes_per_sec().unwrap_or(0.0) as u64;
+    registry.labeled_gauge("build.nodes_per_sec", &labels, move || nps);
+    for p in spine::BuildPhase::all() {
+        let nanos = stats.phase_nanos[p.index()];
+        registry.labeled_gauge(&format!("build.phase_nanos.{}", p.name()), &labels, move || nanos);
+    }
+}
+
+fn serve_http(opts: &Opts, port: u16) {
+    use spine::engine::{EngineConfig, QueryEngine};
+    use spine::telemetry::{MetricsRegistry, SlidingWindow, SloTracker};
+    use spine_bench::{MonitorRoutes, MonitorServer};
+    use std::sync::Arc;
+    use std::time::{Duration, Instant};
+
+    let scale = if opts.quick { opts.scale * 0.25 } else { opts.scale };
+    let d = Dataset::generate("hc21-sim", scale);
+    let registry = Arc::new(MetricsRegistry::new());
+
+    // Serving index, built with the observer; its BuildStats become gauges.
+    let (index, build_stats) = Spine::build_with_stats(d.alphabet.clone(), &d.seq).unwrap();
+    eprintln!("build[memory]: {}", build_stats.summary());
+    register_build_gauges(&registry, "memory", &build_stats);
+    let index = Arc::new(index);
+
+    let window = Arc::new(SlidingWindow::new(10, Duration::from_secs(1)));
+    let slo = Arc::new(SloTracker::new(Duration::from_millis(250), 0.999));
+    let cfg = EngineConfig { workers: opts.workers, batch_max: 64, ..Default::default() };
+    let engine = Arc::new(QueryEngine::with_observability(
+        Arc::clone(&index),
+        cfg,
+        Arc::clone(&registry),
+        Arc::clone(&window),
+        Arc::clone(&slo),
+    ));
+
+    // Prime the histograms and the rolling window with real traffic so the
+    // first scrape sees a served system, not an empty registry.
+    let workload = serve_workload(&d, 64, 1);
+    for admitted in engine.submit_batch(workload.iter().cloned()) {
+        admitted.expect("default shed policy blocks rather than rejecting");
+    }
+    let primed = engine.drain().len();
+
+    // Disk probe index (page-resident path for /health). Under --flaky the
+    // device fails transiently from the first post-build operation on: a
+    // dry build on a clean device counts the construction I/O, and the real
+    // build — deterministic, so identical — sits just below the fault burst.
+    let dd = Dataset::generate("eco-sim", (scale * 0.25).min(0.005));
+    let pool = pool_pages(dd.seq.len(), SPINE_REC);
+    let probe_device: Box<dyn PageDevice> = if opts.flaky {
+        let dry = DiskSpine::build(
+            dd.alphabet.clone(),
+            &dd.seq,
+            Box::new(MemDevice::new()),
+            pool,
+            Box::<Lru>::default(),
+        )
+        .unwrap();
+        dry.flush().unwrap(); // build_with_stats flushes too; match its op count
+        let (r, w) = dry.io_counts();
+        Box::new(pagestore::FlakyDevice::with_burst(MemDevice::new(), r + w, u64::MAX / 2))
+    } else {
+        Box::new(MemDevice::new())
+    };
+    let (disk, disk_stats) = DiskSpine::build_with_stats(
+        dd.alphabet.clone(),
+        &dd.seq,
+        probe_device,
+        pool,
+        Box::<Lru>::default(),
+    )
+    .unwrap();
+    eprintln!("build[disk]:   {}", disk_stats.summary());
+    register_build_gauges(&registry, "disk", &disk_stats);
+    let probe: Vec<strindex::Code> = dd.seq[..dd.seq.len().min(12)].to_vec();
+
+    let routes = MonitorRoutes {
+        metrics: {
+            let registry = Arc::clone(&registry);
+            Box::new(move || registry.snapshot().to_prometheus("spine"))
+        },
+        health: {
+            let engine = Arc::clone(&engine);
+            let window = Arc::clone(&window);
+            let slo = Arc::clone(&slo);
+            Box::new(move || {
+                let t0 = Instant::now();
+                let ok = disk.try_find_all(&probe).is_ok();
+                let latency = t0.elapsed();
+                window.record(latency, ok);
+                slo.record(latency, ok);
+                let m = engine.metrics();
+                let ledger_ok = m.is_consistent();
+                let slo_ok = slo.healthy();
+                let body = format!(
+                    "{{\"ledger_consistent\":{ledger_ok},\"slo_healthy\":{slo_ok},\
+                     \"probe_ok\":{ok},\"burn_short\":{:.3},\"burn_long\":{:.3},\
+                     \"completed\":{}}}\n",
+                    slo.burn_rate_short(),
+                    slo.burn_rate_long(),
+                    m.completed
+                );
+                (ledger_ok && slo_ok, body)
+            })
+        },
+        explain: {
+            let a = d.alphabet.clone();
+            let index = Arc::clone(&index);
+            Box::new(move |q: &str| {
+                let pattern = a
+                    .encode(q.as_bytes())
+                    .map_err(|e| format!("pattern {q:?} is not in the index alphabet: {e:?}"))?;
+                Ok(index.explain(&pattern).to_json())
+            })
+        },
+    };
+
+    // Self-check the exposition once before serving it to scrapers.
+    let prom = registry.snapshot().to_prometheus("spine");
+    strindex::telemetry::validate_prometheus_text(&prom)
+        .expect("generated Prometheus exposition must self-validate");
+
+    let server = MonitorServer::bind(("127.0.0.1", port), routes, 16)
+        .unwrap_or_else(|e| panic!("binding 127.0.0.1:{port}: {e}"));
+    // Parsed by scripts/ci.sh; keep the format stable.
+    println!("HTTP listening on {}", server.local_addr());
+    use std::io::Write as _;
+    std::io::stdout().flush().ok();
+    eprintln!(
+        "serving /metrics /health /explain?q=PAT /quit ({} primed queries{})",
+        primed,
+        if opts.flaky { ", flaky probe device" } else { "" }
+    );
+    let served = server.serve().expect("accept loop failed");
+    println!("OK: monitor served {served} request(s), shut down cleanly");
+}
+
+// ---------------------------------------------------------------------------
+// http-get: CI's curl replacement. One positional argument ADDR/PATH; the
+// body goes to stdout, the status to stderr; exit 1 on transport errors or
+// HTTP status >= 400. With --prom the body must additionally pass
+// `validate_prometheus_text`.
+// ---------------------------------------------------------------------------
+fn http_get_cmd(opts: &Opts) {
+    let target = opts
+        .pattern
+        .clone()
+        .unwrap_or_else(|| panic!("http-get needs ADDR/PATH, e.g. 127.0.0.1:8080/metrics"));
+    let slash = target.find('/').unwrap_or(target.len());
+    let (addr, path) = target.split_at(slash);
+    let path = if path.is_empty() { "/" } else { path };
+    match spine_bench::http_get(addr, path, std::time::Duration::from_secs(10)) {
+        Ok((status, body)) => {
+            print!("{body}");
+            eprintln!("HTTP {status} ({} bytes)", body.len());
+            if opts.prom {
+                strindex::telemetry::validate_prometheus_text(&body)
+                    .unwrap_or_else(|e| panic!("body is not valid Prometheus exposition: {e}"));
+                eprintln!("OK: body validates as Prometheus text exposition");
+            }
+            if status >= 400 {
+                std::process::exit(1);
+            }
+        }
+        Err(e) => {
+            eprintln!("http-get {target}: {e}");
+            std::process::exit(1);
+        }
+    }
 }
 
 // ---------------------------------------------------------------------------
@@ -1068,6 +1317,15 @@ fn bench_snapshot(opts: &Opts) {
     println!("{json}");
     eprintln!("OK: snapshot written to {out}");
 
+    // Construction phase: build-side observability numbers → BENCH_build.json.
+    let b = build_snapshot_section(&d, &dd, pool);
+    let bjson = b.to_json();
+    let out_build = opts.out_build.clone().unwrap_or_else(|| "BENCH_build.json".to_string());
+    std::fs::write(&out_build, format!("{bjson}\n"))
+        .unwrap_or_else(|e| panic!("writing {out_build}: {e}"));
+    println!("{bjson}");
+    eprintln!("OK: construction snapshot written to {out_build}");
+
     if let Some(base_path) = &opts.check {
         let text = std::fs::read_to_string(base_path)
             .unwrap_or_else(|e| panic!("reading baseline {base_path}: {e}"));
@@ -1080,5 +1338,91 @@ fn bench_snapshot(opts: &Opts) {
                 std::process::exit(1);
             }
         }
+    }
+    if let Some(base_path) = &opts.check_build {
+        let text = std::fs::read_to_string(base_path)
+            .unwrap_or_else(|e| panic!("reading baseline {base_path}: {e}"));
+        let base = spine_bench::BuildSnapshot::from_json(&text)
+            .unwrap_or_else(|e| panic!("parsing baseline {base_path}: {e}"));
+        match b.check_against(&base) {
+            Ok(msg) => eprintln!("OK: {msg}"),
+            Err(e) => {
+                eprintln!("BENCH REGRESSION vs {base_path}: {e}");
+                std::process::exit(1);
+            }
+        }
+    }
+}
+
+/// The `bench-snapshot` construction section: median-of-3 plain builds for
+/// throughput (the observer-disabled path must stay within noise of
+/// pre-instrumentation construction — the committed baseline gates it),
+/// median-of-3 observed builds for the overhead figure, one
+/// progress-transcribed build for the callback path, and a `DiskSpine` build
+/// for the page-write count.
+fn build_snapshot_section(d: &Dataset, dd: &Dataset, pool: usize) -> spine_bench::BuildSnapshot {
+    use spine::{BuildProgress, BuildStats, Tee};
+
+    const RUNS: usize = 3;
+    let mut plain_walls = Vec::with_capacity(RUNS);
+    for _ in 0..RUNS {
+        let (s, t) = time(|| Spine::build(d.alphabet.clone(), &d.seq).unwrap());
+        std::hint::black_box(s.len());
+        plain_walls.push(secs(t));
+    }
+    plain_walls.sort_by(f64::total_cmp);
+    let build_s = plain_walls[RUNS / 2];
+
+    let mut observed_walls = Vec::with_capacity(RUNS);
+    let mut stats = BuildStats::default();
+    for _ in 0..RUNS {
+        let ((s, st), t) = time(|| Spine::build_with_stats(d.alphabet.clone(), &d.seq).unwrap());
+        std::hint::black_box(s.len());
+        stats = st;
+        observed_walls.push(secs(t));
+    }
+    observed_walls.sort_by(f64::total_cmp);
+    let observed_s = observed_walls[RUNS / 2];
+    assert_eq!(stats.insertions as usize, d.seq.len(), "observer missed insertions");
+    assert_eq!(stats.dispositions(), stats.insertions, "CASE counts must sum to insertions");
+
+    // One build with a progress callback teed onto the stats — the live
+    // transcript EXPERIMENTS.md shows.
+    let total = d.seq.len() as u64;
+    let mut tee = Tee(
+        BuildStats::default(),
+        BuildProgress::new(Some(total), (total / 4).max(1), |r| {
+            eprintln!(
+                "build[progress]: {:>9} / {total} nodes, {:>10.0} nodes/s, eta {:.2}s",
+                r.nodes,
+                r.nodes_per_sec,
+                r.eta_secs.unwrap_or(f64::NAN)
+            );
+        }),
+    );
+    let s = Spine::build_observed(d.alphabet.clone(), &d.seq, &mut tee).unwrap();
+    std::hint::black_box(s.len());
+    assert_eq!(tee.0.counts(), stats.counts(), "observed builds must agree run to run");
+    eprintln!("build[summary]:  {}", stats.summary());
+
+    // Disk build: page writes through the device, spills reconciled.
+    let (dsk, dstats) = DiskSpine::build_with_stats(
+        dd.alphabet.clone(),
+        &dd.seq,
+        Box::new(MemDevice::new()),
+        pool,
+        Box::<Lru>::default(),
+    )
+    .unwrap();
+    let (_reads, page_writes) = dsk.io_counts();
+    assert_eq!(dstats.extrib_spills, dsk.spill_count(), "spill events must match the side table");
+
+    spine_bench::BuildSnapshot {
+        nodes: stats.insertions,
+        build_s,
+        nodes_per_sec: stats.insertions as f64 / build_s.max(1e-9),
+        observer_overhead_pct: 100.0 * (observed_s - build_s) / build_s.max(1e-9),
+        bytes_per_node: stats.mem.bytes_per_node(stats.insertions),
+        page_writes,
     }
 }

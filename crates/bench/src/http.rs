@@ -1,0 +1,409 @@
+//! A minimal blocking HTTP/1.1 monitoring endpoint (std-only).
+//!
+//! `exp serve --http PORT` exposes the live serving stack through three
+//! read-only routes:
+//!
+//! * `GET /metrics`  — the telemetry registry in Prometheus text exposition
+//!   format (histograms, counters, and the sliding-window / SLO / build
+//!   gauges).
+//! * `GET /health`   — `200` when the engine ledger is consistent and the
+//!   SLO burn rate is within budget, `503` otherwise; the body is a small
+//!   JSON object with the inputs to that decision.
+//! * `GET /explain?q=PAT` — the [`QueryTrace`](spine::QueryTrace) of one
+//!   pattern as JSON.
+//! * `GET /quit`     — acknowledge with `200`, then stop accepting and
+//!   return from [`MonitorServer::serve`] (used by CI for a clean
+//!   shutdown).
+//!
+//! The server is deliberately small: thread-per-connection with a hard
+//! bound on simultaneous connections (over-limit connections are answered
+//! `503` without reading the request), per-socket read/write timeouts, and
+//! no keep-alive. It exists to be scraped by CI and a Prometheus agent,
+//! not to be a web server. The matching [`http_get`] client keeps
+//! `scripts/ci.sh` free of external tools like `curl`.
+
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Largest request head (request line + headers) the server will read.
+const MAX_REQUEST_BYTES: usize = 8 * 1024;
+
+/// Per-socket read/write timeout on both server and client sides.
+const IO_TIMEOUT: Duration = Duration::from_secs(5);
+
+/// The route handlers backing a [`MonitorServer`]. Closures rather than a
+/// trait: the `exp` binary wires each route to captured engine/registry
+/// state, and tests substitute canned bodies.
+pub struct MonitorRoutes {
+    /// Body of `GET /metrics` (Prometheus text exposition).
+    pub metrics: Box<dyn Fn() -> String + Send + Sync>,
+    /// `GET /health`: `(healthy, body)` — healthy selects 200 vs 503.
+    pub health: Box<dyn Fn() -> (bool, String) + Send + Sync>,
+    /// `GET /explain?q=PAT`: `Ok(json)` answers 200, `Err(msg)` answers 400.
+    #[allow(clippy::type_complexity)]
+    pub explain: Box<dyn Fn(&str) -> Result<String, String> + Send + Sync>,
+}
+
+/// A bound monitoring endpoint; [`serve`](Self::serve) runs the accept
+/// loop until a `/quit` request arrives.
+pub struct MonitorServer {
+    listener: TcpListener,
+    routes: Arc<MonitorRoutes>,
+    max_connections: usize,
+}
+
+impl MonitorServer {
+    /// Bind to `addr` (use port 0 for an ephemeral port, then read the real
+    /// one back with [`local_addr`](Self::local_addr)). `max_connections`
+    /// bounds simultaneous in-flight requests; extra connections receive
+    /// `503 Busy` without being read.
+    pub fn bind(
+        addr: impl ToSocketAddrs,
+        routes: MonitorRoutes,
+        max_connections: usize,
+    ) -> std::io::Result<Self> {
+        let listener = TcpListener::bind(addr)?;
+        Ok(MonitorServer { listener, routes: Arc::new(routes), max_connections })
+    }
+
+    /// The bound address (resolves ephemeral ports).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.listener.local_addr().expect("bound listener has an address")
+    }
+
+    /// Accept and answer requests until `/quit`; returns the number of
+    /// requests answered (including the quit itself, excluding over-limit
+    /// rejections).
+    pub fn serve(self) -> std::io::Result<u64> {
+        let active = Arc::new(AtomicUsize::new(0));
+        let served = Arc::new(AtomicU64::new(0));
+        let stop = Arc::new(AtomicBool::new(false));
+        let addr = self.local_addr();
+        let mut workers: Vec<std::thread::JoinHandle<()>> = Vec::new();
+
+        for conn in self.listener.incoming() {
+            if stop.load(Ordering::Acquire) {
+                break;
+            }
+            let mut stream = match conn {
+                Ok(s) => s,
+                // Transient accept errors (e.g. aborted handshakes) should
+                // not kill a monitoring endpoint.
+                Err(_) => continue,
+            };
+            if active.load(Ordering::Acquire) >= self.max_connections {
+                let _ = stream.set_write_timeout(Some(IO_TIMEOUT));
+                let _ = write_response(
+                    &mut stream,
+                    503,
+                    "Service Unavailable",
+                    "text/plain; charset=utf-8",
+                    "busy: connection limit reached\n",
+                );
+                continue;
+            }
+            active.fetch_add(1, Ordering::AcqRel);
+            let routes = Arc::clone(&self.routes);
+            let active = Arc::clone(&active);
+            let served = Arc::clone(&served);
+            let stop = Arc::clone(&stop);
+            workers.push(std::thread::spawn(move || {
+                let quit = handle_connection(&mut stream, &routes).unwrap_or(false);
+                served.fetch_add(1, Ordering::AcqRel);
+                active.fetch_sub(1, Ordering::AcqRel);
+                if quit {
+                    stop.store(true, Ordering::Release);
+                    // The accept loop is blocked; poke it awake so it can
+                    // observe the stop flag and return.
+                    let _ = TcpStream::connect(addr);
+                }
+            }));
+            workers.retain(|h| !h.is_finished());
+        }
+        for h in workers {
+            let _ = h.join();
+        }
+        Ok(served.load(Ordering::Acquire))
+    }
+}
+
+/// Read one request, dispatch it, write the response. Returns `Ok(true)`
+/// when the request was `/quit`.
+fn handle_connection(stream: &mut TcpStream, routes: &MonitorRoutes) -> std::io::Result<bool> {
+    stream.set_read_timeout(Some(IO_TIMEOUT))?;
+    stream.set_write_timeout(Some(IO_TIMEOUT))?;
+
+    let mut head = Vec::with_capacity(512);
+    let mut buf = [0u8; 512];
+    while !head.windows(4).any(|w| w == b"\r\n\r\n") {
+        if head.len() >= MAX_REQUEST_BYTES {
+            write_response(stream, 431, "Request Header Fields Too Large", TEXT, "too large\n")?;
+            return Ok(false);
+        }
+        match stream.read(&mut buf) {
+            Ok(0) => break, // client hung up
+            Ok(n) => head.extend_from_slice(&buf[..n]),
+            Err(e) => return Err(e),
+        }
+    }
+    let head = String::from_utf8_lossy(&head);
+    let request_line = head.lines().next().unwrap_or("");
+    let mut parts = request_line.split_whitespace();
+    let (method, target) = match (parts.next(), parts.next()) {
+        (Some(m), Some(t)) => (m, t),
+        _ => {
+            write_response(stream, 400, "Bad Request", TEXT, "malformed request line\n")?;
+            return Ok(false);
+        }
+    };
+    if method != "GET" {
+        write_response(stream, 405, "Method Not Allowed", TEXT, "only GET is supported\n")?;
+        return Ok(false);
+    }
+    let (path, query) = match target.split_once('?') {
+        Some((p, q)) => (p, q),
+        None => (target, ""),
+    };
+    match path {
+        "/metrics" => {
+            let body = (routes.metrics)();
+            write_response(stream, 200, "OK", "text/plain; version=0.0.4; charset=utf-8", &body)?;
+        }
+        "/health" => {
+            let (healthy, body) = (routes.health)();
+            if healthy {
+                write_response(stream, 200, "OK", JSON, &body)?;
+            } else {
+                write_response(stream, 503, "Service Unavailable", JSON, &body)?;
+            }
+        }
+        "/explain" => match query_param(query, "q") {
+            None => {
+                write_response(stream, 400, "Bad Request", TEXT, "missing query parameter q\n")?;
+            }
+            Some(q) => match (routes.explain)(&q) {
+                Ok(json) => write_response(stream, 200, "OK", JSON, &json)?,
+                Err(msg) => {
+                    write_response(stream, 400, "Bad Request", TEXT, &format!("{msg}\n"))?;
+                }
+            },
+        },
+        "/quit" => {
+            write_response(stream, 200, "OK", TEXT, "shutting down\n")?;
+            return Ok(true);
+        }
+        _ => write_response(stream, 404, "Not Found", TEXT, "unknown path\n")?,
+    }
+    Ok(false)
+}
+
+const TEXT: &str = "text/plain; charset=utf-8";
+const JSON: &str = "application/json";
+
+fn write_response(
+    stream: &mut TcpStream,
+    status: u16,
+    reason: &str,
+    content_type: &str,
+    body: &str,
+) -> std::io::Result<()> {
+    let head = format!(
+        "HTTP/1.1 {status} {reason}\r\nContent-Type: {content_type}\r\n\
+         Content-Length: {}\r\nConnection: close\r\n\r\n",
+        body.len()
+    );
+    stream.write_all(head.as_bytes())?;
+    stream.write_all(body.as_bytes())?;
+    stream.flush()
+}
+
+/// Extract and percent-decode one query-string parameter.
+fn query_param(query: &str, key: &str) -> Option<String> {
+    query.split('&').find_map(|pair| {
+        let (k, v) = pair.split_once('=').unwrap_or((pair, ""));
+        (k == key).then(|| percent_decode(v))
+    })
+}
+
+/// Minimal percent-decoding: `+` becomes a space, `%XX` its byte. Invalid
+/// escapes pass through verbatim (the route handler rejects bad patterns).
+fn percent_decode(s: &str) -> String {
+    let bytes = s.as_bytes();
+    let mut out = Vec::with_capacity(bytes.len());
+    let mut i = 0;
+    while i < bytes.len() {
+        match bytes[i] {
+            b'+' => {
+                out.push(b' ');
+                i += 1;
+            }
+            b'%' => {
+                match (
+                    bytes.get(i + 1).and_then(|b| (*b as char).to_digit(16)),
+                    bytes.get(i + 2).and_then(|b| (*b as char).to_digit(16)),
+                ) {
+                    (Some(hi), Some(lo)) => {
+                        out.push((hi * 16 + lo) as u8);
+                        i += 3;
+                    }
+                    _ => {
+                        out.push(b'%');
+                        i += 1;
+                    }
+                }
+            }
+            b => {
+                out.push(b);
+                i += 1;
+            }
+        }
+    }
+    String::from_utf8_lossy(&out).into_owned()
+}
+
+/// A one-shot HTTP GET over std's `TcpStream`: returns `(status, body)`.
+/// Used by `exp http-get`, which in turn keeps `scripts/ci.sh` free of
+/// `curl`/`wget` dependencies.
+pub fn http_get(
+    addr: impl ToSocketAddrs,
+    path: &str,
+    timeout: Duration,
+) -> std::io::Result<(u16, String)> {
+    let addr = addr
+        .to_socket_addrs()?
+        .next()
+        .ok_or_else(|| std::io::Error::other("address resolved to nothing"))?;
+    let mut stream = TcpStream::connect_timeout(&addr, timeout)?;
+    stream.set_read_timeout(Some(timeout))?;
+    stream.set_write_timeout(Some(timeout))?;
+    stream.write_all(
+        format!("GET {path} HTTP/1.1\r\nHost: {addr}\r\nConnection: close\r\n\r\n").as_bytes(),
+    )?;
+    let mut raw = Vec::new();
+    stream.read_to_end(&mut raw)?;
+    let text = String::from_utf8_lossy(&raw);
+    let status: u16 = text
+        .strip_prefix("HTTP/1.1 ")
+        .or_else(|| text.strip_prefix("HTTP/1.0 "))
+        .and_then(|rest| rest.split_whitespace().next())
+        .and_then(|s| s.parse().ok())
+        .ok_or_else(|| std::io::Error::other(format!("malformed status line: {text:.40?}")))?;
+    let body = match text.find("\r\n\r\n") {
+        Some(at) => text[at + 4..].to_string(),
+        None => String::new(),
+    };
+    Ok((status, body))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn test_routes() -> MonitorRoutes {
+        MonitorRoutes {
+            metrics: Box::new(|| "# TYPE x counter\nx 1\n".to_string()),
+            health: Box::new(|| (true, "{\"ok\":true}".to_string())),
+            explain: Box::new(|q| {
+                if q.chars().all(|c| "ACGT ".contains(c)) {
+                    Ok(format!("{{\"pattern\":\"{q}\"}}"))
+                } else {
+                    Err(format!("bad pattern {q:?}"))
+                }
+            }),
+        }
+    }
+
+    /// Bind on an ephemeral port, serve in a background thread, and return
+    /// the address plus the serve-thread handle.
+    fn spawn_server(
+        routes: MonitorRoutes,
+        max_conns: usize,
+    ) -> (SocketAddr, std::thread::JoinHandle<u64>) {
+        let server = MonitorServer::bind("127.0.0.1:0", routes, max_conns).unwrap();
+        let addr = server.local_addr();
+        let h = std::thread::spawn(move || server.serve().unwrap());
+        (addr, h)
+    }
+
+    const T: Duration = Duration::from_secs(5);
+
+    #[test]
+    fn routes_answer_and_quit_shuts_down() {
+        let (addr, h) = spawn_server(test_routes(), 4);
+
+        let (st, body) = http_get(addr, "/metrics", T).unwrap();
+        assert_eq!(st, 200);
+        assert!(body.contains("# TYPE x counter"), "{body}");
+
+        let (st, body) = http_get(addr, "/health", T).unwrap();
+        assert_eq!(st, 200);
+        assert_eq!(body, "{\"ok\":true}");
+
+        let (st, body) = http_get(addr, "/explain?q=ACG%20T+A", T).unwrap();
+        assert_eq!(st, 200);
+        assert_eq!(body, "{\"pattern\":\"ACG T A\"}", "percent/plus decoding");
+
+        let (st, _) = http_get(addr, "/explain?q=zzz", T).unwrap();
+        assert_eq!(st, 400);
+        let (st, _) = http_get(addr, "/explain", T).unwrap();
+        assert_eq!(st, 400, "missing q parameter");
+        let (st, _) = http_get(addr, "/nope", T).unwrap();
+        assert_eq!(st, 404);
+
+        let (st, body) = http_get(addr, "/quit", T).unwrap();
+        assert_eq!(st, 200);
+        assert!(body.contains("shutting down"));
+        let served = h.join().unwrap();
+        // 7 requests above; the stop-flag wakeup connection is not served.
+        assert_eq!(served, 7);
+    }
+
+    #[test]
+    fn unhealthy_route_answers_503() {
+        let routes = MonitorRoutes {
+            health: Box::new(|| (false, "{\"ok\":false}".to_string())),
+            ..test_routes()
+        };
+        let (addr, h) = spawn_server(routes, 4);
+        let (st, body) = http_get(addr, "/health", T).unwrap();
+        assert_eq!(st, 503);
+        assert_eq!(body, "{\"ok\":false}");
+        http_get(addr, "/quit", T).unwrap();
+        h.join().unwrap();
+    }
+
+    #[test]
+    fn non_get_methods_are_rejected() {
+        let (addr, h) = spawn_server(test_routes(), 4);
+        let mut s = TcpStream::connect(addr).unwrap();
+        s.write_all(b"POST /metrics HTTP/1.1\r\nHost: x\r\n\r\n").unwrap();
+        let mut resp = String::new();
+        s.read_to_string(&mut resp).unwrap();
+        assert!(resp.starts_with("HTTP/1.1 405 "), "{resp}");
+        http_get(addr, "/quit", T).unwrap();
+        h.join().unwrap();
+    }
+
+    #[test]
+    fn connection_bound_rejects_with_503() {
+        // A zero-connection server answers every request 503-busy without
+        // reading it. The serve thread is leaked deliberately: with the
+        // bound at zero no request (including /quit) can reach a handler.
+        let server = MonitorServer::bind("127.0.0.1:0", test_routes(), 0).unwrap();
+        let addr = server.local_addr();
+        std::thread::spawn(move || server.serve());
+        let (st, body) = http_get(addr, "/metrics", T).unwrap();
+        assert_eq!(st, 503);
+        assert!(body.contains("connection limit"), "{body}");
+    }
+
+    #[test]
+    fn percent_decoding_handles_escapes() {
+        assert_eq!(percent_decode("A%41+%2b"), "AA +");
+        assert_eq!(percent_decode("100%"), "100%", "trailing percent passes through");
+        assert_eq!(percent_decode("%zz"), "%zz", "invalid escape passes through");
+    }
+}

@@ -7,13 +7,15 @@
 
 pub mod datasets;
 pub mod faults;
+pub mod http;
 pub mod report;
 pub mod snapshot;
 
 pub use datasets::{dna_presets, protein_presets, query_for, Dataset};
 pub use faults::{crashpoint_sweep, SweepReport};
+pub use http::{http_get, MonitorRoutes, MonitorServer};
 pub use report::{print_table, MetricsReport, Row};
-pub use snapshot::BenchSnapshot;
+pub use snapshot::{BenchSnapshot, BuildSnapshot};
 
 use std::time::{Duration, Instant};
 

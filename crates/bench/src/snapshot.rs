@@ -109,6 +109,118 @@ impl BenchSnapshot {
     }
 }
 
+/// Build-throughput may drop to this fraction of the baseline before CI
+/// fails (same 20 % tolerance as [`QPS_FLOOR`]).
+pub const NPS_FLOOR: f64 = 0.8;
+/// Space and page-write costs may grow to this multiple of the baseline
+/// before CI fails.
+pub const BUILD_COST_CEIL: f64 = 1.2;
+
+/// Headline numbers of one construction-benchmark run, written to
+/// `BENCH_build.json` by `exp bench-snapshot` — the build-side counterpart
+/// of [`BenchSnapshot`], produced by the `BuildStats` observer.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BuildSnapshot {
+    /// Characters inserted (backbone nodes minus the root).
+    pub nodes: u64,
+    /// Median-of-3 plain (observer-disabled) build wall time, seconds.
+    pub build_s: f64,
+    /// Build throughput from the plain builds, nodes per second.
+    pub nodes_per_sec: f64,
+    /// Median observed-build wall time vs `build_s`, percent. Reported but
+    /// not gated: single-digit scheduler noise would flap the gate.
+    pub observer_overhead_pct: f64,
+    /// Heap bytes per node of the finished in-memory index (from the
+    /// `MemBreakdown` the observer fills in).
+    pub bytes_per_node: f64,
+    /// Device page writes during the `DiskSpine` build.
+    pub page_writes: u64,
+}
+
+impl BuildSnapshot {
+    /// Serialize as one flat JSON object.
+    pub fn to_json(&self) -> String {
+        format!(
+            "{{\"nodes\":{},\"build_s\":{:.6},\"nodes_per_sec\":{:.1},\
+             \"observer_overhead_pct\":{:.2},\"bytes_per_node\":{:.3},\"page_writes\":{}}}",
+            self.nodes,
+            self.build_s,
+            self.nodes_per_sec,
+            self.observer_overhead_pct,
+            self.bytes_per_node,
+            self.page_writes
+        )
+    }
+
+    /// Parse a snapshot back out of [`Self::to_json`]'s output.
+    pub fn from_json(text: &str) -> Result<Self, String> {
+        let get = |key: &str| {
+            json_number(text, key).ok_or_else(|| format!("missing numeric field {key:?}"))
+        };
+        Ok(BuildSnapshot {
+            nodes: get("nodes")? as u64,
+            build_s: get("build_s")?,
+            nodes_per_sec: get("nodes_per_sec")?,
+            observer_overhead_pct: get("observer_overhead_pct")?,
+            bytes_per_node: get("bytes_per_node")?,
+            page_writes: get("page_writes")? as u64,
+        })
+    }
+
+    /// The CI regression gate, mirroring [`BenchSnapshot::check_against`]:
+    /// build throughput must stay above [`NPS_FLOOR`] × baseline; bytes per
+    /// node and disk-build page writes must stay below [`BUILD_COST_CEIL`] ×
+    /// baseline (with small absolute slacks so near-zero baselines don't
+    /// flap). Observer overhead is reported but not gated.
+    pub fn check_against(&self, baseline: &Self) -> Result<String, String> {
+        let nps_floor = baseline.nodes_per_sec * NPS_FLOOR;
+        if self.nodes_per_sec < nps_floor {
+            return Err(format!(
+                "build-throughput regression: {:.0} nodes/s < {:.0} ({}% of baseline {:.0})",
+                self.nodes_per_sec,
+                nps_floor,
+                (NPS_FLOOR * 100.0) as u64,
+                baseline.nodes_per_sec
+            ));
+        }
+        let bytes_ceil = baseline.bytes_per_node * BUILD_COST_CEIL + 1.0;
+        if self.bytes_per_node > bytes_ceil {
+            return Err(format!(
+                "space regression: {:.2} bytes/node > {:.2} ({}% of baseline {:.2} + 1)",
+                self.bytes_per_node,
+                bytes_ceil,
+                (BUILD_COST_CEIL * 100.0) as u64,
+                baseline.bytes_per_node
+            ));
+        }
+        let writes_ceil = baseline.page_writes as f64 * BUILD_COST_CEIL + 16.0;
+        if self.page_writes as f64 > writes_ceil {
+            return Err(format!(
+                "page-write regression: {} writes > {:.0} ({}% of baseline {} + 16)",
+                self.page_writes,
+                writes_ceil,
+                (BUILD_COST_CEIL * 100.0) as u64,
+                baseline.page_writes
+            ));
+        }
+        Ok(format!(
+            "build {:.0} nodes/s vs baseline {:.0} (floor {:.0}); {:.2} bytes/node vs {:.2} \
+             (ceil {:.2}); {} page writes vs {} (ceil {:.0}); observer overhead {:+.1}% \
+             (informational)",
+            self.nodes_per_sec,
+            baseline.nodes_per_sec,
+            nps_floor,
+            self.bytes_per_node,
+            baseline.bytes_per_node,
+            bytes_ceil,
+            self.page_writes,
+            baseline.page_writes,
+            writes_ceil,
+            self.observer_overhead_pct
+        ))
+    }
+}
+
 /// Extract the numeric value following `"key":` in a flat JSON object.
 /// Returns `None` when the key is absent or the value is not a number.
 pub fn json_number(text: &str, key: &str) -> Option<f64> {
@@ -191,6 +303,69 @@ mod tests {
         run.pages_per_query = 0.4; // within the +0.5 absolute slack
         assert!(run.check_against(&base).is_ok());
         run.pages_per_query = 0.6;
+        assert!(run.check_against(&base).is_err());
+    }
+
+    fn build_sample() -> BuildSnapshot {
+        BuildSnapshot {
+            nodes: 100_000,
+            build_s: 0.05,
+            nodes_per_sec: 2_000_000.0,
+            observer_overhead_pct: 1.5,
+            bytes_per_node: 38.25,
+            page_writes: 420,
+        }
+    }
+
+    #[test]
+    fn build_json_round_trips() {
+        let s = build_sample();
+        let parsed = BuildSnapshot::from_json(&s.to_json()).unwrap();
+        assert_eq!(parsed.nodes, s.nodes);
+        assert_eq!(parsed.page_writes, s.page_writes);
+        assert!((parsed.nodes_per_sec - s.nodes_per_sec).abs() < 1e-1);
+        assert!((parsed.bytes_per_node - s.bytes_per_node).abs() < 1e-3);
+        assert!((parsed.observer_overhead_pct - s.observer_overhead_pct).abs() < 1e-2);
+        assert!(BuildSnapshot::from_json("{\"nodes\":3}").is_err());
+    }
+
+    #[test]
+    fn build_check_gates_throughput_space_and_writes() {
+        let base = build_sample();
+
+        let mut run = build_sample();
+        run.nodes_per_sec = base.nodes_per_sec * 0.85;
+        run.bytes_per_node = base.bytes_per_node * 1.1;
+        run.page_writes = (base.page_writes as f64 * 1.15) as u64;
+        run.observer_overhead_pct = 40.0; // informational only
+        assert!(run.check_against(&base).is_ok());
+
+        run = build_sample();
+        run.nodes_per_sec = base.nodes_per_sec * 0.5;
+        let err = run.check_against(&base).unwrap_err();
+        assert!(err.contains("build-throughput regression"), "{err}");
+
+        run = build_sample();
+        run.bytes_per_node = base.bytes_per_node * 2.0;
+        let err = run.check_against(&base).unwrap_err();
+        assert!(err.contains("space regression"), "{err}");
+
+        run = build_sample();
+        run.page_writes = base.page_writes * 2;
+        let err = run.check_against(&base).unwrap_err();
+        assert!(err.contains("page-write regression"), "{err}");
+    }
+
+    #[test]
+    fn tiny_build_baselines_get_absolute_slack() {
+        let mut base = build_sample();
+        base.page_writes = 0;
+        base.bytes_per_node = 0.0;
+        let mut run = build_sample();
+        run.page_writes = 16; // within the +16 absolute slack
+        run.bytes_per_node = 0.9; // within the +1 absolute slack
+        assert!(run.check_against(&base).is_ok());
+        run.page_writes = 17;
         assert!(run.check_against(&base).is_err());
     }
 

@@ -25,6 +25,7 @@
 //!    PT + 1.
 
 use crate::node::{Extrib, Node, NodeId, Rib, ROOT};
+use crate::observe::{BuildEvent, BuildObserver, BuildPhase, BuildStats, MemBreakdown};
 use strindex::{Alphabet, Code, Counters, Error, OnlineIndex, Result};
 
 /// The reference SPINE index: explicit nodes and edges in memory.
@@ -56,6 +57,79 @@ impl Spine {
     pub fn build_from_bytes(alphabet: Alphabet, text: &[u8]) -> Result<Self> {
         let codes = alphabet.encode(text)?;
         Self::build(alphabet, &codes)
+    }
+
+    /// Build while reporting every structural event to `observer`. With
+    /// [`crate::observe::NoBuildObserver`] this monomorphizes to the same
+    /// code as [`Spine::build`].
+    pub fn build_observed<O: BuildObserver>(
+        alphabet: Alphabet,
+        text: &[Code],
+        observer: &mut O,
+    ) -> Result<Self> {
+        let mut s = Spine::new(alphabet);
+        s.nodes.reserve(text.len());
+        s.extend_from_observed(text, observer)?;
+        Ok(s)
+    }
+
+    /// Build and return the index together with a reconciled
+    /// [`BuildStats`] (event counts, Scan-phase timing, memory breakdown).
+    pub fn build_with_stats(alphabet: Alphabet, text: &[Code]) -> Result<(Self, BuildStats)> {
+        let mut stats = BuildStats::default();
+        let s = Self::build_observed(alphabet, text, &mut stats)?;
+        stats.mem = s.mem_breakdown();
+        Ok((s, stats))
+    }
+
+    /// Observed batch append: times the whole loop as the Scan phase.
+    pub fn extend_from_observed<O: BuildObserver>(
+        &mut self,
+        codes: &[Code],
+        observer: &mut O,
+    ) -> Result<()> {
+        let t0 = if O::ENABLED { Some(std::time::Instant::now()) } else { None };
+        for &c in codes {
+            self.push_observed(c, observer)?;
+        }
+        if let Some(t0) = t0 {
+            observer.phase(BuildPhase::Scan, t0.elapsed().as_nanos() as u64);
+        }
+        Ok(())
+    }
+
+    /// Observed online append (same validation as [`OnlineIndex::push`]).
+    pub fn push_observed<O: BuildObserver>(&mut self, code: Code, observer: &mut O) -> Result<()> {
+        if (code as usize) >= self.alphabet.code_space() {
+            return Err(Error::InvalidSymbol { byte: code, pos: self.len() });
+        }
+        if self.nodes.len() as u64 >= NodeId::MAX as u64 {
+            return Err(Error::TooLong { len: self.nodes.len(), max: NodeId::MAX as usize - 1 });
+        }
+        self.append_observed(code, observer);
+        Ok(())
+    }
+
+    /// Heap bytes split by edge kind (capacity-based, consistent with
+    /// [`Spine::heap_bytes`]).
+    pub fn mem_breakdown(&self) -> MemBreakdown {
+        let n = self.nodes.len() as u64;
+        let ribs: u64 = self
+            .nodes
+            .iter()
+            .map(|nd| nd.ribs.capacity() as u64 * std::mem::size_of::<Rib>() as u64)
+            .sum();
+        let extribs: u64 = self
+            .nodes
+            .iter()
+            .map(|nd| nd.extribs.capacity() as u64 * std::mem::size_of::<Extrib>() as u64)
+            .sum();
+        MemBreakdown {
+            vertebrae: n * std::mem::size_of::<Code>() as u64,
+            links: n * (std::mem::size_of::<NodeId>() as u64 + std::mem::size_of::<u32>() as u64),
+            ribs,
+            extribs,
+        }
     }
 
     /// Number of indexed characters (== number of non-root nodes: SPINE's
@@ -94,11 +168,21 @@ impl Spine {
 
     /// Append one character: the paper's APPEND procedure.
     fn append(&mut self, c: Code) {
+        self.append_observed(c, &mut crate::observe::NoBuildObserver);
+    }
+
+    /// APPEND with observer hooks. Every `if O::ENABLED` block vanishes for
+    /// the disabled observer, leaving the original code.
+    fn append_observed<O: BuildObserver>(&mut self, c: Code, o: &mut O) {
         let t = self.nodes.len() as NodeId; // id of the new node
         let prev = t - 1;
         self.nodes.push(Node::new(c));
         if prev == ROOT {
             // First character: link to root with LEL 0 (already the default).
+            if O::ENABLED {
+                o.event(BuildEvent::FirstChar);
+                o.event(BuildEvent::LinkSet { dest: ROOT, lel: 0 });
+            }
             return;
         }
 
@@ -112,25 +196,43 @@ impl Spine {
             debug_assert!(cur < prev);
             if self.nodes[cur as usize + 1].vertebra_cl == c {
                 self.set_link(t, cur + 1, l + 1);
+                if O::ENABLED {
+                    o.event(BuildEvent::Case1);
+                    o.event(BuildEvent::LinkSet { dest: cur + 1, lel: l + 1 });
+                }
                 return;
             }
             match self.nodes[cur as usize].rib(c).copied() {
                 Some(rib) if rib.pt >= l => {
                     self.set_link(t, rib.dest, l + 1);
+                    if O::ENABLED {
+                        o.event(BuildEvent::Case2);
+                        o.event(BuildEvent::LinkSet { dest: rib.dest, lel: l + 1 });
+                    }
                     return;
                 }
                 Some(rib) => {
                     // CASE 4: the rib's threshold is too small.
-                    self.extend_via_extribs(rib, l, t);
+                    self.extend_via_extribs(rib, l, t, o);
                     return;
                 }
                 None => {
                     // CASE 3: first-time extension — create a rib.
                     self.nodes[cur as usize].ribs.push(Rib { cl: c, dest: t, pt: l });
+                    if O::ENABLED {
+                        o.event(BuildEvent::RibCreated { pt: l });
+                    }
                     if cur == ROOT {
                         debug_assert_eq!(l, 0, "links into the root carry LEL 0");
                         self.set_link(t, ROOT, 0);
+                        if O::ENABLED {
+                            o.event(BuildEvent::Case3Root);
+                            o.event(BuildEvent::LinkSet { dest: ROOT, lel: 0 });
+                        }
                         return;
+                    }
+                    if O::ENABLED {
+                        o.event(BuildEvent::ChainStep);
                     }
                     let n = &self.nodes[cur as usize];
                     cur = n.link;
@@ -143,7 +245,8 @@ impl Spine {
     /// CASE 4: walk the extrib chain of `rib` (all elements share
     /// `PRT == rib.pt`). Chain PTs increase strictly, covering
     /// `(rib.pt, PT₁], (PT₁, PT₂], …`.
-    fn extend_via_extribs(&mut self, rib: Rib, l: u32, t: NodeId) {
+    fn extend_via_extribs<O: BuildObserver>(&mut self, rib: Rib, l: u32, t: NodeId, o: &mut O) {
+        let t0 = if O::ENABLED { Some(std::time::Instant::now()) } else { None };
         let prt = rib.pt;
         let mut last_dest = rib.dest;
         let mut last_pt = rib.pt;
@@ -152,7 +255,17 @@ impl Spine {
             if e.pt >= l {
                 // The length-`l` extension already exists, ending at e.dest.
                 self.set_link(t, e.dest, l + 1);
+                if O::ENABLED {
+                    o.event(BuildEvent::Case4Link);
+                    o.event(BuildEvent::LinkSet { dest: e.dest, lel: l + 1 });
+                    if let Some(t0) = t0 {
+                        o.phase(BuildPhase::RibFixup, t0.elapsed().as_nanos() as u64);
+                    }
+                }
                 return;
+            }
+            if O::ENABLED {
+                o.event(BuildEvent::ChainStep);
             }
             last_dest = e.dest;
             last_pt = e.pt;
@@ -160,6 +273,14 @@ impl Spine {
         // Chain exhausted: record the new extension from the chain's end.
         self.nodes[last_dest as usize].extribs.push(Extrib { prt, pt: l, dest: t });
         self.set_link(t, last_dest, last_pt + 1);
+        if O::ENABLED {
+            o.event(BuildEvent::ExtribCreated { prt, pt: l });
+            o.event(BuildEvent::Case4Extrib);
+            o.event(BuildEvent::LinkSet { dest: last_dest, lel: last_pt + 1 });
+            if let Some(t0) = t0 {
+                o.phase(BuildPhase::RibFixup, t0.elapsed().as_nanos() as u64);
+            }
+        }
     }
 
     #[inline]
@@ -322,6 +443,40 @@ mod tests {
         let s = Spine::new(Alphabet::dna());
         assert!(s.is_empty());
         assert_eq!(s.recover_text(), Vec::<Code>::new());
+    }
+
+    #[test]
+    fn build_stats_reconcile_on_paper_example() {
+        let a = Alphabet::dna();
+        let codes = a.encode(b"AACCACAACA").unwrap();
+        let (s, st) = Spine::build_with_stats(a, &codes).unwrap();
+        assert_eq!(st.insertions, 10);
+        assert_eq!(st.dispositions(), 10);
+        assert_eq!(st.links_set, 10);
+        // Figure 3 census: 4 ribs, 2 extribs.
+        assert_eq!(st.ribs_created, 4);
+        assert_eq!(st.ribs_absorbed, 0);
+        assert_eq!(st.extribs_created, 2);
+        let struct_ribs: u64 = s.nodes().iter().map(|n| n.ribs.len() as u64).sum();
+        let struct_extribs: u64 = s.nodes().iter().map(|n| n.extribs.len() as u64).sum();
+        assert_eq!(st.ribs_created - st.ribs_absorbed, struct_ribs);
+        assert_eq!(st.extribs_created, struct_extribs);
+        let positive = s.nodes()[1..].iter().filter(|n| n.lel > 0).count() as u64;
+        assert_eq!(st.links_with_positive_lel, positive);
+        assert_eq!(st.max_lel, 3);
+        // Scan phase was timed and memory was accounted.
+        assert!(st.nodes_per_sec().is_some());
+        assert!(st.mem.total() > 0);
+        assert_eq!(st.mem.vertebrae, 11);
+    }
+
+    #[test]
+    fn observed_build_equals_plain_build() {
+        let a = Alphabet::dna();
+        let codes = a.encode(b"ACGTACGGTACGTTTACGACG").unwrap();
+        let plain = Spine::build(a.clone(), &codes).unwrap();
+        let (observed, _) = Spine::build_with_stats(a, &codes).unwrap();
+        assert_eq!(plain.nodes(), observed.nodes());
     }
 
     #[test]

@@ -27,6 +27,7 @@
 //! [`SpineOps`] implementation.
 
 use crate::node::{NodeId, ROOT};
+use crate::observe::{BuildEvent, BuildObserver, BuildPhase, BuildStats, MemBreakdown};
 use crate::ops::SpineOps;
 use strindex::{
     Alphabet, Code, Counters, Error, FxHashMap, MatchingIndex, MatchingStats, MaximalMatch,
@@ -243,6 +244,102 @@ impl CompactSpine {
         Self::build(alphabet, &codes)
     }
 
+    /// Build while reporting every structural event to `observer`; emits the
+    /// same event stream as [`crate::Spine::build_observed`] on the same
+    /// text (the cross-engine property tests pin this).
+    pub fn build_observed<O: BuildObserver>(
+        alphabet: Alphabet,
+        text: &[Code],
+        observer: &mut O,
+    ) -> Result<Self> {
+        let mut s = CompactSpine::new(alphabet);
+        s.lels.reserve(text.len());
+        s.ptrs.reserve(text.len());
+        s.extend_from_observed(text, observer)?;
+        Ok(s)
+    }
+
+    /// Build and return the index together with a reconciled [`BuildStats`].
+    pub fn build_with_stats(alphabet: Alphabet, text: &[Code]) -> Result<(Self, BuildStats)> {
+        let mut stats = BuildStats::default();
+        let s = Self::build_observed(alphabet, text, &mut stats)?;
+        stats.mem = s.mem_breakdown();
+        Ok((s, stats))
+    }
+
+    /// Observed batch append: times the whole loop as the Scan phase.
+    pub fn extend_from_observed<O: BuildObserver>(
+        &mut self,
+        codes: &[Code],
+        observer: &mut O,
+    ) -> Result<()> {
+        let t0 = if O::ENABLED { Some(std::time::Instant::now()) } else { None };
+        for &c in codes {
+            self.push_observed(c, observer)?;
+        }
+        if let Some(t0) = t0 {
+            observer.phase(BuildPhase::Scan, t0.elapsed().as_nanos() as u64);
+        }
+        Ok(())
+    }
+
+    /// Observed online append (same validation as [`OnlineIndex::push`]).
+    pub fn push_observed<O: BuildObserver>(&mut self, code: Code, observer: &mut O) -> Result<()> {
+        if (code as usize) >= self.alphabet.code_space() {
+            return Err(Error::InvalidSymbol { byte: code, pos: self.len() });
+        }
+        if self.len() as u64 >= IDX_MASK as u64 {
+            return Err(Error::TooLong { len: self.len(), max: IDX_MASK as usize });
+        }
+        self.append_observed(code, observer);
+        Ok(())
+    }
+
+    /// Heap bytes split by edge kind. Rib-Table rows are shared between
+    /// rib and extrib slots, so the split prorates each row's fixed cost
+    /// (LD word) to the rib column and assigns slots by their kind.
+    pub fn mem_breakdown(&self) -> MemBreakdown {
+        let mut ribs = 0u64;
+        let mut extribs = 0u64;
+        for t in &self.rts {
+            // Fixed row overhead (node, LD, used) counts toward ribs.
+            ribs += t.rows.capacity() as u64 * std::mem::size_of::<(u32, u32, u16)>() as u64
+                + t.free.capacity() as u64 * 4;
+            for (ri, row) in t.rows.iter().enumerate() {
+                if t.free.contains(&(ri as u32)) {
+                    continue;
+                }
+                let base = ri * t.cap;
+                for s in &t.slots[base..base + row.2 as usize] {
+                    if s.kind == SLOT_EXTRIB {
+                        extribs += std::mem::size_of::<Slot>() as u64;
+                    } else {
+                        ribs += std::mem::size_of::<Slot>() as u64;
+                    }
+                }
+            }
+            // Unused slot capacity is rib-table slack.
+            let used: u64 = t
+                .rows
+                .iter()
+                .enumerate()
+                .filter(|(ri, _)| !t.free.contains(&(*ri as u32)))
+                .map(|(_, r)| r.2 as u64)
+                .sum();
+            let total_slots = t.slots.capacity() as u64;
+            ribs += (total_slots - used.min(total_slots)) * std::mem::size_of::<Slot>() as u64;
+        }
+        extribs += self.slot_overflow.len() as u64 * 16;
+        MemBreakdown {
+            vertebrae: self.chars.heap_bytes() as u64,
+            links: self.lels.capacity() as u64 * 2
+                + self.ptrs.capacity() as u64 * 4
+                + self.lel_overflow.len() as u64 * 16,
+            ribs,
+            extribs,
+        }
+    }
+
     /// Number of indexed characters.
     pub fn len(&self) -> usize {
         self.chars.len()
@@ -403,12 +500,22 @@ impl CompactSpine {
     /// The APPEND procedure on the compact layout (same logic as
     /// [`crate::build`]).
     fn append(&mut self, c: Code) {
+        self.append_observed(c, &mut crate::observe::NoBuildObserver);
+    }
+
+    /// APPEND with observer hooks; emits the same events as the reference
+    /// engine so cross-engine [`BuildStats`] compare equal.
+    fn append_observed<O: BuildObserver>(&mut self, c: Code, o: &mut O) {
         self.chars.push(c);
         self.lels.push(0);
         self.ptrs.push(ROOT);
         let t = self.len() as u32;
         let prev = t - 1;
         if prev == ROOT {
+            if O::ENABLED {
+                o.event(BuildEvent::FirstChar);
+                o.event(BuildEvent::LinkSet { dest: ROOT, lel: 0 });
+            }
             return;
         }
         let (mut cur, mut l) = self.link_of(prev);
@@ -416,22 +523,40 @@ impl CompactSpine {
             if self.chars.get(cur as usize) == c {
                 // Vertebra cur → cur+1 carries `c`.
                 self.set_link(t, cur + 1, l + 1);
+                if O::ENABLED {
+                    o.event(BuildEvent::Case1);
+                    o.event(BuildEvent::LinkSet { dest: cur + 1, lel: l + 1 });
+                }
                 return;
             }
             match self.rib_of(cur, c) {
                 Some((dest, pt)) if pt >= l => {
                     self.set_link(t, dest, l + 1);
+                    if O::ENABLED {
+                        o.event(BuildEvent::Case2);
+                        o.event(BuildEvent::LinkSet { dest, lel: l + 1 });
+                    }
                     return;
                 }
                 Some((dest, pt)) => {
-                    self.extend_via_extribs(cur, dest, pt, l, t);
+                    self.extend_via_extribs(cur, dest, pt, l, t, o);
                     return;
                 }
                 None => {
                     self.add_rib(cur, c, t, l);
+                    if O::ENABLED {
+                        o.event(BuildEvent::RibCreated { pt: l });
+                    }
                     if cur == ROOT {
                         self.set_link(t, ROOT, 0);
+                        if O::ENABLED {
+                            o.event(BuildEvent::Case3Root);
+                            o.event(BuildEvent::LinkSet { dest: ROOT, lel: 0 });
+                        }
                         return;
+                    }
+                    if O::ENABLED {
+                        o.event(BuildEvent::ChainStep);
                     }
                     let (nd, nl) = self.link_of(cur);
                     cur = nd;
@@ -441,19 +566,46 @@ impl CompactSpine {
         }
     }
 
-    fn extend_via_extribs(&mut self, _node: u32, rib_dest: u32, prt: u32, l: u32, t: u32) {
+    fn extend_via_extribs<O: BuildObserver>(
+        &mut self,
+        _node: u32,
+        rib_dest: u32,
+        prt: u32,
+        l: u32,
+        t: u32,
+        o: &mut O,
+    ) {
+        let t0 = if O::ENABLED { Some(std::time::Instant::now()) } else { None };
         let mut last_dest = rib_dest;
         let mut last_pt = prt;
         while let Some((edest, ept)) = self.extrib_of(last_dest, prt) {
             if ept >= l {
                 self.set_link(t, edest, l + 1);
+                if O::ENABLED {
+                    o.event(BuildEvent::Case4Link);
+                    o.event(BuildEvent::LinkSet { dest: edest, lel: l + 1 });
+                    if let Some(t0) = t0 {
+                        o.phase(BuildPhase::RibFixup, t0.elapsed().as_nanos() as u64);
+                    }
+                }
                 return;
+            }
+            if O::ENABLED {
+                o.event(BuildEvent::ChainStep);
             }
             last_dest = edest;
             last_pt = ept;
         }
         self.add_extrib(last_dest, prt, t, l);
         self.set_link(t, last_dest, last_pt + 1);
+        if O::ENABLED {
+            o.event(BuildEvent::ExtribCreated { prt, pt: l });
+            o.event(BuildEvent::Case4Extrib);
+            o.event(BuildEvent::LinkSet { dest: last_dest, lel: last_pt + 1 });
+            if let Some(t0) = t0 {
+                o.phase(BuildPhase::RibFixup, t0.elapsed().as_nanos() as u64);
+            }
+        }
     }
 
     // ----- space accounting -------------------------------------------------

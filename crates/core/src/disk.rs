@@ -22,6 +22,7 @@ use std::sync::atomic::{AtomicU64, Ordering::Relaxed};
 use std::sync::{Arc, OnceLock};
 
 use crate::node::{NodeId, ROOT};
+use crate::observe::{BuildEvent, BuildObserver, BuildPhase, BuildStats, MemBreakdown};
 use crate::ops::{FallibleSpineOps, SpineOps};
 use pagestore::{CacheStats, EvictionPolicy, PageDevice, PagedVec};
 use parking_lot::Mutex;
@@ -136,6 +137,78 @@ impl DiskSpine {
         let mut s = Self::new(alphabet, device, pool_pages, policy)?;
         s.extend_from(text)?;
         Ok(s)
+    }
+
+    /// Build while reporting every structural event (plus disk-only spill
+    /// events) to `observer`.
+    pub fn build_observed<O: BuildObserver>(
+        alphabet: Alphabet,
+        text: &[Code],
+        device: Box<dyn PageDevice>,
+        pool_pages: usize,
+        policy: Box<dyn EvictionPolicy>,
+        observer: &mut O,
+    ) -> Result<Self> {
+        let mut s = Self::new(alphabet, device, pool_pages, policy)?;
+        s.extend_from_observed(text, observer)?;
+        Ok(s)
+    }
+
+    /// Build, flush, and return the index together with a reconciled
+    /// [`BuildStats`] (the final flush is accounted to the PageFlush phase).
+    pub fn build_with_stats(
+        alphabet: Alphabet,
+        text: &[Code],
+        device: Box<dyn PageDevice>,
+        pool_pages: usize,
+        policy: Box<dyn EvictionPolicy>,
+    ) -> Result<(Self, BuildStats)> {
+        let mut stats = BuildStats::default();
+        let s = Self::build_observed(alphabet, text, device, pool_pages, policy, &mut stats)?;
+        let t0 = std::time::Instant::now();
+        s.flush()?;
+        stats.phase(BuildPhase::PageFlush, t0.elapsed().as_nanos() as u64);
+        stats.mem = s.mem_breakdown();
+        Ok((s, stats))
+    }
+
+    /// Observed batch append: times the whole loop as the Scan phase.
+    pub fn extend_from_observed<O: BuildObserver>(
+        &mut self,
+        codes: &[Code],
+        observer: &mut O,
+    ) -> Result<()> {
+        let t0 = if O::ENABLED { Some(std::time::Instant::now()) } else { None };
+        for &c in codes {
+            self.push_observed(c, observer)?;
+        }
+        if let Some(t0) = t0 {
+            observer.phase(BuildPhase::Scan, t0.elapsed().as_nanos() as u64);
+        }
+        Ok(())
+    }
+
+    /// Observed online append (same validation as [`OnlineIndex::push`]).
+    pub fn push_observed<O: BuildObserver>(&mut self, code: Code, observer: &mut O) -> Result<()> {
+        if (code as usize) >= self.alphabet.code_space() {
+            return Err(Error::InvalidSymbol { byte: code, pos: self.len });
+        }
+        self.append_observed(code, observer)
+    }
+
+    /// Bytes split by edge kind, derived from the fixed record layout
+    /// (field spans × record count) plus the spill side table. This is the
+    /// *logical* on-device footprint, not buffer-pool memory.
+    pub fn mem_breakdown(&self) -> MemBreakdown {
+        let records = (self.len + 1) as u64; // root included
+        let l = &self.layout;
+        MemBreakdown {
+            vertebrae: records,                           // cl: 1 byte
+            links: records * 8,                           // link + lel
+            ribs: records * (1 + l.rib_slots as u64 * 9), // count + slots
+            extribs: records * (1 + EXTRIB_SLOTS as u64 * 12)       // count + slots
+                + self.spill.lock().values().map(|v| v.len() as u64 * 12).sum::<u64>(),
+        }
     }
 
     /// Number of indexed characters.
@@ -285,7 +358,8 @@ impl DiskSpine {
         })
     }
 
-    fn add_extrib(&self, node: u32, prt: u32, dest: u32, pt: u32) -> Result<()> {
+    /// Returns whether the extrib spilled to the side table.
+    fn add_extrib(&self, node: u32, prt: u32, dest: u32, pt: u32) -> Result<bool> {
         let l = &self.layout;
         let spilled = self.records.lock().write(node as usize, |r| {
             let co = l.extrib_count_off();
@@ -305,7 +379,7 @@ impl DiskSpine {
             self.spill.lock().entry(node).or_default().push((prt, pt, dest));
             self.spill_count.fetch_add(1, Relaxed);
         }
-        Ok(())
+        Ok(spilled)
     }
 
     // ----- construction -----------------------------------------------------
@@ -314,27 +388,47 @@ impl DiskSpine {
     /// propagates cleanly; a retry-wrapped device absorbs transient faults
     /// before they reach here.
     fn append(&mut self, c: Code) -> Result<()> {
+        self.append_observed(c, &mut crate::observe::NoBuildObserver)
+    }
+
+    /// APPEND with observer hooks; emits the same event stream as the
+    /// in-memory engines, plus [`BuildEvent::ExtribSpill`] when an extrib
+    /// overflows the record's inline slots.
+    fn append_observed<O: BuildObserver>(&mut self, c: Code, o: &mut O) -> Result<()> {
         let idx = self.records.lock().push_zeroed()?;
         let t = idx as u32;
         self.records.lock().write(idx, |r| r[0] = c)?;
         self.len += 1;
         let prev = t - 1;
         if prev == ROOT {
+            if O::ENABLED {
+                o.event(BuildEvent::FirstChar);
+                o.event(BuildEvent::LinkSet { dest: ROOT, lel: 0 });
+            }
             return Ok(());
         }
         let (mut cur, mut l) = self.read_link(prev)?;
         loop {
             if self.read_cl(cur + 1)? == c {
                 self.write_link(t, cur + 1, l + 1)?;
+                if O::ENABLED {
+                    o.event(BuildEvent::Case1);
+                    o.event(BuildEvent::LinkSet { dest: cur + 1, lel: l + 1 });
+                }
                 return Ok(());
             }
             match self.find_rib(cur, c)? {
                 Some((dest, pt)) if pt >= l => {
                     self.write_link(t, dest, l + 1)?;
+                    if O::ENABLED {
+                        o.event(BuildEvent::Case2);
+                        o.event(BuildEvent::LinkSet { dest, lel: l + 1 });
+                    }
                     return Ok(());
                 }
                 Some((dest, pt)) => {
                     // Extrib chain.
+                    let t0 = if O::ENABLED { Some(std::time::Instant::now()) } else { None };
                     let prt = pt;
                     let mut last_dest = dest;
                     let mut last_pt = pt;
@@ -342,24 +436,58 @@ impl DiskSpine {
                         match self.find_extrib(last_dest, prt)? {
                             Some((edest, ept)) if ept >= l => {
                                 self.write_link(t, edest, l + 1)?;
+                                if O::ENABLED {
+                                    o.event(BuildEvent::Case4Link);
+                                    o.event(BuildEvent::LinkSet { dest: edest, lel: l + 1 });
+                                    if let Some(t0) = t0 {
+                                        o.phase(
+                                            BuildPhase::RibFixup,
+                                            t0.elapsed().as_nanos() as u64,
+                                        );
+                                    }
+                                }
                                 return Ok(());
                             }
                             Some((edest, ept)) => {
+                                if O::ENABLED {
+                                    o.event(BuildEvent::ChainStep);
+                                }
                                 last_dest = edest;
                                 last_pt = ept;
                             }
                             None => break,
                         }
                     }
-                    self.add_extrib(last_dest, prt, t, l)?;
+                    let spilled = self.add_extrib(last_dest, prt, t, l)?;
                     self.write_link(t, last_dest, last_pt + 1)?;
+                    if O::ENABLED {
+                        o.event(BuildEvent::ExtribCreated { prt, pt: l });
+                        if spilled {
+                            o.event(BuildEvent::ExtribSpill);
+                        }
+                        o.event(BuildEvent::Case4Extrib);
+                        o.event(BuildEvent::LinkSet { dest: last_dest, lel: last_pt + 1 });
+                        if let Some(t0) = t0 {
+                            o.phase(BuildPhase::RibFixup, t0.elapsed().as_nanos() as u64);
+                        }
+                    }
                     return Ok(());
                 }
                 None => {
                     self.add_rib(cur, c, t, l)?;
+                    if O::ENABLED {
+                        o.event(BuildEvent::RibCreated { pt: l });
+                    }
                     if cur == ROOT {
                         self.write_link(t, ROOT, 0)?;
+                        if O::ENABLED {
+                            o.event(BuildEvent::Case3Root);
+                            o.event(BuildEvent::LinkSet { dest: ROOT, lel: 0 });
+                        }
                         return Ok(());
+                    }
+                    if O::ENABLED {
+                        o.event(BuildEvent::ChainStep);
                     }
                     let (nd, nl) = self.read_link(cur)?;
                     cur = nd;
@@ -541,6 +669,29 @@ mod tests {
         )
         .unwrap();
         (a, d)
+    }
+
+    #[test]
+    fn build_with_stats_matches_memory_engine_and_counts_spills() {
+        let text = b"AACCACAACAGGTTACGACGACCAACCACAACA";
+        let a = Alphabet::dna();
+        let codes = a.encode(text).unwrap();
+        let (d, st) = DiskSpine::build_with_stats(
+            a.clone(),
+            &codes,
+            Box::new(MemDevice::new()),
+            4,
+            Box::<Lru>::default(),
+        )
+        .unwrap();
+        let (_, mem_stats) = Spine::build_with_stats(a, &codes).unwrap();
+        // The structural event stream is representation-independent.
+        assert_eq!(st.counts(), mem_stats.counts());
+        assert_eq!(st.extrib_spills, d.spill_count());
+        // PageFlush was timed, and the logical footprint is non-trivial.
+        assert!(st.phase_nanos[BuildPhase::PageFlush.index()] > 0);
+        assert_eq!(st.mem.vertebrae, text.len() as u64 + 1);
+        assert!(st.mem.total() > st.mem.vertebrae);
     }
 
     #[test]

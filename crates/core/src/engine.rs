@@ -71,7 +71,7 @@ use crate::node::NodeId;
 use crate::occurrences::{try_find_all_ends_batch, Target};
 use crate::ops::FallibleSpineOps;
 use crate::search::try_locate;
-use strindex::telemetry::{Histogram, MetricsRegistry, Stage};
+use strindex::telemetry::{Histogram, MetricsRegistry, SlidingWindow, SloTracker, Stage};
 use strindex::{Alphabet, Code, CountersSnapshot, Result};
 
 /// What happens to a submission that finds the admission queue full.
@@ -334,6 +334,11 @@ struct EngineTelemetry {
     query_latency: Arc<Histogram>,
     /// Requests coalesced per backbone scan ("engine.batch_size").
     batch_size: Arc<Histogram>,
+    /// Rolling qps/quantile window fed per published query
+    /// ([`QueryEngine::with_observability`]).
+    window: Option<Arc<SlidingWindow>>,
+    /// SLO burn tracking fed per published query.
+    slo: Option<Arc<SloTracker>>,
 }
 
 impl EngineTelemetry {
@@ -345,7 +350,23 @@ impl EngineTelemetry {
             result_merge: registry.stage(Stage::ResultMerge),
             query_latency: registry.histogram("engine.query_latency"),
             batch_size: registry.histogram("engine.batch_size"),
+            window: None,
+            slo: None,
             registry,
+        }
+    }
+
+    /// Record one finished query everywhere at once: the cumulative latency
+    /// histogram plus (when attached) the rolling window and SLO tracker.
+    /// `ok` is "the query produced an answer" — timeouts and storage
+    /// failures count against availability.
+    fn record_latency(&self, latency: Duration, ok: bool) {
+        self.query_latency.record(latency);
+        if let Some(w) = &self.window {
+            w.record(latency, ok);
+        }
+        if let Some(s) = &self.slo {
+            s.record(latency, ok);
         }
     }
 }
@@ -407,6 +428,26 @@ impl<S: FallibleSpineOps + Send + Sync + 'static> QueryEngine<S> {
         registry: Arc<MetricsRegistry>,
     ) -> Self {
         Self::build(index, config, Some(EngineTelemetry::new(registry)))
+    }
+
+    /// [`QueryEngine::with_telemetry`] plus continuous monitoring: every
+    /// published query also feeds `window` (rolling qps/p50/p99/error-rate)
+    /// and `slo` (burn-rate health). Their aggregates are registered as
+    /// `engine.window.*` and `engine.slo.*` gauges on `registry`, so one
+    /// snapshot — or the `/metrics` endpoint — carries the rolling view.
+    pub fn with_observability(
+        index: Arc<S>,
+        config: EngineConfig,
+        registry: Arc<MetricsRegistry>,
+        window: Arc<SlidingWindow>,
+        slo: Arc<SloTracker>,
+    ) -> Self {
+        window.register_gauges(&registry, "engine.window");
+        slo.register_gauges(&registry, "engine.slo");
+        let mut t = EngineTelemetry::new(registry);
+        t.window = Some(window);
+        t.slo = Some(slo);
+        Self::build(index, config, Some(t))
     }
 
     fn build(index: Arc<S>, config: EngineConfig, telemetry: Option<EngineTelemetry>) -> Self {
@@ -556,7 +597,7 @@ impl<S: FallibleSpineOps + Send + Sync + 'static> QueryEngine<S> {
         if let Some(t) = &self.shared.telemetry {
             let published = Instant::now();
             let latency = published - start;
-            t.query_latency.record(latency);
+            t.record_latency(latency, matches!(outcome, QueryOutcome::Done(_)));
             t.registry.record_span(format!("q{id}.explain"), start, latency);
         }
         self.shared.notify_if_idle(&st);
@@ -775,7 +816,7 @@ fn worker_loop<S: FallibleSpineOps + ?Sized>(
             t.registry.record_span(format!("w{who}.batch"), scan_start, published - scan_start);
             for (r, at) in results.iter().zip(&submitted_at) {
                 let latency = published - *at;
-                t.query_latency.record(latency);
+                t.record_latency(latency, matches!(r.outcome, QueryOutcome::Done(_)));
                 t.registry.record_span(format!("q{}", r.id), *at, latency);
             }
         }
@@ -1127,6 +1168,36 @@ mod tests {
         let s = Spine::build_from_bytes(a.clone(), b"AACCACAACA").unwrap();
         let cfg = EngineConfig { workers, batch_max: 4, ..Default::default() };
         (a.clone(), QueryEngine::new(Arc::new(s), cfg))
+    }
+
+    #[test]
+    fn observability_feeds_window_and_slo() {
+        let a = Alphabet::dna();
+        let s = Spine::build_from_bytes(a.clone(), b"AACCACAACA").unwrap();
+        let registry = Arc::new(MetricsRegistry::new());
+        let window = Arc::new(SlidingWindow::new(60, Duration::from_secs(1)));
+        let slo = Arc::new(SloTracker::new(Duration::from_secs(5), 0.999));
+        let engine = QueryEngine::with_observability(
+            Arc::new(s),
+            EngineConfig { workers: 2, ..Default::default() },
+            Arc::clone(&registry),
+            Arc::clone(&window),
+            Arc::clone(&slo),
+        );
+        for p in [&b"CA"[..], b"AC", b"A", b"GG"] {
+            engine.submit(a.encode(p).unwrap()).unwrap();
+        }
+        engine.drain();
+        // Every published query landed in the rolling window, none breached
+        // the generous SLO, and the gauges surface through the registry.
+        let agg = window.aggregate();
+        assert_eq!(agg.count, 4);
+        assert_eq!(agg.errors, 0);
+        assert!(slo.healthy());
+        let snap = registry.snapshot();
+        assert_eq!(snap.gauge("engine.window.count"), Some(4));
+        assert_eq!(snap.gauge("engine.slo.healthy"), Some(1));
+        assert_eq!(snap.histogram("engine.query_latency").unwrap().count, 4);
     }
 
     #[test]

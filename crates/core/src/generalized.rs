@@ -10,6 +10,7 @@
 
 use crate::build::Spine;
 use crate::node::NodeId;
+use crate::observe::BuildObserver;
 use crate::ops::SpineOps;
 use strindex::{Alphabet, Code, Counters, Error, OnlineIndex, Result, StringIndex};
 
@@ -67,6 +68,31 @@ impl GeneralizedSpine {
     pub fn add_document_bytes(&mut self, doc: &[u8]) -> Result<()> {
         let codes = self.spine.alphabet_ref().encode(doc)?;
         self.add_document(&codes)
+    }
+
+    /// [`Self::add_document`] with build-event reporting (the terminator's
+    /// insertion is observed too — it is a real backbone node).
+    pub fn add_document_observed<O: BuildObserver>(
+        &mut self,
+        doc: &[Code],
+        observer: &mut O,
+    ) -> Result<()> {
+        let sep = self.spine.alphabet_ref().separator();
+        if doc.iter().any(|&c| c >= sep) {
+            return Err(Error::InvalidSymbol {
+                byte: *doc.iter().find(|&&c| c >= sep).unwrap(),
+                pos: doc.iter().position(|&c| c >= sep).unwrap(),
+            });
+        }
+        self.spine.extend_from_observed(doc, observer)?;
+        self.spine.push_observed(sep, observer)?;
+        self.starts.push(self.spine.len());
+        Ok(())
+    }
+
+    /// Heap accounting of the underlying concatenation index.
+    pub fn mem_breakdown(&self) -> crate::observe::MemBreakdown {
+        self.spine.mem_breakdown()
     }
 
     /// Number of documents indexed.
@@ -207,6 +233,25 @@ mod tests {
         assert_eq!(g.doc_count(), 5);
         assert_eq!(g.docs_containing(&[2]), vec![0, 1, 2, 3, 4]);
         assert!(!g.contains(&[2, 2]));
+    }
+
+    #[test]
+    fn observed_documents_count_terminators_as_insertions() {
+        let a = Alphabet::dna();
+        let mut g = GeneralizedSpine::new(a.clone());
+        let mut st = crate::observe::BuildStats::default();
+        g.add_document_observed(&a.encode(b"ACGTACGT").unwrap(), &mut st).unwrap();
+        g.add_document_observed(&a.encode(b"TTACG").unwrap(), &mut st).unwrap();
+        // 8 + 5 document characters plus one terminator each.
+        assert_eq!(st.insertions, 15);
+        assert_eq!(st.links_set, 15);
+        assert_eq!(st.dispositions(), 15);
+        assert!(g.mem_breakdown().total() > 0);
+        // Observed construction builds the identical structure.
+        let mut plain = GeneralizedSpine::new(a.clone());
+        plain.add_document_bytes(b"ACGTACGT").unwrap();
+        plain.add_document_bytes(b"TTACG").unwrap();
+        assert_eq!(plain.as_spine().nodes(), g.as_spine().nodes());
     }
 
     #[test]

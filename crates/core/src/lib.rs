@@ -56,8 +56,8 @@
 //! §5 Link-Table/Rib-Table layout, < 12 bytes per character), [`disk`]
 //! (page-resident engine), [`generalized`] (multi-string indexes),
 //! [`prefix`] (prefix partitioning), [`stats`] (the paper's measurement
-//! hooks), [`trace`] (per-query EXPLAIN tracing and heatmaps), [`verify`]
-//! (invariant checker).
+//! hooks), [`observe`] (build-phase observability), [`trace`] (per-query
+//! EXPLAIN tracing and heatmaps), [`verify`] (invariant checker).
 
 pub mod approx;
 pub mod build;
@@ -67,6 +67,7 @@ pub mod engine;
 pub mod generalized;
 pub mod matching;
 pub mod node;
+pub mod observe;
 pub mod occurrences;
 pub mod ops;
 pub mod prefix;
@@ -86,6 +87,10 @@ pub use engine::{
 };
 pub use generalized::GeneralizedSpine;
 pub use node::{Extrib, Node, NodeId, Rib, ROOT};
+pub use observe::{
+    BuildEvent, BuildObserver, BuildPhase, BuildProgress, BuildStats, MemBreakdown,
+    NoBuildObserver, ProgressReport, Tee,
+};
 pub use ops::{FallibleSpineOps, Infallible, SpineOps};
 pub use prefix::{PrefixView, SpinePrefix};
 pub use search::{locate, step, try_locate, try_step};

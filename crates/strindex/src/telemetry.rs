@@ -366,11 +366,15 @@ impl SpanRing {
 
 type Gauge = Box<dyn Fn() -> u64 + Send + Sync>;
 
+/// Label set of a labeled gauge: `(name, value)` pairs in emission order.
+pub type LabelSet = Vec<(String, String)>;
+
 #[derive(Default)]
 struct Named {
     histograms: Vec<(String, Arc<Histogram>)>,
     counters: Vec<(String, Arc<Counter>)>,
     gauges: Vec<(String, Gauge)>,
+    labeled_gauges: Vec<(String, LabelSet, Gauge)>,
 }
 
 /// The unified metrics registry: named histograms, counters, gauges, and a
@@ -461,6 +465,27 @@ impl MetricsRegistry {
         }
     }
 
+    /// Register a pull-style gauge carrying a label set (one time series per
+    /// distinct `(name, labels)` pair — e.g. `build.ribs{engine="disk"}`).
+    /// Label *values* may contain any characters; exporters escape them.
+    /// Re-registering the same name and labels replaces the callback.
+    pub fn labeled_gauge(
+        &self,
+        name: &str,
+        labels: &[(&str, &str)],
+        read: impl Fn() -> u64 + Send + Sync + 'static,
+    ) {
+        let set: LabelSet = labels.iter().map(|&(k, v)| (k.to_string(), v.to_string())).collect();
+        let mut g = lock(&self.named);
+        if let Some((_, _, slot)) =
+            g.labeled_gauges.iter_mut().find(|(n, l, _)| n == name && *l == set)
+        {
+            *slot = Box::new(read);
+        } else {
+            g.labeled_gauges.push((name.to_string(), set, Box::new(read)));
+        }
+    }
+
     /// Record a completed span that started at `start` and ran `duration`.
     pub fn record_span(&self, name: impl Into<String>, start: Instant, duration: Duration) {
         self.spans.push(SpanRecord {
@@ -481,7 +506,7 @@ impl MetricsRegistry {
     /// A consistent point-in-time view of everything registered, with names
     /// sorted for deterministic output.
     pub fn snapshot(&self) -> RegistrySnapshot {
-        let (histograms, counters, gauges) = {
+        let (histograms, counters, gauges, labeled_gauges) = {
             let g = lock(&self.named);
             let mut hs: Vec<(String, HistogramSnapshot)> =
                 g.histograms.iter().map(|(n, h)| (n.clone(), h.snapshot())).collect();
@@ -489,16 +514,20 @@ impl MetricsRegistry {
                 g.counters.iter().map(|(n, c)| (n.clone(), c.get())).collect();
             let mut gs: Vec<(String, u64)> =
                 g.gauges.iter().map(|(n, f)| (n.clone(), f())).collect();
+            let mut ls: Vec<(String, LabelSet, u64)> =
+                g.labeled_gauges.iter().map(|(n, l, f)| (n.clone(), l.clone(), f())).collect();
             hs.sort_by(|a, b| a.0.cmp(&b.0));
             cs.sort_by(|a, b| a.0.cmp(&b.0));
             gs.sort_by(|a, b| a.0.cmp(&b.0));
-            (hs, cs, gs)
+            ls.sort_by(|a, b| (&a.0, &a.1).cmp(&(&b.0, &b.1)));
+            (hs, cs, gs, ls)
         };
         let (spans, spans_recorded) = self.spans.snapshot();
         RegistrySnapshot {
             histograms,
             counters,
             gauges,
+            labeled_gauges,
             spans,
             spans_recorded,
             span_capacity: self.spans.capacity,
@@ -515,6 +544,8 @@ pub struct RegistrySnapshot {
     pub counters: Vec<(String, u64)>,
     /// `(name, value)` per gauge (polled at snapshot time), sorted by name.
     pub gauges: Vec<(String, u64)>,
+    /// `(name, labels, value)` per labeled gauge, sorted by name then labels.
+    pub labeled_gauges: Vec<(String, LabelSet, u64)>,
     /// Retained spans, oldest first (at most `span_capacity`).
     pub spans: Vec<SpanRecord>,
     /// Spans ever recorded; the excess over `spans.len()` was overwritten.
@@ -542,6 +573,19 @@ impl RegistrySnapshot {
     /// The gauge named `name`, if registered.
     pub fn gauge(&self, name: &str) -> Option<u64> {
         self.gauges.iter().find(|(n, _)| n == name).map(|&(_, v)| v)
+    }
+
+    /// The labeled gauge matching `name` and every `(key, value)` pair in
+    /// `labels` (order-insensitive), if registered.
+    pub fn labeled_gauge(&self, name: &str, labels: &[(&str, &str)]) -> Option<u64> {
+        self.labeled_gauges
+            .iter()
+            .find(|(n, l, _)| {
+                n == name
+                    && l.len() == labels.len()
+                    && labels.iter().all(|&(k, v)| l.iter().any(|(lk, lv)| lk == k && lv == v))
+            })
+            .map(|&(_, _, v)| v)
     }
 
     /// Total seconds recorded across the worker-busy stages
@@ -577,6 +621,11 @@ impl RegistrySnapshot {
         }
         for (name, v) in &self.gauges {
             let _ = writeln!(out, "gauge   {name}: {v}");
+        }
+        for (name, labels, v) in &self.labeled_gauges {
+            let rendered: Vec<String> =
+                labels.iter().map(|(k, lv)| format!("{k}=\"{lv}\"")).collect();
+            let _ = writeln!(out, "gauge   {name}{{{}}}: {v}", rendered.join(","));
         }
         let _ = writeln!(
             out,
@@ -627,9 +676,23 @@ impl RegistrySnapshot {
             }
             let _ = write!(out, "\"{}\":{v}", json_escape(name));
         }
+        out.push_str("},\"labeled_gauges\":[");
+        for (i, (name, labels, v)) in self.labeled_gauges.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(out, "{{\"name\":\"{}\",\"labels\":{{", json_escape(name));
+            for (j, (k, lv)) in labels.iter().enumerate() {
+                if j > 0 {
+                    out.push(',');
+                }
+                let _ = write!(out, "\"{}\":\"{}\"", json_escape(k), json_escape(lv));
+            }
+            let _ = write!(out, "}},\"value\":{v}}}");
+        }
         let _ = write!(
             out,
-            "}},\"spans\":{{\"recorded\":{},\"retained\":{},\"capacity\":{},\"events\":[",
+            "],\"spans\":{{\"recorded\":{},\"retained\":{},\"capacity\":{},\"events\":[",
             self.spans_recorded,
             self.spans.len(),
             self.span_capacity
@@ -682,6 +745,21 @@ impl RegistrySnapshot {
             let _ = writeln!(out, "# HELP {m} Gauge {name}");
             let _ = writeln!(out, "# TYPE {m} gauge");
             let _ = writeln!(out, "{m} {v}");
+        }
+        let mut last_labeled: Option<&str> = None;
+        for (name, labels, v) in &self.labeled_gauges {
+            let m = full(name);
+            // Series of one family are adjacent (sorted); emit one header.
+            if last_labeled != Some(name.as_str()) {
+                let _ = writeln!(out, "# HELP {m} Gauge {name}");
+                let _ = writeln!(out, "# TYPE {m} gauge");
+                last_labeled = Some(name.as_str());
+            }
+            let rendered: Vec<String> = labels
+                .iter()
+                .map(|(k, lv)| format!("{}=\"{}\"", sanitize_label_name(k), escape_label_value(lv)))
+                .collect();
+            let _ = writeln!(out, "{m}{{{}}} {v}", rendered.join(","));
         }
         let spans_total = format!("{}_total", full("spans_recorded"));
         let _ = writeln!(out, "# TYPE {spans_total} counter");
@@ -775,6 +853,42 @@ pub fn sanitize_metric_name(s: &str) -> String {
     }
     if out.is_empty() {
         out.push('_');
+    }
+    out
+}
+
+/// Coerce `s` into a legal Prometheus *label* name: like metric names but
+/// without `:` (reserved for recording rules).
+pub fn sanitize_label_name(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for (i, c) in s.chars().enumerate() {
+        let ok = c.is_ascii_alphabetic() || c == '_' || (i > 0 && c.is_ascii_digit());
+        if ok {
+            out.push(c);
+        } else if i == 0 && c.is_ascii_digit() {
+            out.push('_');
+            out.push(c);
+        } else {
+            out.push('_');
+        }
+    }
+    if out.is_empty() {
+        out.push('_');
+    }
+    out
+}
+
+/// Escape a Prometheus label *value* per text-exposition format 0.0.4:
+/// backslash, double quote, and line feed are the only escapes.
+pub fn escape_label_value(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '"' => out.push_str("\\\""),
+            '\n' => out.push_str("\\n"),
+            c => out.push(c),
+        }
     }
     out
 }
@@ -907,6 +1021,317 @@ fn labels_ok(labels: &str) -> bool {
         if rest.is_empty() {
             return true; // trailing comma is legal
         }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Sliding windows and SLO tracking.
+// ---------------------------------------------------------------------------
+
+/// Rolling aggregation over a ring of fixed-duration sub-windows.
+///
+/// One-shot registry snapshots answer "since start"; operators need "over
+/// the last minute". `record` drops each observation into the sub-window
+/// covering the current instant; a sub-window is lazily reset the first time
+/// it is written in a new rotation, so expiry costs nothing when idle.
+/// [`SlidingWindow::aggregate`] sums the sub-windows still inside the window
+/// span and exposes rolling qps, quantiles (via the same log-scale buckets
+/// as [`Histogram`]), and error rate.
+///
+/// All methods take `&self`; per-slot mutexes are held only for a few loads
+/// and stores. The `*_at` variants take explicit nanosecond timestamps
+/// (measured from construction) so tests are deterministic.
+pub struct SlidingWindow {
+    slot_nanos: u64,
+    slots: Vec<Mutex<WindowSlot>>,
+    epoch: Instant,
+}
+
+#[derive(Clone)]
+struct WindowSlot {
+    rotation: u64,
+    count: u64,
+    errors: u64,
+    sum: u64,
+    max: u64,
+    buckets: Vec<u64>,
+}
+
+impl WindowSlot {
+    fn empty() -> Self {
+        WindowSlot {
+            rotation: 0,
+            count: 0,
+            errors: 0,
+            sum: 0,
+            max: 0,
+            buckets: vec![0; HISTOGRAM_BUCKETS],
+        }
+    }
+
+    fn reset(&mut self, rotation: u64) {
+        self.rotation = rotation;
+        self.count = 0;
+        self.errors = 0;
+        self.sum = 0;
+        self.max = 0;
+        self.buckets.iter_mut().for_each(|b| *b = 0);
+    }
+}
+
+/// Point-in-time aggregate of a [`SlidingWindow`].
+#[derive(Debug, Clone)]
+pub struct WindowAggregate {
+    /// Observations inside the window.
+    pub count: u64,
+    /// Failed observations inside the window.
+    pub errors: u64,
+    /// The window span in seconds (ring length × sub-window duration).
+    pub window_secs: f64,
+    /// Latency distribution of the window's observations.
+    pub histogram: HistogramSnapshot,
+}
+
+impl WindowAggregate {
+    /// Observations per second over the window span.
+    pub fn qps(&self) -> f64 {
+        self.count as f64 / self.window_secs
+    }
+
+    /// Failed fraction (0 when the window is empty).
+    pub fn error_rate(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.errors as f64 / self.count as f64
+        }
+    }
+
+    /// Rolling median latency upper bound (nanoseconds).
+    pub fn p50(&self) -> u64 {
+        self.histogram.p50()
+    }
+
+    /// Rolling 99th-percentile latency upper bound (nanoseconds).
+    pub fn p99(&self) -> u64 {
+        self.histogram.p99()
+    }
+}
+
+impl SlidingWindow {
+    /// A ring of `slots` sub-windows of `slot_duration` each; the rolling
+    /// window spans `slots × slot_duration`.
+    pub fn new(slots: usize, slot_duration: Duration) -> Self {
+        let slots = slots.max(1);
+        let slot_nanos = (slot_duration.as_nanos() as u64).max(1);
+        SlidingWindow {
+            slot_nanos,
+            slots: (0..slots).map(|_| Mutex::new(WindowSlot::empty())).collect(),
+            epoch: Instant::now(),
+        }
+    }
+
+    /// The rolling window span.
+    pub fn window(&self) -> Duration {
+        Duration::from_nanos(self.slot_nanos * self.slots.len() as u64)
+    }
+
+    fn now_nanos(&self) -> u64 {
+        self.epoch.elapsed().as_nanos().min(u64::MAX as u128) as u64
+    }
+
+    /// Record one observation at the current instant.
+    pub fn record(&self, latency: Duration, ok: bool) {
+        let ns = latency.as_nanos().min(u64::MAX as u128) as u64;
+        self.record_at(self.now_nanos(), ns, ok);
+    }
+
+    /// Record at an explicit timestamp (nanoseconds from construction).
+    pub fn record_at(&self, now_nanos: u64, latency_ns: u64, ok: bool) {
+        let rotation = now_nanos / self.slot_nanos;
+        let idx = (rotation % self.slots.len() as u64) as usize;
+        let mut s = lock(&self.slots[idx]);
+        if s.rotation != rotation {
+            s.reset(rotation);
+        }
+        s.count += 1;
+        if !ok {
+            s.errors += 1;
+        }
+        s.sum += latency_ns;
+        s.max = s.max.max(latency_ns);
+        s.buckets[Histogram::bucket_index(latency_ns)] += 1;
+    }
+
+    /// Aggregate the sub-windows still inside the window span.
+    pub fn aggregate(&self) -> WindowAggregate {
+        self.aggregate_at(self.now_nanos())
+    }
+
+    /// Aggregate at an explicit timestamp (nanoseconds from construction).
+    pub fn aggregate_at(&self, now_nanos: u64) -> WindowAggregate {
+        let rotation = now_nanos / self.slot_nanos;
+        let oldest_live = rotation.saturating_sub(self.slots.len() as u64 - 1);
+        let mut count = 0u64;
+        let mut errors = 0u64;
+        let mut sum = 0u64;
+        let mut max = 0u64;
+        let mut buckets = vec![0u64; HISTOGRAM_BUCKETS];
+        for slot in &self.slots {
+            let s = lock(slot);
+            if s.rotation < oldest_live || s.rotation > rotation || s.count == 0 {
+                continue;
+            }
+            count += s.count;
+            errors += s.errors;
+            sum += s.sum;
+            max = max.max(s.max);
+            for (acc, b) in buckets.iter_mut().zip(&s.buckets) {
+                *acc += b;
+            }
+        }
+        WindowAggregate {
+            count,
+            errors,
+            window_secs: (self.slot_nanos * self.slots.len() as u64) as f64 / 1e9,
+            histogram: HistogramSnapshot { count, sum, max, buckets },
+        }
+    }
+
+    /// Register this window's rolling aggregates as gauges named
+    /// `<prefix>.{qps_x1000, p50_ns, p99_ns, error_rate_ppm, count}`.
+    /// Fractional quantities are scaled to integers (×1000 / parts-per-
+    /// million) since gauges are `u64`.
+    pub fn register_gauges(self: &Arc<Self>, registry: &MetricsRegistry, prefix: &str) {
+        let mk = |w: &Arc<Self>, f: fn(&WindowAggregate) -> u64| {
+            let w = Arc::clone(w);
+            move || f(&w.aggregate())
+        };
+        registry.gauge(&format!("{prefix}.qps_x1000"), mk(self, |a| (a.qps() * 1000.0) as u64));
+        registry.gauge(&format!("{prefix}.p50_ns"), mk(self, WindowAggregate::p50));
+        registry.gauge(&format!("{prefix}.p99_ns"), mk(self, WindowAggregate::p99));
+        registry.gauge(
+            &format!("{prefix}.error_rate_ppm"),
+            mk(self, |a| (a.error_rate() * 1e6) as u64),
+        );
+        registry.gauge(&format!("{prefix}.count"), mk(self, |a| a.count));
+    }
+}
+
+/// Burn-rate SLO tracking over a short and a long [`SlidingWindow`].
+///
+/// An observation is *good* when it succeeded **and** met the latency
+/// target. The error budget is `1 − availability`; the burn rate is the
+/// window's bad fraction divided by that budget (1.0 = consuming budget
+/// exactly as provisioned). Following the standard multi-window rule, the
+/// tracker reports unhealthy only when **both** windows burn above the
+/// threshold — the short window confirms the problem is current, the long
+/// one that it is material.
+pub struct SloTracker {
+    target_latency_ns: u64,
+    error_budget: f64,
+    burn_threshold: f64,
+    short: SlidingWindow,
+    long: SlidingWindow,
+}
+
+impl SloTracker {
+    /// A tracker with a 10 s short window and a 60 s long window.
+    /// `availability` is the SLO target in `(0, 1)`, e.g. `0.999`;
+    /// `target_latency` is the per-query latency objective.
+    pub fn new(target_latency: Duration, availability: f64) -> Self {
+        Self::with_windows(
+            target_latency,
+            availability,
+            SlidingWindow::new(10, Duration::from_secs(1)),
+            SlidingWindow::new(12, Duration::from_secs(5)),
+        )
+    }
+
+    /// A tracker over explicit windows (tests use sub-second ones).
+    pub fn with_windows(
+        target_latency: Duration,
+        availability: f64,
+        short: SlidingWindow,
+        long: SlidingWindow,
+    ) -> Self {
+        let availability = availability.clamp(0.0, 1.0 - 1e-9);
+        SloTracker {
+            target_latency_ns: target_latency.as_nanos().min(u64::MAX as u128) as u64,
+            error_budget: 1.0 - availability,
+            burn_threshold: 1.0,
+            short,
+            long,
+        }
+    }
+
+    /// Override the burn-rate threshold above which a window counts as
+    /// burning (default 1.0 = budget consumed exactly at the provisioned
+    /// rate).
+    pub fn with_burn_threshold(mut self, threshold: f64) -> Self {
+        self.burn_threshold = threshold;
+        self
+    }
+
+    /// The latency objective.
+    pub fn target_latency(&self) -> Duration {
+        Duration::from_nanos(self.target_latency_ns)
+    }
+
+    /// Record one query outcome at the current instant.
+    pub fn record(&self, latency: Duration, ok: bool) {
+        let ns = latency.as_nanos().min(u64::MAX as u128) as u64;
+        let good = ok && ns <= self.target_latency_ns;
+        self.short.record(latency, good);
+        self.long.record(latency, good);
+    }
+
+    /// Record at explicit per-window timestamps (tests).
+    pub fn record_at(&self, now_nanos: u64, latency_ns: u64, ok: bool) {
+        let good = ok && latency_ns <= self.target_latency_ns;
+        self.short.record_at(now_nanos, latency_ns, good);
+        self.long.record_at(now_nanos, latency_ns, good);
+    }
+
+    fn burn(&self, agg: &WindowAggregate) -> f64 {
+        agg.error_rate() / self.error_budget
+    }
+
+    /// Burn rate over the short window (0 when idle).
+    pub fn burn_rate_short(&self) -> f64 {
+        self.burn(&self.short.aggregate())
+    }
+
+    /// Burn rate over the long window (0 when idle).
+    pub fn burn_rate_long(&self) -> f64 {
+        self.burn(&self.long.aggregate())
+    }
+
+    /// `false` only when both windows burn above the threshold.
+    pub fn healthy(&self) -> bool {
+        !(self.burn_rate_short() > self.burn_threshold
+            && self.burn_rate_long() > self.burn_threshold)
+    }
+
+    /// Health at explicit timestamps (tests).
+    pub fn healthy_at(&self, now_nanos: u64) -> bool {
+        !(self.burn(&self.short.aggregate_at(now_nanos)) > self.burn_threshold
+            && self.burn(&self.long.aggregate_at(now_nanos)) > self.burn_threshold)
+    }
+
+    /// Register `<prefix>.{burn_short_x1000, burn_long_x1000, healthy}`
+    /// gauges reflecting this tracker.
+    pub fn register_gauges(self: &Arc<Self>, registry: &MetricsRegistry, prefix: &str) {
+        let t = Arc::clone(self);
+        registry.gauge(&format!("{prefix}.burn_short_x1000"), move || {
+            (t.burn_rate_short() * 1000.0) as u64
+        });
+        let t = Arc::clone(self);
+        registry.gauge(&format!("{prefix}.burn_long_x1000"), move || {
+            (t.burn_rate_long() * 1000.0) as u64
+        });
+        let t = Arc::clone(self);
+        registry.gauge(&format!("{prefix}.healthy"), move || if t.healthy() { 1 } else { 0 });
     }
 }
 
@@ -1110,5 +1535,158 @@ mod tests {
         check::<MetricsRegistry>();
         check::<Histogram>();
         check::<Counter>();
+        check::<SlidingWindow>();
+        check::<SloTracker>();
+    }
+
+    #[test]
+    fn sliding_window_aggregates_live_slots_only() {
+        let w = SlidingWindow::new(4, Duration::from_secs(1));
+        let s = 1_000_000_000u64; // one slot in nanos
+        w.record_at(0, 100, true);
+        w.record_at(s, 200, true);
+        w.record_at(2 * s, 400, false);
+        // At t=2.5s all three slots are inside the 4 s window.
+        let a = w.aggregate_at(2 * s + s / 2);
+        assert_eq!(a.count, 3);
+        assert_eq!(a.errors, 1);
+        assert!((a.qps() - 3.0 / 4.0).abs() < 1e-9);
+        assert!((a.error_rate() - 1.0 / 3.0).abs() < 1e-9);
+        assert!(a.p99() >= 400);
+        // At t=4.5s the rotation-0 slot has expired.
+        let a = w.aggregate_at(4 * s + s / 2);
+        assert_eq!(a.count, 2);
+        assert_eq!(a.errors, 1);
+        // At t=10s everything has expired.
+        assert_eq!(w.aggregate_at(10 * s).count, 0);
+        assert_eq!(w.aggregate_at(10 * s).error_rate(), 0.0);
+    }
+
+    #[test]
+    fn sliding_window_slot_reuse_resets_stale_data() {
+        let w = SlidingWindow::new(2, Duration::from_secs(1));
+        let s = 1_000_000_000u64;
+        w.record_at(0, 100, false);
+        // Rotation 2 reuses slot 0; the old error must not leak through.
+        w.record_at(2 * s, 50, true);
+        let a = w.aggregate_at(2 * s);
+        assert_eq!((a.count, a.errors), (1, 0));
+        assert_eq!(a.histogram.max, 50);
+    }
+
+    #[test]
+    fn window_gauges_appear_in_snapshot() {
+        let r = MetricsRegistry::new();
+        let w = Arc::new(SlidingWindow::new(4, Duration::from_secs(1)));
+        w.register_gauges(&r, "window");
+        w.record(Duration::from_micros(3), true);
+        w.record(Duration::from_micros(5), false);
+        let snap = r.snapshot();
+        assert_eq!(snap.gauge("window.count"), Some(2));
+        assert_eq!(snap.gauge("window.error_rate_ppm"), Some(500_000));
+        assert!(snap.gauge("window.p99_ns").unwrap() >= 5_000);
+        validate_prometheus_text(&snap.to_prometheus("spine")).unwrap();
+    }
+
+    #[test]
+    fn slo_burn_rates_follow_bad_fraction() {
+        let slo = SloTracker::with_windows(
+            Duration::from_micros(100),
+            0.9, // budget = 0.1
+            SlidingWindow::new(4, Duration::from_secs(1)),
+            SlidingWindow::new(8, Duration::from_secs(1)),
+        );
+        // All good: healthy, zero burn.
+        for i in 0..10 {
+            slo.record_at(i * 1_000, 50_000, true);
+        }
+        assert!(slo.healthy_at(10_000));
+        // Half the traffic breaches the latency target: bad fraction 0.5,
+        // burn 5× in both windows → unhealthy.
+        for i in 0..10 {
+            slo.record_at(20_000 + i * 1_000, 200_000, true);
+        }
+        assert!(!slo.healthy_at(40_000));
+        // Failures count as bad even when fast.
+        let slo2 = SloTracker::with_windows(
+            Duration::from_micros(100),
+            0.9,
+            SlidingWindow::new(4, Duration::from_secs(1)),
+            SlidingWindow::new(8, Duration::from_secs(1)),
+        );
+        for i in 0..10 {
+            slo2.record_at(i * 1_000, 10, false);
+        }
+        assert!(!slo2.healthy_at(10_000));
+    }
+
+    #[test]
+    fn slo_needs_both_windows_burning() {
+        // Short window breaches but the long window has absorbed plenty of
+        // good traffic → still healthy (transient blip).
+        let slo = SloTracker::with_windows(
+            Duration::from_micros(100),
+            0.5, // budget 0.5: need > half bad to burn
+            SlidingWindow::new(2, Duration::from_secs(1)),
+            SlidingWindow::new(60, Duration::from_secs(1)),
+        );
+        for i in 0..100 {
+            slo.record_at(i * 10_000, 50_000, true); // first second: good
+        }
+        let t = 1_500_000_000; // 1.5 s: short window now [1s,3s)
+        for i in 0..10 {
+            slo.record_at(t + i * 1_000, 10, false);
+        }
+        assert!(slo.healthy_at(t + 1_000_000));
+    }
+
+    #[test]
+    fn labeled_gauges_export_everywhere() {
+        let r = MetricsRegistry::new();
+        r.labeled_gauge("build.ribs", &[("engine", "spine")], || 4);
+        r.labeled_gauge("build.ribs", &[("engine", "disk")], || 7);
+        let snap = r.snapshot();
+        assert_eq!(snap.labeled_gauge("build.ribs", &[("engine", "spine")]), Some(4));
+        assert_eq!(snap.labeled_gauge("build.ribs", &[("engine", "disk")]), Some(7));
+        assert_eq!(snap.labeled_gauge("build.ribs", &[("engine", "nope")]), None);
+        let text = snap.to_text();
+        assert!(text.contains("build.ribs{engine=\"spine\"}: 4"));
+        let json = snap.to_json();
+        assert!(json.contains("\"labeled_gauges\":["));
+        assert!(json.contains("\"labels\":{\"engine\":\"disk\"}"));
+        let prom = snap.to_prometheus("spine");
+        validate_prometheus_text(&prom).unwrap();
+        assert!(prom.contains("spine_build_ribs{engine=\"spine\"} 4"));
+        assert!(prom.contains("spine_build_ribs{engine=\"disk\"} 7"));
+        // One TYPE header per family even with two series.
+        assert_eq!(prom.matches("# TYPE spine_build_ribs gauge").count(), 1);
+    }
+
+    #[test]
+    fn adversarial_label_values_escape_and_validate() {
+        // Backslashes, quotes, newlines — the exposition 0.0.4 escape set.
+        let evil = "pa\\th \"quoted\"\nnext";
+        assert_eq!(escape_label_value(evil), "pa\\\\th \\\"quoted\\\"\\nnext");
+        let r = MetricsRegistry::new();
+        r.labeled_gauge("build.source", &[("file", evil), ("9 bad key!", "v")], || 1);
+        let prom = r.snapshot().to_prometheus("spine");
+        validate_prometheus_text(&prom).unwrap();
+        assert!(prom.contains("file=\"pa\\\\th \\\"quoted\\\"\\nnext\""));
+        // Label keys are sanitized to the legal charset.
+        assert!(prom.contains("_9_bad_key_=\"v\""));
+        // JSON export stays parseable too (shared json_escape path).
+        let json = r.snapshot().to_json();
+        assert!(json.contains("\"file\":\"pa\\\\th \\\"quoted\\\"\\nnext\""));
+    }
+
+    #[test]
+    fn label_value_escaping_round_trips_through_validator() {
+        for v in ["", "plain", "\\", "\"", "\n", "\\\"", "a\\b\"c\nd", "trailing\\"] {
+            let r = MetricsRegistry::new();
+            let owned = v.to_string();
+            r.labeled_gauge("m", &[("k", &owned)], || 1);
+            let prom = r.snapshot().to_prometheus("ns");
+            validate_prometheus_text(&prom).unwrap_or_else(|e| panic!("value {v:?} failed: {e}"));
+        }
     }
 }

@@ -52,12 +52,45 @@ prom_text=$(cargo run --release -q -p spine-bench --bin exp -- serve --metrics -
 echo "$prom_text" | grep -q '^spine_engine_query_latency_count ' \
   || { echo "prom smoke: missing engine.query_latency samples"; exit 1; }
 
+echo "== exp serve --http (monitor endpoint smoke: /metrics /health /explain /quit)"
+http_log=$(mktemp)
+cargo run --release -q -p spine-bench --bin exp -- serve --http 0 --quick \
+  >"$http_log" 2>/dev/null &
+http_pid=$!
+addr=""
+for _ in $(seq 1 120); do
+  addr=$(grep -m1 -o '127\.0\.0\.1:[0-9]*' "$http_log" || true)
+  [ -n "$addr" ] && break
+  sleep 0.5
+done
+[ -n "$addr" ] || { echo "http smoke: server never printed its address"; kill "$http_pid" 2>/dev/null; exit 1; }
+# The in-tree std-TcpStream client (exp http-get) keeps CI curl-free;
+# --prom re-validates the body as Prometheus text exposition.
+cargo run --release -q -p spine-bench --bin exp -- http-get "$addr/metrics" --prom 2>/dev/null \
+  | grep -q '^spine_engine_window_count ' \
+  || { echo "http smoke: /metrics misses the sliding-window gauges"; exit 1; }
+cargo run --release -q -p spine-bench --bin exp -- http-get "$addr/metrics" 2>/dev/null \
+  | grep -q '^spine_build_insertions{engine="memory"} ' \
+  || { echo "http smoke: /metrics misses the build gauges"; exit 1; }
+cargo run --release -q -p spine-bench --bin exp -- http-get "$addr/health" 2>/dev/null \
+  | grep -q '"slo_healthy":true' \
+  || { echo "http smoke: /health not healthy on a clean run"; exit 1; }
+cargo run --release -q -p spine-bench --bin exp -- http-get "$addr/explain?q=ACA" 2>/dev/null \
+  | grep -q '"ends":\[' \
+  || { echo "http smoke: /explain returned no trace"; exit 1; }
+cargo run --release -q -p spine-bench --bin exp -- http-get "$addr/quit" >/dev/null 2>&1
+wait "$http_pid" || { echo "http smoke: server exited non-zero"; exit 1; }
+grep -q "shut down cleanly" "$http_log" \
+  || { echo "http smoke: server did not shut down cleanly"; exit 1; }
+rm -f "$http_log"
+
 if [ "$BENCH_CHECK" = 1 ]; then
-  echo "== bench regression gate (vs committed BENCH_serve.json)"
-  tmp_snap=$(mktemp)
+  echo "== bench regression gate (vs committed BENCH_serve.json + BENCH_build.json)"
+  tmp_snap=$(mktemp); tmp_build=$(mktemp)
   cargo run --release -q -p spine-bench --bin exp -- bench-snapshot --quick \
-    --out "$tmp_snap" --check BENCH_serve.json >/dev/null
-  rm -f "$tmp_snap"
+    --out "$tmp_snap" --check BENCH_serve.json \
+    --out-build "$tmp_build" --check-build BENCH_build.json >/dev/null
+  rm -f "$tmp_snap" "$tmp_build"
 fi
 
 echo "== cargo doc (warnings are errors)"
