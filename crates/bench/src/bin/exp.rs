@@ -403,6 +403,10 @@ fn pool_pages(n_chars: usize, record_size: usize) -> usize {
 /// Approximate record sizes of the generic disk layouts (DNA).
 const SPINE_REC: usize = 80;
 const ST_REC: usize = 50;
+/// Approximate per-node footprint of the sealed layout-v2 pages (varint
+/// records plus the packed label store, DNA); used only to size buffer
+/// pools at the same *relative* memory pressure as the v1 runs.
+const SPINE_V2_REC: usize = 9;
 
 // ---------------------------------------------------------------------------
 // Figure 7: on-disk construction.
@@ -1053,6 +1057,11 @@ fn faults(opts: &Opts) {
             .cell("prob-oracle-ok", r.probability_oracle_match as u8 as f64)
             .cell("retries-absorbed", r.retries_absorbed as f64)
             .cell("sweep-secs", secs(t)),
+        Row::new("seal-rebuild")
+            .cell("seal-ops", r.seal_ops as f64)
+            .cell("seal-errs", r.seal_faults as f64)
+            .cell("source-intact", r.sealed_source_intact as u8 as f64)
+            .cell("reseal-oracle-ok", r.sealed_oracle_match as u8 as f64),
     ];
     print_table(
         "Faults — crashpoint sweep (hard faults) + retry layer vs oracle (transient)",
@@ -1061,15 +1070,19 @@ fn faults(opts: &Opts) {
     );
     assert!(
         r.holds(),
-        "fault-tolerance contract violated: {} panics, {} swallowed, burst ok={}, prob ok={}",
+        "fault-tolerance contract violated: {} panics, {} swallowed, burst ok={}, prob ok={}, \
+         seal source intact={}, reseal oracle ok={}",
         r.panics,
         r.swallowed,
         r.burst_oracle_match,
-        r.probability_oracle_match
+        r.probability_oracle_match,
+        r.sealed_source_intact,
+        r.sealed_oracle_match
     );
     println!(
-        "OK: {} crashpoints -> clean Err; retry-wrapped runs match the in-memory oracle",
-        r.tested
+        "OK: {} crashpoints -> clean Err; retry-wrapped runs match the in-memory oracle; \
+         {} mid-seal crashes left the committed version intact",
+        r.tested, r.seal_faults
     );
 }
 
@@ -1279,10 +1292,13 @@ fn bench_snapshot(opts: &Opts) {
     assert_eq!(m.completed, workload.len() as u64, "not every query completed");
 
     // Disk phase: pages/query under memory pressure, recorded into the same
-    // registry's `disk.pages_per_query` histogram.
+    // registry's `disk.pages_per_query` histogram. The serving engine is the
+    // sealed layout-v2 index (varint records + packed backbone), sized to the
+    // same relative memory pressure (a tenth of its own pages) as the old
+    // fixed-record runs.
     let dd = Dataset::generate("eco-sim", scale.min(0.005));
-    let pool = pool_pages(dd.seq.len(), SPINE_REC);
-    let disk = DiskSpine::build(
+    let pool = pool_pages(dd.seq.len(), SPINE_V2_REC);
+    let disk = DiskSpine::build_sealed(
         dd.alphabet.clone(),
         &dd.seq,
         Box::new(MemDevice::new()),
@@ -1290,6 +1306,7 @@ fn bench_snapshot(opts: &Opts) {
         Box::<Lru>::default(),
     )
     .unwrap();
+    assert!(disk.is_sealed(), "bench disk phase must serve from the v2 layout");
     disk.attach_telemetry(&registry);
     for i in (0..dd.seq.len().saturating_sub(16)).step_by(997) {
         let w = &dd.seq[i..i + 12];
@@ -1405,24 +1422,43 @@ fn build_snapshot_section(d: &Dataset, dd: &Dataset, pool: usize) -> spine_bench
     assert_eq!(tee.0.counts(), stats.counts(), "observed builds must agree run to run");
     eprintln!("build[summary]:  {}", stats.summary());
 
-    // Disk build: page writes through the device, spills reconciled.
+    // Disk build: page writes through the device, spills reconciled. The
+    // mutable build then seals into the layout-v2 pages; `page_writes` is
+    // the full pipeline (scratch build + seal) and `bytes_per_node` is the
+    // *sealed on-disk* footprint — the number layout v2 exists to shrink.
     let (dsk, dstats) = DiskSpine::build_with_stats(
         dd.alphabet.clone(),
         &dd.seq,
         Box::new(MemDevice::new()),
-        pool,
+        pool_pages(dd.seq.len(), SPINE_REC),
         Box::<Lru>::default(),
     )
     .unwrap();
-    let (_reads, page_writes) = dsk.io_counts();
+    let (_reads, build_writes) = dsk.io_counts();
     assert_eq!(dstats.extrib_spills, dsk.spill_count(), "spill events must match the side table");
+    let sealed = dsk
+        .seal_to(Box::new(MemDevice::new()), pool, Box::<Lru>::default())
+        .expect("sealing the bench index must not fail");
+    let (_sreads, seal_writes) = sealed.io_counts();
+    let page_writes = build_writes + seal_writes;
+    let file_pages = sealed.file_pages().expect("sealed index has a page count");
+    let disk_bytes_per_node = (file_pages * PAGE_SIZE as u64) as f64 / (dd.seq.len() as f64 + 1.0);
+    eprintln!(
+        "seal[summary]:   {} v1 scratch writes + {} v2 seal writes; {} v2 pages, \
+         {:.2} on-disk bytes/node (heap bytes/node {:.2})",
+        build_writes,
+        seal_writes,
+        file_pages,
+        disk_bytes_per_node,
+        stats.mem.bytes_per_node(stats.insertions),
+    );
 
     spine_bench::BuildSnapshot {
         nodes: stats.insertions,
         build_s,
         nodes_per_sec: stats.insertions as f64 / build_s.max(1e-9),
         observer_overhead_pct: 100.0 * (observed_s - build_s) / build_s.max(1e-9),
-        bytes_per_node: stats.mem.bytes_per_node(stats.insertions),
+        bytes_per_node: disk_bytes_per_node,
         page_writes,
     }
 }

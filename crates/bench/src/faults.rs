@@ -64,17 +64,33 @@ pub struct SweepReport {
     pub burst_oracle_match: bool,
     /// Probabilistic-fault run matched the in-memory oracle exactly.
     pub probability_oracle_match: bool,
+    /// Device operations in one clean seal-to-layout-v2 rebuild — the size
+    /// of the seal crashpoint index space.
+    pub seal_ops: u64,
+    /// Seal crashpoints that degraded to a clean `Err`.
+    pub seal_faults: u64,
+    /// After every mid-seal crash, the *source* index still answered a
+    /// probe query correctly (a failed rebuild must not damage the
+    /// committed version).
+    pub sealed_source_intact: bool,
+    /// A clean seal retried after the crashes matches the in-memory oracle
+    /// on every pattern.
+    pub sealed_oracle_match: bool,
 }
 
 impl SweepReport {
     /// The sweep's acceptance predicate: every crashpoint degraded to a
-    /// clean `Err`, and every retry-wrapped run matched the oracle.
+    /// clean `Err`, every retry-wrapped run matched the oracle, and every
+    /// mid-seal crash left the source index committed and rebuildable.
     pub fn holds(&self) -> bool {
         self.panics == 0
             && self.swallowed == 0
             && self.burst_oracle_match
             && self.probability_oracle_match
             && self.tested > 0
+            && self.seal_faults > 0
+            && self.sealed_source_intact
+            && self.sealed_oracle_match
     }
 }
 
@@ -186,6 +202,61 @@ pub fn crashpoint_sweep(quick: bool) -> SweepReport {
         Err(_) => report.probability_oracle_match = false,
     }
 
+    // ---- pass 3: crashpoints during the seal-to-layout-v2 rebuild ----------
+    // The format-v2 migration path: build the mutable (v1) index once on a
+    // clean device, then crash the *target* device at every (strided)
+    // operation index during `seal_to`. Each crash must surface as a clean
+    // `Err`, must leave the source index answering queries (the committed
+    // version survives), and a clean retry must produce a sealed index that
+    // matches the oracle.
+    let src = DiskSpine::build(
+        alphabet.clone(),
+        &text,
+        Box::new(MemDevice::new()),
+        POOL_PAGES.max(8),
+        Box::<Lru>::default(),
+    )
+    .expect("clean source build must not fail");
+    let sealed = src
+        .seal_to(Box::new(MemDevice::new()), POOL_PAGES, Box::<Lru>::default())
+        .expect("clean seal must not fail");
+    let (seal_reads, seal_writes) = sealed.io_counts();
+    report.seal_ops = seal_reads + seal_writes;
+
+    let stride = if quick { (report.seal_ops / 24).max(1) } else { 1 };
+    report.sealed_source_intact = true;
+    let prev_hook = std::panic::take_hook();
+    std::panic::set_hook(Box::new(|_| {}));
+    let mut k = 0;
+    while k < report.seal_ops {
+        let device = Box::new(FaultyDevice::new(MemDevice::new(), k));
+        match catch_unwind(AssertUnwindSafe(|| {
+            src.seal_to(device, POOL_PAGES, Box::<Lru>::default())
+        })) {
+            Ok(Ok(_)) => report.swallowed += 1,
+            Ok(Err(_)) => report.seal_faults += 1,
+            Err(_) => report.panics += 1,
+        }
+        // The committed (source) version must still answer after the crash;
+        // probe with a rotating pattern so the sweep covers the whole mix.
+        let probe = (k as usize) % patterns.len();
+        if src.try_find_all(&patterns[probe]).ok().as_deref() != Some(&oracle[probe]) {
+            report.sealed_source_intact = false;
+        }
+        k += stride;
+    }
+    std::panic::set_hook(prev_hook);
+
+    // Recovery: a clean retry of the rebuild answers every pattern exactly.
+    match src.seal_to(Box::new(MemDevice::new()), POOL_PAGES, Box::<Lru>::default()) {
+        Ok(resealed) => {
+            let answers: Result<Vec<_>, _> =
+                patterns.iter().map(|p| resealed.try_find_all(p)).collect();
+            report.sealed_oracle_match = answers.map(|a| a == oracle).unwrap_or(false);
+        }
+        Err(_) => report.sealed_oracle_match = false,
+    }
+
     // Count absorbed retries with a dedicated instrumented run (the boxed
     // runs above erase the concrete device type).
     let flaky = FlakyDevice::with_probability(MemDevice::new(), 0.05, 0xFA017);
@@ -209,6 +280,7 @@ mod tests {
         let r = crashpoint_sweep(true);
         assert!(r.holds(), "sweep violated fault-tolerance contract: {r:?}");
         assert!(r.trace_ops > 0);
+        assert!(r.seal_ops > 0, "the seal pass must issue device operations");
         assert!(r.build_faults > 0, "some crashpoints must land in build");
         assert!(
             r.query_faults + r.flush_faults > 0,

@@ -26,7 +26,7 @@
 
 use crate::node::{Extrib, Node, NodeId, Rib, ROOT};
 use crate::observe::{BuildEvent, BuildObserver, BuildPhase, BuildStats, MemBreakdown};
-use strindex::{Alphabet, Code, Counters, Error, OnlineIndex, Result};
+use strindex::{Alphabet, Code, Counters, Error, OnlineIndex, PackedText, Result};
 
 /// The reference SPINE index: explicit nodes and edges in memory.
 ///
@@ -37,12 +37,17 @@ pub struct Spine {
     pub(crate) alphabet: Alphabet,
     pub(crate) nodes: Vec<Node>,
     pub(crate) counters: Counters,
+    /// Backbone labels word-packed at `alphabet.pack_bits()` for the packed
+    /// search fast path; `None` for unpackable alphabets, or from the first
+    /// appended code that does not fit (a DNA separator).
+    pub(crate) packed: Option<PackedText>,
 }
 
 impl Spine {
     /// An empty index (just the root) over `alphabet`.
     pub fn new(alphabet: Alphabet) -> Self {
-        Spine { alphabet, nodes: vec![Node::new(Code::MAX)], counters: Counters::new() }
+        let packed = alphabet.pack_bits().map(PackedText::new);
+        Spine { alphabet, nodes: vec![Node::new(Code::MAX)], counters: Counters::new(), packed }
     }
 
     /// Build the index for an encoded text in one call.
@@ -177,6 +182,13 @@ impl Spine {
         let t = self.nodes.len() as NodeId; // id of the new node
         let prev = t - 1;
         self.nodes.push(Node::new(c));
+        // Keep the packed shadow of the backbone labels in sync; a code that
+        // does not fit the packing (DNA separator) disables it for good.
+        if let Some(p) = &mut self.packed {
+            if !p.try_push(c) {
+                self.packed = None;
+            }
+        }
         if prev == ROOT {
             // First character: link to root with LEL 0 (already the default).
             if O::ENABLED {
@@ -319,6 +331,27 @@ impl crate::ops::SpineOps for Spine {
 
     fn ops_counters(&self) -> &Counters {
         &self.counters
+    }
+
+    fn backbone_packing(&self) -> Option<u32> {
+        self.packed.as_ref().map(|p| p.bits())
+    }
+
+    #[inline]
+    fn label_run(&self, node: NodeId, pattern: &PackedText, from: usize) -> usize {
+        match &self.packed {
+            Some(p) => p.lcp(node as usize, pattern, from, pattern.len() - from),
+            None => {
+                let mut k = 0;
+                while from + k < pattern.len() {
+                    match self.vertebra_out(node + k as NodeId) {
+                        Some(c) if c == pattern.get(from + k) => k += 1,
+                        _ => break,
+                    }
+                }
+                k
+            }
+        }
     }
 }
 

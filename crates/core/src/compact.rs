@@ -31,7 +31,7 @@ use crate::observe::{BuildEvent, BuildObserver, BuildPhase, BuildStats, MemBreak
 use crate::ops::SpineOps;
 use strindex::{
     Alphabet, Code, Counters, Error, FxHashMap, MatchingIndex, MatchingStats, MaximalMatch,
-    OnlineIndex, Result, StringIndex,
+    OnlineIndex, PackedText, Result, StringIndex,
 };
 
 /// In-slot sentinel meaning "the true value lives in the overflow table".
@@ -200,6 +200,10 @@ pub struct CompactSpine {
     slot_overflow: FxHashMap<(u32, u8), (u32, u32)>,
     stats: CompactStats,
     counters: Counters,
+    /// Word-packed shadow of `chars` at `alphabet.pack_bits()` (2-bit DNA /
+    /// 5-bit protein) for the packed search fast path; `None` for
+    /// unpackable alphabets or once a code does not fit the packing.
+    packed: Option<PackedText>,
 }
 
 impl CompactSpine {
@@ -216,6 +220,7 @@ impl CompactSpine {
         // complement: up to size−1 ribs plus room for extrib chains.
         let max_cap = (alphabet.size() - 1) + 4;
         let caps: Vec<usize> = (1..=3).chain([max_cap.max(4)]).collect();
+        let alphabet_packing = alphabet.pack_bits().map(PackedText::new);
         CompactSpine {
             alphabet,
             chars: PackedChars::new(bits),
@@ -226,6 +231,7 @@ impl CompactSpine {
             slot_overflow: FxHashMap::default(),
             stats: CompactStats::default(),
             counters: Counters::new(),
+            packed: alphabet_packing,
         }
     }
 
@@ -507,6 +513,11 @@ impl CompactSpine {
     /// engine so cross-engine [`BuildStats`] compare equal.
     fn append_observed<O: BuildObserver>(&mut self, c: Code, o: &mut O) {
         self.chars.push(c);
+        if let Some(p) = &mut self.packed {
+            if !p.try_push(c) {
+                self.packed = None;
+            }
+        }
         self.lels.push(0);
         self.ptrs.push(ROOT);
         let t = self.len() as u32;
@@ -690,6 +701,27 @@ impl SpineOps for CompactSpine {
 
     fn ops_counters(&self) -> &Counters {
         &self.counters
+    }
+
+    fn backbone_packing(&self) -> Option<u32> {
+        self.packed.as_ref().map(|p| p.bits())
+    }
+
+    #[inline]
+    fn label_run(&self, node: NodeId, pattern: &PackedText, from: usize) -> usize {
+        match &self.packed {
+            Some(p) => p.lcp(node as usize, pattern, from, pattern.len() - from),
+            None => {
+                let mut k = 0;
+                while from + k < pattern.len() {
+                    match self.vertebra_out(node + k as NodeId) {
+                        Some(c) if c == pattern.get(from + k) => k += 1,
+                        _ => break,
+                    }
+                }
+                k
+            }
+        }
     }
 }
 
@@ -1082,6 +1114,12 @@ mod persist {
                 let prt = r_u32(r)?;
                 slot_overflow.insert((node, pos), (pt, prt));
             }
+            // Rebuild the word-packed shadow from the persisted labels
+            // (gives up cleanly if any code exceeds the packing).
+            let packed = alphabet.pack_bits().and_then(|bits| {
+                let codes: Vec<Code> = (0..n).map(|i| chars.get(i)).collect();
+                PackedText::from_codes(bits, &codes)
+            });
             Ok(CompactSpine {
                 alphabet,
                 chars,
@@ -1092,6 +1130,7 @@ mod persist {
                 slot_overflow,
                 stats: CompactStats::default(),
                 counters: Counters::new(),
+                packed,
             })
         }
 

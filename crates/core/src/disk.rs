@@ -5,18 +5,33 @@
 //! the pool's hit rate and the device's read/write counts expose SPINE's
 //! locality — the effect behind the paper's 2× on-disk speedups (Figure 7,
 //! Table 7). The paper's "simple buffering strategy" (keep the top of the
-//! Link Table resident) is available as
-//! [`pagestore::PrefixPriority`]; the `exp buffering` experiment compares it
-//! against LRU/FIFO/Clock under memory pressure.
+//! Link Table resident) is available as [`pagestore::PrefixPriority`]; the
+//! `exp buffering` experiment compares it against LRU/FIFO/Clock under
+//! memory pressure.
 //!
-//! The record layout is the *generic* one the paper uses for its disk runs
-//! ("without any extra disk-specific optimization"): one fixed-size record
-//! per node holding the vertebra label, link, rib slots, and two extrib
-//! slots (more spill to an in-memory side table, counted in
-//! [`DiskSpine::spill_count`]).
+//! Two physical layouts share this engine:
 //!
-//! All query algorithms are the shared generic ones ([`crate::ops`]);
-//! `SpineOps` takes `&self`, so the pool lives behind a mutex.
+//! * **Mutable (build-time) layout** — the paper's generic fixed-size record
+//!   ("without any extra disk-specific optimization"): one record per node
+//!   holding the vertebra label, link, rib slots, and two extrib slots
+//!   (more spill to an in-memory side table, counted in
+//!   [`DiskSpine::spill_count`]). It supports APPEND but pays for the
+//!   worst-case fan-out on every node.
+//! * **Sealed format-v2 layout** ([`DiskSpine::seal_to`]) — a read-only
+//!   page format with varint/delta-encoded node records in slotted pages
+//!   ([`pagestore::slotted`]) plus backbone labels packed bit-tight into
+//!   `u64` words on dedicated label pages. Records shrink by ~10× for DNA,
+//!   so a fixed pool covers far more nodes and queries touch fewer pages.
+//!   When every label fits the alphabet's packing width
+//!   ([`strindex::Alphabet::pack_bits`]), backbone label runs are compared
+//!   a whole word at a time ([`FallibleSpineOps::try_label_run`]).
+//!
+//! Every sealed page carries a format-version header; readers check it on
+//! each access and surface [`strindex::Error::FormatVersion`] ("rebuild
+//! required") instead of misparsing, and [`DiskSpine::reopen`] rejects v1
+//! sidecars the same way. All query algorithms are the shared generic ones
+//! ([`crate::ops`]); `SpineOps` takes `&self`, so the store lives behind a
+//! mutex.
 
 use std::sync::atomic::{AtomicU64, Ordering::Relaxed};
 use std::sync::{Arc, OnceLock};
@@ -24,12 +39,15 @@ use std::sync::{Arc, OnceLock};
 use crate::node::{NodeId, ROOT};
 use crate::observe::{BuildEvent, BuildObserver, BuildPhase, BuildStats, MemBreakdown};
 use crate::ops::{FallibleSpineOps, SpineOps};
-use pagestore::{CacheStats, EvictionPolicy, PageDevice, PagedVec};
+use pagestore::{
+    slotted, slotted_record, BufferPool, CacheStats, EvictionPolicy, Lru, MemDevice, PageDevice,
+    PageHeader, PagedVec, SlottedPageBuilder, PAGE_FORMAT_V2, PAGE_SIZE,
+};
 use parking_lot::Mutex;
 use strindex::telemetry::{Counter, Histogram, MetricsRegistry};
 use strindex::{
     Alphabet, Code, Counters, Error, FxHashMap, MatchingIndex, MatchingStats, MaximalMatch,
-    OnlineIndex, Result, StringIndex,
+    OnlineIndex, PackedText, Result, StringIndex,
 };
 
 /// Inline extrib slots per record; chains are short (Table 4's steep decay),
@@ -39,7 +57,18 @@ const EXTRIB_SLOTS: usize = 2;
 /// Spilled extribs of one node: `(prt, pt, dest)` triples.
 type SpillEntry = Vec<(u32, u32, u32)>;
 
-/// Byte offsets within a node record (little-endian fields):
+/// Magic stamped into page 0 of a sealed device.
+const SEALED_MAGIC: &[u8; 4] = b"SPV2";
+
+/// On-disk format version this build writes (and the only one it reads).
+/// Version-1 artifacts (the fixed-record layout) are build-time only now;
+/// reopening one yields [`Error::FormatVersion`] — "rebuild required".
+pub const DISK_FORMAT_VERSION: u16 = 2;
+
+/// Packed 64-bit label words per label page (after the page header).
+const WORDS_PER_PAGE: usize = (PAGE_SIZE - slotted::PAGE_HEADER_LEN) / 8;
+
+/// Byte offsets within a *mutable-layout* node record (little-endian):
 /// `cl:1 | link:4 | lel:4 | rib_count:1 | ribs: R×(cl 1, dest 4, pt 4) |
 /// extrib_count:1 | extribs: 2×(dest 4, pt 4, prt 4)`.
 struct Layout {
@@ -76,13 +105,362 @@ fn put_u32(r: &mut [u8], off: usize, v: u32) {
     r[off..off + 4].copy_from_slice(&v.to_le_bytes());
 }
 
+fn low_mask(bits: u32) -> u64 {
+    if bits >= 64 {
+        u64::MAX
+    } else {
+        (1u64 << bits) - 1
+    }
+}
+
+fn alphabet_tag(a: &Alphabet) -> u8 {
+    match a.kind() {
+        strindex::AlphabetKind::Dna => 0,
+        strindex::AlphabetKind::Protein => 1,
+        strindex::AlphabetKind::Ascii => 2,
+        strindex::AlphabetKind::Bytes => 3,
+    }
+}
+
+fn alphabet_from_tag(t: u8) -> Result<Alphabet> {
+    Ok(match t {
+        0 => Alphabet::dna(),
+        1 => Alphabet::protein(),
+        2 => Alphabet::ascii(),
+        3 => Alphabet::bytes(),
+        t => return Err(Error::Parse(format!("unknown alphabet tag {t}"))),
+    })
+}
+
+// ---------------------------------------------------------------------------
+// Format-v2 node record codec.
+// ---------------------------------------------------------------------------
+
+/// The varint/delta node record of format v2.
+///
+/// ```text
+/// link.dest varint | link.lel varint
+/// rib_count varint | ribs: (cl 1B, dest−node varint, pt varint)…
+/// ext_count varint | extribs: (prt varint, pt varint, dest−node varint)…
+/// ```
+///
+/// Destinations are stored relative to the owning node: APPEND only ever
+/// creates ribs/extribs pointing at the freshly appended tail node, so
+/// `dest > node` always holds and deltas stay small. The decoder treats any
+/// malformed input as [`Error::Parse`] — corrupt-page defense, never a
+/// panic or a garbage answer.
+mod v2 {
+    use super::*;
+    use pagestore::{read_varint, write_varint};
+
+    /// A fully decoded node: link, ribs `(cl, dest, pt)`, extribs
+    /// `(prt, pt, dest)` in chain order (inline slots before spills).
+    #[derive(Debug, Clone, Default, PartialEq, Eq)]
+    pub(super) struct NodeRecord {
+        pub link: (u32, u32),
+        pub ribs: Vec<(Code, u32, u32)>,
+        pub extribs: Vec<(u32, u32, u32)>,
+    }
+
+    /// Encode `rec` for `node`, appending to `out`. Returns the byte spans
+    /// of the link and rib sections (the remainder is the extrib section)
+    /// so the sealer can attribute the footprint per edge kind.
+    pub(super) fn encode(node: u32, rec: &NodeRecord, out: &mut Vec<u8>) -> (usize, usize) {
+        let mut link_b = write_varint(out, rec.link.0 as u64);
+        link_b += write_varint(out, rec.link.1 as u64);
+        let mut ribs_b = write_varint(out, rec.ribs.len() as u64);
+        for &(cl, dest, pt) in &rec.ribs {
+            debug_assert!(dest > node, "rib destinations always point forward");
+            out.push(cl);
+            ribs_b += 1;
+            ribs_b += write_varint(out, (dest - node) as u64);
+            ribs_b += write_varint(out, pt as u64);
+        }
+        write_varint(out, rec.extribs.len() as u64);
+        for &(prt, pt, dest) in &rec.extribs {
+            debug_assert!(dest > node, "extrib destinations always point forward");
+            write_varint(out, prt as u64);
+            write_varint(out, pt as u64);
+            write_varint(out, (dest - node) as u64);
+        }
+        (link_b, ribs_b)
+    }
+
+    fn truncated() -> Error {
+        Error::Parse("truncated v2 node record".into())
+    }
+
+    fn take(buf: &[u8], at: &mut usize) -> Result<u64> {
+        let (v, n) = read_varint(buf, *at).ok_or_else(truncated)?;
+        *at += n;
+        Ok(v)
+    }
+
+    fn narrow(v: u64) -> Result<u32> {
+        u32::try_from(v).map_err(|_| Error::Parse("v2 record field exceeds u32".into()))
+    }
+
+    fn fwd(node: u32, delta: u32) -> Result<u32> {
+        node.checked_add(delta)
+            .filter(|&d| d > node)
+            .ok_or_else(|| Error::Parse("v2 destination delta out of range".into()))
+    }
+
+    fn byte(buf: &[u8], at: &mut usize) -> Result<u8> {
+        let b = *buf.get(*at).ok_or_else(truncated)?;
+        *at += 1;
+        Ok(b)
+    }
+
+    /// Decode a whole record; rejects trailing bytes.
+    pub(super) fn decode(node: u32, buf: &[u8]) -> Result<NodeRecord> {
+        let mut at = 0;
+        let link = (narrow(take(buf, &mut at)?)?, narrow(take(buf, &mut at)?)?);
+        let rib_count = take(buf, &mut at)? as usize;
+        let mut ribs = Vec::with_capacity(rib_count.min(256));
+        for _ in 0..rib_count {
+            let cl = byte(buf, &mut at)?;
+            let delta = narrow(take(buf, &mut at)?)?;
+            let pt = narrow(take(buf, &mut at)?)?;
+            ribs.push((cl, fwd(node, delta)?, pt));
+        }
+        let ext_count = take(buf, &mut at)? as usize;
+        let mut extribs = Vec::with_capacity(ext_count.min(256));
+        for _ in 0..ext_count {
+            let prt = narrow(take(buf, &mut at)?)?;
+            let pt = narrow(take(buf, &mut at)?)?;
+            let delta = narrow(take(buf, &mut at)?)?;
+            extribs.push((prt, pt, fwd(node, delta)?));
+        }
+        if at != buf.len() {
+            return Err(Error::Parse("trailing bytes after v2 node record".into()));
+        }
+        Ok(NodeRecord { link, ribs, extribs })
+    }
+
+    /// The first two varints only — the backbone-scan hot path
+    /// ([`crate::occurrences`] touches nothing but links).
+    pub(super) fn decode_link(buf: &[u8]) -> Result<(u32, u32)> {
+        let mut at = 0;
+        Ok((narrow(take(buf, &mut at)?)?, narrow(take(buf, &mut at)?)?))
+    }
+
+    /// Scan the rib section for label `c`.
+    pub(super) fn find_rib(buf: &[u8], node: u32, c: Code) -> Result<Option<(u32, u32)>> {
+        let mut at = 0;
+        take(buf, &mut at)?; // link dest
+        take(buf, &mut at)?; // link lel
+        let rib_count = take(buf, &mut at)? as usize;
+        for _ in 0..rib_count {
+            let cl = byte(buf, &mut at)?;
+            let delta = narrow(take(buf, &mut at)?)?;
+            let pt = narrow(take(buf, &mut at)?)?;
+            if cl == c {
+                return Ok(Some((fwd(node, delta)?, pt)));
+            }
+        }
+        Ok(None)
+    }
+
+    /// Scan the extrib section for the chain with parent-rib threshold
+    /// `prt`; returns `(dest, pt)` of the first match, preserving the
+    /// mutable layout's inline-then-spill probe order.
+    pub(super) fn find_extrib(buf: &[u8], node: u32, prt: u32) -> Result<Option<(u32, u32)>> {
+        let mut at = 0;
+        take(buf, &mut at)?; // link dest
+        take(buf, &mut at)?; // link lel
+        let rib_count = take(buf, &mut at)? as usize;
+        for _ in 0..rib_count {
+            byte(buf, &mut at)?;
+            take(buf, &mut at)?;
+            take(buf, &mut at)?;
+        }
+        let ext_count = take(buf, &mut at)? as usize;
+        for _ in 0..ext_count {
+            let eprt = narrow(take(buf, &mut at)?)?;
+            let pt = narrow(take(buf, &mut at)?)?;
+            let delta = narrow(take(buf, &mut at)?)?;
+            if eprt == prt {
+                return Ok(Some((fwd(node, delta)?, pt)));
+            }
+        }
+        Ok(None)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Sealed (format-v2) store.
+// ---------------------------------------------------------------------------
+
+/// Structural counts recovered by decoding every record of a sealed index
+/// ([`DiskSpine::sealed_census`]); reconciles with the
+/// [`BuildStats`] event stream of the build that produced it.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SealedCensus {
+    /// Records decoded (text length + 1 for the root).
+    pub nodes: u64,
+    /// Total ribs across all records.
+    pub ribs: u64,
+    /// Total extribs across all records (spills folded in at seal time).
+    pub extribs: u64,
+    /// Records too large for a slotted page, served from the sidecar
+    /// overflow map instead.
+    pub overflow_records: u64,
+}
+
+/// A read-only format-v2 index on a page device.
+///
+/// Page 0 is the file header; pages `1..=label_pages` hold the packed
+/// backbone labels; the next `node_pages` pages hold slotted node records.
+struct SealedStore {
+    pool: BufferPool,
+    /// Bits per packed backbone label.
+    bits: u32,
+    /// Whether `bits` equals the alphabet's word-packing width, enabling
+    /// word-at-a-time label comparison (false ⇒ scalar compare over the
+    /// same packed labels).
+    packed_compare: bool,
+    label_pages: u32,
+    node_pages: u32,
+    /// Number of packed label words (`ceil(len / per_word)`).
+    label_words: usize,
+    /// `first_nodes[p]` = id of the first node on node-page `p`.
+    first_nodes: Vec<u32>,
+    /// Encoded records that exceeded [`slotted::MAX_RECORD_LEN`]; their page
+    /// slot holds an empty record as the overflow marker.
+    overflow: FxHashMap<u32, Vec<u8>>,
+    /// Encoded on-device footprint split by edge kind.
+    encoded: MemBreakdown,
+}
+
+impl SealedStore {
+    /// `(page id, slot)` of `node`'s record.
+    fn node_page(&self, node: u32) -> (u32, usize) {
+        let pi = self.first_nodes.partition_point(|&f| f <= node) - 1;
+        (1 + self.label_pages + pi as u32, (node - self.first_nodes[pi]) as usize)
+    }
+
+    /// Run `f` over `node`'s encoded record, wherever it lives (page slot
+    /// or overflow map). The page's version header is checked on every
+    /// access ([`slotted_record`]).
+    fn with_record<R>(&mut self, node: u32, f: impl FnOnce(&[u8]) -> Result<R>) -> Result<R> {
+        let (page, slot) = self.node_page(node);
+        let mut f = Some(f);
+        let inline = self.pool.read(page, |b| match slotted_record(b, slot) {
+            Err(e) => Some(Err(e)),
+            // Empty record = overflow marker (every real record holds at
+            // least the two link varints).
+            Ok([]) => None,
+            Ok(rec) => Some((f.take().unwrap())(rec)),
+        })?;
+        match inline {
+            Some(r) => r,
+            None => {
+                let bytes = self.overflow.get(&node).ok_or_else(|| {
+                    Error::Parse(format!("sealed node {node} marked overflow but absent"))
+                })?;
+                (f.take().unwrap())(bytes)
+            }
+        }
+    }
+
+    /// Packed label word `w` (words past the end read as zero, mirroring
+    /// [`PackedText::window`]).
+    fn label_word(&mut self, w: usize) -> Result<u64> {
+        if w >= self.label_words {
+            return Ok(0);
+        }
+        let page = 1 + (w / WORDS_PER_PAGE) as u32;
+        let off = slotted::PAGE_HEADER_LEN + (w % WORDS_PER_PAGE) * 8;
+        self.pool.read(page, |b| -> Result<u64> {
+            PageHeader::checked(b, slotted::kind::LABELS)?;
+            Ok(u64::from_le_bytes(b[off..off + 8].try_into().unwrap()))
+        })?
+    }
+
+    /// Label of text position `i` (0-based).
+    fn label(&mut self, i: usize) -> Result<Code> {
+        let pw = (64 / self.bits) as usize;
+        let w = self.label_word(i / pw)?;
+        Ok(((w >> ((i % pw) as u32 * self.bits)) & low_mask(self.bits)) as Code)
+    }
+
+    /// Up to `per_word` labels starting at position `i`, packed into the
+    /// low bits of one word — the same window [`PackedText::window`]
+    /// assembles, so the two compare with one xor.
+    fn label_window(&mut self, i: usize) -> Result<u64> {
+        let pw = (64 / self.bits) as usize;
+        let w = i / pw;
+        let phase = (i % pw) as u32;
+        let lo = self.label_word(w)? >> (phase * self.bits);
+        let win = if phase == 0 {
+            lo
+        } else {
+            lo | (self.label_word(w + 1)? << ((pw as u32 - phase) * self.bits))
+        };
+        Ok(win & low_mask(pw as u32 * self.bits))
+    }
+
+    /// Word-at-a-time [`FallibleSpineOps::try_label_run`]: the common run
+    /// of `pattern[from..]` and the backbone labels leaving `node`.
+    fn label_run(
+        &mut self,
+        text_len: usize,
+        node: u32,
+        pattern: &PackedText,
+        from: usize,
+    ) -> Result<usize> {
+        debug_assert_eq!(pattern.bits(), self.bits);
+        let pw = pattern.per_word() as usize;
+        let max = (pattern.len() - from).min(text_len - node as usize);
+        let mut k = 0usize;
+        while k < max {
+            let n = (max - k).min(pw) as u32;
+            let a = pattern.window(from + k);
+            let b = self.label_window(node as usize + k)?;
+            let m = strindex::window_match_len(a, b, self.bits, n) as usize;
+            k += m;
+            if m < n as usize {
+                break;
+            }
+        }
+        Ok(k)
+    }
+}
+
+/// The physical store behind a [`DiskSpine`]: append-friendly fixed
+/// records, or the sealed read-optimized v2 layout.
+enum Store {
+    Mutable(PagedVec),
+    Sealed(SealedStore),
+}
+
+impl Store {
+    fn pool(&self) -> &BufferPool {
+        match self {
+            Store::Mutable(v) => v.pool(),
+            Store::Sealed(s) => &s.pool,
+        }
+    }
+
+    fn flush(&mut self) -> Result<()> {
+        match self {
+            Store::Mutable(v) => v.flush(),
+            Store::Sealed(s) => s.pool.flush(),
+        }
+    }
+}
+
 /// Registry handles for per-query disk accounting
 /// ([`DiskSpine::attach_telemetry`]).
 struct DiskTelemetry {
     /// The pool's shared cache counters, sampled around each query to turn
-    /// cumulative hits+misses into a per-query page-touch count.
+    /// cumulative misses into a per-query device-fetch count.
     cache: Arc<CacheStats>,
-    /// Pages touched per `try_locate`/`try_find_all` ("disk.pages_per_query").
+    /// Pages *fetched from the device* (pool misses) per
+    /// `try_locate`/`try_find_all` ("disk.pages_per_query"). Pool hits are
+    /// free; this histogram measures real I/O, which is what the layout-v2
+    /// record density exists to cut.
     pages_per_query: Arc<Histogram>,
     /// Extrib lookups that fell through to the spill side table
     /// ("disk.spill_lookups").
@@ -93,8 +471,9 @@ struct DiskTelemetry {
 pub struct DiskSpine {
     alphabet: Alphabet,
     layout: Layout,
-    records: Mutex<PagedVec>,
-    /// Extribs beyond the inline slots (rare; see module docs).
+    store: Mutex<Store>,
+    /// Extribs beyond the inline slots (mutable layout only; folded into
+    /// the records at seal time).
     spill: Mutex<FxHashMap<u32, SpillEntry>>,
     spill_count: AtomicU64,
     len: usize,
@@ -103,8 +482,9 @@ pub struct DiskSpine {
 }
 
 impl DiskSpine {
-    /// An empty disk index over `alphabet`, storing records on `device`
-    /// with a pool of `pool_pages` frames and the given eviction policy.
+    /// An empty (mutable-layout) disk index over `alphabet`, storing
+    /// records on `device` with a pool of `pool_pages` frames and the given
+    /// eviction policy.
     pub fn new(
         alphabet: Alphabet,
         device: Box<dyn PageDevice>,
@@ -117,7 +497,7 @@ impl DiskSpine {
         Ok(DiskSpine {
             alphabet,
             layout,
-            records: Mutex::new(records),
+            store: Mutex::new(Store::Mutable(records)),
             spill: Mutex::new(FxHashMap::default()),
             spill_count: AtomicU64::new(0),
             len: 0,
@@ -172,6 +552,226 @@ impl DiskSpine {
         Ok((s, stats))
     }
 
+    /// Build a *sealed* format-v2 index on `device`: construct with the
+    /// mutable layout on a scratch in-memory device, then
+    /// [`seal_to`](Self::seal_to) the result. This is the durable build
+    /// path — only sealed devices can be [`reopen`](Self::reopen)ed.
+    pub fn build_sealed(
+        alphabet: Alphabet,
+        text: &[Code],
+        device: Box<dyn PageDevice>,
+        pool_pages: usize,
+        policy: Box<dyn EvictionPolicy>,
+    ) -> Result<Self> {
+        let scratch = Self::build(
+            alphabet,
+            text,
+            Box::new(MemDevice::new()),
+            pool_pages.max(32),
+            Box::<Lru>::default(),
+        )?;
+        scratch.seal_to(device, pool_pages, policy)
+    }
+
+    /// Re-encode this index into the sealed format-v2 layout on a fresh
+    /// `device`: packed label pages followed by slotted pages of
+    /// varint/delta node records (spilled extribs folded in), with the file
+    /// header written last so a crash mid-seal leaves an unreadable —
+    /// never a half-valid — target. `self` is not consumed and stays fully
+    /// queryable; a failed seal (e.g. a device fault) leaves it intact.
+    pub fn seal_to(
+        &self,
+        device: Box<dyn PageDevice>,
+        pool_pages: usize,
+        policy: Box<dyn EvictionPolicy>,
+    ) -> Result<DiskSpine> {
+        // Gather the backbone labels (works over either source layout).
+        let mut codes = Vec::with_capacity(self.len);
+        for i in 0..self.len {
+            codes.push(self.read_cl(i as u32 + 1)?);
+        }
+        // Packing width: the alphabet's word-compare width when every label
+        // fits it (a DNA separator does not), else just enough bits for the
+        // code space — still a bit-tight store, compared scalar.
+        let (bits, packed_compare) = match self.alphabet.pack_bits() {
+            Some(b) if codes.iter().all(|&c| (c as u64) <= low_mask(b)) => (b, true),
+            _ => (self.alphabet.label_bits(), false),
+        };
+        let packed =
+            PackedText::from_codes(bits, &codes).expect("labels fit the chosen packing width");
+        let words = packed.words();
+        let label_words = words.len();
+        let label_pages = label_words.div_ceil(WORDS_PER_PAGE) as u32;
+
+        let mut pool = BufferPool::new(device, pool_pages.max(1), policy);
+        for p in 0..label_pages as usize {
+            let chunk = &words[p * WORDS_PER_PAGE..((p + 1) * WORDS_PER_PAGE).min(label_words)];
+            pool.write(1 + p as u32, |b| {
+                b.fill(0);
+                PageHeader {
+                    version: PAGE_FORMAT_V2,
+                    kind: slotted::kind::LABELS,
+                    count: chunk.len() as u16,
+                    first_item: (p * WORDS_PER_PAGE) as u32,
+                }
+                .write_to(b);
+                let mut at = slotted::PAGE_HEADER_LEN;
+                for &w in chunk {
+                    b[at..at + 8].copy_from_slice(&w.to_le_bytes());
+                    at += 8;
+                }
+            })?;
+        }
+
+        let mut encoded =
+            MemBreakdown { vertebrae: label_words as u64 * 8, ..MemBreakdown::default() };
+        let mut overflow: FxHashMap<u32, Vec<u8>> = FxHashMap::default();
+        let mut first_nodes: Vec<u32> = vec![0];
+        let mut node_pages: u32 = 0;
+        let mut builder = SlottedPageBuilder::new(0);
+        let mut buf = Vec::new();
+        for node in 0..=self.len as u32 {
+            let rec = self.full_record(node)?;
+            buf.clear();
+            let (link_b, ribs_b) = v2::encode(node, &rec, &mut buf);
+            encoded.links += link_b as u64;
+            encoded.ribs += ribs_b as u64;
+            encoded.extribs += (buf.len() - link_b - ribs_b) as u64;
+            let payload: &[u8] = if buf.len() <= slotted::MAX_RECORD_LEN { &buf } else { &[] };
+            if !builder.push(payload) {
+                pool.write(1 + label_pages + node_pages, |b| b.copy_from_slice(&builder.finish()))?;
+                node_pages += 1;
+                builder = SlottedPageBuilder::new(node);
+                first_nodes.push(node);
+                assert!(builder.push(payload), "a fresh slotted page must accept the record");
+            }
+            if payload.is_empty() {
+                overflow.insert(node, buf.clone());
+            }
+        }
+        pool.write(1 + label_pages + node_pages, |b| b.copy_from_slice(&builder.finish()))?;
+        node_pages += 1;
+
+        // The header page goes in *last*: until it exists, the device does
+        // not parse as a sealed index at all.
+        let len = self.len as u64;
+        pool.write(0, |b| {
+            b.fill(0);
+            PageHeader {
+                version: PAGE_FORMAT_V2,
+                kind: slotted::kind::FILE_HEADER,
+                count: 0,
+                first_item: 0,
+            }
+            .write_to(b);
+            let at = slotted::PAGE_HEADER_LEN;
+            b[at..at + 4].copy_from_slice(SEALED_MAGIC);
+            b[at + 4..at + 6].copy_from_slice(&DISK_FORMAT_VERSION.to_le_bytes());
+            b[at + 6] = alphabet_tag(&self.alphabet);
+            b[at + 7] = bits as u8;
+            b[at + 8] = packed_compare as u8;
+            b[at + 9..at + 17].copy_from_slice(&len.to_le_bytes());
+            b[at + 17..at + 21].copy_from_slice(&label_pages.to_le_bytes());
+            b[at + 21..at + 25].copy_from_slice(&node_pages.to_le_bytes());
+        })?;
+        pool.flush()?;
+
+        Ok(DiskSpine {
+            alphabet: self.alphabet.clone(),
+            layout: Layout::new(&self.alphabet),
+            store: Mutex::new(Store::Sealed(SealedStore {
+                pool,
+                bits,
+                packed_compare,
+                label_pages,
+                node_pages,
+                label_words,
+                first_nodes,
+                overflow,
+                encoded,
+            })),
+            spill: Mutex::new(FxHashMap::default()),
+            spill_count: AtomicU64::new(0),
+            len: self.len,
+            counters: Counters::new(),
+            telemetry: OnceLock::new(),
+        })
+    }
+
+    /// The complete logical record of `node`, regardless of layout
+    /// (mutable reads fold the spill side table in, preserving probe
+    /// order).
+    fn full_record(&self, node: u32) -> Result<v2::NodeRecord> {
+        let mut rec = {
+            let mut guard = self.store.lock();
+            match &mut *guard {
+                Store::Sealed(s) => return s.with_record(node, |buf| v2::decode(node, buf)),
+                Store::Mutable(v) => {
+                    let l = &self.layout;
+                    v.read(node as usize, |r| {
+                        let link = (get_u32(r, 1), get_u32(r, 5));
+                        let rib_count = r[9] as usize;
+                        let mut ribs = Vec::with_capacity(rib_count);
+                        for i in 0..rib_count {
+                            let off = l.rib_off(i);
+                            ribs.push((r[off], get_u32(r, off + 1), get_u32(r, off + 5)));
+                        }
+                        let ec = (r[l.extrib_count_off()] as usize).min(EXTRIB_SLOTS);
+                        let mut extribs = Vec::with_capacity(ec);
+                        for i in 0..ec {
+                            let off = l.extrib_off(i);
+                            extribs.push((
+                                get_u32(r, off + 8),
+                                get_u32(r, off + 4),
+                                get_u32(r, off),
+                            ));
+                        }
+                        v2::NodeRecord { link, ribs, extribs }
+                    })?
+                }
+            }
+        };
+        if let Some(sp) = self.spill.lock().get(&node) {
+            rec.extribs.extend(sp.iter().copied());
+        }
+        Ok(rec)
+    }
+
+    /// Is this index in the sealed (read-only, format-v2) layout?
+    pub fn is_sealed(&self) -> bool {
+        matches!(&*self.store.lock(), Store::Sealed(_))
+    }
+
+    /// Total pages of the sealed file (header + label + node pages), or
+    /// `None` for the mutable layout.
+    pub fn file_pages(&self) -> Option<u64> {
+        match &*self.store.lock() {
+            Store::Sealed(s) => Some(1 + s.label_pages as u64 + s.node_pages as u64),
+            Store::Mutable(_) => None,
+        }
+    }
+
+    /// Decode every sealed record and return the structural totals; the
+    /// numbers reconcile with the originating build's [`BuildStats`]
+    /// (`ribs == ribs_created`, `extribs == extribs_created`).
+    pub fn sealed_census(&self) -> Result<SealedCensus> {
+        let mut guard = self.store.lock();
+        let Store::Sealed(s) = &mut *guard else {
+            return Err(Error::Unsupported("census of a mutable (unsealed) index"));
+        };
+        let mut c = SealedCensus::default();
+        for node in 0..=self.len as u32 {
+            let rec = s.with_record(node, |b| v2::decode(node, b))?;
+            c.nodes += 1;
+            c.ribs += rec.ribs.len() as u64;
+            c.extribs += rec.extribs.len() as u64;
+            if s.overflow.contains_key(&node) {
+                c.overflow_records += 1;
+            }
+        }
+        Ok(c)
+    }
+
     /// Observed batch append: times the whole loop as the Scan phase.
     pub fn extend_from_observed<O: BuildObserver>(
         &mut self,
@@ -196,10 +796,16 @@ impl DiskSpine {
         self.append_observed(code, observer)
     }
 
-    /// Bytes split by edge kind, derived from the fixed record layout
-    /// (field spans × record count) plus the spill side table. This is the
-    /// *logical* on-device footprint, not buffer-pool memory.
+    /// Bytes split by edge kind. For the mutable layout this is derived
+    /// from the fixed record geometry (field spans × record count) plus the
+    /// spill side table; for a sealed index it is the exact encoded
+    /// on-device footprint (labels under `vertebrae`, varint sections under
+    /// `links`/`ribs`/`extribs`). Logical on-device bytes, not buffer-pool
+    /// memory.
     pub fn mem_breakdown(&self) -> MemBreakdown {
+        if let Store::Sealed(s) = &*self.store.lock() {
+            return s.encoded;
+        }
         let records = (self.len + 1) as u64; // root included
         let l = &self.layout;
         MemBreakdown {
@@ -223,29 +829,31 @@ impl DiskSpine {
 
     /// Buffer-pool hit rate so far.
     pub fn hit_rate(&self) -> f64 {
-        self.records.lock().pool().hit_rate()
+        self.store.lock().pool().hit_rate()
     }
 
     /// Cumulative buffer-pool (hits, misses).
     pub fn pool_counts(&self) -> (u64, u64) {
-        let r = self.records.lock();
-        (r.pool().hits(), r.pool().misses())
+        let g = self.store.lock();
+        (g.pool().hits(), g.pool().misses())
     }
 
     /// (reads, writes) page counts at the device.
     pub fn io_counts(&self) -> (u64, u64) {
-        let r = self.records.lock();
-        (r.io_stats().reads(), r.io_stats().writes())
+        let g = self.store.lock();
+        let io = g.pool().io_stats();
+        (io.reads(), io.writes())
     }
 
-    /// Extribs that did not fit the inline record slots.
+    /// Extribs that did not fit the inline record slots (mutable layout;
+    /// zero after sealing, which folds them into the records).
     pub fn spill_count(&self) -> u64 {
         self.spill_count.load(Relaxed)
     }
 
     /// Flush dirty pages to the device.
     pub fn flush(&self) -> Result<()> {
-        self.records.lock().flush()
+        self.store.lock().flush()
     }
 
     /// Work counters.
@@ -255,33 +863,34 @@ impl DiskSpine {
 
     /// Wire this index's storage accounting into `registry`: the buffer
     /// pool's hit/miss/eviction counts as `disk.pool.*` gauges, pages
-    /// touched per query as the `disk.pages_per_query` histogram, and spill
-    /// side-table consultations as the `disk.spill_lookups` counter.
+    /// fetched from the device per query as the `disk.pages_per_query`
+    /// histogram, and spill side-table consultations as the
+    /// `disk.spill_lookups` counter.
     ///
     /// Attach once, before serving; later calls keep the first hookup.
     pub fn attach_telemetry(&self, registry: &MetricsRegistry) {
-        let records = self.records.lock();
-        records.pool().attach_telemetry(registry, "disk.pool");
+        let store = self.store.lock();
+        store.pool().attach_telemetry(registry, "disk.pool");
         let _ = self.telemetry.set(DiskTelemetry {
-            cache: records.pool().stats_handle(),
+            cache: store.pool().stats_handle(),
             pages_per_query: registry.histogram("disk.pages_per_query"),
             spill_lookups: registry.counter("disk.spill_lookups"),
         });
     }
 
-    /// Pool accesses so far, if telemetry is attached — the before/after
-    /// sample that turns cumulative counters into a per-query delta.
-    /// Concurrent queries share the counters, so a query racing others may
-    /// attribute their page touches to itself; per-query numbers are exact
-    /// in single-query flows (the `exp disk` experiments) and an upper
-    /// bound under concurrency.
+    /// Pool misses (device page fetches) so far, if telemetry is attached —
+    /// the before/after sample that turns cumulative counters into a
+    /// per-query delta. Concurrent queries share the counters, so a query
+    /// racing others may attribute their fetches to itself; per-query
+    /// numbers are exact in single-query flows (the `exp disk`
+    /// experiments) and an upper bound under concurrency.
     fn sample_accesses(&self) -> Option<u64> {
-        self.telemetry.get().map(|t| t.cache.snapshot().accesses())
+        self.telemetry.get().map(|t| t.cache.snapshot().misses)
     }
 
     fn record_query_pages(&self, before: Option<u64>) {
         if let (Some(t), Some(b)) = (self.telemetry.get(), before) {
-            let after = t.cache.snapshot().accesses();
+            let after = t.cache.snapshot().misses;
             t.pages_per_query.record_value(after.saturating_sub(b));
         }
     }
@@ -291,42 +900,61 @@ impl DiskSpine {
     // Every accessor returns `Result`: the records live behind a buffer pool
     // over a fallible device, so any hop can surface an I/O error. The
     // fallible surface ([`FallibleSpineOps`], `try_find_all`) propagates
-    // these; the legacy infallible traits unwrap at their boundary.
+    // these; the legacy infallible traits unwrap at their boundary. Each
+    // accessor dispatches on the physical layout.
 
     fn read_cl(&self, node: u32) -> Result<Code> {
-        self.records.lock().read(node as usize, |r| r[0])
+        debug_assert!(node >= 1, "the root has no incoming vertebra");
+        match &mut *self.store.lock() {
+            Store::Mutable(v) => v.read(node as usize, |r| r[0]),
+            Store::Sealed(s) => s.label(node as usize - 1),
+        }
     }
 
     fn read_link(&self, node: u32) -> Result<(u32, u32)> {
-        self.records.lock().read(node as usize, |r| (get_u32(r, 1), get_u32(r, 5)))
+        match &mut *self.store.lock() {
+            Store::Mutable(v) => v.read(node as usize, |r| (get_u32(r, 1), get_u32(r, 5))),
+            Store::Sealed(s) => s.with_record(node, v2::decode_link),
+        }
     }
 
     fn find_rib(&self, node: u32, c: Code) -> Result<Option<(u32, u32)>> {
         let l = &self.layout;
-        self.records.lock().read(node as usize, |r| {
-            let count = r[9] as usize;
-            for i in 0..count {
-                let off = l.rib_off(i);
-                if r[off] == c {
-                    return Some((get_u32(r, off + 1), get_u32(r, off + 5)));
+        match &mut *self.store.lock() {
+            Store::Mutable(v) => v.read(node as usize, |r| {
+                let count = r[9] as usize;
+                for i in 0..count {
+                    let off = l.rib_off(i);
+                    if r[off] == c {
+                        return Some((get_u32(r, off + 1), get_u32(r, off + 5)));
+                    }
                 }
-            }
-            None
-        })
+                None
+            }),
+            Store::Sealed(s) => s.with_record(node, |rec| v2::find_rib(rec, node, c)),
+        }
     }
 
     fn find_extrib(&self, node: u32, prt: u32) -> Result<Option<(u32, u32)>> {
-        let l = &self.layout;
-        let inline = self.records.lock().read(node as usize, |r| {
-            let count = (r[l.extrib_count_off()] as usize).min(EXTRIB_SLOTS);
-            for i in 0..count {
-                let off = l.extrib_off(i);
-                if get_u32(r, off + 8) == prt {
-                    return Some((get_u32(r, off), get_u32(r, off + 4)));
+        let inline = {
+            let l = &self.layout;
+            match &mut *self.store.lock() {
+                // Sealed records carry their whole chain — no side table.
+                Store::Sealed(s) => {
+                    return s.with_record(node, |rec| v2::find_extrib(rec, node, prt));
                 }
+                Store::Mutable(v) => v.read(node as usize, |r| {
+                    let count = (r[l.extrib_count_off()] as usize).min(EXTRIB_SLOTS);
+                    for i in 0..count {
+                        let off = l.extrib_off(i);
+                        if get_u32(r, off + 8) == prt {
+                            return Some((get_u32(r, off), get_u32(r, off + 4)));
+                        }
+                    }
+                    None
+                })?,
             }
-            None
-        })?;
+        };
         Ok(inline.or_else(|| {
             if let Some(t) = self.telemetry.get() {
                 t.spill_lookups.incr();
@@ -339,42 +967,51 @@ impl DiskSpine {
     }
 
     fn write_link(&self, node: u32, dest: u32, lel: u32) -> Result<()> {
-        self.records.lock().write(node as usize, |r| {
-            put_u32(r, 1, dest);
-            put_u32(r, 5, lel);
-        })
+        match &mut *self.store.lock() {
+            Store::Mutable(v) => v.write(node as usize, |r| {
+                put_u32(r, 1, dest);
+                put_u32(r, 5, lel);
+            }),
+            Store::Sealed(_) => Err(Error::Unsupported("write to a sealed index")),
+        }
     }
 
     fn add_rib(&self, node: u32, c: Code, dest: u32, pt: u32) -> Result<()> {
         let l = &self.layout;
-        self.records.lock().write(node as usize, |r| {
-            let count = r[9] as usize;
-            assert!(count < l.rib_slots, "rib slots exhausted");
-            let off = l.rib_off(count);
-            r[off] = c;
-            put_u32(r, off + 1, dest);
-            put_u32(r, off + 5, pt);
-            r[9] = (count + 1) as u8;
-        })
+        match &mut *self.store.lock() {
+            Store::Mutable(v) => v.write(node as usize, |r| {
+                let count = r[9] as usize;
+                assert!(count < l.rib_slots, "rib slots exhausted");
+                let off = l.rib_off(count);
+                r[off] = c;
+                put_u32(r, off + 1, dest);
+                put_u32(r, off + 5, pt);
+                r[9] = (count + 1) as u8;
+            }),
+            Store::Sealed(_) => Err(Error::Unsupported("write to a sealed index")),
+        }
     }
 
     /// Returns whether the extrib spilled to the side table.
     fn add_extrib(&self, node: u32, prt: u32, dest: u32, pt: u32) -> Result<bool> {
         let l = &self.layout;
-        let spilled = self.records.lock().write(node as usize, |r| {
-            let co = l.extrib_count_off();
-            let count = r[co] as usize;
-            if count < EXTRIB_SLOTS {
-                let off = l.extrib_off(count);
-                put_u32(r, off, dest);
-                put_u32(r, off + 4, pt);
-                put_u32(r, off + 8, prt);
-                r[co] = (count + 1) as u8;
-                false
-            } else {
-                true
-            }
-        })?;
+        let spilled = match &mut *self.store.lock() {
+            Store::Mutable(v) => v.write(node as usize, |r| {
+                let co = l.extrib_count_off();
+                let count = r[co] as usize;
+                if count < EXTRIB_SLOTS {
+                    let off = l.extrib_off(count);
+                    put_u32(r, off, dest);
+                    put_u32(r, off + 4, pt);
+                    put_u32(r, off + 8, prt);
+                    r[co] = (count + 1) as u8;
+                    false
+                } else {
+                    true
+                }
+            })?,
+            Store::Sealed(_) => return Err(Error::Unsupported("write to a sealed index")),
+        };
         if spilled {
             self.spill.lock().entry(node).or_default().push((prt, pt, dest));
             self.spill_count.fetch_add(1, Relaxed);
@@ -393,11 +1030,18 @@ impl DiskSpine {
 
     /// APPEND with observer hooks; emits the same event stream as the
     /// in-memory engines, plus [`BuildEvent::ExtribSpill`] when an extrib
-    /// overflows the record's inline slots.
+    /// overflows the record's inline slots. Rejected with
+    /// [`Error::Unsupported`] on a sealed index.
     fn append_observed<O: BuildObserver>(&mut self, c: Code, o: &mut O) -> Result<()> {
-        let idx = self.records.lock().push_zeroed()?;
-        let t = idx as u32;
-        self.records.lock().write(idx, |r| r[0] = c)?;
+        let t = {
+            let mut guard = self.store.lock();
+            let Store::Mutable(v) = &mut *guard else {
+                return Err(Error::Unsupported("append to a sealed index"));
+            };
+            let idx = v.push_zeroed()?;
+            v.write(idx, |r| r[0] = c)?;
+            idx as u32
+        };
         self.len += 1;
         let prev = t - 1;
         if prev == ROOT {
@@ -497,6 +1141,44 @@ impl DiskSpine {
         }
     }
 
+    // ----- packed search support --------------------------------------------
+
+    /// `Some(bits)` when the sealed store can compare backbone labels
+    /// word-at-a-time at that width.
+    fn packing_bits(&self) -> Option<u32> {
+        match &*self.store.lock() {
+            Store::Sealed(s) if s.packed_compare => Some(s.bits),
+            _ => None,
+        }
+    }
+
+    /// Shared body of the (in)fallible `label_run`s. The sealed fast path
+    /// runs under the store lock; the scalar fallback must not (it calls
+    /// `try_vertebra_out`, which takes the lock again).
+    fn try_label_run_inner(
+        &self,
+        node: NodeId,
+        pattern: &PackedText,
+        from: usize,
+    ) -> Result<usize> {
+        {
+            let mut guard = self.store.lock();
+            if let Store::Sealed(s) = &mut *guard {
+                if s.packed_compare && s.bits == pattern.bits() {
+                    return s.label_run(self.len, node, pattern, from);
+                }
+            }
+        }
+        let mut k = 0;
+        while from + k < pattern.len() {
+            match self.try_vertebra_out(node + k as NodeId)? {
+                Some(c) if c == pattern.get(from + k) => k += 1,
+                _ => break,
+            }
+        }
+        Ok(k)
+    }
+
     // ----- fallible query surface -------------------------------------------
 
     /// Fallible [`crate::search::locate`]: the end node of `pattern`'s first
@@ -530,6 +1212,8 @@ impl DiskSpine {
     /// single-query flows, an upper bound while concurrent queries share
     /// the pool). A storage failure mid-traversal is captured in
     /// [`crate::trace::QueryTrace::error`] with the partial trace retained.
+    /// Traced walks always take the scalar path (the event stream is the
+    /// point), so sealed and mutable traces are step-identical.
     pub fn explain(&self, pattern: &[Code]) -> crate::trace::QueryTrace {
         let before = self.sample_accesses();
         let t = crate::trace::explain(self, pattern);
@@ -568,6 +1252,14 @@ impl SpineOps for DiskSpine {
     fn ops_counters(&self) -> &Counters {
         &self.counters
     }
+
+    fn backbone_packing(&self) -> Option<u32> {
+        self.packing_bits()
+    }
+
+    fn label_run(&self, node: NodeId, pattern: &PackedText, from: usize) -> usize {
+        self.try_label_run_inner(node, pattern, from).expect(INFALLIBLE_BOUNDARY)
+    }
 }
 
 impl FallibleSpineOps for DiskSpine {
@@ -601,6 +1293,14 @@ impl FallibleSpineOps for DiskSpine {
 
     fn storage_counters(&self) -> Option<(u64, u64)> {
         Some(self.pool_counts())
+    }
+
+    fn backbone_packing(&self) -> Option<u32> {
+        self.packing_bits()
+    }
+
+    fn try_label_run(&self, node: NodeId, pattern: &PackedText, from: usize) -> Result<usize> {
+        self.try_label_run_inner(node, pattern, from)
     }
 }
 
@@ -648,6 +1348,187 @@ impl MatchingIndex for DiskSpine {
 
     fn maximal_matches(&self, query: &[Code], min_len: usize) -> Vec<MaximalMatch> {
         crate::matching::maximal_matches(self, query, min_len)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Durability: close and reopen a disk index.
+// ---------------------------------------------------------------------------
+
+impl DiskSpine {
+    /// Serialize the sidecar metadata (pair it with a flushed device).
+    ///
+    /// A sealed index writes a version-[`DISK_FORMAT_VERSION`] sidecar that
+    /// [`reopen`](Self::reopen) accepts. A mutable index still writes the
+    /// legacy version-1 sidecar byte-for-byte — but v1 is build-time only
+    /// now, and reopening it reports [`Error::FormatVersion`] ("rebuild
+    /// required"): rebuild via [`Self::build_sealed`] /
+    /// [`Self::seal_to`].
+    pub fn write_meta<W: std::io::Write>(&self, w: &mut W) -> Result<()> {
+        let guard = self.store.lock();
+        let Store::Sealed(s) = &*guard else {
+            drop(guard);
+            return self.write_meta_v1(w);
+        };
+        w.write_all(b"SPND")?;
+        w.write_all(&DISK_FORMAT_VERSION.to_le_bytes())?;
+        w.write_all(&[alphabet_tag(&self.alphabet)])?;
+        w.write_all(&(self.len as u64).to_le_bytes())?;
+        w.write_all(&[s.bits as u8, s.packed_compare as u8])?;
+        w.write_all(&s.label_pages.to_le_bytes())?;
+        w.write_all(&s.node_pages.to_le_bytes())?;
+        for &first in &s.first_nodes {
+            w.write_all(&first.to_le_bytes())?;
+        }
+        for part in [s.encoded.vertebrae, s.encoded.links, s.encoded.ribs, s.encoded.extribs] {
+            w.write_all(&part.to_le_bytes())?;
+        }
+        let mut entries: Vec<(u32, &Vec<u8>)> = s.overflow.iter().map(|(&n, v)| (n, v)).collect();
+        entries.sort_by_key(|&(n, _)| n);
+        w.write_all(&(entries.len() as u64).to_le_bytes())?;
+        for (node, bytes) in entries {
+            w.write_all(&node.to_le_bytes())?;
+            w.write_all(&(bytes.len() as u32).to_le_bytes())?;
+            w.write_all(bytes)?;
+        }
+        Ok(())
+    }
+
+    /// The legacy mutable-layout sidecar: text length plus the (rare)
+    /// spilled extribs that live outside the fixed-size records.
+    fn write_meta_v1<W: std::io::Write>(&self, w: &mut W) -> Result<()> {
+        w.write_all(b"SPND")?;
+        w.write_all(&1u16.to_le_bytes())?;
+        w.write_all(&[alphabet_tag(&self.alphabet)])?;
+        w.write_all(&(self.len as u64).to_le_bytes())?;
+        let spill = self.spill.lock();
+        let mut entries: Vec<(u32, &SpillEntry)> = spill.iter().map(|(&n, v)| (n, v)).collect();
+        entries.sort_by_key(|&(n, _)| n);
+        let total: u64 = entries.iter().map(|(_, v)| v.len() as u64).sum();
+        w.write_all(&total.to_le_bytes())?;
+        for (node, v) in entries {
+            for &(prt, pt, dest) in v {
+                w.write_all(&node.to_le_bytes())?;
+                w.write_all(&prt.to_le_bytes())?;
+                w.write_all(&pt.to_le_bytes())?;
+                w.write_all(&dest.to_le_bytes())?;
+            }
+        }
+        Ok(())
+    }
+
+    /// Reattach to a `device` holding a previously sealed and flushed
+    /// index, using the sidecar written by [`write_meta`](Self::write_meta).
+    ///
+    /// Only format-[`DISK_FORMAT_VERSION`] artifacts reopen; a version-1
+    /// sidecar (or a device whose header page is not stamped v2) yields
+    /// [`Error::FormatVersion`] — the typed "rebuild required" signal —
+    /// and unrecognizable bytes yield [`Error::Parse`].
+    pub fn reopen<R: std::io::Read>(
+        meta: &mut R,
+        device: Box<dyn PageDevice>,
+        pool_pages: usize,
+        policy: Box<dyn EvictionPolicy>,
+    ) -> Result<Self> {
+        let mut magic = [0u8; 4];
+        meta.read_exact(&mut magic)?;
+        if &magic != b"SPND" {
+            return Err(Error::Parse("bad DiskSpine meta magic".into()));
+        }
+        let mut b2 = [0u8; 2];
+        meta.read_exact(&mut b2)?;
+        let version = u16::from_le_bytes(b2);
+        if version != DISK_FORMAT_VERSION {
+            return Err(Error::FormatVersion { found: version, expected: DISK_FORMAT_VERSION });
+        }
+        let mut b1 = [0u8; 1];
+        meta.read_exact(&mut b1)?;
+        let alphabet = alphabet_from_tag(b1[0])?;
+        let mut b8 = [0u8; 8];
+        meta.read_exact(&mut b8)?;
+        let len = u64::from_le_bytes(b8) as usize;
+        let mut bp = [0u8; 2];
+        meta.read_exact(&mut bp)?;
+        let (bits, packed_compare) = (bp[0] as u32, bp[1] != 0);
+        if !(1..=8).contains(&bits) {
+            return Err(Error::Parse(format!("packing width {bits} out of range")));
+        }
+        let mut b4 = [0u8; 4];
+        meta.read_exact(&mut b4)?;
+        let label_pages = u32::from_le_bytes(b4);
+        meta.read_exact(&mut b4)?;
+        let node_pages = u32::from_le_bytes(b4);
+        if node_pages == 0 {
+            return Err(Error::Parse("sealed index must have at least one node page".into()));
+        }
+        let mut first_nodes = Vec::with_capacity(node_pages as usize);
+        for _ in 0..node_pages {
+            meta.read_exact(&mut b4)?;
+            first_nodes.push(u32::from_le_bytes(b4));
+        }
+        if first_nodes[0] != 0 || first_nodes.windows(2).any(|w| w[0] >= w[1]) {
+            return Err(Error::Parse("corrupt sealed page directory".into()));
+        }
+        let mut parts = [0u64; 4];
+        for p in &mut parts {
+            meta.read_exact(&mut b8)?;
+            *p = u64::from_le_bytes(b8);
+        }
+        let encoded = MemBreakdown {
+            vertebrae: parts[0],
+            links: parts[1],
+            ribs: parts[2],
+            extribs: parts[3],
+        };
+        meta.read_exact(&mut b8)?;
+        let overflow_count = u64::from_le_bytes(b8);
+        let mut overflow: FxHashMap<u32, Vec<u8>> = FxHashMap::default();
+        for _ in 0..overflow_count {
+            meta.read_exact(&mut b4)?;
+            let node = u32::from_le_bytes(b4);
+            meta.read_exact(&mut b4)?;
+            let mut bytes = vec![0u8; u32::from_le_bytes(b4) as usize];
+            meta.read_exact(&mut bytes)?;
+            overflow.insert(node, bytes);
+        }
+
+        let mut pool = BufferPool::new(device, pool_pages.max(1), policy);
+        // The device's own header page must agree — a v1 (or foreign)
+        // device fails the per-page version check, not a misparse.
+        pool.read(0, |b| -> Result<()> {
+            PageHeader::checked(b, slotted::kind::FILE_HEADER)?;
+            let at = slotted::PAGE_HEADER_LEN;
+            if &b[at..at + 4] != SEALED_MAGIC {
+                return Err(Error::Parse("bad sealed device magic".into()));
+            }
+            let v = u16::from_le_bytes([b[at + 4], b[at + 5]]);
+            if v != DISK_FORMAT_VERSION {
+                return Err(Error::FormatVersion { found: v, expected: DISK_FORMAT_VERSION });
+            }
+            Ok(())
+        })??;
+
+        let per_word = (64 / bits) as usize;
+        Ok(DiskSpine {
+            layout: Layout::new(&alphabet),
+            alphabet,
+            store: Mutex::new(Store::Sealed(SealedStore {
+                pool,
+                bits,
+                packed_compare,
+                label_pages,
+                node_pages,
+                label_words: len.div_ceil(per_word),
+                first_nodes,
+                overflow,
+                encoded,
+            })),
+            spill: Mutex::new(FxHashMap::default()),
+            spill_count: AtomicU64::new(0),
+            len,
+            counters: Counters::new(),
+            telemetry: OnceLock::new(),
+        })
     }
 }
 
@@ -824,122 +1705,547 @@ mod tests {
     }
 }
 
-// ---------------------------------------------------------------------------
-// Durability: close and reopen a disk index.
-// ---------------------------------------------------------------------------
+#[cfg(test)]
+mod v2_codec_tests {
+    use super::v2::{self, NodeRecord};
+    use super::*;
+    use proptest::prelude::*;
 
-/// Compact sidecar metadata needed to reattach a [`DiskSpine`] to its
-/// device: text length plus the (rare) spilled extribs that live outside
-/// the fixed-size records. Format: `SPND` magic, version, alphabet tag,
-/// lengths, little-endian fields.
-impl DiskSpine {
-    /// Serialize the sidecar metadata (pair it with a flushed device).
-    pub fn write_meta<W: std::io::Write>(&self, w: &mut W) -> Result<()> {
-        w.write_all(b"SPND")?;
-        w.write_all(&1u16.to_le_bytes())?;
-        let tag: u8 = match self.alphabet.kind() {
-            strindex::AlphabetKind::Dna => 0,
-            strindex::AlphabetKind::Protein => 1,
-            strindex::AlphabetKind::Ascii => 2,
-            strindex::AlphabetKind::Bytes => 3,
-        };
-        w.write_all(&[tag])?;
-        w.write_all(&(self.len as u64).to_le_bytes())?;
-        let spill = self.spill.lock();
-        let mut entries: Vec<(u32, &SpillEntry)> = spill.iter().map(|(&n, v)| (n, v)).collect();
-        entries.sort_by_key(|&(n, _)| n);
-        let total: u64 = entries.iter().map(|(_, v)| v.len() as u64).sum();
-        w.write_all(&total.to_le_bytes())?;
-        for (node, v) in entries {
-            for &(prt, pt, dest) in v {
-                w.write_all(&node.to_le_bytes())?;
-                w.write_all(&prt.to_le_bytes())?;
-                w.write_all(&pt.to_le_bytes())?;
-                w.write_all(&dest.to_le_bytes())?;
-            }
-        }
-        Ok(())
+    fn rt(node: u32, rec: &NodeRecord) -> Vec<u8> {
+        let mut buf = Vec::new();
+        let (link_b, ribs_b) = v2::encode(node, rec, &mut buf);
+        assert!(link_b >= 2 && link_b + ribs_b <= buf.len());
+        buf
     }
 
-    /// Reattach to a `device` holding a previously built and flushed index,
-    /// using the sidecar written by [`write_meta`](Self::write_meta).
-    pub fn reopen<R: std::io::Read>(
-        meta: &mut R,
-        device: Box<dyn PageDevice>,
-        pool_pages: usize,
-        policy: Box<dyn EvictionPolicy>,
-    ) -> Result<Self> {
-        let mut magic = [0u8; 4];
-        meta.read_exact(&mut magic)?;
-        if &magic != b"SPND" {
-            return Err(strindex::Error::Parse("bad DiskSpine meta magic".into()));
-        }
-        let mut b2 = [0u8; 2];
-        meta.read_exact(&mut b2)?;
-        if u16::from_le_bytes(b2) != 1 {
-            return Err(strindex::Error::Parse("unsupported DiskSpine meta version".into()));
-        }
-        let mut b1 = [0u8; 1];
-        meta.read_exact(&mut b1)?;
-        let alphabet = match b1[0] {
-            0 => Alphabet::dna(),
-            1 => Alphabet::protein(),
-            2 => Alphabet::ascii(),
-            3 => Alphabet::bytes(),
-            t => return Err(strindex::Error::Parse(format!("unknown alphabet tag {t}"))),
+    #[test]
+    fn empty_record_round_trips() {
+        let rec = NodeRecord::default();
+        let buf = rt(7, &rec);
+        assert_eq!(buf, vec![0, 0, 0, 0], "two zero link varints + two zero counts");
+        assert_eq!(v2::decode(7, &buf).unwrap(), rec);
+        assert_eq!(v2::decode_link(&buf).unwrap(), (0, 0));
+        assert_eq!(v2::find_rib(&buf, 7, 3).unwrap(), None);
+        assert_eq!(v2::find_extrib(&buf, 7, 9).unwrap(), None);
+    }
+
+    #[test]
+    fn max_degree_record_round_trips() {
+        // A bytes-alphabet node can fan out one rib per code (254) plus a
+        // long extrib chain — the worst record v2 must carry inline.
+        let node = 1000u32;
+        let rec = NodeRecord {
+            link: (u32::MAX, u32::MAX),
+            ribs: (0..254u32).map(|i| (i as Code, node + 1 + i, i * 17)).collect(),
+            extribs: (0..40u32).map(|i| (i * 3, i * 5, node + 300 + i)).collect(),
         };
-        let mut b8 = [0u8; 8];
-        meta.read_exact(&mut b8)?;
-        let len = u64::from_le_bytes(b8) as usize;
-        meta.read_exact(&mut b8)?;
-        let spill_total = u64::from_le_bytes(b8);
-        let mut spill: FxHashMap<u32, SpillEntry> = FxHashMap::default();
-        let mut b4 = [0u8; 4];
-        for _ in 0..spill_total {
-            let mut next = |r: &mut R| -> Result<u32> {
-                r.read_exact(&mut b4)?;
-                Ok(u32::from_le_bytes(b4))
-            };
-            let node = next(meta)?;
-            let prt = next(meta)?;
-            let pt = next(meta)?;
-            let dest = next(meta)?;
-            spill.entry(node).or_default().push((prt, pt, dest));
+        let buf = rt(node, &rec);
+        assert!(buf.len() <= slotted::MAX_RECORD_LEN, "max-degree record fits one page slot");
+        assert_eq!(v2::decode(node, &buf).unwrap(), rec);
+        assert_eq!(v2::decode_link(&buf).unwrap(), rec.link);
+        for &(cl, dest, pt) in &rec.ribs {
+            assert_eq!(v2::find_rib(&buf, node, cl).unwrap(), Some((dest, pt)));
         }
-        let layout = Layout::new(&alphabet);
-        let records = PagedVec::with_len(
-            device,
+        for &(prt, pt, dest) in &rec.extribs {
+            assert_eq!(v2::find_extrib(&buf, node, prt).unwrap(), Some((dest, pt)));
+        }
+        assert_eq!(v2::find_rib(&buf, node, 255).unwrap(), None);
+    }
+
+    #[test]
+    fn every_strict_prefix_is_rejected_cleanly() {
+        let node = 42u32;
+        let rec = NodeRecord {
+            link: (300, 7),
+            ribs: vec![(0, 43, 1), (2, 99999, 500)],
+            extribs: vec![(1, 2, 44), (128, 300, 45)],
+        };
+        let buf = rt(node, &rec);
+        for cut in 0..buf.len() {
+            assert!(v2::decode(node, &buf[..cut]).is_err(), "prefix of {cut} bytes must fail");
+        }
+        // Trailing garbage is rejected too.
+        let mut long = buf.clone();
+        long.push(0);
+        assert!(v2::decode(node, &long).is_err());
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(256))]
+
+        #[test]
+        fn random_records_round_trip(
+            node in 0u32..1_000_000,
+            link_dest in 0u32..2_000_000,
+            lel in 0u32..1_000_000,
+            ribs in proptest::collection::vec((0u32..=255, 1u32..100_000, 0u32..1_000_000), 0..12),
+            extribs in proptest::collection::vec((0u32..500_000, 0u32..500_000, 1u32..100_000), 0..10),
+        ) {
+            // Unique rib labels / chain prts, as the build guarantees.
+            let mut seen = std::collections::HashSet::new();
+            let ribs: Vec<(Code, u32, u32)> = ribs
+                .into_iter()
+                .filter(|&(cl, _, _)| seen.insert(cl))
+                .map(|(cl, delta, pt)| (cl as Code, node + delta, pt))
+                .collect();
+            let mut seen = std::collections::HashSet::new();
+            let extribs: Vec<(u32, u32, u32)> = extribs
+                .into_iter()
+                .filter(|&(prt, _, _)| seen.insert(prt))
+                .map(|(prt, pt, delta)| (prt, pt, node + delta))
+                .collect();
+            let rec = NodeRecord { link: (link_dest, lel), ribs, extribs };
+            let buf = rt(node, &rec);
+            prop_assert_eq!(v2::decode(node, &buf).unwrap(), rec.clone());
+            prop_assert_eq!(v2::decode_link(&buf).unwrap(), rec.link);
+            for &(cl, dest, pt) in &rec.ribs {
+                prop_assert_eq!(v2::find_rib(&buf, node, cl).unwrap(), Some((dest, pt)));
+            }
+            for &(prt, pt, dest) in &rec.extribs {
+                prop_assert_eq!(v2::find_extrib(&buf, node, prt).unwrap(), Some((dest, pt)));
+            }
+        }
+
+        #[test]
+        fn arbitrary_bytes_never_panic_the_decoder(
+            bytes in proptest::collection::vec(0u8..=255, 0..64),
+            node in 0u32..1_000_000,
+        ) {
+            // Any outcome is fine except a panic or a nonsensical Ok: if it
+            // decodes, re-encoding must reproduce the input exactly.
+            if let Ok(rec) = v2::decode(node, &bytes) {
+                let mut out = Vec::new();
+                v2::encode(node, &rec, &mut out);
+                prop_assert_eq!(out, bytes);
+            }
+            let _ = v2::decode_link(&bytes);
+            let _ = v2::find_rib(&bytes, node, 0);
+            let _ = v2::find_extrib(&bytes, node, 0);
+        }
+    }
+}
+
+#[cfg(test)]
+mod sealed_tests {
+    use super::*;
+    use crate::build::Spine;
+    use pagestore::{FaultyDevice, Lru, MemDevice};
+
+    fn seal(text: &[u8], pool_pages: usize) -> (Alphabet, DiskSpine) {
+        let a = Alphabet::dna();
+        let codes = a.encode(text).unwrap();
+        let d = DiskSpine::build_sealed(
+            a.clone(),
+            &codes,
+            Box::new(MemDevice::new()),
             pool_pages,
-            policy,
-            layout.record_size(),
-            len + 1, // + root record
+            Box::<Lru>::default(),
+        )
+        .unwrap();
+        (a, d)
+    }
+
+    #[test]
+    fn sealed_equals_reference_engine() {
+        let text = b"AACCACAACAGGTTACGACGACCAACCACAACA".repeat(4);
+        let (a, d) = seal(&text, 4);
+        assert!(d.is_sealed());
+        assert!(d.file_pages().is_some());
+        let r = Spine::build_from_bytes(a.clone(), &text).unwrap();
+        for p in [&b"CA"[..], b"ACCAA", b"GGTT", b"TACGACG", b"AACCACAACA", b"", b"TTTTT"] {
+            let p = a.encode(p).unwrap();
+            assert_eq!(StringIndex::find_all(&r, &p), StringIndex::find_all(&d, &p));
+            assert_eq!(StringIndex::find_first(&r, &p), StringIndex::find_first(&d, &p));
+            assert_eq!(d.try_find_all(&p).unwrap(), StringIndex::find_all(&d, &p));
+        }
+        for pos in [0, 1, text.len() - 1] {
+            assert_eq!(StringIndex::symbol_at(&r, pos), StringIndex::symbol_at(&d, pos));
+        }
+        let q = a.encode(b"TTACGACCACAACAGGAACC").unwrap();
+        assert_eq!(
+            MatchingIndex::maximal_matches(&r, &q, 3),
+            MatchingIndex::maximal_matches(&d, &q, 3)
         );
-        Ok(DiskSpine {
-            alphabet,
-            layout,
-            records: Mutex::new(records),
-            spill_count: AtomicU64::new(spill_total),
-            spill: Mutex::new(spill),
-            len,
-            counters: Counters::new(),
-            telemetry: OnceLock::new(),
-        })
+        assert_eq!(
+            MatchingIndex::matching_statistics(&r, &q),
+            MatchingIndex::matching_statistics(&d, &q)
+        );
+    }
+
+    #[test]
+    fn sealed_structure_is_node_identical_to_reference() {
+        let text = b"AACCACAACAGGTTACGACGACCAACCACAACA";
+        let (a, d) = seal(text, 4);
+        let r = Spine::build_from_bytes(a.clone(), text).unwrap();
+        for node in 0..=r.len() as u32 {
+            assert_eq!(r.vertebra_out(node), d.vertebra_out(node), "vertebra {node}");
+            if node != ROOT {
+                assert_eq!(r.link_of(node), d.link_of(node), "link {node}");
+            }
+            for code in 0..a.code_space() as Code {
+                assert_eq!(r.rib_of(node, code), d.rib_of(node, code), "rib {node}/{code}");
+            }
+        }
+    }
+
+    #[test]
+    fn packed_compare_widths_per_alphabet() {
+        // DNA: 2-bit words; protein: 5-bit; bytes: bit-tight store but
+        // scalar compare.
+        let (_, d) = seal(b"ACGTACGTTTGG", 4);
+        assert_eq!(FallibleSpineOps::backbone_packing(&d), Some(2));
+
+        let a = Alphabet::protein();
+        let codes = a.encode(b"MKVLAARDWYHQCGGG").unwrap();
+        let d = DiskSpine::build_sealed(
+            a.clone(),
+            &codes,
+            Box::new(MemDevice::new()),
+            4,
+            Box::<Lru>::default(),
+        )
+        .unwrap();
+        assert_eq!(FallibleSpineOps::backbone_packing(&d), Some(5));
+        let r = Spine::build(a.clone(), &codes).unwrap();
+        for p in [&b"VLA"[..], b"GGG", b"MKVLA", b"WWW"] {
+            let p = a.encode(p).unwrap();
+            assert_eq!(StringIndex::find_all(&r, &p), StringIndex::find_all(&d, &p));
+        }
+
+        let a = Alphabet::bytes();
+        let codes = a.encode(b"mississippi$mississippi").unwrap();
+        let d = DiskSpine::build_sealed(
+            a.clone(),
+            &codes,
+            Box::new(MemDevice::new()),
+            4,
+            Box::<Lru>::default(),
+        )
+        .unwrap();
+        assert_eq!(FallibleSpineOps::backbone_packing(&d), None);
+        let r = Spine::build(a.clone(), &codes).unwrap();
+        for p in [&b"issi"[..], b"ppi$m", b"zzz"] {
+            let p = a.encode(p).unwrap();
+            assert_eq!(StringIndex::find_all(&r, &p), StringIndex::find_all(&d, &p));
+        }
+    }
+
+    #[test]
+    fn separator_in_text_disables_packed_compare_but_not_queries() {
+        // A DNA concatenation with document separators cannot pack at
+        // 2 bits; the seal falls back to a 3-bit scalar-compared store.
+        let a = Alphabet::dna();
+        let sep = a.separator();
+        let mut codes = a.encode(b"ACGTACGT").unwrap();
+        codes.push(sep);
+        codes.extend(a.encode(b"TTACG").unwrap());
+        let mut src =
+            DiskSpine::new(a.clone(), Box::new(MemDevice::new()), 8, Box::<Lru>::default())
+                .unwrap();
+        for &c in &codes {
+            src.push(c).unwrap();
+        }
+        let patterns: Vec<Vec<Code>> =
+            [&b"ACG"[..], b"TTACG", b"GTT"].iter().map(|p| a.encode(p).unwrap()).collect();
+        let before: Vec<_> = patterns.iter().map(|p| StringIndex::find_all(&src, p)).collect();
+        let d = src.seal_to(Box::new(MemDevice::new()), 4, Box::<Lru>::default()).unwrap();
+        assert_eq!(FallibleSpineOps::backbone_packing(&d), None);
+        for (p, want) in patterns.iter().zip(&before) {
+            assert_eq!(&StringIndex::find_all(&d, p), want);
+        }
+    }
+
+    #[test]
+    fn word_boundary_patterns_match_reference() {
+        // DNA packs 32 symbols per word; sweep pattern starts and lengths
+        // across the word boundary so every phase of the two-shift window
+        // assembly is exercised at the engine level.
+        let text: Vec<u8> = (0..200).map(|i: usize| b"ACGT"[(i * 7 + i / 3) % 4]).collect();
+        let (a, d) = seal(&text, 4);
+        let r = Spine::build_from_bytes(a.clone(), &text).unwrap();
+        for start in [0usize, 1, 30, 31, 32, 33, 63, 64, 65] {
+            for len in [0usize, 1, 2, 31, 32, 33, 64, 65] {
+                if start + len > text.len() {
+                    continue;
+                }
+                let p = a.encode(&text[start..start + len]).unwrap();
+                assert_eq!(
+                    StringIndex::find_all(&r, &p),
+                    StringIndex::find_all(&d, &p),
+                    "start {start} len {len}"
+                );
+            }
+        }
+        // Near-miss patterns that diverge at each offset within a word.
+        for flip in [0usize, 1, 31, 32, 33] {
+            let mut q = text[..40].to_vec();
+            q[flip] = if q[flip] == b'A' { b'C' } else { b'A' };
+            let p = a.encode(&q).unwrap();
+            assert_eq!(StringIndex::find_all(&r, &p), StringIndex::find_all(&d, &p));
+        }
+    }
+
+    #[test]
+    fn sealed_under_memory_pressure() {
+        let text = b"AACCACAACAGGTTACGACGACCA".repeat(8);
+        let (a, d) = seal(&text, 1); // single-frame pool
+        let r = Spine::build_from_bytes(a.clone(), &text).unwrap();
+        for p in [&b"CA"[..], b"ACCAA", b"GGTT", b"TACGACG"] {
+            let p = a.encode(p).unwrap();
+            assert_eq!(StringIndex::find_all(&r, &p), StringIndex::find_all(&d, &p));
+        }
+        let (reads, _) = d.io_counts();
+        assert!(reads > 0, "pressure must cause reads");
+    }
+
+    #[test]
+    fn sealed_rejects_appends() {
+        let (_, mut d) = seal(b"ACGTACGT", 2);
+        assert!(matches!(d.push(0), Err(Error::Unsupported(_))));
+        assert!(matches!(
+            d.push_observed(0, &mut crate::observe::NoBuildObserver),
+            Err(Error::Unsupported(_))
+        ));
+        // Still fully queryable afterwards.
+        let a = Alphabet::dna();
+        assert_eq!(StringIndex::find_all(&d, &a.encode(b"CGT").unwrap()), vec![1, 5]);
+    }
+
+    #[test]
+    fn census_reconciles_with_build_stats() {
+        let text = b"AACCACAACAGGTTACGACGACCAACCACAACA".repeat(3);
+        let a = Alphabet::dna();
+        let codes = a.encode(&text).unwrap();
+        let (src, st) = DiskSpine::build_with_stats(
+            a.clone(),
+            &codes,
+            Box::new(MemDevice::new()),
+            8,
+            Box::<Lru>::default(),
+        )
+        .unwrap();
+        let d = src.seal_to(Box::new(MemDevice::new()), 4, Box::<Lru>::default()).unwrap();
+        let census = d.sealed_census().unwrap();
+        assert_eq!(census.nodes, codes.len() as u64 + 1);
+        assert_eq!(census.ribs, st.ribs_created);
+        // Spilled extribs are folded into the sealed records, so the
+        // decoded total equals everything the build created.
+        assert_eq!(census.extribs, st.extribs_created);
+        assert_eq!(census.overflow_records, 0);
+        assert_eq!(d.spill_count(), 0);
+        // A mutable index has no census.
+        assert!(matches!(src.sealed_census(), Err(Error::Unsupported(_))));
+    }
+
+    #[test]
+    fn oversized_record_takes_the_overflow_path() {
+        let text = b"AACCACAACAGGTTACGACGACCA";
+        let a = Alphabet::dna();
+        let codes = a.encode(text).unwrap();
+        let src = DiskSpine::build(
+            a.clone(),
+            &codes,
+            Box::new(MemDevice::new()),
+            8,
+            Box::<Lru>::default(),
+        )
+        .unwrap();
+        // Graft an absurd extrib chain onto node 3 via the spill table:
+        // prts far outside any real pathlength, so queries never take them,
+        // but the encoded record blows past MAX_RECORD_LEN.
+        let grafts: Vec<(u32, u32, u32)> =
+            (0..2000u32).map(|i| (10_000_000 + i, 5, 4 + i % 7)).collect();
+        src.spill.lock().insert(3, grafts.clone());
+        let d = src.seal_to(Box::new(MemDevice::new()), 4, Box::<Lru>::default()).unwrap();
+        let census = d.sealed_census().unwrap();
+        assert_eq!(census.overflow_records, 1);
+        assert!(census.extribs >= 2000);
+        // The overflow record answers point lookups like any other.
+        for &(prt, pt, dest) in grafts.iter().step_by(500) {
+            assert_eq!(d.find_extrib(3, prt).unwrap(), Some((dest, pt)));
+        }
+        // And ordinary queries still agree with the reference.
+        let r = Spine::build_from_bytes(a.clone(), text).unwrap();
+        for p in [&b"CA"[..], b"ACCA", b"GGTT"] {
+            let p = a.encode(p).unwrap();
+            assert_eq!(StringIndex::find_all(&r, &p), StringIndex::find_all(&d, &p));
+        }
+    }
+
+    #[test]
+    fn failed_seal_leaves_source_intact() {
+        let text = b"AACCACAACAGGTTACGACGACCA".repeat(2);
+        let a = Alphabet::dna();
+        let codes = a.encode(&text).unwrap();
+        let src = DiskSpine::build(
+            a.clone(),
+            &codes,
+            Box::new(MemDevice::new()),
+            8,
+            Box::<Lru>::default(),
+        )
+        .unwrap();
+        let dead = FaultyDevice::new(MemDevice::new(), 0);
+        assert!(src.seal_to(Box::new(dead), 4, Box::<Lru>::default()).is_err());
+        assert!(!src.is_sealed());
+        let p = a.encode(b"ACGACG").unwrap();
+        let r = Spine::build(a.clone(), &codes).unwrap();
+        assert_eq!(StringIndex::find_all(&src, &p), StringIndex::find_all(&r, &p));
+    }
+
+    #[test]
+    fn sealing_cuts_bytes_per_node() {
+        let text = b"AACCACAACAGGTTACGACGACCAACGTGTACCACA".repeat(64);
+        let a = Alphabet::dna();
+        let codes = a.encode(&text).unwrap();
+        let src = DiskSpine::build(
+            a.clone(),
+            &codes,
+            Box::new(MemDevice::new()),
+            32,
+            Box::<Lru>::default(),
+        )
+        .unwrap();
+        let mutable_mem = src.mem_breakdown();
+        let mutable_pages = (codes.len() + 1).div_ceil(PAGE_SIZE / src.layout.record_size()) as u64;
+        let d = src.seal_to(Box::new(MemDevice::new()), 8, Box::<Lru>::default()).unwrap();
+        let sealed_pages = d.file_pages().unwrap();
+        let nodes = codes.len() as u64 + 1;
+        assert!(
+            sealed_pages * 3 < mutable_pages,
+            "sealed {sealed_pages} pages vs mutable {mutable_pages}"
+        );
+        let sealed_mem = d.mem_breakdown();
+        assert!(
+            sealed_mem.total() * 3 < mutable_mem.total(),
+            "sealed {} bytes vs mutable {}",
+            sealed_mem.total(),
+            mutable_mem.total()
+        );
+        // The headline number: < 10 encoded bytes per node for DNA, vs the
+        // 80-byte fixed record of the mutable layout.
+        assert!(sealed_mem.bytes_per_node(nodes) < 10.0);
+    }
+
+    #[test]
+    fn empty_and_tiny_texts_seal() {
+        let a = Alphabet::dna();
+        let d = DiskSpine::build_sealed(
+            a.clone(),
+            &[],
+            Box::new(MemDevice::new()),
+            2,
+            Box::<Lru>::default(),
+        )
+        .unwrap();
+        assert_eq!(d.len(), 0);
+        assert!(d.is_empty());
+        assert_eq!(d.file_pages(), Some(2)); // header + one (root-only) node page
+        assert_eq!(StringIndex::find_all(&d, &a.encode(b"A").unwrap()), Vec::<usize>::new());
+        assert_eq!(d.sealed_census().unwrap().nodes, 1);
+
+        let d = DiskSpine::build_sealed(
+            a.clone(),
+            &a.encode(b"G").unwrap(),
+            Box::new(MemDevice::new()),
+            2,
+            Box::<Lru>::default(),
+        )
+        .unwrap();
+        assert_eq!(d.len(), 1);
+        assert_eq!(StringIndex::find_all(&d, &a.encode(b"G").unwrap()), vec![0]);
+        assert_eq!(StringIndex::find_all(&d, &a.encode(b"C").unwrap()), Vec::<usize>::new());
+        assert_eq!(StringIndex::symbol_at(&d, 0), a.encode(b"G").unwrap()[0]);
+    }
+
+    #[test]
+    fn resealing_a_sealed_index_is_lossless() {
+        let text = b"AACCACAACAGGTTACGACGACCA".repeat(3);
+        let (a, d1) = seal(&text, 4);
+        let d2 = d1.seal_to(Box::new(MemDevice::new()), 4, Box::<Lru>::default()).unwrap();
+        assert_eq!(d1.sealed_census().unwrap(), d2.sealed_census().unwrap());
+        for p in [&b"CA"[..], b"ACCAA", b"TACGACG"] {
+            let p = a.encode(p).unwrap();
+            assert_eq!(StringIndex::find_all(&d1, &p), StringIndex::find_all(&d2, &p));
+        }
+    }
+
+    #[test]
+    fn sealed_explain_matches_reference_structure() {
+        let text = b"AACCACAACAGGTTACGACGACCA".repeat(4);
+        let (a, d) = seal(&text, 1); // single-frame pool: every hop faults
+        let codes = a.encode(&text).unwrap();
+        let r = Spine::build_from_bytes(a.clone(), &text).unwrap();
+        for p in [&b"CA"[..], b"ACCAA", b"TACGACG", b"TTTT"] {
+            let p = a.encode(p).unwrap();
+            let dt = d.explain(&p);
+            dt.verify_against_text(&codes).unwrap();
+            assert_eq!(dt.structural_events(), r.explain(&p).structural_events());
+            let (hits, misses) = dt.page_fetches();
+            assert!(hits + misses > 0, "a single-frame pool must show traffic");
+        }
+    }
+
+    #[test]
+    fn sealed_telemetry_accounts_pages() {
+        let text = b"AACCACAACAGGTTACGACGACCA".repeat(8);
+        let (a, d) = seal(&text, 1);
+        let reg = MetricsRegistry::new();
+        d.attach_telemetry(&reg);
+        d.try_find_all(&a.encode(b"ACGACG").unwrap()).unwrap();
+        d.try_locate(&a.encode(b"CA").unwrap()).unwrap();
+        let snap = reg.snapshot();
+        let pages = snap.histogram("disk.pages_per_query").unwrap();
+        assert_eq!(pages.count, 2);
+        assert!(pages.max > 0);
+        let (h, m) = d.pool_counts();
+        assert_eq!(snap.gauge("disk.pool.hits").unwrap(), h);
+        assert_eq!(snap.gauge("disk.pool.misses").unwrap(), m);
+    }
+
+    #[test]
+    fn packed_counters_match_scalar_totals() {
+        // The packed fast path must account runs exactly like the scalar
+        // walk: same nodes_checked / edges totals for the same queries.
+        let text = b"AACCACAACAGGTTACGACGACCA".repeat(4);
+        let (a, d) = seal(&text, 8);
+        let r = Spine::build_from_bytes(a.clone(), &text).unwrap();
+        for p in [&b"ACGACGACCA"[..], b"AACCACAACAGGTT", b"CA", b"GGTTAC"] {
+            let p = a.encode(p).unwrap();
+            d.counters().reset();
+            r.counters().reset();
+            assert_eq!(d.try_locate(&p).unwrap(), crate::search::locate(&r, &p));
+            assert_eq!(
+                d.counters().nodes_checked(),
+                r.counters().nodes_checked(),
+                "node checks for {p:?}"
+            );
+            assert_eq!(
+                d.counters().edges_traversed(),
+                r.counters().edges_traversed(),
+                "edges {p:?}"
+            );
+        }
     }
 }
 
 #[cfg(test)]
 mod reopen_tests {
     use super::*;
-    use pagestore::{FileDevice, Lru};
+    use pagestore::{FileDevice, Lru, MemDevice};
 
-    #[test]
-    fn build_flush_reopen_query() {
-        let a = Alphabet::dna();
-        let text = a.encode(&b"AACCACAACAGGTTACGACGACCA".repeat(16)).unwrap();
+    fn temp_path(tag: &str) -> std::path::PathBuf {
         let dir = std::env::temp_dir().join("spine-reopen-test");
         std::fs::create_dir_all(&dir).unwrap();
-        let dev_path = dir.join(format!("dev-{}.pages", std::process::id()));
-        let built = DiskSpine::build(
+        dir.join(format!("dev-{tag}-{}.pages", std::process::id()))
+    }
+
+    #[test]
+    fn seal_flush_reopen_query() {
+        let a = Alphabet::dna();
+        let text = a.encode(&b"AACCACAACAGGTTACGACGACCA".repeat(16)).unwrap();
+        let dev_path = temp_path("v2");
+        let built = DiskSpine::build_sealed(
             a.clone(),
             &text,
             Box::new(FileDevice::create(&dev_path, false).unwrap()),
@@ -947,10 +2253,10 @@ mod reopen_tests {
             Box::<Lru>::default(),
         )
         .unwrap();
-        built.flush().unwrap();
         let mut meta = Vec::new();
         built.write_meta(&mut meta).unwrap();
         let before: Vec<usize> = StringIndex::find_all(&built, &a.encode(b"ACGACG").unwrap());
+        let census_before = built.sealed_census().unwrap();
         drop(built);
 
         let reopened = DiskSpine::reopen(
@@ -960,8 +2266,12 @@ mod reopen_tests {
             Box::<Lru>::default(),
         )
         .unwrap();
+        assert!(reopened.is_sealed());
         assert_eq!(reopened.len(), text.len());
+        // The packed compare survives the round trip.
+        assert_eq!(FallibleSpineOps::backbone_packing(&reopened), Some(2));
         assert_eq!(StringIndex::find_all(&reopened, &a.encode(b"ACGACG").unwrap()), before);
+        assert_eq!(reopened.sealed_census().unwrap(), census_before);
         // Full equivalence against a fresh in-memory build.
         let r = crate::Spine::build(a.clone(), &text).unwrap();
         let q = a.encode(b"TTACGACCACAACAGG").unwrap();
@@ -973,8 +2283,88 @@ mod reopen_tests {
     }
 
     #[test]
+    fn v1_meta_reports_rebuild_required_and_rebuild_recovers() {
+        let a = Alphabet::dna();
+        let text = a.encode(&b"AACCACAACAGGTTACGACGACCA".repeat(4)).unwrap();
+        // A legacy (mutable-layout) artifact: v1 device + v1 sidecar.
+        let v1_path = temp_path("v1");
+        let old = DiskSpine::build(
+            a.clone(),
+            &text,
+            Box::new(FileDevice::create(&v1_path, false).unwrap()),
+            8,
+            Box::<Lru>::default(),
+        )
+        .unwrap();
+        old.flush().unwrap();
+        let mut v1_meta = Vec::new();
+        old.write_meta(&mut v1_meta).unwrap();
+        let expected: Vec<usize> = StringIndex::find_all(&old, &a.encode(b"ACGACG").unwrap());
+        drop(old);
+
+        // The v2 engine refuses it with the typed version error — no
+        // panic, no silent misparse.
+        let err = DiskSpine::reopen(
+            &mut v1_meta.as_slice(),
+            Box::new(FileDevice::open(&v1_path, false).unwrap()),
+            8,
+            Box::<Lru>::default(),
+        )
+        .err()
+        .expect("v1 meta must be rejected");
+        assert!(matches!(err, Error::FormatVersion { found: 1, expected: 2 }), "got {err:?}");
+        assert!(err.to_string().contains("rebuild required"), "{err}");
+
+        // Even a v2 sidecar cannot smuggle in a v1 device: the header page
+        // fails its per-page version check.
+        let sealed_mem = DiskSpine::build_sealed(
+            a.clone(),
+            &text,
+            Box::new(MemDevice::new()),
+            8,
+            Box::<Lru>::default(),
+        )
+        .unwrap();
+        let mut v2_meta = Vec::new();
+        sealed_mem.write_meta(&mut v2_meta).unwrap();
+        let err = DiskSpine::reopen(
+            &mut v2_meta.as_slice(),
+            Box::new(FileDevice::open(&v1_path, false).unwrap()),
+            8,
+            Box::<Lru>::default(),
+        )
+        .err()
+        .expect("v1 device must be rejected");
+        assert!(matches!(err, Error::FormatVersion { .. } | Error::Parse(_)), "got {err:?}");
+
+        // The recovery path: rebuild sealed, write fresh meta, reopen.
+        let v2_path = temp_path("rebuilt");
+        let rebuilt = DiskSpine::build_sealed(
+            a.clone(),
+            &text,
+            Box::new(FileDevice::create(&v2_path, false).unwrap()),
+            8,
+            Box::<Lru>::default(),
+        )
+        .unwrap();
+        let mut meta = Vec::new();
+        rebuilt.write_meta(&mut meta).unwrap();
+        drop(rebuilt);
+        let reopened = DiskSpine::reopen(
+            &mut meta.as_slice(),
+            Box::new(FileDevice::open(&v2_path, false).unwrap()),
+            8,
+            Box::<Lru>::default(),
+        )
+        .unwrap();
+        assert_eq!(StringIndex::find_all(&reopened, &a.encode(b"ACGACG").unwrap()), expected);
+        std::fs::remove_file(&v1_path).ok();
+        std::fs::remove_file(&v2_path).ok();
+    }
+
+    #[test]
     fn reopen_rejects_garbage_meta() {
-        let dev = Box::new(pagestore::MemDevice::new());
+        let dev = Box::new(MemDevice::new());
         assert!(DiskSpine::reopen(&mut &b"JUNKJUNK"[..], dev, 2, Box::<Lru>::default()).is_err());
     }
 }

@@ -172,6 +172,17 @@ impl SpineOps for GeneralizedSpine {
     fn ops_counters(&self) -> &Counters {
         self.spine.ops_counters()
     }
+
+    fn backbone_packing(&self) -> Option<u32> {
+        // A DNA concatenation self-disables (separators exceed 2 bits); a
+        // protein one packs separators verbatim, which never match a
+        // pattern code, so the word compare stays exact.
+        self.spine.backbone_packing()
+    }
+
+    fn label_run(&self, node: NodeId, pattern: &strindex::PackedText, from: usize) -> usize {
+        self.spine.label_run(node, pattern, from)
+    }
 }
 
 #[cfg(test)]

@@ -80,7 +80,7 @@ pub mod verify;
 pub use approx::ApproxMatch;
 pub use build::Spine;
 pub use compact::CompactSpine;
-pub use disk::DiskSpine;
+pub use disk::{DiskSpine, SealedCensus, DISK_FORMAT_VERSION};
 pub use engine::{
     EngineConfig, MetricsSnapshot, QueryEngine, QueryOutcome, QueryResult, ShardedEngine,
     ShardedOutcome, ShardedResult, ShedPolicy, SubmitError,

@@ -18,7 +18,7 @@
 //! [`Infallible`] adapter.
 
 use crate::node::NodeId;
-use strindex::{Code, Counters, Result};
+use strindex::{Code, Counters, PackedText, Result};
 
 /// Read access to a SPINE structure. Node ids are `0..=text_len()`, with 0
 /// the root.
@@ -43,6 +43,32 @@ pub trait SpineOps {
 
     /// Work counters (see [`strindex::Counters`]).
     fn ops_counters(&self) -> &Counters;
+
+    /// Bits per symbol of this representation's word-packed backbone
+    /// labels, or `None` when only character-at-a-time comparison is
+    /// available (byte alphabets, or a packing disabled by a separator
+    /// code). `Some(bits)` promises [`label_run`](Self::label_run) compares
+    /// word-at-a-time against a pattern packed at the same width.
+    fn backbone_packing(&self) -> Option<u32> {
+        None
+    }
+
+    /// Length of the common run of `pattern[from..]` and the backbone
+    /// labels leaving `node` (the text suffix starting at position `node`).
+    /// The default walks vertebras one character at a time; packed
+    /// representations override it with a word-at-a-time compare. Does not
+    /// touch the work counters — the search loop accounts for the run in
+    /// bulk so totals match the scalar path exactly.
+    fn label_run(&self, node: NodeId, pattern: &PackedText, from: usize) -> usize {
+        let mut k = 0;
+        while from + k < pattern.len() {
+            match self.vertebra_out(node + k as NodeId) {
+                Some(c) if c == pattern.get(from + k) => k += 1,
+                _ => break,
+            }
+        }
+        k
+    }
 }
 
 /// Fallible read access to a SPINE structure: every structural accessor can
@@ -82,6 +108,25 @@ pub trait FallibleSpineOps {
     fn storage_counters(&self) -> Option<(u64, u64)> {
         None
     }
+
+    /// Fallible [`SpineOps::backbone_packing`] counterpart (metadata; never
+    /// touches storage).
+    fn backbone_packing(&self) -> Option<u32> {
+        None
+    }
+
+    /// Fallible [`SpineOps::label_run`]: page-resident representations read
+    /// label pages through the buffer pool, so the compare can fail.
+    fn try_label_run(&self, node: NodeId, pattern: &PackedText, from: usize) -> Result<usize> {
+        let mut k = 0;
+        while from + k < pattern.len() {
+            match self.try_vertebra_out(node + k as NodeId)? {
+                Some(c) if c == pattern.get(from + k) => k += 1,
+                _ => break,
+            }
+        }
+        Ok(k)
+    }
 }
 
 /// Adapter viewing any infallible [`SpineOps`] as a [`FallibleSpineOps`]
@@ -119,6 +164,16 @@ impl<S: SpineOps + ?Sized> FallibleSpineOps for Infallible<'_, S> {
     fn ops_counters(&self) -> &Counters {
         self.0.ops_counters()
     }
+
+    #[inline]
+    fn backbone_packing(&self) -> Option<u32> {
+        self.0.backbone_packing()
+    }
+
+    #[inline]
+    fn try_label_run(&self, node: NodeId, pattern: &PackedText, from: usize) -> Result<usize> {
+        Ok(self.0.label_run(node, pattern, from))
+    }
 }
 
 /// Implements [`FallibleSpineOps`] for in-memory representations whose
@@ -154,6 +209,21 @@ macro_rules! fallible_from_spine_ops {
             #[inline]
             fn ops_counters(&self) -> &Counters {
                 SpineOps::ops_counters(self)
+            }
+
+            #[inline]
+            fn backbone_packing(&self) -> Option<u32> {
+                SpineOps::backbone_packing(self)
+            }
+
+            #[inline]
+            fn try_label_run(
+                &self,
+                node: NodeId,
+                pattern: &PackedText,
+                from: usize,
+            ) -> Result<usize> {
+                Ok(SpineOps::label_run(self, node, pattern, from))
             }
         }
     )*};

@@ -16,7 +16,7 @@ use crate::build::Spine;
 use crate::node::{NodeId, ROOT};
 use crate::ops::{FallibleSpineOps, Infallible, SpineOps};
 use crate::trace::{NoTrace, TraceEvent, TraceSink};
-use strindex::{Alphabet, Code, Result, StringIndex};
+use strindex::{Alphabet, Code, PackedText, Result, StringIndex};
 
 /// [`try_step`] with a [`TraceSink`] attached: every traversal decision —
 /// the vertebra match, the rib's PT comparison, each extrib-chain probe,
@@ -98,6 +98,17 @@ pub fn try_locate_traced<S: FallibleSpineOps + ?Sized, T: TraceSink + ?Sized>(
     sink: &mut T,
     pattern: &[Code],
 ) -> Result<Option<NodeId>> {
+    // Word-packed fast path: only untraced (a recording sink needs the
+    // per-decision event stream the scalar walk emits), and only when both
+    // the structure packs its backbone labels and every pattern code fits
+    // the packing (a separator would not).
+    if !T::ENABLED {
+        if let Some(bits) = s.backbone_packing() {
+            if let Some(packed) = PackedText::from_codes(bits, pattern) {
+                return try_locate_packed(s, &packed, pattern);
+            }
+        }
+    }
     let mut node = ROOT;
     for (pl, &c) in pattern.iter().enumerate() {
         let before = if T::ENABLED { s.storage_counters() } else { None };
@@ -107,6 +118,44 @@ pub fn try_locate_traced<S: FallibleSpineOps + ?Sized, T: TraceSink + ?Sized>(
         }
         match stepped {
             Some(next) => node = next,
+            None => return Ok(None),
+        }
+    }
+    Ok(Some(node))
+}
+
+/// The word-packed valid-path walk. Vertebra runs — the only edges a
+/// backbone-label compare can take — are matched a `u64` word at a time via
+/// [`FallibleSpineOps::try_label_run`]; the first position the run cannot
+/// absorb falls back to the scalar [`try_step`], which handles the rib/
+/// extrib machinery (and its own counting). A run of `r` matches is
+/// accounted as `r` node checks + `r` edges, exactly what `r` scalar
+/// vertebra steps would record, so Table-6 counters are path-identical.
+fn try_locate_packed<S: FallibleSpineOps + ?Sized>(
+    s: &S,
+    packed: &PackedText,
+    pattern: &[Code],
+) -> Result<Option<NodeId>> {
+    let mut node = ROOT;
+    let mut pl = 0usize;
+    while pl < pattern.len() {
+        let run = s.try_label_run(node, packed, pl)?;
+        if run > 0 {
+            s.ops_counters().count_node_checks(run as u64);
+            s.ops_counters().count_edges(run as u64);
+            node += run as NodeId;
+            pl += run;
+            if pl == pattern.len() {
+                break;
+            }
+        }
+        // The vertebra at `node` cannot extend the match (that is why the
+        // run stopped), so this resolves via rib/extrib — or rejects.
+        match try_step(s, node, pl as u32, pattern[pl])? {
+            Some(next) => {
+                node = next;
+                pl += 1;
+            }
             None => return Ok(None),
         }
     }

@@ -22,6 +22,8 @@ pub mod device;
 pub mod paged;
 pub mod policy;
 pub mod pool;
+pub mod slotted;
+pub mod varint;
 
 pub use device::{
     FaultyDevice, FileDevice, FlakyDevice, IoStats, MemDevice, PageDevice, RetryDevice,
@@ -30,3 +32,5 @@ pub use device::{
 pub use paged::PagedVec;
 pub use policy::{Clock, EvictionPolicy, Fifo, Lru, PrefixPriority};
 pub use pool::{BufferPool, CacheStats, CacheStatsSnapshot};
+pub use slotted::{slotted_record, PageHeader, SlottedPageBuilder, PAGE_FORMAT_V2};
+pub use varint::{read_varint, varint_len, write_varint, MAX_VARINT_LEN};

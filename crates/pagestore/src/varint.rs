@@ -1,0 +1,128 @@
+//! LEB128 variable-length integers for the v2 on-disk node format.
+//!
+//! Format v2 stores node control fields (link destination, LEL, fan-out
+//! counts) and delta-encoded destinations as unsigned LEB128: 7 value bits
+//! per byte, high bit set on every byte but the last. Small values — the
+//! overwhelming majority after delta encoding — cost one byte instead of
+//! the fixed four of format v1.
+
+/// Maximum encoded size of a `u64` (⌈64/7⌉ bytes).
+pub const MAX_VARINT_LEN: usize = 10;
+
+/// Append `v` to `out` as unsigned LEB128. Returns the encoded length.
+#[inline]
+pub fn write_varint(out: &mut Vec<u8>, mut v: u64) -> usize {
+    let mut n = 1;
+    while v >= 0x80 {
+        out.push((v as u8) | 0x80);
+        v >>= 7;
+        n += 1;
+    }
+    out.push(v as u8);
+    n
+}
+
+/// Encoded length of `v` without writing it.
+#[inline]
+pub fn varint_len(v: u64) -> usize {
+    ((64 - (v | 1).leading_zeros()) as usize).div_ceil(7)
+}
+
+/// Decode one LEB128 integer from `buf[at..]`, returning `(value,
+/// bytes_consumed)`. `None` on truncation or a >10-byte (overlong/overflow)
+/// encoding — corrupt-page defense, not a panic path.
+#[inline]
+pub fn read_varint(buf: &[u8], at: usize) -> Option<(u64, usize)> {
+    let mut v = 0u64;
+    let mut shift = 0u32;
+    for (i, &b) in buf.get(at..)?.iter().enumerate() {
+        if i >= MAX_VARINT_LEN {
+            return None;
+        }
+        let low = (b & 0x7F) as u64;
+        if shift == 63 && low > 1 {
+            return None; // would overflow u64
+        }
+        v |= low << shift;
+        if b & 0x80 == 0 {
+            return Some((v, i + 1));
+        }
+        shift += 7;
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn known_encodings() {
+        let mut max = vec![0xFFu8; 9];
+        max.push(0x01);
+        let cases: Vec<(u64, Vec<u8>)> = vec![
+            (0, vec![0x00]),
+            (1, vec![0x01]),
+            (127, vec![0x7F]),
+            (128, vec![0x80, 0x01]),
+            (300, vec![0xAC, 0x02]),
+            (u64::MAX, max),
+        ];
+        for (v, bytes) in cases {
+            let mut out = Vec::new();
+            assert_eq!(write_varint(&mut out, v), bytes.len(), "{v}");
+            assert_eq!(out, bytes, "{v}");
+            assert_eq!(varint_len(v), bytes.len(), "{v}");
+            assert_eq!(read_varint(&out, 0), Some((v, bytes.len())), "{v}");
+        }
+    }
+
+    #[test]
+    fn truncated_and_overlong_inputs_fail_cleanly() {
+        assert_eq!(read_varint(&[], 0), None);
+        assert_eq!(read_varint(&[0x80], 0), None); // continuation, then EOF
+        assert_eq!(read_varint(&[0x80, 0x80], 0), None);
+        assert_eq!(read_varint(&[0x01], 5), None); // offset past the end
+                                                   // 11 continuation bytes: longer than any valid u64 encoding.
+        assert_eq!(read_varint(&[0x80; 11], 0), None);
+        // 10 bytes whose top byte overflows 64 bits.
+        let mut overflow = vec![0xFF; 9];
+        overflow.push(0x7F);
+        assert_eq!(read_varint(&overflow, 0), None);
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(256))]
+
+        #[test]
+        fn round_trips_at_any_offset(v in 0u64..=u64::MAX, pad in 0usize..8) {
+            let mut buf = vec![0xAAu8; pad];
+            let n = write_varint(&mut buf, v);
+            prop_assert_eq!(n, varint_len(v));
+            buf.extend_from_slice(&[0x55, 0x55]); // trailing noise must be ignored
+            prop_assert_eq!(read_varint(&buf, pad), Some((v, n)));
+        }
+
+        #[test]
+        fn small_values_stay_small(v in 0u64..128) {
+            prop_assert_eq!(varint_len(v), 1);
+        }
+
+        #[test]
+        fn streams_round_trip(vs in prop::collection::vec(0u64..=u64::MAX, 0..50)) {
+            let mut buf = Vec::new();
+            for &v in &vs {
+                write_varint(&mut buf, v);
+            }
+            let mut at = 0;
+            let mut got = Vec::new();
+            while at < buf.len() {
+                let (v, n) = read_varint(&buf, at).unwrap();
+                got.push(v);
+                at += n;
+            }
+            prop_assert_eq!(got, vs);
+        }
+    }
+}

@@ -135,6 +135,24 @@ impl Alphabet {
         usize::BITS - (self.code_space() - 1).leading_zeros()
     }
 
+    /// Bits per symbol for *word-packed* comparison, or `None` for
+    /// alphabets where packing buys nothing over byte-at-a-time scanning.
+    ///
+    /// Unlike [`label_bits`](Self::label_bits) this need only cover the
+    /// ordinary symbols `0..size` — 2 bits for DNA, 5 for protein, the
+    /// densities quoted by the packed-trie literature. The separator code
+    /// happens to fit the protein packing (20 < 32) but not the DNA one
+    /// (4 > 3); packing callers handle both by storing codes verbatim and
+    /// self-disabling (scalar fallback) on any code `try_push` rejects —
+    /// see `strindex::packed`.
+    pub fn pack_bits(&self) -> Option<u32> {
+        match self.kind {
+            AlphabetKind::Dna => Some(2),
+            AlphabetKind::Protein => Some(5),
+            AlphabetKind::Ascii | AlphabetKind::Bytes => None,
+        }
+    }
+
     /// Encode one byte, or `None` if it is not in the alphabet.
     #[inline]
     pub fn encode_byte(&self, byte: u8) -> Option<Code> {
@@ -223,6 +241,23 @@ mod tests {
         assert!(a.encode_byte(253).is_some());
         assert!(a.encode_byte(254).is_none());
         assert!(a.encode_byte(255).is_none());
+    }
+
+    #[test]
+    fn pack_bits_covers_every_ordinary_symbol() {
+        for a in [Alphabet::dna(), Alphabet::protein()] {
+            let bits = a.pack_bits().unwrap();
+            assert!(a.size() - 1 < (1 << bits), "all ordinary codes must fit");
+            assert!(bits <= a.label_bits());
+        }
+        assert_eq!(Alphabet::dna().pack_bits(), Some(2));
+        // The DNA separator (code 4) does not fit 2 bits — generalized DNA
+        // indexes self-disable packing. The protein separator (20) fits 5.
+        assert!(Alphabet::dna().separator() as u64 > 0b11);
+        assert!((Alphabet::protein().separator() as u64) < 32);
+        assert_eq!(Alphabet::protein().pack_bits(), Some(5));
+        assert_eq!(Alphabet::ascii().pack_bits(), None);
+        assert_eq!(Alphabet::bytes().pack_bits(), None);
     }
 
     #[test]

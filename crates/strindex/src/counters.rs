@@ -40,6 +40,21 @@ impl Counters {
         self.edges_traversed.fetch_add(1, Relaxed);
     }
 
+    /// Record `n` node examinations at once. The word-packed backbone scan
+    /// checks a whole run of nodes per word compare; bulk-adding keeps its
+    /// totals identical to the character-at-a-time path.
+    #[inline]
+    pub fn count_node_checks(&self, n: u64) {
+        self.nodes_checked.fetch_add(n, Relaxed);
+    }
+
+    /// Record `n` forward edge traversals at once (packed-scan counterpart
+    /// of [`count_edge`](Self::count_edge)).
+    #[inline]
+    pub fn count_edges(&self, n: u64) {
+        self.edges_traversed.fetch_add(n, Relaxed);
+    }
+
     /// Record an upstream link / suffix-link traversal.
     #[inline]
     pub fn count_link(&self) {

@@ -76,6 +76,19 @@ pub enum Error {
     AlphabetMismatch,
     /// A malformed input file (e.g. FASTA).
     Parse(String),
+    /// A persisted index uses an on-disk format version this build does not
+    /// read. The data is intact but must be rebuilt (re-indexed) into the
+    /// current format — distinct from [`Error::Parse`], which means the
+    /// bytes themselves are garbage.
+    FormatVersion {
+        /// Version stamped in the file.
+        found: u16,
+        /// Version this engine reads and writes.
+        expected: u16,
+    },
+    /// The operation is not supported in the engine's current state (e.g.
+    /// appending to a sealed read-only index).
+    Unsupported(&'static str),
     /// An underlying I/O failure, with operation context when known.
     Io {
         /// The operating-system (or injected) failure.
@@ -151,6 +164,12 @@ impl std::fmt::Display for Error {
             Error::NotFinished => write!(f, "index is not finished; call finish() first"),
             Error::AlphabetMismatch => write!(f, "operands use different alphabets"),
             Error::Parse(msg) => write!(f, "parse error: {msg}"),
+            Error::FormatVersion { found, expected } => write!(
+                f,
+                "on-disk format version {found} is not readable by this build \
+                 (expects version {expected}); rebuild required"
+            ),
+            Error::Unsupported(what) => write!(f, "unsupported operation: {what}"),
             Error::Io { source, ctx: Some(ctx) } => {
                 let class = if self.is_transient() { "transient" } else { "permanent" };
                 write!(f, "{class} I/O error during {ctx}: {source}")
@@ -195,6 +214,15 @@ mod tests {
     }
 
     #[test]
+    fn format_version_says_rebuild_required() {
+        let e = Error::FormatVersion { found: 1, expected: 2 };
+        let msg = e.to_string();
+        assert!(msg.contains("version 1"), "{msg}");
+        assert!(msg.contains("version 2"), "{msg}");
+        assert!(msg.contains("rebuild required"), "{msg}");
+    }
+
+    #[test]
     fn io_error_converts() {
         let io = std::io::Error::other("boom");
         let e: Error = io.into();
@@ -232,6 +260,8 @@ mod tests {
         assert!(!hard.is_transient());
         assert!(!Error::NotFinished.is_transient());
         assert!(!Error::Parse("junk".into()).is_transient());
+        assert!(!Error::FormatVersion { found: 1, expected: 2 }.is_transient());
+        assert!(!Error::Unsupported("x").is_transient());
         // Transience survives context attachment.
         assert!(Error::transient_io("flaky").with_io_context(IoOp::Write, 1).is_transient());
     }

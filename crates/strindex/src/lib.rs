@@ -24,6 +24,7 @@ pub mod alphabet;
 pub mod counters;
 pub mod error;
 pub mod hash;
+pub mod packed;
 pub mod telemetry;
 pub mod traits;
 
@@ -32,6 +33,7 @@ pub use alphabet::{Alphabet, AlphabetKind, Code};
 pub use counters::{Counters, CountersSnapshot};
 pub use error::{Error, IoContext, IoOp, Result};
 pub use hash::{FxHashMap, FxHashSet, FxHasher};
+pub use packed::{window_match_len, PackedText};
 pub use telemetry::{
     Counter, Histogram, HistogramSnapshot, MetricsRegistry, RegistrySnapshot, SpanRecord, Stage,
 };

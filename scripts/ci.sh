@@ -35,6 +35,13 @@ echo "== fault-tolerance integration tests"
 cargo test -q --test fault_tolerance
 cargo test -q -p pagestore --test faults
 
+echo "== layout v2: codec round-trips, sealed engine, packed-vs-scalar"
+cargo test -q -p pagestore varint
+cargo test -q -p pagestore slotted
+cargo test -q -p spine disk::
+cargo test -q --test layout_v2
+cargo test -q --test differential packed_scan
+
 echo "== exp serve --metrics --quick (ledger invariant + stage histograms)"
 metrics_json=$(cargo run --release -q -p spine-bench --bin exp -- serve --metrics --quick)
 echo "$metrics_json" | grep -q '"ledger_consistent":true' \

@@ -1,8 +1,9 @@
 //! Cross-engine equivalence on realistic workloads.
 //!
-//! Every engine (SPINE reference/compact/disk, suffix tree memory/disk,
-//! suffix array) answers identical queries over the same preset-generated
-//! sequences, and all answers are held to the scan-based oracle.
+//! Every engine (SPINE reference/compact/disk v1/sealed disk v2, suffix
+//! tree memory/disk, suffix array) answers identical queries over the same
+//! preset-generated sequences, and all answers are held to the scan-based
+//! oracle.
 
 use genseq::preset;
 use pagestore::{Lru, MemDevice, PrefixPriority};
@@ -19,6 +20,7 @@ struct Engines {
     spine: Spine,
     compact: CompactSpine,
     disk: DiskSpine,
+    disk_v2: DiskSpine,
     st: SuffixTree,
     st_disk: DiskSuffixTree,
     sa: SaIndex,
@@ -38,6 +40,14 @@ fn engines(name: &str, scale: f64) -> Engines {
             Box::new(MemDevice::new()),
             8,
             Box::<PrefixPriority>::default(),
+        )
+        .unwrap(),
+        disk_v2: DiskSpine::build_sealed(
+            alphabet.clone(),
+            &text,
+            Box::new(MemDevice::new()),
+            8,
+            Box::<Lru>::default(),
         )
         .unwrap(),
         st: SuffixTree::build(alphabet.clone(), &text).unwrap(),
@@ -83,12 +93,14 @@ fn check_exact(e: &Engines) {
         assert_eq!(e.spine.find_first(&p), want_first, "spine/find_first {p:?}");
         assert_eq!(e.compact.find_first(&p), want_first, "compact/find_first");
         assert_eq!(e.disk.find_first(&p), want_first, "disk/find_first");
+        assert_eq!(e.disk_v2.find_first(&p), want_first, "disk-v2/find_first");
         assert_eq!(e.st.find_first(&p), want_first, "st/find_first");
         assert_eq!(e.st_disk.find_first(&p), want_first, "st-disk/find_first");
         assert_eq!(e.sa.find_first(&p), want_first, "sa/find_first");
         assert_eq!(e.spine.find_all(&p), want_all, "spine/find_all {p:?}");
         assert_eq!(e.compact.find_all(&p), want_all, "compact/find_all");
         assert_eq!(e.disk.find_all(&p), want_all, "disk/find_all");
+        assert_eq!(e.disk_v2.find_all(&p), want_all, "disk-v2/find_all");
         assert_eq!(e.st.find_all(&p), want_all, "st/find_all");
         assert_eq!(e.st_disk.find_all(&p), want_all, "st-disk/find_all");
         assert_eq!(e.sa.find_all(&p), want_all, "sa/find_all");
@@ -100,6 +112,7 @@ fn check_matching(e: &Engines, query: &[Code]) {
     assert_eq!(e.spine.matching_statistics(query), want, "spine/ms");
     assert_eq!(e.compact.matching_statistics(query), want, "compact/ms");
     assert_eq!(e.disk.matching_statistics(query), want, "disk/ms");
+    assert_eq!(e.disk_v2.matching_statistics(query), want, "disk-v2/ms");
     assert_eq!(e.st.matching_statistics(query), want, "st/ms");
     assert_eq!(e.st_disk.matching_statistics(query), want, "st-disk/ms");
     assert_eq!(e.sa.matching_statistics(query), want, "sa/ms");
@@ -108,6 +121,7 @@ fn check_matching(e: &Engines, query: &[Code]) {
         assert_eq!(e.spine.maximal_matches(query, threshold), want, "spine/mm");
         assert_eq!(e.compact.maximal_matches(query, threshold), want, "compact/mm");
         assert_eq!(e.disk.maximal_matches(query, threshold), want, "disk/mm");
+        assert_eq!(e.disk_v2.maximal_matches(query, threshold), want, "disk-v2/mm");
         assert_eq!(e.st.maximal_matches(query, threshold), want, "st/mm");
         assert_eq!(e.st_disk.maximal_matches(query, threshold), want, "st-disk/mm");
         assert_eq!(e.sa.maximal_matches(query, threshold), want, "sa/mm");

@@ -18,7 +18,7 @@ use genseq::rng;
 use pagestore::{Lru, MemDevice};
 use rand::Rng;
 use spine::{CompactSpine, DiskSpine, GeneralizedSpine, Spine};
-use strindex::{Alphabet, Code, MatchingIndex};
+use strindex::{Alphabet, Code, MatchingIndex, StringIndex};
 use suffix_array::SaIndex;
 use suffix_tree::SuffixTree;
 use suffix_trie::NaiveIndex;
@@ -40,6 +40,22 @@ fn engines(a: &Alphabet, text: &[Code]) -> Vec<(&'static str, Box<dyn MatchingIn
                 text,
                 Box::new(MemDevice::new()),
                 32,
+                Box::<Lru>::default(),
+            )
+            .unwrap(),
+        ),
+    ));
+    // The sealed layout-v2 engine (varint records, packed backbone where the
+    // alphabet allows), served under a deliberately tiny pool so every
+    // answer crosses real page boundaries.
+    built.push((
+        "disk-spine-v2",
+        Box::new(
+            DiskSpine::build_sealed(
+                a.clone(),
+                text,
+                Box::new(MemDevice::new()),
+                4,
                 Box::<Lru>::default(),
             )
             .unwrap(),
@@ -241,6 +257,72 @@ fn symbol_at_recovers_text_everywhere() {
         assert_eq!(e.text_len(), text.len(), "{name}: text_len");
         for (i, &c) in text.iter().enumerate() {
             assert_eq!(e.symbol_at(i), c, "{name}: symbol_at({i})");
+        }
+    }
+}
+
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Engine-level packed-vs-scalar equivalence. The sealed layout-v2
+    /// engine answers through the word-packed backbone scanner (2-bit DNA,
+    /// 5-bit protein); the in-memory reference answers symbol by symbol.
+    /// Every pattern cut at a word-boundary start offset (and ±1) with
+    /// lengths 0..=2·word_len — plus a near-miss with the final symbol
+    /// flipped — must agree exactly.
+    #[test]
+    fn packed_scan_matches_scalar_at_word_boundaries(
+        seed in 0u64..1 << 48,
+        alpha in 0usize..2,
+    ) {
+        let (a, bits) = if alpha == 0 {
+            (Alphabet::dna(), 2u32)
+        } else {
+            (Alphabet::protein(), 5u32)
+        };
+        let per_word = 64 / bits as usize;
+        let text = random_text(&a, per_word * 4 + 7, seed);
+        let reference = Spine::build(a.clone(), &text).unwrap();
+        let sealed = DiskSpine::build_sealed(
+            a.clone(),
+            &text,
+            Box::new(MemDevice::new()),
+            4,
+            Box::<Lru>::default(),
+        )
+        .unwrap();
+        prop_assert_eq!(
+            spine::SpineOps::backbone_packing(&sealed),
+            Some(bits),
+            "sealed engine must take the packed path"
+        );
+
+        for word in 0..4usize {
+            for delta in [0usize, 1] {
+                let start = match (word * per_word).checked_sub(delta) {
+                    Some(s) if s < text.len() => s,
+                    _ => continue,
+                };
+                for len in 0..=2 * per_word {
+                    let end = (start + len).min(text.len());
+                    let mut pattern = text[start..end].to_vec();
+                    prop_assert_eq!(
+                        sealed.find_all(&pattern),
+                        reference.find_all(&pattern),
+                        "present pattern, start {} len {}", start, len
+                    );
+                    if let Some(last) = pattern.last_mut() {
+                        *last = (*last + 1) % a.size() as Code;
+                        prop_assert_eq!(
+                            sealed.find_all(&pattern),
+                            reference.find_all(&pattern),
+                            "near-miss pattern, start {} len {}", start, len
+                        );
+                    }
+                }
+            }
         }
     }
 }

@@ -72,6 +72,17 @@ fn exercise(a: &Alphabet, text: &[Code], seed: u64) {
     let disk =
         DiskSpine::build(a.clone(), text, Box::new(MemDevice::new()), 4, Box::<Lru>::default())
             .unwrap();
+    // The sealed layout-v2 engine. Traced walks always take the scalar
+    // path (the packed word compare has no per-step story to tell), so its
+    // structural trace must be event-identical to every other engine's.
+    let sealed = DiskSpine::build_sealed(
+        a.clone(),
+        text,
+        Box::new(MemDevice::new()),
+        4,
+        Box::<Lru>::default(),
+    )
+    .unwrap();
     for pattern in patterns_for(a, text, seed) {
         let t = spine.explain(&pattern);
         check_trace("spine", &t, text, &pattern);
@@ -91,6 +102,17 @@ fn exercise(a: &Alphabet, text: &[Code], seed: u64) {
             t.structural_events(),
             "disk trace diverges for {pattern:?}"
         );
+        let (h, m) = td.page_fetches();
+        assert!(h + m > 0, "disk trace for {pattern:?} reports no page fetches");
+        let ts = sealed.explain(&pattern);
+        check_trace("disk-v2", &ts, text, &pattern);
+        assert_eq!(
+            ts.structural_events(),
+            t.structural_events(),
+            "sealed v2 trace diverges for {pattern:?}"
+        );
+        let (h, m) = ts.page_fetches();
+        assert!(h + m > 0, "sealed v2 trace for {pattern:?} reports no page fetches");
     }
 }
 

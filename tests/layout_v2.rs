@@ -1,0 +1,315 @@
+//! Layout-v2 honesty battery: the sealed varint/delta page format and the
+//! word-packed backbone must be *provably* equivalent to the reference
+//! engines, across alphabets, page boundaries, file round-trips, and
+//! format-version mismatches.
+//!
+//! Complements the unit-level codec proptests in `spine::disk`: here
+//! everything goes through the public API — `build_sealed` / `seal_to` /
+//! `write_meta` / `reopen` — over real `FileDevice` files where durability
+//! is the claim under test.
+
+use genseq::rng;
+use pagestore::{FileDevice, Lru, MemDevice, PAGE_SIZE};
+use proptest::prelude::*;
+use rand::Rng;
+use spine::{DiskSpine, Spine, SpineOps, DISK_FORMAT_VERSION};
+use strindex::{Alphabet, Code, Error, StringIndex};
+
+fn random_text(a: &Alphabet, len: usize, seed: u64) -> Vec<Code> {
+    let mut r = rng(seed);
+    (0..len).map(|_| r.gen_range(0..a.size()) as Code).collect()
+}
+
+fn scan_find_all(text: &[Code], pattern: &[Code]) -> Vec<usize> {
+    if pattern.is_empty() || pattern.len() > text.len() {
+        return Vec::new();
+    }
+    (0..=text.len() - pattern.len()).filter(|&i| &text[i..i + pattern.len()] == pattern).collect()
+}
+
+fn seal(a: &Alphabet, text: &[Code], pool: usize) -> DiskSpine {
+    DiskSpine::build_sealed(
+        a.clone(),
+        text,
+        Box::new(MemDevice::new()),
+        pool,
+        Box::<Lru>::default(),
+    )
+    .unwrap()
+}
+
+/// A scratch directory for the `FileDevice` round-trip tests.
+fn tmp(name: &str) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join("spine-layout-v2-tests");
+    std::fs::create_dir_all(&dir).unwrap();
+    dir.join(format!("{name}-{}", std::process::id()))
+}
+
+/// The sealed census must reconcile exactly with the construction
+/// observer's counts, for every alphabet: structural compression cannot
+/// invent or drop edges.
+#[test]
+fn census_reconciles_with_build_stats_across_alphabets() {
+    for (a, len) in
+        [(Alphabet::dna(), 900usize), (Alphabet::protein(), 500), (Alphabet::bytes(), 300)]
+    {
+        let text = random_text(&a, len, 0xCE1505 + len as u64);
+        let (mutable, st) = DiskSpine::build_with_stats(
+            a.clone(),
+            &text,
+            Box::new(MemDevice::new()),
+            16,
+            Box::<Lru>::default(),
+        )
+        .unwrap();
+        let sealed = mutable.seal_to(Box::new(MemDevice::new()), 8, Box::<Lru>::default()).unwrap();
+        let census = sealed.sealed_census().unwrap();
+        assert_eq!(census.nodes, len as u64 + 1, "one record per backbone node plus the root");
+        assert_eq!(census.ribs, st.ribs_created, "rib records vs observer");
+        assert_eq!(census.extribs, st.extribs_created, "extrib records vs observer");
+        assert_eq!(census.overflow_records, 0, "natural texts never overflow a page");
+    }
+}
+
+/// Texts large enough that the packed labels straddle label pages and the
+/// node records straddle many slotted pages — every answer must cross page
+/// boundaries and still match the straight-line scan.
+#[test]
+fn page_straddling_texts_answer_exactly() {
+    let a = Alphabet::dna();
+    // > 511 words × 32 symbols/word forces a second label page.
+    let text = random_text(&a, 17_000, 0x57D0);
+    let sealed = seal(&a, &text, 6);
+    let pages = sealed.file_pages().unwrap();
+    assert!(pages > 4, "17k nodes must spread over several pages, got {pages}");
+
+    let mut r = rng(0x57D1);
+    for _ in 0..60 {
+        let len = r.gen_range(1..=40usize);
+        let at = r.gen_range(0..=text.len() - len);
+        let pattern = &text[at..at + len];
+        assert_eq!(sealed.find_all(pattern), scan_find_all(&text, pattern), "hit at {at}");
+        let mut miss = pattern.to_vec();
+        let flip = r.gen_range(0..miss.len());
+        miss[flip] = (miss[flip] + 1) % a.size() as Code;
+        assert_eq!(sealed.find_all(&miss), scan_find_all(&text, &miss), "perturbed at {at}");
+    }
+}
+
+/// The durable round-trip: seal onto a real file, flush, write the sidecar,
+/// drop everything, reopen from disk — same answers, same packing, same
+/// census.
+#[test]
+fn file_device_seal_reopen_round_trip() {
+    let a = Alphabet::dna();
+    let text = random_text(&a, 1200, 0xF11E);
+    let dev_path = tmp("roundtrip.pages");
+    let meta_path = tmp("roundtrip.meta");
+
+    let sealed = DiskSpine::build_sealed(
+        a.clone(),
+        &text,
+        Box::new(FileDevice::create(&dev_path, false).unwrap()),
+        8,
+        Box::<Lru>::default(),
+    )
+    .unwrap();
+    let census = sealed.sealed_census().unwrap();
+    let mut meta = Vec::new();
+    sealed.write_meta(&mut meta).unwrap();
+    sealed.flush().unwrap();
+    std::fs::write(&meta_path, &meta).unwrap();
+    drop(sealed);
+
+    let reopened = DiskSpine::reopen(
+        &mut std::fs::File::open(&meta_path).unwrap(),
+        Box::new(FileDevice::open(&dev_path, false).unwrap()),
+        4,
+        Box::<Lru>::default(),
+    )
+    .unwrap();
+    assert!(reopened.is_sealed());
+    assert_eq!(reopened.backbone_packing(), Some(2), "packing survives the reopen");
+    assert_eq!(reopened.sealed_census().unwrap(), census);
+
+    let reference = Spine::build(a.clone(), &text).unwrap();
+    let mut r = rng(0xF12E);
+    for _ in 0..40 {
+        let len = r.gen_range(1..=16usize);
+        let at = r.gen_range(0..=text.len() - len);
+        let pattern = &text[at..at + len];
+        assert_eq!(reopened.find_all(pattern), reference.find_all(pattern));
+    }
+
+    std::fs::remove_file(&dev_path).ok();
+    std::fs::remove_file(&meta_path).ok();
+}
+
+/// Format versioning: a v1 (mutable-layout) sidecar must be rejected with
+/// the *typed* rebuild-required error — not a parse error, not a panic —
+/// and rebuilding through `build_sealed` must recover the exact answers.
+#[test]
+fn v1_artifact_reports_rebuild_required_then_rebuild_recovers() {
+    let a = Alphabet::protein();
+    let text = random_text(&a, 400, 0x0BE1);
+    let v1_path = tmp("v1-engine.pages");
+
+    let v1 = DiskSpine::build(
+        a.clone(),
+        &text,
+        Box::new(FileDevice::create(&v1_path, false).unwrap()),
+        8,
+        Box::<Lru>::default(),
+    )
+    .unwrap();
+    let mut v1_meta = Vec::new();
+    v1.write_meta(&mut v1_meta).unwrap();
+    v1.flush().unwrap();
+    drop(v1);
+
+    let err = DiskSpine::reopen(
+        &mut &v1_meta[..],
+        Box::new(FileDevice::open(&v1_path, false).unwrap()),
+        8,
+        Box::<Lru>::default(),
+    )
+    .err()
+    .expect("a v1 artifact must not reopen under the v2 engine");
+    assert!(
+        matches!(err, Error::FormatVersion { found: 1, expected: DISK_FORMAT_VERSION }),
+        "want the typed version mismatch, got {err:?}"
+    );
+    assert!(err.to_string().contains("rebuild required"), "operator-facing hint: {err}");
+
+    // The prescribed recovery: rebuild into a sealed v2 file and reopen it.
+    let v2_path = tmp("v2-rebuilt.pages");
+    let rebuilt = DiskSpine::build_sealed(
+        a.clone(),
+        &text,
+        Box::new(FileDevice::create(&v2_path, false).unwrap()),
+        8,
+        Box::<Lru>::default(),
+    )
+    .unwrap();
+    let mut v2_meta = Vec::new();
+    rebuilt.write_meta(&mut v2_meta).unwrap();
+    rebuilt.flush().unwrap();
+    drop(rebuilt);
+
+    let reopened = DiskSpine::reopen(
+        &mut &v2_meta[..],
+        Box::new(FileDevice::open(&v2_path, false).unwrap()),
+        8,
+        Box::<Lru>::default(),
+    )
+    .unwrap();
+    let reference = Spine::build(a.clone(), &text).unwrap();
+    let mut r = rng(0x0BE2);
+    for _ in 0..30 {
+        let len = r.gen_range(1..=10usize);
+        let at = r.gen_range(0..=text.len() - len);
+        let pattern = &text[at..at + len];
+        assert_eq!(reopened.find_all(pattern), reference.find_all(pattern));
+    }
+
+    std::fs::remove_file(&v1_path).ok();
+    std::fs::remove_file(&v2_path).ok();
+}
+
+/// Degenerate inputs: the empty text and the single-symbol text seal,
+/// round-trip through the sidecar, and answer correctly.
+#[test]
+fn empty_and_len1_texts_seal_and_reopen() {
+    for (a, text) in [
+        (Alphabet::dna(), vec![]),
+        (Alphabet::dna(), vec![3 as Code]),
+        (Alphabet::bytes(), vec![]),
+        (Alphabet::bytes(), vec![200 as Code]),
+    ] {
+        let sealed = seal(&a, &text, 2);
+        assert_eq!(sealed.sealed_census().unwrap().nodes, text.len() as u64 + 1);
+        let want_pages = if text.is_empty() { 2 } else { 3 }; // header [+ labels] + nodes
+        assert_eq!(sealed.file_pages().unwrap(), want_pages);
+
+        let mut meta = Vec::new();
+        sealed.write_meta(&mut meta).unwrap();
+        // MemDevice round-trip: reopen over the *same* flushed device image
+        // is exercised by the FileDevice test; here the sidecar must at
+        // least parse and reject nothing for the degenerate shapes.
+        sealed.flush().unwrap();
+        assert_eq!(sealed.find_all(&[0]), scan_find_all(&text, &[0]));
+        if !text.is_empty() {
+            assert_eq!(sealed.find_first(&text), Some(0));
+        }
+        assert!(!sealed.contains(&[0, 0, 0]) || text.len() >= 3);
+    }
+}
+
+/// The sealed pages really are smaller: the v2 file footprint must be a
+/// multiple smaller than the v1 fixed-record footprint on the same text.
+#[test]
+fn v2_footprint_is_materially_smaller_than_v1() {
+    let a = Alphabet::dna();
+    let text = random_text(&a, 4000, 0x5123);
+    let mutable =
+        DiskSpine::build(a.clone(), &text, Box::new(MemDevice::new()), 16, Box::<Lru>::default())
+            .unwrap();
+    let (v1_reads, v1_writes) = mutable.io_counts();
+    assert!(v1_reads + v1_writes > 0);
+    // The mutable layout burns one 80-byte record per node.
+    let v1_pages = (text.len() as u64 + 1).div_ceil(PAGE_SIZE as u64 / 80);
+    let sealed = mutable.seal_to(Box::new(MemDevice::new()), 8, Box::<Lru>::default()).unwrap();
+    let v2_pages = sealed.file_pages().unwrap();
+    assert!(
+        v2_pages * 3 < v1_pages,
+        "layout v2 must cut pages at least 3x: v1 {v1_pages} vs v2 {v2_pages}"
+    );
+    let bytes_per_node = (v2_pages * PAGE_SIZE as u64) as f64 / (text.len() as f64 + 1.0);
+    assert!(bytes_per_node < 14.0, "on-disk bytes/node {bytes_per_node:.2} out of budget");
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Random texts over random alphabets: the sealed engine, squeezed
+    /// through a tiny pool, a sidecar round-trip, and a re-seal, always
+    /// matches the straight-line scan.
+    #[test]
+    fn sealed_engine_matches_scan(
+        len in 0usize..300,
+        seed in 0u64..1 << 48,
+        alpha in 0usize..3,
+    ) {
+        let a = match alpha {
+            0 => Alphabet::dna(),
+            1 => Alphabet::protein(),
+            _ => Alphabet::bytes(),
+        };
+        let text = random_text(&a, len, seed);
+        let sealed = seal(&a, &text, 2);
+        prop_assert_eq!(sealed.sealed_census().unwrap().nodes, len as u64 + 1);
+
+        // Re-sealing a sealed index is lossless.
+        let resealed = sealed
+            .seal_to(Box::new(MemDevice::new()), 2, Box::<Lru>::default())
+            .unwrap();
+        prop_assert_eq!(
+            resealed.sealed_census().unwrap(),
+            sealed.sealed_census().unwrap()
+        );
+
+        let mut r = rng(seed ^ 0xACE);
+        for _ in 0..10 {
+            let plen = r.gen_range(0..=12usize);
+            let pattern: Vec<Code> = if !text.is_empty() && plen <= text.len() && r.gen_bool(0.6) {
+                let at = r.gen_range(0..=text.len() - plen);
+                text[at..at + plen].to_vec()
+            } else {
+                (0..plen).map(|_| r.gen_range(0..a.size()) as Code).collect()
+            };
+            let want = scan_find_all(&text, &pattern);
+            prop_assert_eq!(sealed.find_all(&pattern), want.clone(), "sealed");
+            prop_assert_eq!(resealed.find_all(&pattern), want, "resealed");
+        }
+    }
+}
