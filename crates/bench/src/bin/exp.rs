@@ -30,6 +30,8 @@
 //!                      over HTTP until /quit (port 0 picks an ephemeral one)
 //!     [--flaky]        `serve --http` only: inject transient faults into the
 //!                      disk probe index so /health flips to 503
+//!     [--orphan]       `serve --http` only: plant an uncommitted orphan
+//!                      segment file before recovery so /health reports 503
 //!     [--sync-file]    use a real file device with fsync-per-write for disk runs
 //! ```
 //!
@@ -76,6 +78,10 @@ struct Opts {
     /// `serve --http`: wrap the disk probe index's device in a
     /// `FlakyDevice` so `/health` flips to 503 once the SLO burns.
     flaky: bool,
+    /// `serve --http`: plant an uncommitted orphan segment file in the
+    /// segment store before recovery, so `/health` reports 503 until an
+    /// operator cleans it up.
+    orphan: bool,
 }
 
 impl Default for Opts {
@@ -97,6 +103,7 @@ impl Default for Opts {
             check_build: None,
             http: None,
             flaky: false,
+            orphan: false,
         }
     }
 }
@@ -165,6 +172,10 @@ fn main() {
                 opts.flaky = true;
                 i += 1;
             }
+            "--orphan" => {
+                opts.orphan = true;
+                i += 1;
+            }
             "--sync-file" => {
                 opts.sync_file = true;
                 i += 1;
@@ -187,7 +198,7 @@ fn usage() -> ! {
         "usage: exp <table2|table3|table4|fig6|table5|table6|fig7|fig8|table7|protein|space|buffering|serve|faults|verify|figures|explain|bench-snapshot|http-get|all> \
          [PATTERN] [--scale F] [--threshold N] [--workers N] [--quick] [--json] [--metrics] \
          [--prom] [--chrome-trace] [--out PATH] [--check PATH] [--out-build PATH] \
-         [--check-build PATH] [--http PORT] [--flaky] [--sync-file]"
+         [--check-build PATH] [--http PORT] [--flaky] [--orphan] [--sync-file]"
     );
     std::process::exit(2);
 }
@@ -943,6 +954,35 @@ fn serve_http(opts: &Opts, port: u16) {
     register_build_gauges(&registry, "disk", &disk_stats);
     let probe: Vec<strindex::Code> = dd.seq[..dd.seq.len().min(12)].to_vec();
 
+    // Segment-store recovery probe: build a tiny crash-safe store, seal it,
+    // drop the handle, and reopen — exactly the recovery path. Under
+    // --orphan a stray uncommitted segment file is planted first, so
+    // recovery flags it and /health degrades to 503 until an operator runs
+    // cleanup.
+    let seg_dir = std::env::temp_dir().join(format!("spine-serve-segments-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&seg_dir);
+    {
+        let store = spine::SegmentedSpine::create(
+            dd.alphabet.clone(),
+            &seg_dir,
+            spine::SegmentConfig::default(),
+        )
+        .unwrap();
+        for doc in [&dd.seq[..dd.seq.len().min(64)], &probe[..]] {
+            store.add_document(doc).unwrap();
+        }
+        store.force_seal().unwrap();
+    }
+    if opts.orphan {
+        std::fs::write(seg_dir.join("seg-99.pages"), b"uncommitted orphan").unwrap();
+    }
+    let seg = Arc::new(
+        spine::SegmentedSpine::open(dd.alphabet.clone(), &seg_dir, spine::SegmentConfig::default())
+            .unwrap(),
+    );
+    seg.attach_telemetry(&registry);
+    eprintln!("segments: recovered epoch {} with {} orphan(s)", seg.epoch(), seg.orphan_count());
+
     let routes = MonitorRoutes {
         metrics: {
             let registry = Arc::clone(&registry);
@@ -952,6 +992,7 @@ fn serve_http(opts: &Opts, port: u16) {
             let engine = Arc::clone(&engine);
             let window = Arc::clone(&window);
             let slo = Arc::clone(&slo);
+            let seg = Arc::clone(&seg);
             Box::new(move || {
                 let t0 = Instant::now();
                 let ok = disk.try_find_all(&probe).is_ok();
@@ -961,15 +1002,19 @@ fn serve_http(opts: &Opts, port: u16) {
                 let m = engine.metrics();
                 let ledger_ok = m.is_consistent();
                 let slo_ok = slo.healthy();
+                let orphans = seg.orphan_count();
+                let seg_ok = orphans == 0;
                 let body = format!(
                     "{{\"ledger_consistent\":{ledger_ok},\"slo_healthy\":{slo_ok},\
-                     \"probe_ok\":{ok},\"burn_short\":{:.3},\"burn_long\":{:.3},\
+                     \"probe_ok\":{ok},\"segments_clean\":{seg_ok},\"orphans\":{orphans},\
+                     \"epoch\":{},\"burn_short\":{:.3},\"burn_long\":{:.3},\
                      \"completed\":{}}}\n",
+                    seg.epoch(),
                     slo.burn_rate_short(),
                     slo.burn_rate_long(),
                     m.completed
                 );
-                (ledger_ok && slo_ok, body)
+                (ledger_ok && slo_ok && seg_ok, body)
             })
         },
         explain: {
@@ -996,11 +1041,13 @@ fn serve_http(opts: &Opts, port: u16) {
     use std::io::Write as _;
     std::io::stdout().flush().ok();
     eprintln!(
-        "serving /metrics /health /explain?q=PAT /quit ({} primed queries{})",
+        "serving /metrics /health /explain?q=PAT /quit ({} primed queries{}{})",
         primed,
-        if opts.flaky { ", flaky probe device" } else { "" }
+        if opts.flaky { ", flaky probe device" } else { "" },
+        if opts.orphan { ", planted orphan segment" } else { "" }
     );
     let served = server.serve().expect("accept loop failed");
+    let _ = std::fs::remove_dir_all(&seg_dir);
     println!("OK: monitor served {served} request(s), shut down cleanly");
 }
 
@@ -1062,6 +1109,12 @@ fn faults(opts: &Opts) {
             .cell("seal-errs", r.seal_faults as f64)
             .cell("source-intact", r.sealed_source_intact as u8 as f64)
             .cell("reseal-oracle-ok", r.sealed_oracle_match as u8 as f64),
+        Row::new("segment-store")
+            .cell("lifecycle-ops", r.segment_ops as f64)
+            .cell("crash-errs", r.segment_faults as f64)
+            .cell("recoveries-ok", r.segment_recoveries as f64)
+            .cell("torn", r.segment_torn as f64)
+            .cell("orphaned", r.segment_orphaned as f64),
     ];
     print_table(
         "Faults — crashpoint sweep (hard faults) + retry layer vs oracle (transient)",
@@ -1071,18 +1124,20 @@ fn faults(opts: &Opts) {
     assert!(
         r.holds(),
         "fault-tolerance contract violated: {} panics, {} swallowed, burst ok={}, prob ok={}, \
-         seal source intact={}, reseal oracle ok={}",
+         seal source intact={}, reseal oracle ok={}, segment torn={}",
         r.panics,
         r.swallowed,
         r.burst_oracle_match,
         r.probability_oracle_match,
         r.sealed_source_intact,
-        r.sealed_oracle_match
+        r.sealed_oracle_match,
+        r.segment_torn
     );
     println!(
         "OK: {} crashpoints -> clean Err; retry-wrapped runs match the in-memory oracle; \
-         {} mid-seal crashes left the committed version intact",
-        r.tested, r.seal_faults
+         {} mid-seal crashes left the committed version intact; {} segment-store crashes \
+         all recovered to a committed epoch with oracle-exact answers",
+        r.tested, r.seal_faults, r.segment_faults
     );
 }
 

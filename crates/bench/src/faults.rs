@@ -15,9 +15,10 @@
 //! jitter generator is seeded per device.
 
 use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::path::Path;
 
 use pagestore::{FaultyDevice, FlakyDevice, Lru, MemDevice, PageDevice, RetryDevice, RetryPolicy};
-use spine::{DiskSpine, Spine};
+use spine::{DiskSpine, IoGate, SegmentConfig, SegmentedSpine, Spine};
 use strindex::{Alphabet, Code, StringIndex};
 
 use crate::Dataset;
@@ -76,6 +77,21 @@ pub struct SweepReport {
     /// A clean seal retried after the crashes matches the in-memory oracle
     /// on every pattern.
     pub sealed_oracle_match: bool,
+    /// I/O operations (page ops, manifest and sidecar file ops, syncs) in
+    /// one clean segment-store lifecycle — the pass-4 crashpoint space.
+    /// Recovery ops are part of it: the sweep crashes recovery too.
+    pub segment_ops: u64,
+    /// Segment-store crashpoints that degraded to a clean `Err`.
+    pub segment_faults: u64,
+    /// Post-crash recoveries that landed on a committed manifest epoch
+    /// with oracle-exact answers.
+    pub segment_recoveries: u64,
+    /// Post-crash recoveries that landed anywhere else — a torn store.
+    /// Must be 0.
+    pub segment_torn: u64,
+    /// Recoveries that found orphan files (evidence of the crash, left for
+    /// inspection) — informational.
+    pub segment_orphaned: u64,
 }
 
 impl SweepReport {
@@ -91,6 +107,9 @@ impl SweepReport {
             && self.seal_faults > 0
             && self.sealed_source_intact
             && self.sealed_oracle_match
+            && self.segment_ops > 0
+            && self.segment_faults > 0
+            && self.segment_torn == 0
     }
 }
 
@@ -221,7 +240,9 @@ pub fn crashpoint_sweep(quick: bool) -> SweepReport {
         .seal_to(Box::new(MemDevice::new()), POOL_PAGES, Box::<Lru>::default())
         .expect("clean seal must not fail");
     let (seal_reads, seal_writes) = sealed.io_counts();
-    report.seal_ops = seal_reads + seal_writes;
+    // Syncs spend fault budget too (the barrier can fail like any op), so
+    // they belong to the crashpoint index space.
+    report.seal_ops = seal_reads + seal_writes + sealed.io_syncs();
 
     let stride = if quick { (report.seal_ops / 24).max(1) } else { 1 };
     report.sealed_source_intact = true;
@@ -257,6 +278,66 @@ pub fn crashpoint_sweep(quick: bool) -> SweepReport {
         Err(_) => report.sealed_oracle_match = false,
     }
 
+    // ---- pass 4: crashpoints across segment commit, merge, and recovery ----
+    // A scripted segment-store lifecycle (adds, seals, a durable retire, a
+    // merge) is first run clean to count its I/O operations — page ops,
+    // manifest commits, sidecar writes, syncs, deletions, and the recovery
+    // reads of the initial open all charge one shared IoGate. Then the
+    // same lifecycle runs once per (strided) operation index with the gate
+    // armed: everything from that index on fails, like a crash. Recovery
+    // must land on a committed manifest epoch (the last acknowledged one,
+    // or the in-flight commit when the crash hit between its rename and
+    // directory sync) and answer every probe pattern oracle-exactly.
+    {
+        let base =
+            std::env::temp_dir().join(format!("spine-faults-segments-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&base);
+
+        let clean_dir = base.join("clean");
+        init_segment_store(&clean_dir);
+        let gate = IoGate::unarmed();
+        let clean = run_segment_script(&clean_dir, Some(gate.clone()));
+        assert!(clean.result.is_ok(), "clean segment lifecycle must not fail");
+        report.segment_ops = gate.ops();
+        let (exact, _) = verify_segment_recovery(&clean_dir, &clean);
+        assert!(exact, "clean segment lifecycle diverges from the per-document oracle");
+        let _ = std::fs::remove_dir_all(&clean_dir);
+
+        let stride = if quick { (report.segment_ops / 32).max(1) } else { 1 };
+        let prev_hook = std::panic::take_hook();
+        std::panic::set_hook(Box::new(|_| {}));
+        let mut k = 0;
+        while k < report.segment_ops {
+            let dir = base.join(format!("k{k}"));
+            init_segment_store(&dir);
+            match catch_unwind(AssertUnwindSafe(|| {
+                run_segment_script(&dir, Some(IoGate::armed(k)))
+            })) {
+                Ok(outcome) => {
+                    if outcome.result.is_ok() {
+                        report.swallowed += 1;
+                    } else {
+                        report.segment_faults += 1;
+                    }
+                    let (exact, orphans) = verify_segment_recovery(&dir, &outcome);
+                    if exact {
+                        report.segment_recoveries += 1;
+                    } else {
+                        report.segment_torn += 1;
+                    }
+                    if orphans {
+                        report.segment_orphaned += 1;
+                    }
+                }
+                Err(_) => report.panics += 1,
+            }
+            let _ = std::fs::remove_dir_all(&dir);
+            k += stride;
+        }
+        std::panic::set_hook(prev_hook);
+        let _ = std::fs::remove_dir_all(&base);
+    }
+
     // Count absorbed retries with a dedicated instrumented run (the boxed
     // runs above erase the concrete device type).
     let flaky = FlakyDevice::with_probability(MemDevice::new(), 0.05, 0xFA017);
@@ -269,6 +350,153 @@ pub fn crashpoint_sweep(quick: bool) -> SweepReport {
     report.retries_absorbed = retry.retries();
 
     report
+}
+
+/// The pass-4 document set, indexed by global document id (the script
+/// assigns ids 0.. in this order).
+const SEG_DOCS: [&[u8]; 5] = [b"ACGTACGTAC", b"GGGGTTTT", b"ACACACAC", b"TTGGCCAA", b"CAGTCAGT"];
+
+/// Probe patterns for post-recovery verification: hits across several
+/// documents, a repeat, a single-doc hit, a two-symbol pattern, and the
+/// empty pattern.
+const SEG_PROBES: [&[u8]; 5] = [b"ACGT", b"GGGG", b"CAGT", b"AC", b""];
+
+/// Adds never auto-seal (threshold `usize::MAX`), so commits happen only
+/// at the script's explicit seal/retire/merge steps — the crashpoint
+/// accounting stays readable.
+fn seg_config(gate: Option<IoGate>) -> SegmentConfig {
+    SegmentConfig { memtable_max_symbols: usize::MAX, pool_pages: 4, merge_min_segments: 2, gate }
+}
+
+/// Create the (ungated) empty store each pass-4 run starts from.
+fn init_segment_store(dir: &Path) {
+    std::fs::create_dir_all(dir).expect("create segment sweep dir");
+    SegmentedSpine::create(Alphabet::dna(), dir, seg_config(None))
+        .expect("ungated segment-store create must not fail");
+}
+
+/// What a pass-4 run observed: every acknowledged commit's
+/// `(epoch, live sealed doc ids)`, plus the commit that was in flight if
+/// the run crashed mid-operation.
+struct SegScriptOutcome {
+    committed: Vec<(u64, Vec<u64>)>,
+    pending: Option<(u64, Vec<u64>)>,
+    result: Result<(), strindex::Error>,
+}
+
+/// The scripted lifecycle: two sealed batches, a durable retire, a
+/// volatile add, a merge, a final seal. Aborts at the first error (the
+/// injected crash), recording the in-flight commit's target state.
+fn run_segment_script(dir: &Path, gate: Option<IoGate>) -> SegScriptOutcome {
+    let alphabet = Alphabet::dna();
+    let enc = |b: &[u8]| alphabet.encode(b).expect("probe docs are valid DNA");
+    let mut out =
+        SegScriptOutcome { committed: vec![(0, Vec::new())], pending: None, result: Ok(()) };
+    let s = match SegmentedSpine::open(alphabet.clone(), dir, seg_config(gate)) {
+        Ok(s) => s,
+        Err(e) => {
+            out.result = Err(e);
+            return out;
+        }
+    };
+    let mut epoch = s.epoch();
+
+    macro_rules! volatile {
+        ($call:expr) => {
+            if let Err(e) = $call {
+                out.result = Err(e);
+                return out;
+            }
+        };
+    }
+    macro_rules! commit {
+        ($live:expr, $call:expr) => {
+            out.pending = Some((epoch + 1, $live));
+            match $call {
+                Ok(_) => {
+                    epoch = s.epoch();
+                    let (_, live) = out.pending.take().expect("pending set above");
+                    out.committed.push((epoch, live));
+                }
+                Err(e) => {
+                    out.result = Err(e);
+                    return out;
+                }
+            }
+        };
+    }
+
+    volatile!(s.add_document(&enc(SEG_DOCS[0])));
+    volatile!(s.add_document(&enc(SEG_DOCS[1])));
+    commit!(vec![0, 1], s.force_seal());
+    volatile!(s.add_document(&enc(SEG_DOCS[2])));
+    volatile!(s.add_document(&enc(SEG_DOCS[3])));
+    commit!(vec![0, 1, 2, 3], s.force_seal());
+    commit!(vec![0, 2, 3], s.retire_document(1));
+    volatile!(s.add_document(&enc(SEG_DOCS[4])));
+    commit!(vec![0, 2, 3], s.merge_once());
+    commit!(vec![0, 2, 3, 4], s.force_seal());
+    out
+}
+
+/// Naive per-document oracle: every occurrence of `pattern` in the given
+/// live documents, as sorted `(doc, offset)` pairs. The empty pattern
+/// occurs at every position, boundaries included.
+fn seg_oracle(live: &[u64], pattern: &[u8]) -> Vec<(usize, usize)> {
+    let mut hits = Vec::new();
+    for &d in live {
+        let content = SEG_DOCS[d as usize];
+        if pattern.is_empty() {
+            hits.extend((0..=content.len()).map(|off| (d as usize, off)));
+            continue;
+        }
+        if pattern.len() > content.len() {
+            continue;
+        }
+        for off in 0..=content.len() - pattern.len() {
+            if &content[off..off + pattern.len()] == pattern {
+                hits.push((d as usize, off));
+            }
+        }
+    }
+    hits
+}
+
+/// Recover `dir` ungated and check the crash-safety contract: the store
+/// opens, lands on an epoch the run committed (or had in flight), reports
+/// exactly that epoch's live documents, and answers every probe pattern
+/// like the naive oracle. Returns `(contract holds, orphans found)`.
+fn verify_segment_recovery(dir: &Path, run: &SegScriptOutcome) -> (bool, bool) {
+    let alphabet = Alphabet::dna();
+    let s = match SegmentedSpine::open(alphabet.clone(), dir, seg_config(None)) {
+        Ok(s) => s,
+        Err(_) => return (false, false),
+    };
+    let orphans = s.orphan_count() > 0;
+    let epoch = s.epoch();
+    let expected_live = run
+        .committed
+        .iter()
+        .chain(run.pending.as_ref())
+        .find(|(e, _)| *e == epoch)
+        .map(|(_, live)| live.clone());
+    let Some(expected_live) = expected_live else {
+        return (false, orphans);
+    };
+    if s.live_doc_ids() != expected_live {
+        return (false, orphans);
+    }
+    for probe in SEG_PROBES {
+        let pattern = alphabet.encode(probe).expect("probes are valid DNA");
+        let got: Vec<(usize, usize)> = match s.try_find_all(&pattern) {
+            Ok(ms) => ms.into_iter().map(|m| (m.doc, m.offset)).collect(),
+            Err(_) => return (false, orphans),
+        };
+        if got != seg_oracle(&expected_live, probe) {
+            return (false, orphans);
+        }
+    }
+    (true, orphans)
 }
 
 #[cfg(test)]
@@ -285,6 +513,14 @@ mod tests {
         assert!(
             r.query_faults + r.flush_faults > 0,
             "some crashpoints must land after build: {r:?}"
+        );
+        assert!(r.segment_ops > 0, "the segment pass must charge I/O operations");
+        assert!(r.segment_faults > 0, "segment crashpoints must surface as clean errors");
+        assert_eq!(r.segment_torn, 0, "every recovery must land on a committed epoch: {r:?}");
+        assert_eq!(
+            r.segment_recoveries,
+            r.segment_faults + r.swallowed,
+            "every crashed run must recover: {r:?}"
         );
     }
 

@@ -653,7 +653,10 @@ impl DiskSpine {
         node_pages += 1;
 
         // The header page goes in *last*: until it exists, the device does
-        // not parse as a sealed index at all.
+        // not parse as a sealed index at all. Barrier first — "last" must be
+        // a media-order fact, not just program order, or a crash between the
+        // body and the header could leave a header over torn pages.
+        pool.sync()?;
         let len = self.len as u64;
         pool.write(0, |b| {
             b.fill(0);
@@ -674,7 +677,7 @@ impl DiskSpine {
             b[at + 17..at + 21].copy_from_slice(&label_pages.to_le_bytes());
             b[at + 21..at + 25].copy_from_slice(&node_pages.to_le_bytes());
         })?;
-        pool.flush()?;
+        pool.sync()?;
 
         Ok(DiskSpine {
             alphabet: self.alphabet.clone(),
@@ -843,6 +846,14 @@ impl DiskSpine {
         let g = self.store.lock();
         let io = g.pool().io_stats();
         (io.reads(), io.writes())
+    }
+
+    /// Durability barriers issued at the device (sealing issues two: one
+    /// before the header page, one after). Together with [`Self::io_counts`]
+    /// this spans the crashpoint index space the fault sweep enumerates.
+    pub fn io_syncs(&self) -> u64 {
+        let g = self.store.lock();
+        g.pool().io_stats().syncs()
     }
 
     /// Extribs that did not fit the inline record slots (mutable layout;

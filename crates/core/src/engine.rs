@@ -34,14 +34,18 @@
 //!   latencies, batch sizes, and per-query/per-batch tracing spans. Engines
 //!   built with [`QueryEngine::new`] record nothing and pay nothing.
 //!
-//! Any [`FallibleSpineOps`] engine works: the reference [`crate::Spine`],
-//! the §5 [`crate::CompactSpine`], a [`GeneralizedSpine`] over many
-//! documents, or a page-resident [`crate::DiskSpine`] — whose storage
-//! faults degrade the affected requests to [`QueryOutcome::Failed`] instead
-//! of tearing down the server. For corpora too large for one backbone,
-//! [`ShardedEngine`] partitions documents across several generalized
-//! indexes, broadcasts every pattern, and merges the per-shard answers into
-//! global [`DocMatch`]es.
+//! Any [`ServeIndex`] works. Every [`FallibleSpineOps`] engine is one for
+//! free (a blanket impl coalesces the batch into a single backbone scan):
+//! the reference [`crate::Spine`], the §5 [`crate::CompactSpine`], a
+//! [`GeneralizedSpine`] over many documents, or a page-resident
+//! [`crate::DiskSpine`] — whose storage faults degrade the affected
+//! requests to [`QueryOutcome::Failed`] instead of tearing down the server.
+//! Composite indexes like the segmented LSM store
+//! ([`crate::SegmentedSpine`]) implement [`ServeIndex`] directly and answer
+//! with document-level matches ([`QueryOutcome::DoneDocs`]). For corpora
+//! too large for one backbone, [`ShardedEngine`] partitions documents
+//! across several generalized indexes, broadcasts every pattern, and merges
+//! the per-shard answers into global [`DocMatch`]es.
 //!
 //! ```
 //! use spine::engine::{EngineConfig, QueryEngine};
@@ -137,6 +141,11 @@ pub enum QueryOutcome {
     /// Answered: end positions (1-based) of every occurrence, ascending —
     /// the same values serial [`crate::occurrences::find_all_ends`] yields.
     Done(Vec<NodeId>),
+    /// Answered by a document-collection index: every occurrence as a
+    /// `(document, offset)` pair, ordered by (doc, offset). Produced by
+    /// [`ServeIndex`] implementations whose position space is per-document
+    /// (the segmented store) rather than one concatenation.
+    DoneDocs(Vec<DocMatch>),
     /// The request's deadline passed before a worker batched it; no index
     /// work was spent on it.
     TimedOut,
@@ -144,6 +153,14 @@ pub enum QueryOutcome {
     /// the traversal, or the worker panicked mid-batch. The message
     /// explains which.
     Failed(String),
+}
+
+impl QueryOutcome {
+    /// Did the request produce an answer (either position flavor)?
+    /// Timeouts and failures count against availability.
+    pub fn is_answered(&self) -> bool {
+        matches!(self, QueryOutcome::Done(_) | QueryOutcome::DoneDocs(_))
+    }
 }
 
 /// The answer to one submitted pattern.
@@ -179,6 +196,24 @@ impl QueryResult {
     /// did not complete.
     pub fn expect_starts(&self) -> Vec<usize> {
         self.expect_ends().iter().map(|&e| e as usize - self.pattern.len()).collect()
+    }
+
+    /// Document-level matches if the query completed against a
+    /// document-collection index, `None` otherwise.
+    pub fn doc_matches(&self) -> Option<&[DocMatch]> {
+        match &self.outcome {
+            QueryOutcome::DoneDocs(m) => Some(m),
+            _ => None,
+        }
+    }
+
+    /// Document-level matches; panics if the query did not complete with
+    /// [`QueryOutcome::DoneDocs`].
+    pub fn expect_doc_matches(&self) -> &[DocMatch] {
+        match &self.outcome {
+            QueryOutcome::DoneDocs(m) => m,
+            other => panic!("query {} has no document matches: {other:?}", self.id),
+        }
     }
 }
 
@@ -284,6 +319,84 @@ impl WorkerStats {
             queries: self.queries.load(Relaxed),
             max_batch: self.max_batch.load(Relaxed),
         }
+    }
+}
+
+/// What a [`QueryEngine`] needs from an index: answer a coalesced batch of
+/// patterns, one outcome per pattern, in order.
+///
+/// Every [`FallibleSpineOps`] engine gets this for free via a blanket impl
+/// that resolves the whole batch with one shared backbone scan
+/// ([`crate::occurrences::try_find_all_ends_batch`]) and answers in
+/// concatenation coordinates ([`QueryOutcome::Done`]). Composite stores
+/// (the segmented LSM index) implement it directly and answer per document
+/// ([`QueryOutcome::DoneDocs`]). Either way the engine's queueing,
+/// deadlines, shedding, panic isolation, and ledger accounting apply
+/// unchanged.
+pub trait ServeIndex: Send + Sync {
+    /// Resolve `patterns` (a worker's coalesced batch); the returned vector
+    /// must have exactly one outcome per pattern, in order. Failures are
+    /// per-pattern: a storage fault in one pattern's resolution should fail
+    /// only that pattern. A panic fails the whole batch (the engine catches
+    /// it, fails every request in the batch, and respawns the worker).
+    fn answer_patterns(&self, patterns: &[&[Code]]) -> Vec<QueryOutcome>;
+
+    /// Snapshot of the index's work counters, aggregated over whatever
+    /// structures it queries (one backbone, or memtable + every segment).
+    fn counters_snapshot(&self) -> CountersSnapshot;
+}
+
+/// The batching path every single-backbone engine shares: locate each
+/// pattern's valid path, then answer all located patterns with one shared
+/// backbone scan.
+impl<S: FallibleSpineOps + Send + Sync> ServeIndex for S {
+    fn answer_patterns(&self, patterns: &[&[Code]]) -> Vec<QueryOutcome> {
+        let located: Vec<Located> = patterns
+            .iter()
+            .map(|p| {
+                if p.is_empty() {
+                    return Located::Empty;
+                }
+                match try_locate(self, p) {
+                    Ok(Some(first)) => {
+                        Located::At(Target { first_end: first, len: p.len() as u32 })
+                    }
+                    Ok(None) => Located::Absent,
+                    Err(e) => Located::Error(e.to_string()),
+                }
+            })
+            .collect();
+        let targets: Vec<Target> = located
+            .iter()
+            .filter_map(|l| match l {
+                Located::At(t) => Some(*t),
+                _ => None,
+            })
+            .collect();
+        let scanned: std::result::Result<_, String> =
+            try_find_all_ends_batch(self, &targets).map_err(|e| e.to_string());
+        located
+            .iter()
+            .map(|l| match (l, &scanned) {
+                // The empty pattern ends at every node (serial
+                // `find_all_ends` agrees: its scan accepts all of 0..=n).
+                (Located::Empty, _) => {
+                    QueryOutcome::Done((0..=self.text_len() as NodeId).collect())
+                }
+                (Located::Absent, _) => QueryOutcome::Done(Vec::new()),
+                (Located::Error(e), _) => QueryOutcome::Failed(e.clone()),
+                // Duplicate targets share one entry in the scan result, so
+                // clone rather than remove. (remove would starve the twin.)
+                (Located::At(t), Ok(map)) => {
+                    QueryOutcome::Done(map.get(t).cloned().unwrap_or_default())
+                }
+                (Located::At(_), Err(e)) => QueryOutcome::Failed(e.clone()),
+            })
+            .collect()
+    }
+
+    fn counters_snapshot(&self) -> CountersSnapshot {
+        self.ops_counters().snapshot()
     }
 }
 
@@ -404,7 +517,7 @@ impl Shared {
 ///
 /// Dropping the engine shuts the pool down; un-drained results are
 /// discarded.
-pub struct QueryEngine<S: FallibleSpineOps + Send + Sync + 'static> {
+pub struct QueryEngine<S: ServeIndex + 'static> {
     index: Arc<S>,
     shared: Arc<Shared>,
     next_id: AtomicU64,
@@ -413,7 +526,7 @@ pub struct QueryEngine<S: FallibleSpineOps + Send + Sync + 'static> {
     pool: Vec<JoinHandle<()>>,
 }
 
-impl<S: FallibleSpineOps + Send + Sync + 'static> QueryEngine<S> {
+impl<S: ServeIndex + 'static> QueryEngine<S> {
     /// Spin up a worker pool over `index` with telemetry disabled.
     pub fn new(index: Arc<S>, config: EngineConfig) -> Self {
         Self::build(index, config, None)
@@ -562,49 +675,6 @@ impl<S: FallibleSpineOps + Send + Sync + 'static> QueryEngine<S> {
         Ok(id)
     }
 
-    /// Answer one pattern synchronously on the calling thread with a full
-    /// EXPLAIN trace attached ([`crate::trace::QueryTrace`]).
-    ///
-    /// The request flows through the same ledger as queued submissions
-    /// (submitted → in-flight → completed/failed), so
-    /// [`MetricsSnapshot::is_consistent`] holds on every snapshot taken
-    /// while the traced query runs, and telemetry-enabled engines record
-    /// its end-to-end latency plus a `q<id>.explain` span like any other
-    /// query. It bypasses the admission queue — EXPLAIN is a diagnostic
-    /// read, not load — and never sheds.
-    ///
-    /// A storage fault ends as [`QueryOutcome::Failed`] with the partial
-    /// trace retained ([`crate::trace::QueryTrace::error`]).
-    pub fn submit_traced(&self, pattern: Vec<Code>) -> (QueryResult, crate::trace::QueryTrace) {
-        let start = Instant::now();
-        let id = self.next_id.fetch_add(1, Relaxed);
-        {
-            let mut st = self.shared.lock();
-            st.ledger.submitted += 1;
-            st.in_flight += 1;
-        }
-        let trace = crate::trace::explain(self.index.as_ref(), &pattern);
-        let outcome = match &trace.error {
-            Some(e) => QueryOutcome::Failed(e.clone()),
-            None => QueryOutcome::Done(trace.ends.clone()),
-        };
-        let mut st = self.shared.lock();
-        st.in_flight -= 1;
-        match outcome {
-            QueryOutcome::Done(_) => st.ledger.completed += 1,
-            _ => st.ledger.failed += 1,
-        }
-        if let Some(t) = &self.shared.telemetry {
-            let published = Instant::now();
-            let latency = published - start;
-            t.record_latency(latency, matches!(outcome, QueryOutcome::Done(_)));
-            t.registry.record_span(format!("q{id}.explain"), start, latency);
-        }
-        self.shared.notify_if_idle(&st);
-        drop(st);
-        (QueryResult { id, pattern, outcome }, trace)
-    }
-
     /// Enqueue many patterns; returns one admission result per pattern, in
     /// order. Under [`ShedPolicy::RejectNewest`] individual patterns may be
     /// shed while earlier ones were admitted.
@@ -656,7 +726,7 @@ impl<S: FallibleSpineOps + Send + Sync + 'static> QueryEngine<S> {
     pub fn metrics(&self) -> MetricsSnapshot {
         let st = self.shared.lock();
         MetricsSnapshot {
-            index: self.index.ops_counters().snapshot(),
+            index: self.index.counters_snapshot(),
             workers: self.shared.worker_stats.iter().map(WorkerStats::read).collect(),
             submitted: st.ledger.submitted,
             completed: st.ledger.completed,
@@ -671,7 +741,56 @@ impl<S: FallibleSpineOps + Send + Sync + 'static> QueryEngine<S> {
     }
 }
 
-impl<S: FallibleSpineOps + Send + Sync + 'static> Drop for QueryEngine<S> {
+impl<S: FallibleSpineOps + Send + Sync + 'static> QueryEngine<S> {
+    /// Answer one pattern synchronously on the calling thread with a full
+    /// EXPLAIN trace attached ([`crate::trace::QueryTrace`]).
+    ///
+    /// The request flows through the same ledger as queued submissions
+    /// (submitted → in-flight → completed/failed), so
+    /// [`MetricsSnapshot::is_consistent`] holds on every snapshot taken
+    /// while the traced query runs, and telemetry-enabled engines record
+    /// its end-to-end latency plus a `q<id>.explain` span like any other
+    /// query. It bypasses the admission queue — EXPLAIN is a diagnostic
+    /// read, not load — and never sheds.
+    ///
+    /// Only single-backbone ([`FallibleSpineOps`]) engines trace; composite
+    /// stores explain per component ([`crate::SegmentedSpine::explain`]).
+    ///
+    /// A storage fault ends as [`QueryOutcome::Failed`] with the partial
+    /// trace retained ([`crate::trace::QueryTrace::error`]).
+    pub fn submit_traced(&self, pattern: Vec<Code>) -> (QueryResult, crate::trace::QueryTrace) {
+        let start = Instant::now();
+        let id = self.next_id.fetch_add(1, Relaxed);
+        {
+            let mut st = self.shared.lock();
+            st.ledger.submitted += 1;
+            st.in_flight += 1;
+        }
+        let trace = crate::trace::explain(self.index.as_ref(), &pattern);
+        let outcome = match &trace.error {
+            Some(e) => QueryOutcome::Failed(e.clone()),
+            None => QueryOutcome::Done(trace.ends.clone()),
+        };
+        let mut st = self.shared.lock();
+        st.in_flight -= 1;
+        if outcome.is_answered() {
+            st.ledger.completed += 1;
+        } else {
+            st.ledger.failed += 1;
+        }
+        if let Some(t) = &self.shared.telemetry {
+            let published = Instant::now();
+            let latency = published - start;
+            t.record_latency(latency, outcome.is_answered());
+            t.registry.record_span(format!("q{id}.explain"), start, latency);
+        }
+        self.shared.notify_if_idle(&st);
+        drop(st);
+        (QueryResult { id, pattern, outcome }, trace)
+    }
+}
+
+impl<S: ServeIndex + 'static> Drop for QueryEngine<S> {
     fn drop(&mut self) {
         self.shared.lock().shutdown = true;
         self.shared.work_ready.notify_all();
@@ -691,12 +810,7 @@ impl<S: FallibleSpineOps + Send + Sync + 'static> Drop for QueryEngine<S> {
 /// caught here just long enough to fail the batch's requests and restore the
 /// accounting, then re-raised so the spawn loop in [`QueryEngine::new`] can
 /// count the respawn.
-fn worker_loop<S: FallibleSpineOps + ?Sized>(
-    index: &S,
-    shared: &Shared,
-    who: usize,
-    batch_max: usize,
-) {
+fn worker_loop<S: ServeIndex + ?Sized>(index: &S, shared: &Shared, who: usize, batch_max: usize) {
     let telemetry = shared.telemetry.as_ref();
     loop {
         // Submit instants of the batch's requests, kept so publish can
@@ -800,7 +914,7 @@ fn worker_loop<S: FallibleSpineOps + ?Sized>(
         st.in_flight -= batch.len();
         for r in &results {
             match r.outcome {
-                QueryOutcome::Done(_) => st.ledger.completed += 1,
+                QueryOutcome::Done(_) | QueryOutcome::DoneDocs(_) => st.ledger.completed += 1,
                 QueryOutcome::TimedOut => st.ledger.timed_out += 1,
                 QueryOutcome::Failed(_) => st.ledger.failed += 1,
             };
@@ -816,7 +930,7 @@ fn worker_loop<S: FallibleSpineOps + ?Sized>(
             t.registry.record_span(format!("w{who}.batch"), scan_start, published - scan_start);
             for (r, at) in results.iter().zip(&submitted_at) {
                 let latency = published - *at;
-                t.record_latency(latency, matches!(r.outcome, QueryOutcome::Done(_)));
+                t.record_latency(latency, r.outcome.is_answered());
                 t.registry.record_span(format!("q{}", r.id), *at, latency);
             }
         }
@@ -845,59 +959,24 @@ enum Located {
     Error(String),
 }
 
-/// Resolve a coalesced batch: locate each pattern's valid path, then answer
-/// every located pattern with one shared backbone scan.
+/// Resolve a coalesced batch through the index's [`ServeIndex`] surface and
+/// pair each outcome back with its request.
 ///
-/// Failure is per-request: a storage fault during one pattern's locate fails
-/// only that pattern; a fault during the shared scan fails exactly the
-/// requests that depended on the scan (patterns already known absent still
-/// answer `Done([])`).
-fn answer_batch<S: FallibleSpineOps + ?Sized>(index: &S, batch: &[Request]) -> Vec<QueryResult> {
-    let located: Vec<Located> = batch
-        .iter()
-        .map(|r| {
-            if r.pattern.is_empty() {
-                return Located::Empty;
-            }
-            match try_locate(index, &r.pattern) {
-                Ok(Some(first)) => {
-                    Located::At(Target { first_end: first, len: r.pattern.len() as u32 })
-                }
-                Ok(None) => Located::Absent,
-                Err(e) => Located::Error(e.to_string()),
-            }
-        })
-        .collect();
-    let targets: Vec<Target> = located
-        .iter()
-        .filter_map(|l| match l {
-            Located::At(t) => Some(*t),
-            _ => None,
-        })
-        .collect();
-    let scanned: std::result::Result<_, String> =
-        try_find_all_ends_batch(index, &targets).map_err(|e| e.to_string());
+/// Failure is per-request (the contract `answer_patterns` documents); an
+/// index that returns the wrong number of outcomes panics here, which the
+/// worker's catch_unwind turns into a failed batch plus a respawn.
+fn answer_batch<S: ServeIndex + ?Sized>(index: &S, batch: &[Request]) -> Vec<QueryResult> {
+    let patterns: Vec<&[Code]> = batch.iter().map(|r| r.pattern.as_slice()).collect();
+    let outcomes = index.answer_patterns(&patterns);
+    assert_eq!(
+        outcomes.len(),
+        batch.len(),
+        "ServeIndex::answer_patterns must return one outcome per pattern"
+    );
     batch
         .iter()
-        .zip(&located)
-        .map(|(r, l)| {
-            let outcome = match (l, &scanned) {
-                // The empty pattern ends at every node (serial
-                // `find_all_ends` agrees: its scan accepts all of 0..=n).
-                (Located::Empty, _) => {
-                    QueryOutcome::Done((0..=index.text_len() as NodeId).collect())
-                }
-                (Located::Absent, _) => QueryOutcome::Done(Vec::new()),
-                (Located::Error(e), _) => QueryOutcome::Failed(e.clone()),
-                // Duplicate targets share one entry in the scan result, so
-                // clone rather than remove. (remove would starve the twin.)
-                (Located::At(t), Ok(map)) => {
-                    QueryOutcome::Done(map.get(t).cloned().unwrap_or_default())
-                }
-                (Located::At(_), Err(e)) => QueryOutcome::Failed(e.clone()),
-            };
-            QueryResult { id: r.id, pattern: r.pattern.clone(), outcome }
-        })
+        .zip(outcomes)
+        .map(|(r, outcome)| QueryResult { id: r.id, pattern: r.pattern.clone(), outcome })
         .collect()
 }
 
@@ -1102,6 +1181,17 @@ impl ShardedEngine {
                             matches.push(DocMatch {
                                 doc: self.global_doc[s][local.doc],
                                 offset: local.offset,
+                            });
+                        }
+                    }
+                    // Shard engines answer through the concatenation path
+                    // today; if a future shard index answers per document,
+                    // its local doc ids still map through the same table.
+                    QueryOutcome::DoneDocs(ms) => {
+                        for m in ms {
+                            matches.push(DocMatch {
+                                doc: self.global_doc[s][m.doc],
+                                offset: m.offset,
                             });
                         }
                     }

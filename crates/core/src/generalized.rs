@@ -41,12 +41,17 @@ pub struct GeneralizedSpine {
     /// `starts[d]` = offset of document `d` in the concatenation
     /// (terminators included); a final sentinel entry holds the total.
     starts: Vec<usize>,
+    /// Retired (tombstoned) documents, by insertion index. The SPINE itself
+    /// is append-only, so retirement is logical: retired documents keep
+    /// their ids and their text stays in the concatenation, but every query
+    /// surface filters them out. The segment layer compacts them away.
+    retired: Vec<bool>,
 }
 
 impl GeneralizedSpine {
     /// An empty multi-string index.
     pub fn new(alphabet: Alphabet) -> Self {
-        GeneralizedSpine { spine: Spine::new(alphabet), starts: vec![0] }
+        GeneralizedSpine { spine: Spine::new(alphabet), starts: vec![0], retired: Vec::new() }
     }
 
     /// Append one encoded document (terminator added automatically).
@@ -61,6 +66,7 @@ impl GeneralizedSpine {
         self.spine.extend_from(doc)?;
         self.spine.push(sep)?;
         self.starts.push(self.spine.len());
+        self.retired.push(false);
         Ok(())
     }
 
@@ -87,7 +93,36 @@ impl GeneralizedSpine {
         self.spine.extend_from_observed(doc, observer)?;
         self.spine.push_observed(sep, observer)?;
         self.starts.push(self.spine.len());
+        self.retired.push(false);
         Ok(())
+    }
+
+    /// Logically delete document `doc`: it stops appearing in every query
+    /// surface (`find_all`, `docs_containing`, `contains`) but keeps its id,
+    /// so later documents do not shift. Returns `Ok(true)` when this call
+    /// retired the document, `Ok(false)` when it was already retired
+    /// (idempotent), and [`Error::UnknownDocument`] for an id that was never
+    /// assigned — the segment layer and the per-document oracle share these
+    /// semantics.
+    pub fn retire_document(&mut self, doc: usize) -> Result<bool> {
+        match self.retired.get_mut(doc) {
+            None => Err(Error::UnknownDocument { doc: doc as u64 }),
+            Some(flag) if *flag => Ok(false),
+            Some(flag) => {
+                *flag = true;
+                Ok(true)
+            }
+        }
+    }
+
+    /// Is document `doc` retired? Unassigned ids are not retired.
+    pub fn is_retired(&self, doc: usize) -> bool {
+        self.retired.get(doc).copied().unwrap_or(false)
+    }
+
+    /// Documents added and not yet retired.
+    pub fn live_doc_count(&self) -> usize {
+        self.retired.iter().filter(|&&r| !r).count()
     }
 
     /// Heap accounting of the underlying concatenation index.
@@ -123,15 +158,24 @@ impl GeneralizedSpine {
         DocMatch { doc, offset: offset - self.starts[doc] }
     }
 
-    /// Does `pattern` occur in any document?
+    /// Does `pattern` occur in any *live* document?
     pub fn contains(&self, pattern: &[Code]) -> bool {
-        self.spine.contains(pattern)
+        if self.retired.iter().any(|&r| r) {
+            !self.find_all(pattern).is_empty()
+        } else {
+            self.spine.contains(pattern)
+        }
     }
 
-    /// All occurrences of `pattern` across all documents, ordered by
-    /// (document, offset).
+    /// All occurrences of `pattern` across all live documents, ordered by
+    /// (document, offset). Retired documents contribute nothing.
     pub fn find_all(&self, pattern: &[Code]) -> Vec<DocMatch> {
-        self.spine.find_all(pattern).into_iter().map(|off| self.localize(off)).collect()
+        self.spine
+            .find_all(pattern)
+            .into_iter()
+            .map(|off| self.localize(off))
+            .filter(|m| !self.retired[m.doc])
+            .collect()
     }
 
     /// Documents containing `pattern`, deduplicated and sorted.
@@ -244,6 +288,29 @@ mod tests {
         assert_eq!(g.doc_count(), 5);
         assert_eq!(g.docs_containing(&[2]), vec![0, 1, 2, 3, 4]);
         assert!(!g.contains(&[2, 2]));
+    }
+
+    #[test]
+    fn retire_document_filters_every_query_surface() {
+        let (a, mut g) = sample();
+        let acg = a.encode(b"ACG").unwrap();
+        assert_eq!(g.live_doc_count(), 3);
+        assert!(g.retire_document(0).unwrap());
+        assert!(g.is_retired(0));
+        assert_eq!(g.live_doc_count(), 2);
+        // doc 0's occurrences vanish; doc ids of the others are unchanged.
+        assert_eq!(g.find_all(&acg), vec![DocMatch { doc: 1, offset: 2 }]);
+        assert_eq!(g.docs_containing(&acg), vec![1]);
+        assert!(g.contains(&acg));
+        // A pattern only doc 0 held is gone from `contains` too.
+        let full = a.encode(b"ACGTACGT").unwrap();
+        assert!(!g.contains(&full));
+        // Idempotent re-retire; unknown ids are a typed error.
+        assert!(!g.retire_document(0).unwrap());
+        assert!(matches!(g.retire_document(3), Err(Error::UnknownDocument { doc: 3 })));
+        assert!(!g.is_retired(3));
+        // doc_count still reports assigned ids, retired or not.
+        assert_eq!(g.doc_count(), 3);
     }
 
     #[test]

@@ -55,9 +55,11 @@
 //! [`matching`] (matching statistics & maximal matches), [`compact`] (the
 //! §5 Link-Table/Rib-Table layout, < 12 bytes per character), [`disk`]
 //! (page-resident engine), [`generalized`] (multi-string indexes),
-//! [`prefix`] (prefix partitioning), [`stats`] (the paper's measurement
-//! hooks), [`observe`] (build-phase observability), [`trace`] (per-query
-//! EXPLAIN tracing and heatmaps), [`verify`] (invariant checker).
+//! [`segments`] (crash-safe LSM of immutable sealed segments with atomic
+//! manifest commit), [`prefix`] (prefix partitioning), [`stats`] (the
+//! paper's measurement hooks), [`observe`] (build-phase observability),
+//! [`trace`] (per-query EXPLAIN tracing and heatmaps), [`verify`]
+//! (invariant checker).
 
 pub mod approx;
 pub mod build;
@@ -65,6 +67,7 @@ pub mod compact;
 pub mod disk;
 pub mod engine;
 pub mod generalized;
+pub mod manifest;
 pub mod matching;
 pub mod node;
 pub mod observe;
@@ -73,6 +76,7 @@ pub mod ops;
 pub mod prefix;
 pub mod repeats;
 pub mod search;
+pub mod segments;
 pub mod stats;
 pub mod trace;
 pub mod verify;
@@ -82,10 +86,11 @@ pub use build::Spine;
 pub use compact::CompactSpine;
 pub use disk::{DiskSpine, SealedCensus, DISK_FORMAT_VERSION};
 pub use engine::{
-    EngineConfig, MetricsSnapshot, QueryEngine, QueryOutcome, QueryResult, ShardedEngine,
-    ShardedOutcome, ShardedResult, ShedPolicy, SubmitError,
+    EngineConfig, MetricsSnapshot, QueryEngine, QueryOutcome, QueryResult, ServeIndex,
+    ShardedEngine, ShardedOutcome, ShardedResult, ShedPolicy, SubmitError,
 };
-pub use generalized::GeneralizedSpine;
+pub use generalized::{DocMatch, GeneralizedSpine};
+pub use manifest::{Manifest, SegmentEntry, MANIFEST_VERSION};
 pub use node::{Extrib, Node, NodeId, Rib, ROOT};
 pub use observe::{
     BuildEvent, BuildObserver, BuildPhase, BuildProgress, BuildStats, MemBreakdown,
@@ -94,6 +99,9 @@ pub use observe::{
 pub use ops::{FallibleSpineOps, Infallible, SpineOps};
 pub use prefix::{PrefixView, SpinePrefix};
 pub use search::{locate, step, try_locate, try_step};
+pub use segments::{
+    spawn_merger, IoGate, MergeHandle, SegmentConfig, SegmentedSpine, SegmentsSnapshot,
+};
 pub use strindex::telemetry;
 pub use trace::{
     explain, Heatmap, NoTrace, QueryTrace, RecordingSink, TraceEvent, TraceSink,

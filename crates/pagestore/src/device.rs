@@ -94,6 +94,13 @@ pub trait PageDevice: Send {
     /// Number of pages the device currently holds.
     fn page_count(&self) -> u32;
 
+    /// Durability barrier: block until every previously acknowledged write
+    /// is on stable storage. Ordering-critical writers (the sealed-layout
+    /// header page, manifest commits) call this between "body written" and
+    /// "commit record written" — without it, "header written last" is only
+    /// a program-order fact, not a media-order one.
+    fn sync(&mut self) -> Result<()>;
+
     /// I/O counters.
     fn stats(&self) -> &IoStats;
 }
@@ -137,6 +144,13 @@ impl PageDevice for MemDevice {
 
     fn page_count(&self) -> u32 {
         self.pages.len() as u32
+    }
+
+    fn sync(&mut self) -> Result<()> {
+        // Memory is "stable" the moment the write returns; count the
+        // barrier so op-trace shapes match the file-backed device.
+        self.stats.count_sync();
+        Ok(())
     }
 
     fn stats(&self) -> &IoStats {
@@ -222,6 +236,12 @@ impl PageDevice for FileDevice {
         self.pages
     }
 
+    fn sync(&mut self) -> Result<()> {
+        self.file.sync_data().map_err(|e| Error::io(e, IoOp::Sync, None))?;
+        self.stats.count_sync();
+        Ok(())
+    }
+
     fn stats(&self) -> &IoStats {
         &self.stats
     }
@@ -269,6 +289,13 @@ impl<D: PageDevice> PageDevice for FaultyDevice<D> {
 
     fn page_count(&self) -> u32 {
         self.inner.page_count()
+    }
+
+    fn sync(&mut self) -> Result<()> {
+        // A sync is a faultable operation like any other: fsync can fail,
+        // and the crashpoint sweep must be able to land exactly on it.
+        self.spend(IoOp::Sync, 0)?;
+        self.inner.sync()
     }
 
     fn stats(&self) -> &IoStats {
@@ -353,6 +380,11 @@ impl<D: PageDevice> PageDevice for FlakyDevice<D> {
 
     fn page_count(&self) -> u32 {
         self.inner.page_count()
+    }
+
+    fn sync(&mut self) -> Result<()> {
+        self.trip(IoOp::Sync, 0)?;
+        self.inner.sync()
     }
 
     fn stats(&self) -> &IoStats {
@@ -528,6 +560,10 @@ impl<D: PageDevice> PageDevice for RetryDevice<D> {
         self.inner.page_count()
     }
 
+    fn sync(&mut self) -> Result<()> {
+        self.with_retry(IoOp::Sync, |d| d.sync())
+    }
+
     fn stats(&self) -> &IoStats {
         self.inner.stats()
     }
@@ -579,6 +615,34 @@ mod tests {
         dev.write_page(1, &[2u8; PAGE_SIZE]).unwrap();
         assert_eq!(dev.stats().syncs(), 2);
         std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn sync_barrier_counts_and_is_faultable() {
+        let mut mem = MemDevice::new();
+        mem.sync().unwrap();
+        assert_eq!(mem.stats().syncs(), 1);
+
+        let dir = std::env::temp_dir().join("pagestore-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join(format!("dev-barrier-{}.bin", std::process::id()));
+        let mut dev = FileDevice::create(&path, false).unwrap();
+        dev.write_page(0, &[3u8; PAGE_SIZE]).unwrap();
+        dev.sync().unwrap();
+        assert_eq!(dev.stats().syncs(), 1);
+        std::fs::remove_file(&path).ok();
+
+        // The barrier spends fault budget like reads and writes do.
+        let mut faulty = FaultyDevice::new(MemDevice::new(), 1);
+        assert!(faulty.sync().is_ok());
+        let e = faulty.sync().unwrap_err();
+        assert!(!e.is_transient());
+
+        // And the retry layer rides out a transiently failing barrier.
+        let flaky = FlakyDevice::with_burst(MemDevice::new(), 0, 2);
+        let mut d = RetryDevice::new(flaky, RetryPolicy::immediate(4));
+        d.sync().unwrap();
+        assert_eq!(d.retries(), 2);
     }
 
     #[test]

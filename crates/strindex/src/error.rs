@@ -89,6 +89,13 @@ pub enum Error {
     /// The operation is not supported in the engine's current state (e.g.
     /// appending to a sealed read-only index).
     Unsupported(&'static str),
+    /// A document id that names no document in the collection — never
+    /// assigned, or assigned by a different collection. Distinct from
+    /// retiring an *already retired* document, which is an idempotent no-op.
+    UnknownDocument {
+        /// The offending document id.
+        doc: u64,
+    },
     /// An underlying I/O failure, with operation context when known.
     Io {
         /// The operating-system (or injected) failure.
@@ -170,6 +177,9 @@ impl std::fmt::Display for Error {
                  (expects version {expected}); rebuild required"
             ),
             Error::Unsupported(what) => write!(f, "unsupported operation: {what}"),
+            Error::UnknownDocument { doc } => {
+                write!(f, "document id {doc} names no document in this collection")
+            }
             Error::Io { source, ctx: Some(ctx) } => {
                 let class = if self.is_transient() { "transient" } else { "permanent" };
                 write!(f, "{class} I/O error during {ctx}: {source}")
@@ -223,6 +233,12 @@ mod tests {
     }
 
     #[test]
+    fn unknown_document_names_the_id() {
+        let e = Error::UnknownDocument { doc: 17 };
+        assert!(e.to_string().contains("17"), "{e}");
+    }
+
+    #[test]
     fn io_error_converts() {
         let io = std::io::Error::other("boom");
         let e: Error = io.into();
@@ -262,6 +278,7 @@ mod tests {
         assert!(!Error::Parse("junk".into()).is_transient());
         assert!(!Error::FormatVersion { found: 1, expected: 2 }.is_transient());
         assert!(!Error::Unsupported("x").is_transient());
+        assert!(!Error::UnknownDocument { doc: 9 }.is_transient());
         // Transience survives context attachment.
         assert!(Error::transient_io("flaky").with_io_context(IoOp::Write, 1).is_transient());
     }

@@ -35,6 +35,12 @@ echo "== fault-tolerance integration tests"
 cargo test -q --test fault_tolerance
 cargo test -q -p pagestore --test faults
 
+echo "== segment store: manifest codec, lifecycle, differential oracle, engine stress"
+cargo test -q -p spine --lib manifest
+cargo test -q -p spine --lib segments
+cargo test -q --test segments
+cargo test -q --test differential segmented_store
+
 echo "== layout v2: codec round-trips, sealed engine, packed-vs-scalar"
 cargo test -q -p pagestore varint
 cargo test -q -p pagestore slotted
@@ -82,6 +88,9 @@ cargo run --release -q -p spine-bench --bin exp -- http-get "$addr/metrics" 2>/d
 cargo run --release -q -p spine-bench --bin exp -- http-get "$addr/health" 2>/dev/null \
   | grep -q '"slo_healthy":true' \
   || { echo "http smoke: /health not healthy on a clean run"; exit 1; }
+cargo run --release -q -p spine-bench --bin exp -- http-get "$addr/health" 2>/dev/null \
+  | grep -q '"segments_clean":true' \
+  || { echo "http smoke: clean recovery should report segments_clean"; exit 1; }
 cargo run --release -q -p spine-bench --bin exp -- http-get "$addr/explain?q=ACA" 2>/dev/null \
   | grep -q '"ends":\[' \
   || { echo "http smoke: /explain returned no trace"; exit 1; }
@@ -90,6 +99,32 @@ wait "$http_pid" || { echo "http smoke: server exited non-zero"; exit 1; }
 grep -q "shut down cleanly" "$http_log" \
   || { echo "http smoke: server did not shut down cleanly"; exit 1; }
 rm -f "$http_log"
+
+echo "== exp serve --http --orphan (uncommitted orphan segment degrades /health to 503)"
+orphan_log=$(mktemp)
+cargo run --release -q -p spine-bench --bin exp -- serve --http 0 --quick --orphan \
+  >"$orphan_log" 2>/dev/null &
+orphan_pid=$!
+addr=""
+for _ in $(seq 1 120); do
+  addr=$(grep -m1 -o '127\.0\.0\.1:[0-9]*' "$orphan_log" || true)
+  [ -n "$addr" ] && break
+  sleep 0.5
+done
+[ -n "$addr" ] || { echo "orphan smoke: server never printed its address"; kill "$orphan_pid" 2>/dev/null; exit 1; }
+# http-get exits 1 on HTTP >= 400 — exactly what a degraded /health must do.
+if cargo run --release -q -p spine-bench --bin exp -- http-get "$addr/health" >/dev/null 2>&1; then
+  echo "orphan smoke: /health should be 503 with an orphan segment"; exit 1
+fi
+orphan_body=$(cargo run --release -q -p spine-bench --bin exp -- http-get "$addr/health" 2>/dev/null || true)
+echo "$orphan_body" | grep -q '"segments_clean":false' \
+  || { echo "orphan smoke: /health body should name the orphan"; exit 1; }
+cargo run --release -q -p spine-bench --bin exp -- http-get "$addr/metrics" 2>/dev/null \
+  | grep -q '^spine_segments_orphans 1' \
+  || { echo "orphan smoke: /metrics should gauge the orphan"; exit 1; }
+cargo run --release -q -p spine-bench --bin exp -- http-get "$addr/quit" >/dev/null 2>&1
+wait "$orphan_pid" || { echo "orphan smoke: server exited non-zero"; exit 1; }
+rm -f "$orphan_log"
 
 if [ "$BENCH_CHECK" = 1 ]; then
   echo "== bench regression gate (vs committed BENCH_serve.json + BENCH_build.json)"

@@ -1,0 +1,239 @@
+//! Integration suite for the crash-safe segment store
+//! ([`spine::SegmentedSpine`]): snapshot stability under concurrent
+//! merges, engine-level serving with the ledger invariant intact while a
+//! background merger compacts, and recovery landing on committed state.
+
+use proptest::prelude::*;
+use proptest::test_runner::TestCaseError;
+use spine::engine::{EngineConfig, QueryEngine};
+use spine::{spawn_merger, QueryOutcome, SegmentConfig, SegmentedSpine};
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+use strindex::{Alphabet, Code};
+
+fn tmpdir(tag: &str) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join(format!("spine-it-segments-{}-{tag}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+fn enc(a: &Alphabet, s: &[u8]) -> Vec<Code> {
+    a.encode(s).unwrap()
+}
+
+/// Naive per-document scan, the oracle every store answer is checked
+/// against.
+fn oracle(docs: &BTreeMap<u64, Vec<Code>>, pattern: &[Code]) -> Vec<(usize, usize)> {
+    let mut out = Vec::new();
+    for (&id, d) in docs {
+        if pattern.is_empty() {
+            out.extend((0..=d.len()).map(|off| (id as usize, off)));
+        } else if pattern.len() <= d.len() {
+            out.extend(
+                (0..=d.len() - pattern.len())
+                    .filter(|&i| &d[i..i + pattern.len()] == pattern)
+                    .map(|off| (id as usize, off)),
+            );
+        }
+    }
+    out
+}
+
+fn matches_of(store: &SegmentedSpine, pattern: &[Code]) -> Vec<(usize, usize)> {
+    store.try_find_all(pattern).unwrap().into_iter().map(|m| (m.doc, m.offset)).collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// Snapshot reads are stable while a concurrent merge commits: a reader
+    /// hammering the store must see oracle-exact answers on every single
+    /// query, before, during, and after the merge replaces every segment
+    /// file. (Old snapshots keep answering because open descriptors outlive
+    /// the unlinked segment files.)
+    #[test]
+    fn reads_are_stable_across_a_concurrent_merge(seed in 0u64..1 << 32) {
+        let a = Alphabet::dna();
+        let dir = tmpdir(&format!("stable-{seed}"));
+        let cfg = SegmentConfig {
+            memtable_max_symbols: usize::MAX,
+            pool_pages: 4,
+            merge_min_segments: 2,
+            ..Default::default()
+        };
+        let store = Arc::new(SegmentedSpine::create(a.clone(), &dir, cfg).unwrap());
+
+        // A few sealed segments plus one tombstone, so the merge has real
+        // work: reconstructing, rewriting, and deleting files.
+        let mut docs = BTreeMap::new();
+        let texts: [&[u8]; 6] =
+            [b"ACGTACGT", b"GGGG", b"", b"A", b"TTACGTTA", b"CACACACA"];
+        for (i, t) in texts.iter().enumerate() {
+            let id = store.add_document(&enc(&a, t)).unwrap();
+            docs.insert(id, enc(&a, t));
+            if i % 2 == 1 {
+                store.force_seal().unwrap();
+            }
+        }
+        store.force_seal().unwrap();
+        let victim = 1 + (seed % 4); // one of the sealed docs
+        store.retire_document(victim).unwrap();
+        docs.remove(&victim);
+        prop_assert!(store.stats().segments >= 2);
+
+        let probes: Vec<Vec<Code>> = vec![
+            enc(&a, b"ACGT"),
+            enc(&a, b"CA"),
+            enc(&a, b"GGGG"),
+            enc(&a, b"A"),
+            Vec::new(),
+        ];
+        let expected: Vec<Vec<(usize, usize)>> =
+            probes.iter().map(|p| oracle(&docs, p)).collect();
+
+        let stop = Arc::new(AtomicBool::new(false));
+        let reader = {
+            let store = Arc::clone(&store);
+            let probes = probes.clone();
+            let expected = expected.clone();
+            let stop = Arc::clone(&stop);
+            std::thread::spawn(move || {
+                let mut reads = 0u64;
+                while !stop.load(Ordering::Relaxed) || reads == 0 {
+                    for (p, want) in probes.iter().zip(&expected) {
+                        let got = matches_of(&store, p);
+                        if &got != want {
+                            return Err(format!("pattern {p:?}: got {got:?}, want {want:?}"));
+                        }
+                        reads += 1;
+                    }
+                }
+                Ok(reads)
+            })
+        };
+
+        let epoch_before = store.epoch();
+        prop_assert!(store.merge_once().unwrap(), "merge had work to do");
+        stop.store(true, Ordering::Relaxed);
+        let reads = reader.join().unwrap().map_err(TestCaseError::fail)?;
+        prop_assert!(reads > 0);
+
+        // The merge committed: one segment, no tombstones, same answers.
+        prop_assert!(store.epoch() > epoch_before);
+        let s = store.stats();
+        prop_assert_eq!(s.segments, 1);
+        prop_assert_eq!(s.tombstones, 0);
+        for (p, want) in probes.iter().zip(&expected) {
+            prop_assert_eq!(&matches_of(&store, p), want);
+        }
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}
+
+/// Concurrent add/retire/query through the full [`QueryEngine`] surface
+/// while a background merger compacts: every answer matches some consistent
+/// snapshot, and the engine's ledger invariant
+/// (`completed + shed + timed_out + failed == submitted`) holds throughout.
+#[test]
+fn engine_ledger_holds_under_mutation_and_background_merge() {
+    let a = Alphabet::dna();
+    let dir = tmpdir("engine");
+    let cfg = SegmentConfig {
+        memtable_max_symbols: 64,
+        pool_pages: 4,
+        merge_min_segments: 2,
+        ..Default::default()
+    };
+    let store = Arc::new(SegmentedSpine::create(a.clone(), &dir, cfg).unwrap());
+    for t in [&b"ACGTACGTAC"[..], b"GGGGTTTT", b"CACACACA"] {
+        store.add_document(&enc(&a, t)).unwrap();
+    }
+    store.force_seal().unwrap();
+
+    let merger = spawn_merger(Arc::clone(&store), Duration::from_millis(1));
+    let engine = Arc::new(QueryEngine::new(
+        Arc::clone(&store),
+        EngineConfig { workers: 3, batch_max: 8, ..Default::default() },
+    ));
+
+    // Writer: a stream of adds and retires racing the query traffic.
+    let writer = {
+        let store = Arc::clone(&store);
+        let a = a.clone();
+        std::thread::spawn(move || {
+            let mut ids = Vec::new();
+            for i in 0..60u64 {
+                let t: &[u8] = [&b"ACGT"[..], b"TTTT", b"", b"CAGTCAGT"][i as usize % 4];
+                ids.push(store.add_document(&enc(&a, t)).unwrap());
+                if i % 3 == 0 {
+                    let victim = ids[ids.len() / 2];
+                    store.retire_document(victim).unwrap();
+                }
+                if i % 10 == 9 {
+                    store.force_seal().unwrap();
+                }
+            }
+        })
+    };
+
+    let probes: [&[u8]; 4] = [b"ACGT", b"CA", b"GGGG", b"TT"];
+    let mut submitted = 0u64;
+    for round in 0..40 {
+        let p = enc(&a, probes[round % probes.len()]);
+        engine.submit(p).unwrap();
+        submitted += 1;
+    }
+    writer.join().unwrap();
+    let results = engine.drain();
+    assert_eq!(results.len() as u64, submitted);
+    for r in &results {
+        match &r.outcome {
+            QueryOutcome::DoneDocs(ms) => {
+                // Matches are (doc, offset)-sorted and tombstone-filtered;
+                // exact content depends on which snapshot the worker took.
+                let mut sorted = ms.clone();
+                sorted.sort();
+                assert_eq!(&sorted, ms, "matches arrive sorted");
+            }
+            other => panic!("unexpected outcome {other:?}"),
+        }
+    }
+    let m = engine.metrics();
+    assert!(m.is_consistent(), "ledger broken: {m:?}");
+    assert_eq!(m.completed, submitted);
+
+    merger.stop();
+    // Everything the writer left behind is still queryable after recovery.
+    store.force_seal().unwrap();
+    let live = store.live_doc_ids();
+    drop(engine);
+    let store2 = SegmentedSpine::open(a.clone(), &dir, SegmentConfig::default()).unwrap();
+    assert_eq!(store2.live_doc_ids(), live);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// Orphan hygiene end to end: a crash-simulating stray file is detected at
+/// recovery, reported through stats, and removable via `cleanup_orphans`.
+#[test]
+fn recovery_reports_and_cleans_orphans() {
+    let a = Alphabet::dna();
+    let dir = tmpdir("orphan");
+    {
+        let store = SegmentedSpine::create(a.clone(), &dir, SegmentConfig::default()).unwrap();
+        store.add_document(&enc(&a, b"ACGT")).unwrap();
+        store.force_seal().unwrap();
+    }
+    std::fs::write(dir.join("seg-7.pages"), b"torn seal, never committed").unwrap();
+    std::fs::write(dir.join("MANIFEST.tmp"), b"torn commit").unwrap();
+
+    let store = SegmentedSpine::open(a.clone(), &dir, SegmentConfig::default()).unwrap();
+    assert_eq!(store.orphan_count(), 2);
+    assert_eq!(matches_of(&store, &enc(&a, b"ACGT")), vec![(0, 0)]);
+    assert_eq!(store.cleanup_orphans().unwrap(), 2);
+    assert_eq!(store.orphan_count(), 0);
+    assert!(!dir.join("seg-7.pages").exists());
+    assert!(!dir.join("MANIFEST.tmp").exists());
+    let _ = std::fs::remove_dir_all(&dir);
+}
