@@ -365,7 +365,15 @@ const SEG_PROBES: [&[u8]; 5] = [b"ACGT", b"GGGG", b"CAGT", b"AC", b""];
 /// at the script's explicit seal/retire/merge steps — the crashpoint
 /// accounting stays readable.
 fn seg_config(gate: Option<IoGate>) -> SegmentConfig {
-    SegmentConfig { memtable_max_symbols: usize::MAX, pool_pages: 4, merge_min_segments: 2, gate }
+    // hot_pin_pages: 0 — pinning issues extra gated reads at open time,
+    // which would shift every crashpoint index in the sweep.
+    SegmentConfig {
+        memtable_max_symbols: usize::MAX,
+        pool_pages: 4,
+        merge_min_segments: 2,
+        gate,
+        hot_pin_pages: 0,
+    }
 }
 
 /// Create the (ungated) empty store each pass-4 run starts from.

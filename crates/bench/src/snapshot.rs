@@ -20,9 +20,13 @@ pub struct BenchSnapshot {
     pub wall_s: f64,
     /// Throughput, queries per second.
     pub qps: f64,
-    /// Median query latency, microseconds (from `engine.query_latency`).
+    /// Median query latency, microseconds, of the *disk-engine* serving
+    /// pass (from its `engine.query_latency` histogram) — the hot-page
+    /// tier's before/after story lives here. Baselines recorded before the
+    /// hot tier measured the in-memory engine instead; re-baseline when
+    /// comparing across that change.
     pub p50_us: u64,
-    /// 99th-percentile query latency, microseconds.
+    /// 99th-percentile disk-engine query latency, microseconds.
     pub p99_us: u64,
     /// Mean device pages fetched (pool misses) per disk query
     /// (from `disk.pages_per_query`).

@@ -67,6 +67,7 @@ pub mod compact;
 pub mod disk;
 pub mod engine;
 pub mod generalized;
+pub mod hot;
 pub mod manifest;
 pub mod matching;
 pub mod node;
@@ -84,12 +85,13 @@ pub mod verify;
 pub use approx::ApproxMatch;
 pub use build::Spine;
 pub use compact::CompactSpine;
-pub use disk::{DiskSpine, SealedCensus, DISK_FORMAT_VERSION};
+pub use disk::{DiskSpine, PageMap, SealedCensus, DISK_FORMAT_VERSION};
 pub use engine::{
     EngineConfig, MetricsSnapshot, QueryEngine, QueryOutcome, QueryResult, ServeIndex,
     ShardedEngine, ShardedOutcome, ShardedResult, ShedPolicy, SubmitError,
 };
 pub use generalized::{DocMatch, GeneralizedSpine};
+pub use hot::HotSet;
 pub use manifest::{Manifest, SegmentEntry, MANIFEST_VERSION};
 pub use node::{Extrib, Node, NodeId, Rib, ROOT};
 pub use observe::{

@@ -78,6 +78,7 @@ pub fn try_occurrences_from_traced<S: FallibleSpineOps + ?Sized, T: TraceSink + 
         sink.event(TraceEvent::ScanStart { from: first + 1, to: n, len });
     }
     let before = if T::ENABLED { s.storage_counters() } else { None };
+    let _scan = ScanGuard::enter(s, first + 1);
     let mut buffer: Vec<NodeId> = vec![first];
     for j in first + 1..=n {
         let (dest, lel) = s.try_link_of(j)?;
@@ -92,6 +93,24 @@ pub fn try_occurrences_from_traced<S: FallibleSpineOps + ?Sized, T: TraceSink + 
         sink.event(e);
     }
     Ok(buffer)
+}
+
+/// Pairs [`FallibleSpineOps::scan_begin`] with a guaranteed
+/// [`FallibleSpineOps::scan_end`], so an `Err` mid-scan cannot leave a
+/// page-resident structure stuck in scan mode.
+struct ScanGuard<'a, S: FallibleSpineOps + ?Sized>(&'a S);
+
+impl<'a, S: FallibleSpineOps + ?Sized> ScanGuard<'a, S> {
+    fn enter(s: &'a S, from: NodeId) -> Self {
+        s.scan_begin(from);
+        ScanGuard(s)
+    }
+}
+
+impl<S: FallibleSpineOps + ?Sized> Drop for ScanGuard<'_, S> {
+    fn drop(&mut self) {
+        self.0.scan_end();
+    }
 }
 
 /// One pattern of a batched all-occurrences request.
@@ -139,6 +158,7 @@ pub fn try_find_all_ends_batch<S: FallibleSpineOps + ?Sized>(
     }
     let start = uniq.iter().map(|t| t.first_end).min().unwrap() + 1;
     let n = s.text_len() as NodeId;
+    let _scan = ScanGuard::enter(s, start);
     for j in start..=n {
         let (dest, lel) = s.try_link_of(j)?;
         if lel == 0 {

@@ -127,6 +127,18 @@ pub trait FallibleSpineOps {
         }
         Ok(k)
     }
+
+    /// The traversal is about to scan the backbone sequentially from node
+    /// `from` to the tail (the occurrence scan of §4). Page-resident
+    /// representations switch their buffer pool into scan mode here —
+    /// scan-resistant eviction plus sequential read-ahead — and prefetch
+    /// the first link pages of the range; in-memory structures ignore it.
+    /// Purely advisory: never fails, never changes answers.
+    fn scan_begin(&self, _from: NodeId) {}
+
+    /// The sequential scan announced by [`scan_begin`](Self::scan_begin)
+    /// ended (including by error — callers pair the two with a guard).
+    fn scan_end(&self) {}
 }
 
 /// Adapter viewing any infallible [`SpineOps`] as a [`FallibleSpineOps`]

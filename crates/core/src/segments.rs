@@ -183,6 +183,13 @@ pub struct SegmentConfig {
     /// Crash-injection gate charged on every I/O operation. `None` in
     /// production.
     pub gate: Option<IoGate>,
+    /// Buffer-pool frames to pin per sealed segment at open time, covering
+    /// the upstream backbone-prefix pages (the paper's Figure 8 skew:
+    /// links concentrate there, so the occurrence scan of every query
+    /// re-reads them). Pinned pages survive full-backbone scans; 0
+    /// disables pinning. Must stay below `pool_pages` — the pool refuses
+    /// to pin its last evictable frame regardless.
+    pub hot_pin_pages: usize,
 }
 
 impl Default for SegmentConfig {
@@ -192,6 +199,7 @@ impl Default for SegmentConfig {
             pool_pages: 16,
             merge_min_segments: 4,
             gate: None,
+            hot_pin_pages: 4,
         }
     }
 }
@@ -343,6 +351,7 @@ struct SegStats {
     seals: AtomicU64,
     merges: AtomicU64,
     merge_failures: AtomicU64,
+    hot_pinned: AtomicU64,
 }
 
 /// A consistent read view: one manifest epoch's segment list and
@@ -684,6 +693,9 @@ impl SegmentedSpine {
         f.write_all(&meta).map_err(|e| Error::io(e, IoOp::Write, None))?;
         charge(&self.cfg.gate, IoOp::Sync)?;
         f.sync_all().map_err(|e| Error::io(e, IoOp::Sync, None))?;
+        if self.cfg.hot_pin_pages > 0 {
+            index.pin_hot_prefix(self.cfg.hot_pin_pages)?;
+        }
         let doc_ids: Vec<u64> = docs.iter().map(|&(d, _)| d).collect();
         let doc_lens: Vec<u64> = docs.iter().map(|(_, c)| c.len() as u64).collect();
         let entry = SegmentEntry { id, doc_ids, doc_lens };
@@ -864,6 +876,7 @@ impl SegmentedSpine {
         registry.gauge("segments.seals", g(&self.stats, |s| &s.seals));
         registry.gauge("segments.merges", g(&self.stats, |s| &s.merges));
         registry.gauge("segments.merge_failures", g(&self.stats, |s| &s.merge_failures));
+        registry.gauge("segments.hot_pinned", g(&self.stats, |s| &s.hot_pinned));
     }
 
     fn refresh_stats(&self, inner: &Inner) {
@@ -887,6 +900,8 @@ impl SegmentedSpine {
         s.orphans.store(inner.orphans.len() as u64, Ordering::Relaxed);
         let backlog = inner.segments.len().saturating_sub(1) + inner.tombstones.len();
         s.merge_backlog.store(backlog as u64, Ordering::Relaxed);
+        let pinned: usize = inner.segments.iter().map(|sg| sg.index.pinned_pages()).sum();
+        s.hot_pinned.store(pinned as u64, Ordering::Relaxed);
     }
 
     fn snapshot(&self) -> Snapshot {
@@ -1064,6 +1079,9 @@ fn open_segment(dir: &Path, e: &SegmentEntry, cfg: &SegmentConfig) -> Result<Seg
         cfg.pool_pages,
         Box::<Lru>::default(),
     )?;
+    if cfg.hot_pin_pages > 0 {
+        index.pin_hot_prefix(cfg.hot_pin_pages)?;
+    }
     Ok(Segment {
         id: e.id,
         doc_ids: e.doc_ids.clone(),

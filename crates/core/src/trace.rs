@@ -35,10 +35,11 @@
 
 use crate::build::Spine;
 use crate::compact::CompactSpine;
+use crate::disk::PageMap;
 use crate::generalized::GeneralizedSpine;
 use crate::node::{NodeId, ROOT};
 use crate::ops::FallibleSpineOps;
-use strindex::{Alphabet, Code};
+use strindex::{Alphabet, Code, FxHashMap};
 
 /// Default cap on recorded events per trace; past it, events are counted in
 /// [`QueryTrace::dropped`] instead of stored.
@@ -734,12 +735,20 @@ pub struct Heatmap {
     /// `visits[i]` = times node `i` was arrived at or probed.
     visits: Vec<u64>,
     traces: u64,
+    /// Touches whose node id fell outside the tracked backbone even after
+    /// growing — counted, never silently lost. Non-zero means the heatmap
+    /// saw traces from a larger index than anything it has folded so far
+    /// claimed (e.g. a corrupt trace), so the heat ranking may be partial.
+    dropped_touches: u64,
 }
 
 impl Heatmap {
-    /// A cold heatmap for a backbone of `text_len` characters.
+    /// A cold heatmap for a backbone of `text_len` characters. The map
+    /// *grows on demand* when traces from a longer backbone arrive (a
+    /// multi-document [`crate::GeneralizedSpine`] concatenation is longer
+    /// than any single document), so sizing here is a hint, not a cap.
     pub fn new(text_len: usize) -> Self {
-        Heatmap { visits: vec![0; text_len + 1], traces: 0 }
+        Heatmap { visits: vec![0; text_len + 1], traces: 0, dropped_touches: 0 }
     }
 
     /// Number of backbone nodes tracked.
@@ -752,26 +761,48 @@ impl Heatmap {
         self.traces
     }
 
+    /// Touches that could not be attributed to a tracked node (see the
+    /// field docs). Zero for any well-formed trace stream.
+    pub fn dropped_touches(&self) -> u64 {
+        self.dropped_touches
+    }
+
     /// Per-node visit counts.
     pub fn node_visits(&self) -> &[u64] {
         &self.visits
     }
 
     fn touch(&mut self, n: NodeId) {
-        if let Some(v) = self.visits.get_mut(n as usize) {
-            *v += 1;
+        match self.visits.get_mut(n as usize) {
+            Some(v) => *v += 1,
+            None => self.dropped_touches += 1,
         }
     }
 
     /// Fold one trace in: every node an event arrived at or probed counts
     /// one visit (rib/extrib destinations count even when rejected — their
     /// records are read to scan the chain).
+    ///
+    /// The node table grows to the trace's own backbone length first, so a
+    /// heatmap sized for one document keeps full attribution when traces
+    /// from a longer (multi-document) index arrive. Only node ids beyond
+    /// the trace's *claimed* length are dropped (and counted in
+    /// [`dropped_touches`](Self::dropped_touches)) — growing to an
+    /// untrusted per-event id would let one corrupt trace allocate 4 GiB.
     pub fn add(&mut self, t: &QueryTrace) {
+        if t.text_len + 1 > self.visits.len() {
+            self.visits.resize(t.text_len + 1, 0);
+        }
         self.traces += 1;
         self.touch(ROOT);
         for e in &t.events {
             match *e {
-                TraceEvent::Vertebra { node, .. } => self.touch(node + 1),
+                // The vertebra leaves `node` and arrives at `node + 1`;
+                // for the final backbone node that is exactly `text_len`,
+                // the last tracked slot. Saturate rather than overflow on a
+                // corrupt id — the saturated touch lands in the dropped
+                // count, not in a wrapped-around bucket.
+                TraceEvent::Vertebra { node, .. } => self.touch(node.saturating_add(1)),
                 TraceEvent::Rib { dest, .. } => self.touch(dest),
                 TraceEvent::Extrib { dest, .. } => self.touch(dest),
                 TraceEvent::Occurrence { node, .. } => self.touch(node),
@@ -797,10 +828,37 @@ impl Heatmap {
 
     /// Visit counts folded per disk page, given how many node records share
     /// a page (node `i` lives on page `i / records_per_page` in the
-    /// [`crate::DiskSpine`] layout).
+    /// *mutable* [`crate::DiskSpine`] layout). For the sealed layout's
+    /// variable-size slotted pages this uniform assumption is wrong — use
+    /// [`page_visits_mapped`](Self::page_visits_mapped) with the engine's
+    /// real [`PageMap`] instead.
     pub fn page_visits(&self, records_per_page: usize) -> Vec<u64> {
         let per = records_per_page.max(1);
         self.visits.chunks(per).map(|c| c.iter().sum()).collect()
+    }
+
+    /// Visit counts attributed to physical pages through the engine's real
+    /// node → page mapping ([`crate::DiskSpine::page_map`]): correct for
+    /// the sealed layout's variable-size slotted pages and aware of
+    /// hot-tier redirects. Returns `page → visits` for every page with
+    /// heat.
+    pub fn page_visits_mapped(&self, map: &PageMap) -> FxHashMap<u32, u64> {
+        let mut out: FxHashMap<u32, u64> = FxHashMap::default();
+        for (i, &v) in self.visits.iter().enumerate() {
+            if v > 0 {
+                *out.entry(map.page_of(i as NodeId)).or_insert(0) += v;
+            }
+        }
+        out
+    }
+
+    /// The `k` hottest pages under `map`, hottest first (ties: lower page
+    /// id first).
+    pub fn hottest_pages(&self, map: &PageMap, k: usize) -> Vec<(u32, u64)> {
+        let mut all: Vec<(u32, u64)> = self.page_visits_mapped(map).into_iter().collect();
+        all.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+        all.truncate(k);
+        all
     }
 
     /// The `k` most-visited nodes, hottest first (ties: lower node first).
@@ -937,6 +995,61 @@ mod tests {
         let hottest = h.hottest(3);
         assert!(!hottest.is_empty() && hottest[0].1 >= hottest.last().unwrap().1);
         assert!(h.render(4, 20).contains('#'));
+    }
+
+    #[test]
+    fn heatmap_grows_for_multi_document_traces() {
+        // Regression: a heatmap sized for one document used to silently
+        // drop every touch beyond `text_len + 1` when traces from a longer
+        // (concatenated multi-document) backbone arrived.
+        let a = Alphabet::dna();
+        let long = Spine::build_from_bytes(a.clone(), &b"AACCACAACAGGTT".repeat(4)).unwrap();
+        let mut h = Heatmap::new(10); // sized for a 10-char document
+        for p in [&b"CA"[..], b"GGTT", b"ACAACAGG", b"TTAACC"] {
+            h.add(&long.explain(&a.encode(p).unwrap()));
+        }
+        assert_eq!(h.nodes(), long.len() + 1, "table must grow to the trace's backbone");
+        assert_eq!(h.dropped_touches(), 0, "well-formed traces lose no heat");
+        let far: u64 = h.node_visits()[11..].iter().sum();
+        assert!(far > 0, "visits beyond the original sizing must be attributed");
+    }
+
+    #[test]
+    fn heatmap_counts_unattributable_touches() {
+        // A corrupt trace claiming a short backbone but naming a huge node
+        // id must not grow the table (that would let one bad trace allocate
+        // gigabytes) — the touch is counted as dropped instead.
+        let mut h = Heatmap::new(4);
+        let t = QueryTrace {
+            pattern: vec![0],
+            text_len: 4,
+            events: vec![
+                TraceEvent::Vertebra { node: 0, pl: 0, ch: 0 },
+                TraceEvent::Rib { node: 1, ch: 1, dest: u32::MAX, pt: 1, pl: 1, admitted: true },
+                // Saturating `node + 1` on the corrupt sentinel must land in
+                // the dropped count, not wrap to node 0.
+                TraceEvent::Vertebra { node: u32::MAX, pl: 1, ch: 0 },
+            ],
+            dropped: 0,
+            first_end: None,
+            ends: vec![],
+            error: None,
+        };
+        h.add(&t);
+        assert_eq!(h.nodes(), 5, "corrupt ids must not grow the table");
+        assert_eq!(h.dropped_touches(), 2);
+        assert_eq!(h.node_visits()[0], 1, "no wrap-around into the root bucket");
+    }
+
+    #[test]
+    fn final_vertebra_touch_stays_in_range() {
+        // Walking the whole text traverses the vertebra out of node
+        // `len - 1`; its arrival touch is `len`, the last tracked slot.
+        let (a, s) = paper();
+        let mut h = Heatmap::new(s.len());
+        h.add(&s.explain(&a.encode(b"AACCACAACA").unwrap()));
+        assert_eq!(h.dropped_touches(), 0);
+        assert!(h.node_visits()[s.len()] > 0, "arrival at the final node is attributed");
     }
 
     #[test]

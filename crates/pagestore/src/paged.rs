@@ -111,6 +111,21 @@ impl PagedVec {
     pub fn pool(&self) -> &BufferPool {
         &self.pool
     }
+
+    /// Mutable access to the pool (pinning, prefetch, scan hints).
+    pub fn pool_mut(&mut self) -> &mut BufferPool {
+        &mut self.pool
+    }
+
+    /// Records striped onto each page.
+    pub fn records_per_page(&self) -> usize {
+        self.per_page
+    }
+
+    /// The page holding record `index` (the uniform fixed-size mapping).
+    pub fn page_of(&self, index: usize) -> u32 {
+        (index / self.per_page) as u32
+    }
 }
 
 #[cfg(test)]

@@ -41,6 +41,15 @@ cargo test -q -p spine --lib segments
 cargo test -q --test segments
 cargo test -q --test differential segmented_store
 
+echo "== hot-page tier: pool pinning/prefetch, heatmap attribution, differential oracle"
+cargo test -q -p pagestore --lib pool
+cargo test -q -p pagestore --test pinning
+cargo test -q -p spine --lib trace
+cargo test -q -p spine --lib hot
+cargo test -q --test explain
+cargo test -q --test differential hot_tier
+cargo test -q --test segments segments_pin_hot
+
 echo "== layout v2: codec round-trips, sealed engine, packed-vs-scalar"
 cargo test -q -p pagestore varint
 cargo test -q -p pagestore slotted

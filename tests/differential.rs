@@ -261,6 +261,80 @@ fn symbol_at_recovers_text_everywhere() {
     }
 }
 
+/// The hot-page tier is pure mechanism: clustering hot records onto
+/// appended pages, pinning them, and prefetching ahead of scans may only
+/// move I/O around — never change an answer. Every configuration (plain
+/// sealed, clustered, clustered + pinned + prefetched, and a reopened
+/// clustered file) must agree with the in-memory reference on every
+/// pattern, under a pool small enough that eviction actually happens.
+#[test]
+fn hot_tier_machinery_changes_no_answers() {
+    use spine::{Heatmap, HotSet};
+
+    let a = Alphabet::dna();
+    for (i, len) in [60usize, 500, 2000].into_iter().enumerate() {
+        let seed = 0x407_71E8 + i as u64;
+        let text = random_text(&a, len, seed);
+        let reference = Spine::build(a.clone(), &text).unwrap();
+        let pats = patterns_for(&a, &text, seed ^ 0xBEEF);
+
+        let mutable = DiskSpine::build(
+            a.clone(),
+            &text,
+            Box::new(MemDevice::new()),
+            32,
+            Box::<Lru>::default(),
+        )
+        .unwrap();
+        let plain = mutable.seal_to(Box::new(MemDevice::new()), 4, Box::<Lru>::default()).unwrap();
+
+        // Derive a hot set from a real workload over the plain engine.
+        let mut heat = Heatmap::new(text.len());
+        for p in &pats {
+            heat.add(&plain.explain(p));
+        }
+        let hot = HotSet::from_heatmap(&heat, 48);
+        let clustered = mutable
+            .seal_to_clustered(Box::new(MemDevice::new()), 4, Box::<Lru>::default(), &hot)
+            .unwrap();
+
+        // Persist + reopen the clustered file: the hot index must survive.
+        let dir =
+            std::env::temp_dir().join(format!("spine-differential-hot-{}-{i}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        let dev = pagestore::FileDevice::create(dir.join("seg.pages"), false).unwrap();
+        let ondisk =
+            mutable.seal_to_clustered(Box::new(dev), 4, Box::<Lru>::default(), &hot).unwrap();
+        let mut meta = Vec::new();
+        ondisk.write_meta(&mut meta).unwrap();
+        ondisk.flush().unwrap();
+        std::fs::write(dir.join("seg.meta"), &meta).unwrap();
+        drop(ondisk);
+        let reopened = DiskSpine::reopen(
+            &mut std::fs::File::open(dir.join("seg.meta")).unwrap(),
+            Box::new(pagestore::FileDevice::open(dir.join("seg.pages"), false).unwrap()),
+            4,
+            Box::<Lru>::default(),
+        )
+        .unwrap();
+        assert_eq!(reopened.hot_tier_pages(), clustered.hot_tier_pages());
+
+        // Pin the hottest pages and warm the pool mid-stream: still pure I/O.
+        clustered.pin_hot(&hot, 2).unwrap();
+        clustered.prefetch_nodes(&hot.nodes().collect::<Vec<_>>()).unwrap();
+
+        for p in &pats {
+            let expected = reference.find_all(p);
+            assert_eq!(plain.find_all(p), expected, "plain sealed, len {len}, pattern {p:?}");
+            assert_eq!(clustered.find_all(p), expected, "clustered, len {len}, pattern {p:?}");
+            assert_eq!(reopened.find_all(p), expected, "reopened, len {len}, pattern {p:?}");
+        }
+        clustered.unpin_all();
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}
+
 /// Random add / retire / query interleavings against a naive per-document
 /// oracle, driving the crash-safe segment store through its full lifecycle:
 /// memtable inserts, threshold seals, explicit seals, tombstones, merges,

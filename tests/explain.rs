@@ -15,7 +15,7 @@ use pagestore::{Lru, MemDevice};
 use proptest::prelude::*;
 use rand::Rng;
 use spine::engine::{EngineConfig, QueryEngine};
-use spine::{CompactSpine, DiskSpine, Heatmap, QueryTrace, Spine, TraceEvent};
+use spine::{CompactSpine, DiskSpine, Heatmap, HotSet, QueryTrace, Spine, TraceEvent};
 use std::sync::Arc;
 use strindex::{Alphabet, Code};
 
@@ -234,4 +234,92 @@ fn heatmap_conserves_visit_counts() {
     assert_eq!(total, bucket_total);
     assert_eq!(total, page_total);
     assert!(heat.node_visits()[0] >= pats.len() as u64, "every trace visits the root");
+}
+
+/// Sealed layout v2 packs a *variable* number of records per slotted page,
+/// so heat must be attributed through the real node→page mapping, not a
+/// fixed `records_per_page` guess: the mapped fold conserves every visit
+/// and lands each one on a page the file actually contains.
+#[test]
+fn heatmap_page_attribution_follows_sealed_layout() {
+    let a = Alphabet::dna();
+    let text = random_text(&a, 3000, 0xD15C);
+    let sealed = DiskSpine::build_sealed(
+        a.clone(),
+        &text,
+        Box::new(MemDevice::new()),
+        8,
+        Box::<Lru>::default(),
+    )
+    .unwrap();
+    let mut heat = Heatmap::new(text.len());
+    for p in patterns_for(&a, &text, 23) {
+        heat.add(&sealed.explain(&p));
+    }
+    assert_eq!(heat.dropped_touches(), 0);
+    let map = sealed.page_map();
+    let by_page = heat.page_visits_mapped(&map);
+    let total: u64 = heat.node_visits().iter().sum();
+    assert_eq!(by_page.values().sum::<u64>(), total, "mapped fold must conserve visits");
+    let file_pages = sealed.file_pages().unwrap();
+    for &page in by_page.keys() {
+        assert!((page as u64) < file_pages, "page {page} is beyond the {file_pages}-page file");
+    }
+    // Cross-check against the per-node fold: each node's heat sits on
+    // exactly the page the engine would read it from.
+    for (node, &v) in heat.node_visits().iter().enumerate() {
+        if v > 0 {
+            let page = map.page_of(node as u32);
+            assert!(by_page[&page] >= v, "node {node}'s heat missing from page {page}");
+        }
+    }
+    // After a clustered re-seal the hottest nodes' heat moves with them to
+    // the appended hot tier.
+    let mutable =
+        DiskSpine::build(a.clone(), &text, Box::new(MemDevice::new()), 32, Box::<Lru>::default())
+            .unwrap();
+    let hot = HotSet::from_heatmap(&heat, 64);
+    let clustered = mutable
+        .seal_to_clustered(Box::new(MemDevice::new()), 8, Box::<Lru>::default(), &hot)
+        .unwrap();
+    assert!(clustered.hot_tier_pages() > 0);
+    let cmap = clustered.page_map();
+    let cby = heat.page_visits_mapped(&cmap);
+    assert_eq!(cby.values().sum::<u64>(), total, "clustered fold must conserve visits");
+    let tier_start = clustered.file_pages().unwrap() - clustered.hot_tier_pages() as u64;
+    let hottest = hot.nodes().next().unwrap();
+    assert!(
+        cmap.page_of(hottest) as u64 >= tier_start,
+        "hottest node's heat must be attributed to the hot tier"
+    );
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// §4 invariant: a vertebra out of node `i` arrives at `i + 1`, so no
+    /// traced walk ever names a vertebra past `text_len - 1` — the arrival
+    /// touch `node + 1` stays inside the heatmap's `text_len + 1` slots and
+    /// nothing is dropped.
+    #[test]
+    fn vertebra_arrivals_stay_in_range(len in 1usize..160, seed in 0u64..1 << 48) {
+        let a = Alphabet::dna();
+        let text = random_text(&a, len, seed);
+        let s = Spine::build(a.clone(), &text).unwrap();
+        let mut heat = Heatmap::new(text.len());
+        for pattern in patterns_for(&a, &text, seed ^ 0xF1E1D) {
+            let t = s.explain(&pattern);
+            for e in t.structural_events() {
+                if let TraceEvent::Vertebra { node, .. } = e {
+                    prop_assert!(
+                        (node as usize) < t.text_len,
+                        "vertebra out of node {node} on a {}-char backbone",
+                        t.text_len
+                    );
+                }
+            }
+            heat.add(&t);
+        }
+        prop_assert_eq!(heat.dropped_touches(), 0);
+    }
 }

@@ -237,3 +237,64 @@ fn recovery_reports_and_cleans_orphans() {
     assert!(!dir.join("MANIFEST.tmp").exists());
     let _ = std::fs::remove_dir_all(&dir);
 }
+
+/// Sealed segments pin their hottest backbone-prefix pages at build *and*
+/// at recovery, and report them through the `segments.hot_pinned` gauge.
+/// With pinning disabled the gauge stays at zero.
+#[test]
+fn segments_pin_hot_pages_and_report_the_gauge() {
+    use spine::telemetry::MetricsRegistry;
+
+    let a = Alphabet::dna();
+    let dir = tmpdir("hotpin");
+    let cfg = SegmentConfig {
+        memtable_max_symbols: 64,
+        pool_pages: 8,
+        merge_min_segments: 8, // keep both segments alive
+        hot_pin_pages: 2,
+        ..Default::default()
+    };
+    let store = SegmentedSpine::create(a.clone(), &dir, cfg.clone()).unwrap();
+    let registry = MetricsRegistry::new();
+    store.attach_telemetry(&registry);
+    let doc = enc(&a, &b"AACCACAACAGGTTACGACGACCA".repeat(8));
+    store.add_document(&doc).unwrap();
+    store.force_seal().unwrap();
+    store.add_document(&doc).unwrap();
+    store.force_seal().unwrap();
+
+    let pinned = registry.snapshot().gauge("segments.hot_pinned").unwrap();
+    assert!(pinned >= 2, "two sealed segments must pin pages, gauge says {pinned}");
+    assert!(
+        pinned <= 2 * cfg.hot_pin_pages as u64,
+        "pinning must respect the per-segment budget, gauge says {pinned}"
+    );
+    // Pinning is invisible to answers.
+    assert_eq!(matches_of(&store, &enc(&a, b"GGTTACG")).len(), 16);
+    drop(store);
+
+    // Recovery re-pins from the manifest alone.
+    let store = SegmentedSpine::open(a.clone(), &dir, cfg.clone()).unwrap();
+    let registry = MetricsRegistry::new();
+    store.attach_telemetry(&registry);
+    store.force_seal().unwrap(); // refresh stats via a no-op seal
+    let repinned = registry.snapshot().gauge("segments.hot_pinned").unwrap();
+    assert!(repinned >= 2, "recovered segments must re-pin, gauge says {repinned}");
+    drop(store);
+
+    // With the knob off, nothing pins.
+    let dir2 = tmpdir("hotpin-off");
+    let store = SegmentedSpine::create(
+        a.clone(),
+        &dir2,
+        SegmentConfig { hot_pin_pages: 0, memtable_max_symbols: 64, ..Default::default() },
+    )
+    .unwrap();
+    let registry = MetricsRegistry::new();
+    store.attach_telemetry(&registry);
+    store.add_document(&doc).unwrap();
+    store.force_seal().unwrap();
+    assert_eq!(registry.snapshot().gauge("segments.hot_pinned"), Some(0));
+    let _ = std::fs::remove_dir_all(&dir);
+    let _ = std::fs::remove_dir_all(&dir2);
+}
