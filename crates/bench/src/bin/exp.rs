@@ -840,12 +840,22 @@ fn serve_metrics(opts: &Opts) {
     let baseline_wall = plain_walls[RUNS / 2];
 
     // Instrumented: three runs, each with a fresh registry + engine so the
-    // per-run invariants stay exact; keep the median run's snapshot.
+    // per-run invariants stay exact; keep the median run's snapshot. The
+    // flight-recorder sampler ticks during each timed run so the reported
+    // overhead covers the full observability stack, ring included.
     let mut inst = Vec::with_capacity(RUNS);
     for _ in 0..RUNS {
         let registry = Arc::new(MetricsRegistry::new());
         let engine = QueryEngine::with_telemetry(Arc::clone(&index), cfg, Arc::clone(&registry));
+        let series = Arc::new(spine::telemetry::TimeSeries::new(256));
+        let sampler = spine::telemetry::spawn_sampler(
+            Arc::clone(&series),
+            Arc::clone(&registry),
+            std::time::Duration::from_millis(50),
+        );
         let (hits, t) = run(&engine);
+        sampler.stop();
+        assert!(series.ticks() >= 1, "sampler must capture at least the immediate tick");
         assert_eq!(Some(hits), plain_hits, "instrumented engine diverges from plain engine");
 
         let m = engine.metrics();
@@ -947,8 +957,8 @@ fn register_build_gauges(
 
 fn serve_http(opts: &Opts, port: u16) {
     use spine::engine::{EngineConfig, QueryEngine};
-    use spine::telemetry::{MetricsRegistry, SlidingWindow, SloTracker};
-    use spine_bench::{MonitorRoutes, MonitorServer};
+    use spine::telemetry::{spawn_sampler, MetricsRegistry, SlidingWindow, SloTracker, TimeSeries};
+    use spine_bench::{FlightRecorder, MonitorRoutes, MonitorServer};
     use std::sync::Arc;
     use std::time::{Duration, Instant};
 
@@ -1012,7 +1022,29 @@ fn serve_http(opts: &Opts, port: u16) {
     .unwrap();
     eprintln!("build[disk]:   {}", disk_stats.summary());
     register_build_gauges(&registry, "disk", &disk_stats);
+    let disk = Arc::new(disk);
     let probe: Vec<strindex::Code> = dd.seq[..dd.seq.len().min(12)].to_vec();
+
+    // Satellite gauges: stats that previously lived only in ad-hoc
+    // snapshot structs, now first-class on /metrics. The probe pool's
+    // wasted prefetches read live; the heatmap is the primed workload's
+    // trace attribution over the serving index.
+    {
+        let disk = Arc::clone(&disk);
+        registry.labeled_gauge("pool.prefetch_wasted", &[("pool", "probe-disk")], move || {
+            disk.pool_stats().prefetch_waste
+        });
+    }
+    {
+        let mut heat = spine::Heatmap::new(d.seq.len());
+        for w in workload.iter().take(64) {
+            heat.add(&index.explain(w));
+        }
+        let heat = Arc::new(heat);
+        registry.labeled_gauge("heatmap.dropped_touches", &[("index", "memory")], move || {
+            heat.dropped_touches()
+        });
+    }
 
     // Segment-store recovery probe: build a tiny crash-safe store, seal it,
     // drop the handle, and reopen — exactly the recovery path. Under
@@ -1043,6 +1075,60 @@ fn serve_http(opts: &Opts, port: u16) {
     seg.attach_telemetry(&registry);
     eprintln!("segments: recovered epoch {} with {} orphan(s)", seg.epoch(), seg.orphan_count());
 
+    // Per-segment page counts, labeled by segment id. Registered for the
+    // segments recovered at startup (serving runs no background merger);
+    // a gauge whose segment is merged away reads 0 rather than lying.
+    for (id, _) in seg.segment_pages() {
+        let seg = Arc::clone(&seg);
+        let label = id.to_string();
+        registry.labeled_gauge("segments.pages", &[("segment", &label)], move || {
+            seg.segment_pages().iter().find(|&&(i, _)| i == id).map_or(0, |&(_, p)| p)
+        });
+    }
+
+    // Flight recorder: a sampler thread ticks the registry into a ring of
+    // time-series samples (the /timeline payload), the store's lifecycle
+    // journal backs /journal, and a postmortem dump fires on the /health
+    // healthy→unhealthy edge or a worker panic.
+    let series = Arc::new(TimeSeries::new(512));
+    let sampler =
+        spawn_sampler(Arc::clone(&series), Arc::clone(&registry), Duration::from_millis(200));
+    let journal_json = {
+        let seg = Arc::clone(&seg);
+        Arc::new(move |n: usize| -> String {
+            match seg.recent_journal(n) {
+                Ok(evs) => {
+                    let mut out = String::from("[");
+                    for (i, e) in evs.iter().enumerate() {
+                        if i > 0 {
+                            out.push(',');
+                        }
+                        out.push_str(&e.to_json());
+                    }
+                    out.push(']');
+                    out
+                }
+                Err(e) => format!(
+                    "[{{\"error\":\"{}\"}}]",
+                    spine::telemetry::json_escape(&format!("{e:?}"))
+                ),
+            }
+        })
+    };
+    let dump_dir = std::env::temp_dir().join(format!("spine-postmortem-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dump_dir);
+    let recorder =
+        Arc::new(FlightRecorder::new(&dump_dir, Arc::clone(&series), Arc::clone(&registry), {
+            let journal_json = Arc::clone(&journal_json);
+            move |n| journal_json(n)
+        }));
+    {
+        let recorder = Arc::clone(&recorder);
+        engine.set_panic_hook(move |msg| {
+            let _ = recorder.trigger(&format!("worker panic: {msg}"));
+        });
+    }
+
     let routes = MonitorRoutes {
         metrics: {
             let registry = Arc::clone(&registry);
@@ -1053,6 +1139,7 @@ fn serve_http(opts: &Opts, port: u16) {
             let window = Arc::clone(&window);
             let slo = Arc::clone(&slo);
             let seg = Arc::clone(&seg);
+            let recorder = Arc::clone(&recorder);
             Box::new(move || {
                 let t0 = Instant::now();
                 let ok = disk.try_find_all(&probe).is_ok();
@@ -1074,7 +1161,10 @@ fn serve_http(opts: &Opts, port: u16) {
                     slo.burn_rate_long(),
                     m.completed
                 );
-                (ledger_ok && slo_ok && seg_ok, body)
+                let healthy = ledger_ok && slo_ok && seg_ok;
+                // The healthy→unhealthy edge triggers a postmortem dump.
+                recorder.observe_health(healthy);
+                (healthy, body)
             })
         },
         explain: {
@@ -1087,6 +1177,14 @@ fn serve_http(opts: &Opts, port: u16) {
                 Ok(index.explain(&pattern).to_json())
             })
         },
+        timeline: {
+            let series = Arc::clone(&series);
+            Box::new(move |metric, window| series.to_json(metric, window))
+        },
+        journal: {
+            let journal_json = Arc::clone(&journal_json);
+            Box::new(move |n| journal_json(n))
+        },
     };
 
     // Self-check the exposition once before serving it to scrapers.
@@ -1096,18 +1194,37 @@ fn serve_http(opts: &Opts, port: u16) {
 
     let server = MonitorServer::bind(("127.0.0.1", port), routes, 16)
         .unwrap_or_else(|e| panic!("binding 127.0.0.1:{port}: {e}"));
-    // Parsed by scripts/ci.sh; keep the format stable.
+    // Parsed by scripts/ci.sh; keep both formats stable.
     println!("HTTP listening on {}", server.local_addr());
+    println!("postmortem dir {}", dump_dir.display());
     use std::io::Write as _;
     std::io::stdout().flush().ok();
     eprintln!(
-        "serving /metrics /health /explain?q=PAT /quit ({} primed queries{}{})",
+        "serving /metrics /health /explain?q=PAT /timeline /journal /quit \
+         ({} primed queries{}{})",
         primed,
         if opts.flaky { ", flaky probe device" } else { "" },
         if opts.orphan { ", planted orphan segment" } else { "" }
     );
     let served = server.serve().expect("accept loop failed");
+    sampler.stop();
     let _ = std::fs::remove_dir_all(&seg_dir);
+
+    // Every postmortem captured during the run must read back schema-valid;
+    // under --flaky (and --orphan, which also forces a 503) at least one
+    // must exist — that is the end-to-end flight-recorder assertion.
+    let dumps = recorder.dump_count();
+    if opts.flaky || opts.orphan {
+        assert!(dumps > 0, "a forced-503 run must capture a postmortem dump");
+    }
+    if dumps > 0 {
+        let last = recorder.last_dump().expect("dump path recorded");
+        let text = std::fs::read_to_string(&last)
+            .unwrap_or_else(|e| panic!("reading {}: {e}", last.display()));
+        spine_bench::validate_postmortem(&text)
+            .unwrap_or_else(|e| panic!("postmortem {} is malformed: {e}", last.display()));
+        println!("OK: postmortem {} validates ({dumps} dump(s))", last.display());
+    }
     println!("OK: monitor served {served} request(s), shut down cleanly");
 }
 

@@ -18,7 +18,11 @@ use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::path::Path;
 
 use pagestore::{FaultyDevice, FlakyDevice, Lru, MemDevice, PageDevice, RetryDevice, RetryPolicy};
-use spine::{DiskSpine, IoGate, SegmentConfig, SegmentedSpine, Spine};
+use spine::journal::decode_all;
+use spine::{
+    DiskSpine, IoGate, JournalEvent, JournalKind, SegmentConfig, SegmentedSpine, Spine,
+    JOURNAL_FILE,
+};
 use strindex::{Alphabet, Code, StringIndex};
 
 use crate::Dataset;
@@ -92,6 +96,11 @@ pub struct SweepReport {
     /// Recoveries that found orphan files (evidence of the crash, left for
     /// inspection) — informational.
     pub segment_orphaned: u64,
+    /// Post-crash journals that failed the lifecycle contract: a torn
+    /// record (strict decode error), an event the script never committed,
+    /// an epoch ahead of the recovered manifest, or recovery failing to
+    /// journal itself. Must be 0.
+    pub segment_journal_divergences: u64,
 }
 
 impl SweepReport {
@@ -110,6 +119,7 @@ impl SweepReport {
             && self.segment_ops > 0
             && self.segment_faults > 0
             && self.segment_torn == 0
+            && self.segment_journal_divergences == 0
     }
 }
 
@@ -299,8 +309,9 @@ pub fn crashpoint_sweep(quick: bool) -> SweepReport {
         let clean = run_segment_script(&clean_dir, Some(gate.clone()));
         assert!(clean.result.is_ok(), "clean segment lifecycle must not fail");
         report.segment_ops = gate.ops();
-        let (exact, _) = verify_segment_recovery(&clean_dir, &clean);
+        let (exact, _, journal_ok) = verify_segment_recovery(&clean_dir, &clean);
         assert!(exact, "clean segment lifecycle diverges from the per-document oracle");
+        assert!(journal_ok, "clean segment lifecycle must satisfy the journal contract");
         let _ = std::fs::remove_dir_all(&clean_dir);
 
         let stride = if quick { (report.segment_ops / 32).max(1) } else { 1 };
@@ -319,7 +330,7 @@ pub fn crashpoint_sweep(quick: bool) -> SweepReport {
                     } else {
                         report.segment_faults += 1;
                     }
-                    let (exact, orphans) = verify_segment_recovery(&dir, &outcome);
+                    let (exact, orphans, journal_ok) = verify_segment_recovery(&dir, &outcome);
                     if exact {
                         report.segment_recoveries += 1;
                     } else {
@@ -327,6 +338,9 @@ pub fn crashpoint_sweep(quick: bool) -> SweepReport {
                     }
                     if orphans {
                         report.segment_orphaned += 1;
+                    }
+                    if !journal_ok {
+                        report.segment_journal_divergences += 1;
                     }
                 }
                 Err(_) => report.panics += 1,
@@ -470,16 +484,66 @@ fn seg_oracle(live: &[u64], pattern: &[u8]) -> Vec<(usize, usize)> {
     hits
 }
 
+/// The commit kinds the pass-4 script journals, in epoch order (epochs
+/// 1..=5; recover events interleave with whatever epoch was current).
+const SEG_SCRIPT_KINDS: [JournalKind; 5] = [
+    JournalKind::Seal,
+    JournalKind::Seal,
+    JournalKind::Retire,
+    JournalKind::Merge,
+    JournalKind::Seal,
+];
+
+/// The lifecycle-journal contract at a crashpoint, checked against the
+/// journal bytes as the crash left them (read *before* recovery, which
+/// truncates torn tails and appends its own event) plus the recovered
+/// store: no torn records (the gate model is fail-stop — an append either
+/// happened or it didn't), the commit events form an exact prefix of the
+/// script's schedule missing at most the final commit, no event is ahead
+/// of the recovered manifest epoch, and recovery journaled itself.
+fn verify_segment_journal(
+    pre_crash: Result<Vec<JournalEvent>, strindex::Error>,
+    s: &SegmentedSpine,
+) -> bool {
+    let epoch = s.epoch();
+    let Ok(events) = pre_crash else {
+        return false; // torn record — impossible under fail-stop injection
+    };
+    let commits: Vec<&JournalEvent> =
+        events.iter().filter(|e| e.kind != JournalKind::Recover).collect();
+    let prefix_ok = commits
+        .iter()
+        .enumerate()
+        .all(|(i, e)| e.epoch == i as u64 + 1 && SEG_SCRIPT_KINDS.get(i) == Some(&e.kind));
+    let k = commits.len() as u64;
+    // An event is journaled right after its commit is durable, and a
+    // journal failure aborts the script — so the journal contains every
+    // acknowledged commit except possibly the last one, and never leads
+    // the manifest.
+    prefix_ok
+        && events.iter().all(|e| e.epoch <= epoch)
+        && (k == epoch || k + 1 == epoch)
+        && s.recent_journal(1).is_ok_and(|evs| {
+            evs.last().is_some_and(|e| e.kind == JournalKind::Recover && e.epoch == epoch)
+        })
+}
+
 /// Recover `dir` ungated and check the crash-safety contract: the store
 /// opens, lands on an epoch the run committed (or had in flight), reports
 /// exactly that epoch's live documents, and answers every probe pattern
-/// like the naive oracle. Returns `(contract holds, orphans found)`.
-fn verify_segment_recovery(dir: &Path, run: &SegScriptOutcome) -> (bool, bool) {
+/// like the naive oracle. Returns
+/// `(contract holds, orphans found, journal contract holds)`.
+fn verify_segment_recovery(dir: &Path, run: &SegScriptOutcome) -> (bool, bool, bool) {
+    // Snapshot the journal exactly as the crash left it: the recovery
+    // below truncates torn tails and appends a recover event.
+    let journal_bytes = std::fs::read(dir.join(JOURNAL_FILE)).unwrap_or_default();
+    let pre_crash = decode_all(&journal_bytes);
     let alphabet = Alphabet::dna();
     let s = match SegmentedSpine::open(alphabet.clone(), dir, seg_config(None)) {
         Ok(s) => s,
-        Err(_) => return (false, false),
+        Err(_) => return (false, false, false),
     };
+    let journal_ok = verify_segment_journal(pre_crash, &s);
     let orphans = s.orphan_count() > 0;
     let epoch = s.epoch();
     let expected_live = run
@@ -489,22 +553,22 @@ fn verify_segment_recovery(dir: &Path, run: &SegScriptOutcome) -> (bool, bool) {
         .find(|(e, _)| *e == epoch)
         .map(|(_, live)| live.clone());
     let Some(expected_live) = expected_live else {
-        return (false, orphans);
+        return (false, orphans, journal_ok);
     };
     if s.live_doc_ids() != expected_live {
-        return (false, orphans);
+        return (false, orphans, journal_ok);
     }
     for probe in SEG_PROBES {
         let pattern = alphabet.encode(probe).expect("probes are valid DNA");
         let got: Vec<(usize, usize)> = match s.try_find_all(&pattern) {
             Ok(ms) => ms.into_iter().map(|m| (m.doc, m.offset)).collect(),
-            Err(_) => return (false, orphans),
+            Err(_) => return (false, orphans, journal_ok),
         };
         if got != seg_oracle(&expected_live, probe) {
-            return (false, orphans);
+            return (false, orphans, journal_ok);
         }
     }
-    (true, orphans)
+    (true, orphans, journal_ok)
 }
 
 #[cfg(test)]
@@ -529,6 +593,10 @@ mod tests {
             r.segment_recoveries,
             r.segment_faults + r.swallowed,
             "every crashed run must recover: {r:?}"
+        );
+        assert_eq!(
+            r.segment_journal_divergences, 0,
+            "the journal must contain each event or cleanly lack it: {r:?}"
         );
     }
 

@@ -1,0 +1,256 @@
+//! Postmortem dumps: the write-side of the flight recorder.
+//!
+//! The serving stack keeps its recent history in memory — the
+//! [`TimeSeries`] ring of registry samples and the segment store's
+//! on-disk lifecycle journal. This module turns that history into a
+//! durable artifact at the moment something goes wrong: a
+//! `postmortem-<unix_ms>-<seq>.json` file capturing the metric timeline,
+//! the journal tail, a full registry snapshot, and the trigger reason.
+//!
+//! Two triggers fire automatically once wired up by `exp serve`:
+//!
+//! * a health transition — the `/health` route flipping healthy→unhealthy
+//!   (see [`FlightRecorder::observe_health`]); repeated unhealthy polls do
+//!   not re-fire, only the edge does;
+//! * a worker panic — the engine's panic hook
+//!   ([`QueryEngine::set_panic_hook`](spine::QueryEngine::set_panic_hook))
+//!   runs after the worker is accounted dead and before its replacement
+//!   spawns.
+//!
+//! Dumps are written atomically (tmp file + rename in the dump
+//! directory) so a crash mid-dump never leaves a half-written
+//! `postmortem-*.json` for the postmortem *reader* to choke on — the same
+//! discipline the manifest and journal use. [`validate_postmortem`]
+//! checks the schema and backs both the unit tests and the
+//! `exp serve --flaky` end-to-end assertion.
+
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::SystemTime;
+
+use strindex::telemetry::{json_escape, MetricsRegistry, TimeSeries};
+
+use crate::snapshot::json_number;
+
+/// Journal events included in a postmortem dump.
+const DUMP_JOURNAL_EVENTS: usize = 64;
+
+/// Captures the in-memory flight-recorder state to disk when a trigger
+/// fires. Shared across the health route, the engine panic hook, and the
+/// serve loop via `Arc`.
+pub struct FlightRecorder {
+    dump_dir: PathBuf,
+    series: Arc<TimeSeries>,
+    registry: Arc<MetricsRegistry>,
+    /// Returns the newest `n` lifecycle-journal events as a JSON array
+    /// (the same closure backing `GET /journal`); recorders without a
+    /// segment store report `[]`.
+    journal: Box<dyn Fn(usize) -> String + Send + Sync>,
+    was_healthy: AtomicBool,
+    seq: AtomicU64,
+    dumps: AtomicU64,
+    last_dump: Mutex<Option<PathBuf>>,
+}
+
+impl FlightRecorder {
+    /// A recorder dumping into `dump_dir` (created if absent). `journal`
+    /// renders the newest `n` lifecycle events as a JSON array.
+    pub fn new(
+        dump_dir: impl Into<PathBuf>,
+        series: Arc<TimeSeries>,
+        registry: Arc<MetricsRegistry>,
+        journal: impl Fn(usize) -> String + Send + Sync + 'static,
+    ) -> Self {
+        FlightRecorder {
+            dump_dir: dump_dir.into(),
+            series,
+            registry,
+            journal: Box::new(journal),
+            was_healthy: AtomicBool::new(true),
+            seq: AtomicU64::new(0),
+            dumps: AtomicU64::new(0),
+            last_dump: Mutex::new(None),
+        }
+    }
+
+    /// Where dumps land.
+    pub fn dump_dir(&self) -> &Path {
+        &self.dump_dir
+    }
+
+    /// Dumps written so far.
+    pub fn dump_count(&self) -> u64 {
+        self.dumps.load(Ordering::Acquire)
+    }
+
+    /// Path of the most recent dump, if any.
+    pub fn last_dump(&self) -> Option<PathBuf> {
+        self.last_dump.lock().unwrap_or_else(std::sync::PoisonError::into_inner).clone()
+    }
+
+    /// Feed the latest `/health` verdict; fires [`trigger`](Self::trigger)
+    /// on the healthy→unhealthy edge only, so a sustained outage produces
+    /// one dump, not one per scrape.
+    pub fn observe_health(&self, healthy: bool) {
+        let was = self.was_healthy.swap(healthy, Ordering::AcqRel);
+        if was && !healthy {
+            let _ = self.trigger("health: transitioned to 503");
+        }
+    }
+
+    /// Write a postmortem dump now. Returns the final path. The write is
+    /// atomic: the body goes to a `.tmp` sibling which is then renamed
+    /// into place, so `postmortem-*.json` files are always complete.
+    pub fn trigger(&self, reason: &str) -> io::Result<PathBuf> {
+        let seq = self.seq.fetch_add(1, Ordering::AcqRel);
+        let body = self.render(reason, seq);
+        fs::create_dir_all(&self.dump_dir)?;
+        let name = format!("postmortem-{}-{seq}.json", unix_ms());
+        let finalp = self.dump_dir.join(&name);
+        let tmp = self.dump_dir.join(format!("{name}.tmp"));
+        fs::write(&tmp, body.as_bytes())?;
+        fs::rename(&tmp, &finalp)?;
+        self.dumps.fetch_add(1, Ordering::AcqRel);
+        *self.last_dump.lock().unwrap_or_else(std::sync::PoisonError::into_inner) =
+            Some(finalp.clone());
+        Ok(finalp)
+    }
+
+    /// The dump body: reason, capture time, the metric timeline, the
+    /// journal tail, and a full registry snapshot.
+    fn render(&self, reason: &str, seq: u64) -> String {
+        let timeline = self.series.to_json(None, None);
+        let journal = (self.journal)(DUMP_JOURNAL_EVENTS);
+        let metrics = self.registry.snapshot().to_json();
+        format!(
+            "{{\"reason\":\"{}\",\"dump_unix_ms\":{},\"dump_seq\":{seq},\
+             \"timeline\":{timeline},\"journal\":{journal},\"metrics\":{metrics}}}",
+            json_escape(reason),
+            unix_ms()
+        )
+    }
+}
+
+/// Milliseconds since the Unix epoch (0 if the clock is before it).
+fn unix_ms() -> u64 {
+    SystemTime::now()
+        .duration_since(SystemTime::UNIX_EPOCH)
+        .map(|d| d.as_millis() as u64)
+        .unwrap_or(0)
+}
+
+/// Check that `text` is a plausible postmortem dump: the four sections
+/// are present, the capture time is a positive number, and the reason is
+/// non-empty. Used by the unit tests here and by `exp serve --flaky` to
+/// assert end-to-end that a panic actually produced a readable dump.
+pub fn validate_postmortem(text: &str) -> Result<(), String> {
+    let t = text.trim();
+    if !(t.starts_with('{') && t.ends_with('}')) {
+        return Err("not a JSON object".to_string());
+    }
+    if !t.contains("\"reason\":\"") || t.contains("\"reason\":\"\"") {
+        return Err("missing or empty \"reason\"".to_string());
+    }
+    match json_number(t, "dump_unix_ms") {
+        Some(ms) if ms > 0.0 => {}
+        _ => return Err("missing positive \"dump_unix_ms\"".to_string()),
+    }
+    if json_number(t, "dump_seq").is_none() {
+        return Err("missing \"dump_seq\"".to_string());
+    }
+    for (key, open) in [("timeline", '{'), ("journal", '['), ("metrics", '{')] {
+        let needle = format!("\"{key}\":{open}");
+        if !t.contains(&needle) {
+            return Err(format!("missing \"{key}\" section"));
+        }
+    }
+    if !t.contains("\"samples\":[") {
+        return Err("timeline has no \"samples\" array".to_string());
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn recorder(tag: &str) -> FlightRecorder {
+        let dir = std::env::temp_dir().join(format!("spine-flight-{tag}-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        let registry = Arc::new(MetricsRegistry::new());
+        registry.counter("serve.queries").add(41);
+        let series = Arc::new(TimeSeries::new(16));
+        series.sample(&registry);
+        registry.counter("serve.queries").incr();
+        series.sample(&registry);
+        FlightRecorder::new(dir, series, registry, |n| {
+            format!("[{{\"kind\":\"seal\",\"epoch\":1,\"n_asked\":{n}}}]")
+        })
+    }
+
+    #[test]
+    fn trigger_writes_an_atomic_schema_valid_dump() {
+        let fr = recorder("trigger");
+        let path = fr.trigger("unit test: forced dump").unwrap();
+        assert!(path.exists());
+        assert_eq!(fr.dump_count(), 1);
+        assert_eq!(fr.last_dump().as_deref(), Some(&*path));
+
+        // No half-written .tmp siblings survive the rename.
+        let leftovers: Vec<_> = fs::read_dir(fr.dump_dir())
+            .unwrap()
+            .map(|e| e.unwrap().file_name().into_string().unwrap())
+            .filter(|n| n.ends_with(".tmp"))
+            .collect();
+        assert!(leftovers.is_empty(), "tmp files left behind: {leftovers:?}");
+
+        let text = fs::read_to_string(&path).unwrap();
+        validate_postmortem(&text).unwrap();
+        assert!(text.contains("unit test: forced dump"), "reason embedded");
+        assert!(text.contains("\"serve.queries\":42"), "timeline carries counters: {text}");
+        assert!(text.contains("\"n_asked\":64"), "journal tail asked for the dump depth");
+        let _ = fs::remove_dir_all(fr.dump_dir());
+    }
+
+    #[test]
+    fn health_dump_fires_on_the_edge_not_the_level() {
+        let fr = recorder("edge");
+        fr.observe_health(true);
+        fr.observe_health(true);
+        assert_eq!(fr.dump_count(), 0, "healthy polls never dump");
+        fr.observe_health(false);
+        assert_eq!(fr.dump_count(), 1, "the transition dumps");
+        fr.observe_health(false);
+        fr.observe_health(false);
+        assert_eq!(fr.dump_count(), 1, "a sustained outage dumps once");
+        fr.observe_health(true);
+        fr.observe_health(false);
+        assert_eq!(fr.dump_count(), 2, "recovery re-arms the trigger");
+        let reason = fs::read_to_string(fr.last_dump().unwrap()).unwrap();
+        validate_postmortem(&reason).unwrap();
+        assert!(reason.contains("transitioned to 503"));
+        let _ = fs::remove_dir_all(fr.dump_dir());
+    }
+
+    #[test]
+    fn validator_rejects_malformed_dumps() {
+        assert!(validate_postmortem("").is_err());
+        assert!(validate_postmortem("not json").is_err());
+        assert!(validate_postmortem("{}").is_err(), "empty object lacks every section");
+        assert!(
+            validate_postmortem("{\"reason\":\"\",\"dump_unix_ms\":1,\"dump_seq\":0}").is_err(),
+            "empty reason"
+        );
+        assert!(
+            validate_postmortem(
+                "{\"reason\":\"x\",\"dump_seq\":0,\
+                 \"timeline\":{\"samples\":[]},\"journal\":[],\"metrics\":{}}"
+            )
+            .is_err(),
+            "missing capture time"
+        );
+    }
+}

@@ -11,6 +11,10 @@
 //!   JSON object with the inputs to that decision.
 //! * `GET /explain?q=PAT` — the [`QueryTrace`](spine::QueryTrace) of one
 //!   pattern as JSON.
+//! * `GET /timeline?metric=NAME&window=SECS` — the flight-recorder metric
+//!   history ring as JSON; both parameters are optional filters.
+//! * `GET /journal?n=COUNT` — the newest `n` (default 32) segment-lifecycle
+//!   journal events as a JSON array.
 //! * `GET /quit`     — acknowledge with `200`, then stop accepting and
 //!   return from [`MonitorServer::serve`] (used by CI for a clean
 //!   shutdown).
@@ -34,6 +38,9 @@ const MAX_REQUEST_BYTES: usize = 8 * 1024;
 /// Per-socket read/write timeout on both server and client sides.
 const IO_TIMEOUT: Duration = Duration::from_secs(5);
 
+/// Journal events returned by `GET /journal` when `n=` is not given.
+const DEFAULT_JOURNAL_EVENTS: usize = 32;
+
 /// The route handlers backing a [`MonitorServer`]. Closures rather than a
 /// trait: the `exp` binary wires each route to captured engine/registry
 /// state, and tests substitute canned bodies.
@@ -45,6 +52,13 @@ pub struct MonitorRoutes {
     /// `GET /explain?q=PAT`: `Ok(json)` answers 200, `Err(msg)` answers 400.
     #[allow(clippy::type_complexity)]
     pub explain: Box<dyn Fn(&str) -> Result<String, String> + Send + Sync>,
+    /// `GET /timeline?metric=NAME&window=SECS`: the flight-recorder ring as
+    /// JSON, optionally filtered to one metric and/or a trailing window.
+    #[allow(clippy::type_complexity)]
+    pub timeline: Box<dyn Fn(Option<&str>, Option<Duration>) -> String + Send + Sync>,
+    /// `GET /journal?n=COUNT`: the most recent segment-lifecycle journal
+    /// events as a JSON array (newest last).
+    pub journal: Box<dyn Fn(usize) -> String + Send + Sync>,
 }
 
 /// A bound monitoring endpoint; [`serve`](Self::serve) runs the accept
@@ -95,7 +109,12 @@ impl MonitorServer {
                 Err(_) => continue,
             };
             if active.load(Ordering::Acquire) >= self.max_connections {
+                let _ = stream.set_read_timeout(Some(IO_TIMEOUT));
                 let _ = stream.set_write_timeout(Some(IO_TIMEOUT));
+                // Drain the request head before answering: closing with
+                // unread bytes in the receive buffer makes the kernel send
+                // RST, which can destroy the 503 before the client reads it.
+                let _ = stream.read(&mut [0u8; 512]);
                 let _ = write_response(
                     &mut stream,
                     503,
@@ -191,6 +210,49 @@ fn handle_connection(stream: &mut TcpStream, routes: &MonitorRoutes) -> std::io:
                 }
             },
         },
+        "/timeline" => {
+            let metric = query_param(query, "metric");
+            let window = match query_param(query, "window") {
+                None => None,
+                Some(w) => match w.parse::<f64>() {
+                    Ok(secs) if secs.is_finite() && secs >= 0.0 => {
+                        Some(Duration::from_secs_f64(secs))
+                    }
+                    _ => {
+                        write_response(
+                            stream,
+                            400,
+                            "Bad Request",
+                            TEXT,
+                            "window must be a non-negative number of seconds\n",
+                        )?;
+                        return Ok(false);
+                    }
+                },
+            };
+            let body = (routes.timeline)(metric.as_deref(), window);
+            write_response(stream, 200, "OK", JSON, &body)?;
+        }
+        "/journal" => {
+            let n = match query_param(query, "n") {
+                None => DEFAULT_JOURNAL_EVENTS,
+                Some(raw) => match raw.parse::<usize>() {
+                    Ok(n) => n,
+                    Err(_) => {
+                        write_response(
+                            stream,
+                            400,
+                            "Bad Request",
+                            TEXT,
+                            "n must be a non-negative integer\n",
+                        )?;
+                        return Ok(false);
+                    }
+                },
+            };
+            let body = (routes.journal)(n);
+            write_response(stream, 200, "OK", JSON, &body)?;
+        }
         "/quit" => {
             write_response(stream, 200, "OK", TEXT, "shutting down\n")?;
             return Ok(true);
@@ -313,6 +375,14 @@ mod tests {
                     Err(format!("bad pattern {q:?}"))
                 }
             }),
+            timeline: Box::new(|metric, window| {
+                format!(
+                    "{{\"metric\":\"{}\",\"window_ms\":{}}}",
+                    metric.unwrap_or("*"),
+                    window.map_or(0, |w| w.as_millis())
+                )
+            }),
+            journal: Box::new(|n| format!("{{\"n\":{n}}}")),
         }
     }
 
@@ -353,12 +423,32 @@ mod tests {
         let (st, _) = http_get(addr, "/nope", T).unwrap();
         assert_eq!(st, 404);
 
+        let (st, body) = http_get(addr, "/timeline", T).unwrap();
+        assert_eq!(st, 200);
+        assert_eq!(body, "{\"metric\":\"*\",\"window_ms\":0}", "unfiltered timeline");
+        let (st, body) = http_get(addr, "/timeline?metric=serve.qps&window=2.5", T).unwrap();
+        assert_eq!(st, 200);
+        assert_eq!(body, "{\"metric\":\"serve.qps\",\"window_ms\":2500}");
+        let (st, _) = http_get(addr, "/timeline?window=never", T).unwrap();
+        assert_eq!(st, 400, "non-numeric window is rejected");
+        let (st, _) = http_get(addr, "/timeline?window=-1", T).unwrap();
+        assert_eq!(st, 400, "negative window is rejected");
+
+        let (st, body) = http_get(addr, "/journal", T).unwrap();
+        assert_eq!(st, 200);
+        assert_eq!(body, "{\"n\":32}", "default journal depth");
+        let (st, body) = http_get(addr, "/journal?n=5", T).unwrap();
+        assert_eq!(st, 200);
+        assert_eq!(body, "{\"n\":5}");
+        let (st, _) = http_get(addr, "/journal?n=minus-three", T).unwrap();
+        assert_eq!(st, 400, "non-numeric n is rejected");
+
         let (st, body) = http_get(addr, "/quit", T).unwrap();
         assert_eq!(st, 200);
         assert!(body.contains("shutting down"));
         let served = h.join().unwrap();
-        // 7 requests above; the stop-flag wakeup connection is not served.
-        assert_eq!(served, 7);
+        // 14 requests above; the stop-flag wakeup connection is not served.
+        assert_eq!(served, 14);
     }
 
     #[test]

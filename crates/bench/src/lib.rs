@@ -7,12 +7,14 @@
 
 pub mod datasets;
 pub mod faults;
+pub mod flight;
 pub mod http;
 pub mod report;
 pub mod snapshot;
 
 pub use datasets::{dna_presets, protein_presets, query_for, Dataset};
 pub use faults::{crashpoint_sweep, SweepReport};
+pub use flight::{validate_postmortem, FlightRecorder};
 pub use http::{http_get, MonitorRoutes, MonitorServer};
 pub use report::{print_table, MetricsReport, Row};
 pub use snapshot::{BenchSnapshot, BuildSnapshot};

@@ -484,6 +484,12 @@ impl EngineTelemetry {
     }
 }
 
+/// Callback invoked after a worker panic is contained (batch failed,
+/// ledger settled) and before the worker respawns. The argument is the
+/// panic message. Runs outside the state lock, so it may do I/O — this is
+/// the flight recorder's postmortem trigger.
+pub type PanicHook = Arc<dyn Fn(&str) + Send + Sync>;
+
 struct Shared {
     state: Mutex<State>,
     work_ready: Condvar,
@@ -491,6 +497,7 @@ struct Shared {
     space_free: Condvar,
     worker_stats: Vec<WorkerStats>,
     telemetry: Option<EngineTelemetry>,
+    panic_hook: Mutex<Option<PanicHook>>,
 }
 
 impl Shared {
@@ -580,6 +587,7 @@ impl<S: ServeIndex + 'static> QueryEngine<S> {
             space_free: Condvar::new(),
             worker_stats: (0..workers).map(|_| WorkerStats::new()).collect(),
             telemetry,
+            panic_hook: Mutex::new(None),
         });
         let pool = (0..workers)
             .map(|w| {
@@ -598,8 +606,18 @@ impl<S: ServeIndex + 'static> QueryEngine<S> {
                             }));
                             match run {
                                 Ok(()) => return, // clean shutdown
-                                Err(_) => {
+                                Err(payload) => {
                                     shared.lock().ledger.worker_respawns += 1;
+                                    // Fire the postmortem hook outside the
+                                    // state lock: it may dump files.
+                                    let hook = shared
+                                        .panic_hook
+                                        .lock()
+                                        .unwrap_or_else(PoisonError::into_inner)
+                                        .clone();
+                                    if let Some(h) = hook {
+                                        h(&panic_message(payload.as_ref()));
+                                    }
                                 }
                             }
                         }
@@ -620,6 +638,15 @@ impl<S: ServeIndex + 'static> QueryEngine<S> {
     /// The telemetry registry this engine records into, if any.
     pub fn registry(&self) -> Option<&Arc<MetricsRegistry>> {
         self.shared.telemetry.as_ref().map(|t| &t.registry)
+    }
+
+    /// Install a callback fired whenever a worker panic is contained (after
+    /// the batch is failed and accounted, before the worker respawns),
+    /// with the panic message. Replaces any previous hook. Runs on the
+    /// panicking worker's thread, outside the engine's state lock.
+    pub fn set_panic_hook(&self, hook: impl Fn(&str) + Send + Sync + 'static) {
+        *self.shared.panic_hook.lock().unwrap_or_else(PoisonError::into_inner) =
+            Some(Arc::new(hook));
     }
 
     /// The shared index this engine answers from.
@@ -1252,6 +1279,43 @@ mod tests {
     use crate::occurrences::find_all_ends;
     use std::time::Duration;
     use strindex::Alphabet;
+
+    #[test]
+    fn worker_panic_fires_the_postmortem_hook_and_respawns() {
+        struct Bomb;
+        impl ServeIndex for Bomb {
+            fn answer_patterns(&self, _patterns: &[&[Code]]) -> Vec<QueryOutcome> {
+                panic!("bomb in answer_patterns")
+            }
+            fn counters_snapshot(&self) -> CountersSnapshot {
+                CountersSnapshot::default()
+            }
+        }
+        let cfg = EngineConfig { workers: 1, ..EngineConfig::default() };
+        let engine = QueryEngine::new(Arc::new(Bomb), cfg);
+        let fired = Arc::new(Mutex::new(Vec::<String>::new()));
+        let sink = Arc::clone(&fired);
+        engine.set_panic_hook(move |msg| sink.lock().unwrap().push(msg.to_string()));
+        let prev_hook = std::panic::take_hook();
+        std::panic::set_hook(Box::new(|_| {}));
+        engine.submit(vec![0]).unwrap();
+        let rs = engine.drain();
+        assert!(
+            matches!(&rs[0].outcome, QueryOutcome::Failed(m) if m.contains("bomb")),
+            "batch must fail with the panic message: {rs:?}"
+        );
+        // The hook runs on the worker thread after the drain notification;
+        // give it a bounded moment.
+        let deadline = Instant::now() + Duration::from_secs(10);
+        while fired.lock().unwrap().is_empty() && Instant::now() < deadline {
+            std::thread::sleep(Duration::from_millis(2));
+        }
+        std::panic::set_hook(prev_hook);
+        assert_eq!(engine.metrics().worker_respawns, 1);
+        let msgs = fired.lock().unwrap();
+        assert_eq!(msgs.len(), 1, "hook must fire exactly once");
+        assert!(msgs[0].contains("bomb"), "hook gets the panic message: {msgs:?}");
+    }
 
     fn paper_engine(workers: usize) -> (Alphabet, QueryEngine<Spine>) {
         let a = Alphabet::dna();

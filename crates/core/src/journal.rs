@@ -1,0 +1,389 @@
+//! The segment store's durable lifecycle journal: an append-only record of
+//! *what the store did*, as opposed to the manifest's record of *what is
+//! durable now*.
+//!
+//! Every state transition — seal, merge, retire, recovery, orphan cleanup —
+//! appends one checksummed [`JournalEvent`] to `JOURNAL.log` in the store
+//! directory. The journal is strictly secondary to the manifest: an event is
+//! appended only *after* the manifest commit it describes has been fsynced
+//! into place, so after any crash the journal's maximum epoch is at most the
+//! recovered manifest epoch. Recovery replays the journal, truncates a torn
+//! tail (the one legal kind of damage — a crash mid-append), and refuses to
+//! open if the cross-check fails, because a journal that is *ahead* of the
+//! manifest can only mean corruption or manual tampering.
+//!
+//! ## Encoding
+//!
+//! A sequence of self-delimiting fixed-layout records, each individually
+//! checksummed (FNV-1a over the record bytes before the checksum):
+//!
+//! ```text
+//! "SPJE" | version u16 | kind u8 | epoch u64 | unix_ms u64
+//! | docs u64 | aux u64
+//! | input count u32  | input segment ids u64...
+//! | output count u32 | output segment ids u64...
+//! | phase nanos u64 × MergePhase::COUNT
+//! | checksum u64
+//! ```
+//!
+//! Two decode disciplines serve two callers:
+//!
+//! * [`decode_all`] is strict — any torn, corrupt, or trailing byte is
+//!   [`Error::Parse`], an unknown version is [`Error::FormatVersion`]. The
+//!   fault sweep uses this to prove crashpoints never leave torn records
+//!   (the I/O gate model is fail-stop: an append either happened or didn't).
+//! * [`replay`] is lenient — it salvages the longest valid record prefix and
+//!   reports how many bytes it covers, because a *real* crash mid-append
+//!   (outside the gate model) must cost the tail event, not the store.
+
+use crate::manifest::fnv1a;
+use crate::observe::MergePhase;
+use strindex::{Error, Result};
+
+/// Version stamped into every journal record this build writes.
+pub const JOURNAL_VERSION: u16 = 1;
+
+/// Journal file name inside a segment store directory.
+pub const JOURNAL_FILE: &str = "JOURNAL.log";
+
+const MAGIC: &[u8; 4] = b"SPJE";
+
+/// Fixed byte overhead of a record around its two id lists.
+const FIXED_LEN: usize = 4 + 2 + 1 + 8 * 4 + 4 + 4 + 8 * MergePhase::COUNT + 8;
+
+/// What kind of lifecycle transition a [`JournalEvent`] records.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum JournalKind {
+    /// Memtable sealed into a new segment. `outputs` = the new segment id,
+    /// `docs` = documents sealed.
+    Seal,
+    /// Segments compacted. `inputs` = replaced segment ids, `outputs` = the
+    /// replacement (empty if everything merged away), `docs` = live
+    /// documents carried forward, `aux` = tombstones dropped.
+    Merge,
+    /// A sealed document tombstoned. `docs` = the retired document id.
+    Retire,
+    /// Store opened and recovered. `outputs` = live segment ids, `docs` =
+    /// live documents, `aux` = orphan files detected.
+    Recover,
+    /// Orphan files removed. `docs` = files deleted.
+    OrphanCleanup,
+}
+
+impl JournalKind {
+    fn code(self) -> u8 {
+        match self {
+            JournalKind::Seal => 0,
+            JournalKind::Merge => 1,
+            JournalKind::Retire => 2,
+            JournalKind::Recover => 3,
+            JournalKind::OrphanCleanup => 4,
+        }
+    }
+
+    fn from_code(code: u8) -> Result<Self> {
+        Ok(match code {
+            0 => JournalKind::Seal,
+            1 => JournalKind::Merge,
+            2 => JournalKind::Retire,
+            3 => JournalKind::Recover,
+            4 => JournalKind::OrphanCleanup,
+            _ => return Err(Error::Parse("unknown journal event kind".into())),
+        })
+    }
+
+    /// Stable lowercase name for exports.
+    pub fn name(self) -> &'static str {
+        match self {
+            JournalKind::Seal => "seal",
+            JournalKind::Merge => "merge",
+            JournalKind::Retire => "retire",
+            JournalKind::Recover => "recover",
+            JournalKind::OrphanCleanup => "orphan_cleanup",
+        }
+    }
+}
+
+/// One durable lifecycle event.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct JournalEvent {
+    /// Transition kind (fixes the meaning of the numeric fields).
+    pub kind: JournalKind,
+    /// Manifest epoch *after* the transition this event describes. For
+    /// [`JournalKind::Recover`] (which commits nothing) it is the recovered
+    /// epoch.
+    pub epoch: u64,
+    /// Wall-clock milliseconds since the Unix epoch at append time.
+    pub unix_ms: u64,
+    /// Kind-dependent document count or id (see [`JournalKind`]).
+    pub docs: u64,
+    /// Kind-dependent auxiliary count (see [`JournalKind`]).
+    pub aux: u64,
+    /// Segment ids consumed by the transition.
+    pub inputs: Vec<u64>,
+    /// Segment ids produced or (for recover) observed live.
+    pub outputs: Vec<u64>,
+    /// Wall nanoseconds per [`MergePhase`], all zero for untimed kinds.
+    pub phase_nanos: [u64; MergePhase::COUNT],
+}
+
+impl JournalEvent {
+    /// Serialize to the on-disk record layout (checksum included).
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(FIXED_LEN + 8 * (self.inputs.len() + self.outputs.len()));
+        out.extend_from_slice(MAGIC);
+        out.extend_from_slice(&JOURNAL_VERSION.to_le_bytes());
+        out.push(self.kind.code());
+        out.extend_from_slice(&self.epoch.to_le_bytes());
+        out.extend_from_slice(&self.unix_ms.to_le_bytes());
+        out.extend_from_slice(&self.docs.to_le_bytes());
+        out.extend_from_slice(&self.aux.to_le_bytes());
+        out.extend_from_slice(&(self.inputs.len() as u32).to_le_bytes());
+        for &id in &self.inputs {
+            out.extend_from_slice(&id.to_le_bytes());
+        }
+        out.extend_from_slice(&(self.outputs.len() as u32).to_le_bytes());
+        for &id in &self.outputs {
+            out.extend_from_slice(&id.to_le_bytes());
+        }
+        for &n in &self.phase_nanos {
+            out.extend_from_slice(&n.to_le_bytes());
+        }
+        let sum = fnv1a(&out);
+        out.extend_from_slice(&sum.to_le_bytes());
+        out
+    }
+
+    /// One-line JSON rendering for the `/journal` monitor route.
+    pub fn to_json(&self) -> String {
+        let ids = |v: &[u64]| v.iter().map(|i| i.to_string()).collect::<Vec<_>>().join(",");
+        let phases = MergePhase::all()
+            .iter()
+            .map(|p| format!("\"{}\":{}", p.name(), self.phase_nanos[p.index()]))
+            .collect::<Vec<_>>()
+            .join(",");
+        format!(
+            "{{\"kind\":\"{}\",\"epoch\":{},\"unix_ms\":{},\"docs\":{},\"aux\":{},\
+             \"inputs\":[{}],\"outputs\":[{}],\"phase_nanos\":{{{}}}}}",
+            self.kind.name(),
+            self.epoch,
+            self.unix_ms,
+            self.docs,
+            self.aux,
+            ids(&self.inputs),
+            ids(&self.outputs),
+            phases,
+        )
+    }
+}
+
+/// Decode one record starting at `at`; returns the event and the offset one
+/// past its checksum. Strict: every failure is an error, never a panic.
+fn decode_one(bytes: &[u8], at: usize) -> Result<(JournalEvent, usize)> {
+    let err = || Error::Parse("journal record truncated".into());
+    let rest = &bytes[at..];
+    if rest.len() < 4 + 2 + 1 {
+        return Err(err());
+    }
+    if &rest[..4] != MAGIC {
+        return Err(Error::Parse("bad journal record magic".into()));
+    }
+    let version = u16::from_le_bytes([rest[4], rest[5]]);
+    if version != JOURNAL_VERSION {
+        return Err(Error::FormatVersion { found: version, expected: JOURNAL_VERSION });
+    }
+    let kind = JournalKind::from_code(rest[6])?;
+    let mut r = at + 7;
+    let u64_at = |r: &mut usize| -> Result<u64> {
+        let s = bytes.get(*r..*r + 8).ok_or_else(err)?;
+        *r += 8;
+        Ok(u64::from_le_bytes(s.try_into().unwrap()))
+    };
+    let epoch = u64_at(&mut r)?;
+    let unix_ms = u64_at(&mut r)?;
+    let docs = u64_at(&mut r)?;
+    let aux = u64_at(&mut r)?;
+    let list = |r: &mut usize| -> Result<Vec<u64>> {
+        let s = bytes.get(*r..*r + 4).ok_or_else(err)?;
+        *r += 4;
+        let n = u32::from_le_bytes(s.try_into().unwrap()) as usize;
+        let mut ids = Vec::with_capacity(n.min(1024));
+        for _ in 0..n {
+            let s = bytes.get(*r..*r + 8).ok_or_else(err)?;
+            *r += 8;
+            ids.push(u64::from_le_bytes(s.try_into().unwrap()));
+        }
+        Ok(ids)
+    };
+    let inputs = list(&mut r)?;
+    let outputs = list(&mut r)?;
+    let mut phase_nanos = [0u64; MergePhase::COUNT];
+    for n in &mut phase_nanos {
+        *n = u64_at(&mut r)?;
+    }
+    let body = &bytes[at..r];
+    let sum_bytes = bytes.get(r..r + 8).ok_or_else(err)?;
+    let stored = u64::from_le_bytes(sum_bytes.try_into().unwrap());
+    if fnv1a(body) != stored {
+        return Err(Error::Parse("journal record checksum mismatch (torn write?)".into()));
+    }
+    Ok((JournalEvent { kind, epoch, unix_ms, docs, aux, inputs, outputs, phase_nanos }, r + 8))
+}
+
+/// Strict full decode: every byte must belong to a valid record. Any torn
+/// tail, corruption, or trailing garbage is an error.
+pub fn decode_all(bytes: &[u8]) -> Result<Vec<JournalEvent>> {
+    let mut events = Vec::new();
+    let mut at = 0;
+    while at < bytes.len() {
+        let (ev, next) = decode_one(bytes, at)?;
+        events.push(ev);
+        at = next;
+    }
+    Ok(events)
+}
+
+/// Lenient replay for recovery: salvage the longest valid record prefix.
+/// Returns the decoded events plus the byte length of the valid prefix —
+/// anything past it is a torn tail the caller should truncate away.
+pub fn replay(bytes: &[u8]) -> (Vec<JournalEvent>, usize) {
+    let mut events = Vec::new();
+    let mut at = 0;
+    while at < bytes.len() {
+        match decode_one(bytes, at) {
+            Ok((ev, next)) => {
+                events.push(ev);
+                at = next;
+            }
+            Err(_) => break,
+        }
+    }
+    (events, at)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Vec<JournalEvent> {
+        vec![
+            JournalEvent {
+                kind: JournalKind::Seal,
+                epoch: 1,
+                unix_ms: 1_700_000_000_000,
+                docs: 2,
+                aux: 0,
+                inputs: vec![],
+                outputs: vec![0],
+                phase_nanos: [0, 1200, 3400, 0],
+            },
+            JournalEvent {
+                kind: JournalKind::Retire,
+                epoch: 2,
+                unix_ms: 1_700_000_000_100,
+                docs: 1,
+                aux: 0,
+                inputs: vec![],
+                outputs: vec![],
+                phase_nanos: [0; MergePhase::COUNT],
+            },
+            JournalEvent {
+                kind: JournalKind::Merge,
+                epoch: 3,
+                unix_ms: 1_700_000_000_250,
+                docs: 5,
+                aux: 1,
+                inputs: vec![0, 1],
+                outputs: vec![2],
+                phase_nanos: [10, 20, 30, 40],
+            },
+        ]
+    }
+
+    fn encode_log(events: &[JournalEvent]) -> Vec<u8> {
+        let mut bytes = Vec::new();
+        for ev in events {
+            bytes.extend_from_slice(&ev.encode());
+        }
+        bytes
+    }
+
+    #[test]
+    fn round_trips() {
+        let events = sample();
+        let bytes = encode_log(&events);
+        assert_eq!(decode_all(&bytes).unwrap(), events);
+        assert_eq!(decode_all(&[]).unwrap(), Vec::<JournalEvent>::new());
+        let (replayed, valid) = replay(&bytes);
+        assert_eq!((replayed, valid), (events, bytes.len()));
+    }
+
+    #[test]
+    fn every_truncation_is_a_parse_error_not_a_panic() {
+        let events = sample();
+        let bytes = encode_log(&events);
+        let boundaries: Vec<usize> = {
+            let mut b = vec![0];
+            for ev in &events {
+                b.push(b.last().unwrap() + ev.encode().len());
+            }
+            b
+        };
+        for cut in 0..bytes.len() {
+            let out = decode_all(&bytes[..cut]);
+            if boundaries.contains(&cut) {
+                // A cut at a record boundary is a shorter-but-valid journal.
+                let n = boundaries.iter().position(|&b| b == cut).unwrap();
+                assert_eq!(out.unwrap(), events[..n], "cut at {cut}");
+            } else {
+                let e = out.unwrap_err();
+                assert!(matches!(e, Error::Parse(_)), "cut at {cut}: unexpected error {e}");
+                // Lenient replay salvages exactly the whole records before
+                // the cut and reports the boundary as the valid prefix.
+                let n = boundaries.iter().take_while(|&&b| b <= cut).count() - 1;
+                let (salvaged, valid) = replay(&bytes[..cut]);
+                assert_eq!((salvaged, valid), (events[..n].to_vec(), boundaries[n]));
+            }
+        }
+    }
+
+    #[test]
+    fn corruption_is_detected() {
+        let events = sample();
+        let bytes = encode_log(&events);
+        // Flip one bit inside the second record's body.
+        let first_len = events[0].encode().len();
+        let mut corrupt = bytes.clone();
+        corrupt[first_len + 10] ^= 0x40;
+        assert!(matches!(decode_all(&corrupt), Err(Error::Parse(_))));
+        let (salvaged, valid) = replay(&corrupt);
+        assert_eq!((salvaged.len(), valid), (1, first_len));
+        // Bad magic on the first record: nothing salvageable.
+        let mut corrupt = bytes.clone();
+        corrupt[0] = b'X';
+        assert!(matches!(decode_all(&corrupt), Err(Error::Parse(_))));
+        assert_eq!(replay(&corrupt), (vec![], 0));
+        // Unknown kind code.
+        let mut corrupt = bytes.clone();
+        corrupt[6] = 200;
+        assert!(matches!(decode_all(&corrupt), Err(Error::Parse(_))));
+        // Future version: distinct, actionable error (strict path only).
+        let mut corrupt = bytes;
+        corrupt[4] = 99;
+        assert!(matches!(
+            decode_all(&corrupt),
+            Err(Error::FormatVersion { found: 99, expected: JOURNAL_VERSION })
+        ));
+    }
+
+    #[test]
+    fn json_rendering_is_stable() {
+        let ev = &sample()[2];
+        assert_eq!(
+            ev.to_json(),
+            "{\"kind\":\"merge\",\"epoch\":3,\"unix_ms\":1700000000250,\"docs\":5,\
+             \"aux\":1,\"inputs\":[0,1],\"outputs\":[2],\
+             \"phase_nanos\":{\"collect\":10,\"build\":20,\"commit\":30,\"cleanup\":40}}"
+        );
+    }
+}

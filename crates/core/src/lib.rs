@@ -68,6 +68,7 @@ pub mod disk;
 pub mod engine;
 pub mod generalized;
 pub mod hot;
+pub mod journal;
 pub mod manifest;
 pub mod matching;
 pub mod node;
@@ -92,11 +93,12 @@ pub use engine::{
 };
 pub use generalized::{DocMatch, GeneralizedSpine};
 pub use hot::HotSet;
+pub use journal::{JournalEvent, JournalKind, JOURNAL_FILE, JOURNAL_VERSION};
 pub use manifest::{Manifest, SegmentEntry, MANIFEST_VERSION};
 pub use node::{Extrib, Node, NodeId, Rib, ROOT};
 pub use observe::{
-    BuildEvent, BuildObserver, BuildPhase, BuildProgress, BuildStats, MemBreakdown,
-    NoBuildObserver, ProgressReport, Tee,
+    BuildEvent, BuildObserver, BuildPhase, BuildProgress, BuildStats, MemBreakdown, MergeObserver,
+    MergePhase, MergeTee, MergeTimes, NoBuildObserver, NoMergeObserver, ProgressReport, Tee,
 };
 pub use ops::{FallibleSpineOps, Infallible, SpineOps};
 pub use prefix::{PrefixView, SpinePrefix};

@@ -188,7 +188,7 @@ impl Reader<'_> {
 /// 64-bit FNV-1a — tiny, dependency-free, and plenty to distinguish a torn
 /// write from a committed image (this guards against corruption, not an
 /// adversary).
-fn fnv1a(bytes: &[u8]) -> u64 {
+pub(crate) fn fnv1a(bytes: &[u8]) -> u64 {
     let mut h: u64 = 0xcbf2_9ce4_8422_2325;
     for &b in bytes {
         h ^= b as u64;

@@ -425,6 +425,133 @@ impl<F: FnMut(ProgressReport)> BuildObserver for BuildProgress<F> {
     fn phase(&mut self, _p: BuildPhase, _nanos: u64) {}
 }
 
+// ---------------------------------------------------------------------------
+// Segment-lifecycle observability: seal and merge phases.
+// ---------------------------------------------------------------------------
+
+/// Coarse phases of a segment-store seal or merge, for wall-time
+/// accounting. The same vocabulary serves both operations (a seal simply
+/// never spends time in [`MergePhase::Collect`] reading old segments), so
+/// the lifecycle journal can carry one fixed-width timing record per event.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MergePhase {
+    /// Reading the live documents out of the input segments (merge only).
+    Collect,
+    /// Building the replacement segment's pages and sidecar.
+    Build,
+    /// The atomic manifest commit (tmp write, fsyncs, rename).
+    Commit,
+    /// Deleting superseded input files after the commit (merge only).
+    Cleanup,
+}
+
+impl MergePhase {
+    /// Number of phases (array dimension for accumulators and the journal's
+    /// fixed-width timing record).
+    pub const COUNT: usize = 4;
+
+    /// Dense index for accumulator arrays.
+    #[inline]
+    pub fn index(self) -> usize {
+        match self {
+            MergePhase::Collect => 0,
+            MergePhase::Build => 1,
+            MergePhase::Commit => 2,
+            MergePhase::Cleanup => 3,
+        }
+    }
+
+    /// Stable lowercase name for exports.
+    pub fn name(self) -> &'static str {
+        match self {
+            MergePhase::Collect => "collect",
+            MergePhase::Build => "build",
+            MergePhase::Commit => "commit",
+            MergePhase::Cleanup => "cleanup",
+        }
+    }
+
+    /// All phases in index order.
+    pub fn all() -> [MergePhase; Self::COUNT] {
+        [MergePhase::Collect, MergePhase::Build, MergePhase::Commit, MergePhase::Cleanup]
+    }
+}
+
+/// Observer of segment seal/merge operations — [`BuildObserver`]'s sibling
+/// for the LSM lifecycle, with the same monomorphization contract: all
+/// instrumentation sits behind `if O::ENABLED`, a compile-time constant, so
+/// an `ENABLED == false` observer costs exactly nothing (no `Instant::now`
+/// calls, no accumulator writes).
+pub trait MergeObserver {
+    /// Whether this observer records anything.
+    const ENABLED: bool = true;
+
+    /// Account `nanos` of wall time to phase `p`.
+    fn phase(&mut self, p: MergePhase, nanos: u64);
+}
+
+/// The disabled observer: a zero-sized no-op with `ENABLED == false`.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct NoMergeObserver;
+
+impl MergeObserver for NoMergeObserver {
+    const ENABLED: bool = false;
+
+    #[inline(always)]
+    fn phase(&mut self, _p: MergePhase, _nanos: u64) {}
+}
+
+impl<O: MergeObserver> MergeObserver for &mut O {
+    const ENABLED: bool = O::ENABLED;
+
+    #[inline(always)]
+    fn phase(&mut self, p: MergePhase, nanos: u64) {
+        (**self).phase(p, nanos);
+    }
+}
+
+/// The standard accumulator: per-phase wall nanoseconds, indexed by
+/// [`MergePhase::index`]. This is what the segment store feeds into its
+/// lifecycle journal records and the `segments.merge_duration` histogram.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct MergeTimes {
+    /// Wall nanoseconds per [`MergePhase`].
+    pub phase_nanos: [u64; MergePhase::COUNT],
+}
+
+impl MergeTimes {
+    /// Total wall nanoseconds across all phases.
+    pub fn total_nanos(&self) -> u64 {
+        self.phase_nanos.iter().sum()
+    }
+}
+
+impl MergeObserver for MergeTimes {
+    #[inline]
+    fn phase(&mut self, p: MergePhase, nanos: u64) {
+        self.phase_nanos[p.index()] += nanos;
+    }
+}
+
+/// Fan phase timings out to two [`MergeObserver`]s; `ENABLED` is the OR of
+/// the parts (mirrors [`Tee`] for [`BuildObserver`]).
+#[derive(Debug, Default, Clone)]
+pub struct MergeTee<A, B>(pub A, pub B);
+
+impl<A: MergeObserver, B: MergeObserver> MergeObserver for MergeTee<A, B> {
+    const ENABLED: bool = A::ENABLED || B::ENABLED;
+
+    #[inline]
+    fn phase(&mut self, p: MergePhase, nanos: u64) {
+        if A::ENABLED {
+            self.0.phase(p, nanos);
+        }
+        if B::ENABLED {
+            self.1.phase(p, nanos);
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -433,6 +560,33 @@ mod tests {
     fn disabled_observer_is_zero_sized_and_disabled() {
         assert_eq!(std::mem::size_of::<NoBuildObserver>(), 0);
         assert_eq!([NoBuildObserver::ENABLED, BuildStats::ENABLED], [false, true]);
+    }
+
+    #[test]
+    fn merge_observer_mirrors_build_observer_contract() {
+        assert_eq!(std::mem::size_of::<NoMergeObserver>(), 0);
+        assert_eq!([NoMergeObserver::ENABLED, MergeTimes::ENABLED], [false, true]);
+        assert_eq!(
+            [
+                <MergeTee<MergeTimes, NoMergeObserver> as MergeObserver>::ENABLED,
+                <MergeTee<NoMergeObserver, NoMergeObserver> as MergeObserver>::ENABLED,
+            ],
+            [true, false]
+        );
+        let mut t = MergeTee(MergeTimes::default(), MergeTimes::default());
+        t.phase(MergePhase::Build, 40);
+        t.phase(MergePhase::Build, 2);
+        t.phase(MergePhase::Commit, 8);
+        for side in [&t.0, &t.1] {
+            assert_eq!(side.phase_nanos[MergePhase::Build.index()], 42);
+            assert_eq!(side.phase_nanos[MergePhase::Collect.index()], 0);
+            assert_eq!(side.total_nanos(), 50);
+        }
+        // Phase vocabulary is dense and stably named.
+        for (i, p) in MergePhase::all().into_iter().enumerate() {
+            assert_eq!(p.index(), i);
+        }
+        assert_eq!(MergePhase::Cleanup.name(), "cleanup");
     }
 
     #[test]

@@ -56,22 +56,32 @@ use std::io::Write as _;
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
-use std::time::Duration;
+use std::time::{Duration, Instant, SystemTime};
 
 use pagestore::{FileDevice, IoStats, Lru, PageDevice};
 use parking_lot::{Mutex, RwLock};
-use strindex::telemetry::MetricsRegistry;
+use strindex::telemetry::{Histogram, MetricsRegistry};
 use strindex::{Alphabet, Code, CountersSnapshot, Error, IoOp, Result};
 
 use crate::disk::DiskSpine;
 use crate::engine::{QueryOutcome, ServeIndex};
 use crate::generalized::{DocMatch, GeneralizedSpine};
+use crate::journal::{self, JournalEvent, JournalKind, JOURNAL_FILE};
 use crate::manifest::{Manifest, SegmentEntry};
+use crate::observe::{MergeObserver, MergePhase, MergeTimes, NoMergeObserver};
 use crate::ops::{FallibleSpineOps, SpineOps};
 use crate::trace::QueryTrace;
 
 const MANIFEST_FILE: &str = "MANIFEST";
 const MANIFEST_TMP: &str = "MANIFEST.tmp";
+
+/// Wall-clock milliseconds since the Unix epoch, for journal timestamps.
+fn unix_ms() -> u64 {
+    SystemTime::now()
+        .duration_since(SystemTime::UNIX_EPOCH)
+        .map(|d| d.as_millis() as u64)
+        .unwrap_or(0)
+}
 
 /// A shared, countable I/O-operation budget for crash injection.
 ///
@@ -378,6 +388,8 @@ pub struct SegmentedSpine {
     cfg: SegmentConfig,
     inner: Mutex<Inner>,
     stats: Arc<SegStats>,
+    /// `segments.merge_duration` histogram, set by [`Self::attach_telemetry`].
+    merge_hist: Mutex<Option<Arc<Histogram>>>,
 }
 
 impl SegmentedSpine {
@@ -403,6 +415,7 @@ impl SegmentedSpine {
             dir,
             cfg,
             stats: Arc::new(SegStats::default()),
+            merge_hist: Mutex::new(None),
         };
         s.commit_manifest(&Manifest::default())?;
         s.refresh_stats(&s.inner.lock());
@@ -414,17 +427,40 @@ impl SegmentedSpine {
     /// every committed segment reopens through its sidecar. Files in `dir`
     /// that the manifest does not reference are recorded as orphans
     /// ([`Self::orphan_count`]) and left untouched for inspection.
+    ///
+    /// The lifecycle journal is replayed and cross-checked: a torn final
+    /// record (a crash mid-append) is truncated away, but a journal whose
+    /// maximum epoch *exceeds* the recovered manifest's is corruption —
+    /// events are only ever appended after their commit is durable, so the
+    /// journal can trail the manifest, never lead it. Recovery itself then
+    /// appends a [`JournalKind::Recover`] event.
     pub fn open(alphabet: Alphabet, dir: impl AsRef<Path>, cfg: SegmentConfig) -> Result<Self> {
         let dir = dir.as_ref().to_path_buf();
         charge(&cfg.gate, IoOp::Read)?;
         let bytes =
             fs::read(dir.join(MANIFEST_FILE)).map_err(|e| Error::io(e, IoOp::Read, None))?;
         let m = Manifest::decode(&bytes)?;
+        replay_journal(&dir, &cfg, m.epoch)?;
         let mut segments = Vec::with_capacity(m.segments.len());
         for e in &m.segments {
             segments.push(Arc::new(open_segment(&dir, e, &cfg)?));
         }
         let orphans = scan_orphans(&dir, &m)?;
+        let sealed_live: u64 = m
+            .segments
+            .iter()
+            .map(|e| e.doc_ids.iter().filter(|d| !m.tombstones.contains(d)).count() as u64)
+            .sum();
+        let recover = JournalEvent {
+            kind: JournalKind::Recover,
+            epoch: m.epoch,
+            unix_ms: unix_ms(),
+            docs: sealed_live,
+            aux: orphans.len() as u64,
+            inputs: Vec::new(),
+            outputs: m.segments.iter().map(|e| e.id).collect(),
+            phase_nanos: [0; MergePhase::COUNT],
+        };
         let s = SegmentedSpine {
             inner: Mutex::new(Inner {
                 memtable: Arc::new(Memtable::new(alphabet.clone())),
@@ -439,7 +475,9 @@ impl SegmentedSpine {
             dir,
             cfg,
             stats: Arc::new(SegStats::default()),
+            merge_hist: Mutex::new(None),
         };
+        s.append_journal(&recover)?;
         s.refresh_stats(&s.inner.lock());
         Ok(s)
     }
@@ -484,7 +522,7 @@ impl SegmentedSpine {
         };
         inner.next_doc = id + 1;
         let sealed = if symbols >= self.cfg.memtable_max_symbols {
-            self.seal_locked(&mut inner).map(|_| ())
+            self.seal_locked(&mut inner, &mut NoMergeObserver).map(|_| ())
         } else {
             Ok(())
         };
@@ -543,6 +581,16 @@ impl SegmentedSpine {
         self.commit_manifest(&manifest)?;
         inner.epoch = manifest.epoch;
         inner.tombstones = Arc::new(tombstones);
+        self.append_journal(&JournalEvent {
+            kind: JournalKind::Retire,
+            epoch: manifest.epoch,
+            unix_ms: unix_ms(),
+            docs: doc,
+            aux: 0,
+            inputs: Vec::new(),
+            outputs: Vec::new(),
+            phase_nanos: [0; MergePhase::COUNT],
+        })?;
         self.refresh_stats(&inner);
         Ok(true)
     }
@@ -551,8 +599,14 @@ impl SegmentedSpine {
     /// segment was created (an empty or fully-retired memtable seals to
     /// nothing).
     pub fn force_seal(&self) -> Result<bool> {
+        self.force_seal_observed(&mut NoMergeObserver)
+    }
+
+    /// [`Self::force_seal`] with phase timings teed to `obs` on top of the
+    /// internal accounting (the journal record gets them either way).
+    pub fn force_seal_observed<O: MergeObserver>(&self, obs: &mut O) -> Result<bool> {
         let mut inner = self.inner.lock();
-        let sealed = self.seal_locked(&mut inner);
+        let sealed = self.seal_locked(&mut inner, obs);
         self.refresh_stats(&inner);
         sealed
     }
@@ -564,12 +618,19 @@ impl SegmentedSpine {
     /// file handles stay open, so even the input deletion cannot pull
     /// pages out from under them.
     pub fn merge_once(&self) -> Result<bool> {
+        self.merge_once_observed(&mut NoMergeObserver)
+    }
+
+    /// [`Self::merge_once`] with phase timings teed to `obs` on top of the
+    /// internal accounting (journal record and `segments.merge_duration`
+    /// histogram get them either way).
+    pub fn merge_once_observed<O: MergeObserver>(&self, obs: &mut O) -> Result<bool> {
         let mut inner = self.inner.lock();
         let any_tombstone_sealed = !inner.tombstones.is_empty();
         if inner.segments.len() < 2 && !any_tombstone_sealed {
             return Ok(false);
         }
-        let r = self.merge_locked(&mut inner);
+        let r = self.merge_locked(&mut inner, obs);
         if r.is_err() {
             self.stats.merge_failures.fetch_add(1, Ordering::Relaxed);
         }
@@ -577,7 +638,9 @@ impl SegmentedSpine {
         r
     }
 
-    fn merge_locked(&self, inner: &mut Inner) -> Result<bool> {
+    fn merge_locked<O: MergeObserver>(&self, inner: &mut Inner, obs: &mut O) -> Result<bool> {
+        let mut times = MergeTimes::default();
+        let t = Instant::now();
         let mut docs: Vec<(u64, Vec<Code>)> = Vec::new();
         for seg in inner.segments.iter() {
             for (i, &d) in seg.doc_ids.iter().enumerate() {
@@ -588,14 +651,18 @@ impl SegmentedSpine {
             }
         }
         docs.sort_by_key(|&(id, _)| id);
+        phase(&mut times, obs, MergePhase::Collect, t);
+        let dropped_tombstones = inner.tombstones.len() as u64;
         let old: Vec<Arc<Segment>> = (*inner.segments).clone();
         let mut segments: Vec<Arc<Segment>> = Vec::new();
         let mut next_segment = inner.next_segment;
+        let t = Instant::now();
         if !docs.is_empty() {
             let seg = self.build_segment(next_segment, &docs)?;
             next_segment += 1;
             segments.push(Arc::new(seg));
         }
+        phase(&mut times, obs, MergePhase::Build, t);
         let manifest = Manifest {
             epoch: inner.epoch + 1,
             next_doc: inner.next_doc,
@@ -604,7 +671,9 @@ impl SegmentedSpine {
             // Every tombstoned sealed document was just compacted away.
             tombstones: Vec::new(),
         };
+        let t = Instant::now();
         self.commit_manifest(&manifest)?;
+        phase(&mut times, obs, MergePhase::Commit, t);
         inner.epoch = manifest.epoch;
         inner.next_segment = next_segment;
         inner.segments = Arc::new(segments);
@@ -613,18 +682,33 @@ impl SegmentedSpine {
         // The commit made the inputs unreachable; delete them. A failure
         // here cannot un-commit — the files just linger as garbage a
         // future recovery will flag as orphans.
+        let t = Instant::now();
         for seg in &old {
             charge(&self.cfg.gate, IoOp::Meta)?;
             fs::remove_file(self.pages_path(seg.id)).map_err(|e| Error::io(e, IoOp::Meta, None))?;
             charge(&self.cfg.gate, IoOp::Meta)?;
             fs::remove_file(self.meta_path(seg.id)).map_err(|e| Error::io(e, IoOp::Meta, None))?;
         }
+        phase(&mut times, obs, MergePhase::Cleanup, t);
+        if let Some(h) = self.merge_hist.lock().as_ref() {
+            h.record_value(times.total_nanos());
+        }
+        self.append_journal(&JournalEvent {
+            kind: JournalKind::Merge,
+            epoch: manifest.epoch,
+            unix_ms: unix_ms(),
+            docs: docs.len() as u64,
+            aux: dropped_tombstones,
+            inputs: old.iter().map(|s| s.id).collect(),
+            outputs: inner.segments.iter().map(|s| s.id).collect(),
+            phase_nanos: times.phase_nanos,
+        })?;
         Ok(true)
     }
 
     /// Seal the memtable's live documents into a new segment and commit.
     /// No-op (fresh memtable, no commit) when nothing is live.
-    fn seal_locked(&self, inner: &mut Inner) -> Result<bool> {
+    fn seal_locked<O: MergeObserver>(&self, inner: &mut Inner, obs: &mut O) -> Result<bool> {
         let docs: Vec<(u64, Vec<Code>)> = {
             let st = inner.memtable.state.read();
             if st.doc_ids.is_empty() {
@@ -644,8 +728,11 @@ impl SegmentedSpine {
             inner.memtable = Arc::new(Memtable::new(self.alphabet.clone()));
             return Ok(false);
         }
+        let mut times = MergeTimes::default();
         let id = inner.next_segment;
+        let t = Instant::now();
         let seg = self.build_segment(id, &docs)?;
+        phase(&mut times, obs, MergePhase::Build, t);
         let mut segments: Vec<Arc<Segment>> = (*inner.segments).clone();
         segments.push(Arc::new(seg));
         let manifest = Manifest {
@@ -655,12 +742,24 @@ impl SegmentedSpine {
             segments: segments.iter().map(|s| s.entry()).collect(),
             tombstones: inner.tombstones.iter().copied().collect(),
         };
+        let t = Instant::now();
         self.commit_manifest(&manifest)?;
+        phase(&mut times, obs, MergePhase::Commit, t);
         inner.epoch = manifest.epoch;
         inner.next_segment = id + 1;
         inner.segments = Arc::new(segments);
         inner.memtable = Arc::new(Memtable::new(self.alphabet.clone()));
         self.stats.seals.fetch_add(1, Ordering::Relaxed);
+        self.append_journal(&JournalEvent {
+            kind: JournalKind::Seal,
+            epoch: manifest.epoch,
+            unix_ms: unix_ms(),
+            docs: docs.len() as u64,
+            aux: 0,
+            inputs: Vec::new(),
+            outputs: vec![id],
+            phase_nanos: times.phase_nanos,
+        })?;
         Ok(true)
     }
 
@@ -761,8 +860,62 @@ impl SegmentedSpine {
             inner.orphans.pop();
             removed += 1;
         }
+        if removed > 0 {
+            self.append_journal(&JournalEvent {
+                kind: JournalKind::OrphanCleanup,
+                epoch: inner.epoch,
+                unix_ms: unix_ms(),
+                docs: removed as u64,
+                aux: 0,
+                inputs: Vec::new(),
+                outputs: Vec::new(),
+                phase_nanos: [0; MergePhase::COUNT],
+            })?;
+        }
         self.refresh_stats(&inner);
         Ok(removed)
+    }
+
+    /// Append one event to `JOURNAL.log` with the manifest's fsync
+    /// discipline (write, then `fsync` the file). Called strictly *after*
+    /// the commit the event describes is durable, so the journal can only
+    /// ever trail the manifest.
+    fn append_journal(&self, ev: &JournalEvent) -> Result<()> {
+        let gate = &self.cfg.gate;
+        let bytes = ev.encode();
+        charge(gate, IoOp::Meta)?;
+        let mut f = fs::OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(self.dir.join(JOURNAL_FILE))
+            .map_err(|e| Error::io(e, IoOp::Meta, None))?;
+        charge(gate, IoOp::Write)?;
+        f.write_all(&bytes).map_err(|e| Error::io(e, IoOp::Write, None))?;
+        charge(gate, IoOp::Sync)?;
+        f.sync_all().map_err(|e| Error::io(e, IoOp::Sync, None))?;
+        Ok(())
+    }
+
+    /// Path of the lifecycle journal file.
+    pub fn journal_path(&self) -> PathBuf {
+        self.dir.join(JOURNAL_FILE)
+    }
+
+    /// The last `n` lifecycle journal events, oldest first. Lenient: a
+    /// torn tail (crash mid-append, not yet truncated by recovery) is
+    /// skipped, matching replay semantics.
+    pub fn recent_journal(&self, n: usize) -> Result<Vec<JournalEvent>> {
+        let p = self.journal_path();
+        if !p.exists() {
+            return Ok(Vec::new());
+        }
+        charge(&self.cfg.gate, IoOp::Read)?;
+        let bytes = fs::read(&p).map_err(|e| Error::io(e, IoOp::Read, None))?;
+        let (mut events, _) = journal::replay(&bytes);
+        if events.len() > n {
+            events.drain(..events.len() - n);
+        }
+        Ok(events)
     }
 
     /// Sorted global ids of every live document (memtable and sealed).
@@ -840,6 +993,14 @@ impl SegmentedSpine {
         out
     }
 
+    /// `(segment id, sealed on-disk pages)` for every live segment,
+    /// oldest first. Backs the per-segment `segments.pages` labeled
+    /// gauges on `/metrics`; an id that has since been merged away simply
+    /// stops appearing here.
+    pub fn segment_pages(&self) -> Vec<(u64, u64)> {
+        self.snapshot().segments.iter().map(|s| (s.id, s.index.file_pages().unwrap_or(0))).collect()
+    }
+
     /// The gauge values as one consistent snapshot.
     pub fn stats(&self) -> SegmentsSnapshot {
         let s = &self.stats;
@@ -877,6 +1038,9 @@ impl SegmentedSpine {
         registry.gauge("segments.merges", g(&self.stats, |s| &s.merges));
         registry.gauge("segments.merge_failures", g(&self.stats, |s| &s.merge_failures));
         registry.gauge("segments.hot_pinned", g(&self.stats, |s| &s.hot_pinned));
+        // Merges were previously count-only; the histogram makes a slow
+        // merge visible (recorded as total wall nanos across phases).
+        *self.merge_hist.lock() = Some(registry.histogram("segments.merge_duration"));
     }
 
     fn refresh_stats(&self, inner: &Inner) {
@@ -1064,6 +1228,49 @@ fn merge_component(
         QueryOutcome::Failed(e) => *acc = Err(e),
         other => *acc = Err(format!("unexpected component outcome {other:?}")),
     }
+}
+
+/// Charge the wall time since `t` to phase `p` on the internal accumulator
+/// (always — the journal needs it) and the caller's observer (when enabled).
+fn phase<O: MergeObserver>(times: &mut MergeTimes, obs: &mut O, p: MergePhase, t: Instant) {
+    let nanos = t.elapsed().as_nanos() as u64;
+    times.phase(p, nanos);
+    if O::ENABLED {
+        obs.phase(p, nanos);
+    }
+}
+
+/// Recovery's journal pass: salvage the valid record prefix (truncating a
+/// torn tail in place, synced) and cross-check it against the recovered
+/// manifest epoch. Events are appended only after their commit is durable,
+/// so a journal *ahead* of the manifest is corruption, not a crash artifact.
+fn replay_journal(dir: &Path, cfg: &SegmentConfig, manifest_epoch: u64) -> Result<()> {
+    let path = dir.join(JOURNAL_FILE);
+    if !path.exists() {
+        return Ok(());
+    }
+    charge(&cfg.gate, IoOp::Read)?;
+    let bytes = fs::read(&path).map_err(|e| Error::io(e, IoOp::Read, None))?;
+    let (events, valid) = journal::replay(&bytes);
+    if valid < bytes.len() {
+        charge(&cfg.gate, IoOp::Meta)?;
+        let f = fs::OpenOptions::new()
+            .write(true)
+            .open(&path)
+            .map_err(|e| Error::io(e, IoOp::Meta, None))?;
+        f.set_len(valid as u64).map_err(|e| Error::io(e, IoOp::Meta, None))?;
+        charge(&cfg.gate, IoOp::Sync)?;
+        f.sync_all().map_err(|e| Error::io(e, IoOp::Sync, None))?;
+    }
+    if let Some(max) = events.iter().map(|e| e.epoch).max() {
+        if max > manifest_epoch {
+            return Err(Error::Parse(format!(
+                "journal epoch {max} is ahead of manifest epoch {manifest_epoch} \
+                 (journal events are appended only after their commit is durable)"
+            )));
+        }
+    }
+    Ok(())
 }
 
 fn open_segment(dir: &Path, e: &SegmentEntry, cfg: &SegmentConfig) -> Result<Segment> {
@@ -1405,6 +1612,95 @@ mod tests {
         assert_eq!(s.stats().segments, 1);
         assert_eq!(s.live_doc_ids(), vec![0, 1, 2]);
         assert_eq!(matches_of(&s, &a, "CACA"), vec![(2, 0)]);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn lifecycle_journal_records_events_and_recovery_appends() {
+        let a = dna();
+        let dir = tmpdir("journal");
+        {
+            let s = SegmentedSpine::create(a.clone(), &dir, SegmentConfig::default()).unwrap();
+            s.add_document(&enc(&a, "ACGTACGT")).unwrap();
+            s.add_document(&enc(&a, "TTTT")).unwrap();
+            s.force_seal().unwrap();
+            s.add_document(&enc(&a, "GGGG")).unwrap();
+            let mut times = MergeTimes::default();
+            s.force_seal_observed(&mut times).unwrap();
+            assert!(times.phase_nanos[MergePhase::Commit.index()] > 0);
+            assert_eq!(times.phase_nanos[MergePhase::Collect.index()], 0);
+            s.retire_document(1).unwrap();
+            s.merge_once().unwrap();
+            let evs = s.recent_journal(10).unwrap();
+            let kinds: Vec<JournalKind> = evs.iter().map(|e| e.kind).collect();
+            use JournalKind::*;
+            assert_eq!(kinds, vec![Seal, Seal, Retire, Merge]);
+            assert_eq!(evs.iter().map(|e| e.epoch).collect::<Vec<_>>(), vec![1, 2, 3, 4]);
+            assert_eq!((evs[0].docs, evs[0].outputs.clone()), (2, vec![0]));
+            // Retire records the document id it tombstoned.
+            assert_eq!(evs[2].docs, 1);
+            let m = &evs[3];
+            assert_eq!((m.inputs.clone(), m.outputs.clone()), (vec![0, 1], vec![2]));
+            assert_eq!((m.docs, m.aux), (2, 1));
+            assert!(m.phase_nanos.iter().sum::<u64>() > 0, "merge phases must be timed");
+            // recent_journal keeps the newest n.
+            assert_eq!(s.recent_journal(2).unwrap(), evs[2..].to_vec());
+        }
+        // Reopen: replay cross-checks (journal trails manifest), recovery
+        // appends its own event, and the whole file strict-decodes — no
+        // torn records from any of the above.
+        let s = SegmentedSpine::open(a.clone(), &dir, SegmentConfig::default()).unwrap();
+        let evs = journal::decode_all(&fs::read(s.journal_path()).unwrap()).unwrap();
+        let last = evs.last().unwrap();
+        assert_eq!(last.kind, JournalKind::Recover);
+        assert_eq!(last.epoch, s.epoch());
+        assert_eq!((last.docs, last.aux), (2, 0));
+        assert_eq!(last.outputs, vec![2]);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn torn_journal_tail_is_salvaged_and_an_ahead_journal_is_rejected() {
+        let a = dna();
+        let dir = tmpdir("journaltear");
+        {
+            let s = SegmentedSpine::create(a.clone(), &dir, SegmentConfig::default()).unwrap();
+            s.add_document(&enc(&a, "ACGT")).unwrap();
+            s.force_seal().unwrap();
+        }
+        let path = dir.join(JOURNAL_FILE);
+        // A crash mid-append leaves a torn tail: recovery must truncate it
+        // away and keep going.
+        let clean_len = fs::metadata(&path).unwrap().len();
+        let mut f = fs::OpenOptions::new().append(true).open(&path).unwrap();
+        f.write_all(&[0xde, 0xad, 0xbe]).unwrap();
+        drop(f);
+        let s = SegmentedSpine::open(a.clone(), &dir, SegmentConfig::default()).unwrap();
+        assert_eq!(s.live_doc_ids(), vec![0]);
+        let evs = journal::decode_all(&fs::read(&path).unwrap()).unwrap();
+        assert_eq!(evs.last().unwrap().kind, JournalKind::Recover);
+        assert!(fs::metadata(&path).unwrap().len() > clean_len, "recover event appended");
+        drop(s);
+        // A journal *ahead* of the manifest cannot be a crash artifact
+        // (events append only after their commit is durable): refuse.
+        let forged = JournalEvent {
+            kind: JournalKind::Seal,
+            epoch: 999,
+            unix_ms: 0,
+            docs: 0,
+            aux: 0,
+            inputs: Vec::new(),
+            outputs: Vec::new(),
+            phase_nanos: [0; MergePhase::COUNT],
+        };
+        let mut f = fs::OpenOptions::new().append(true).open(&path).unwrap();
+        f.write_all(&forged.encode()).unwrap();
+        drop(f);
+        let e = match SegmentedSpine::open(a.clone(), &dir, SegmentConfig::default()) {
+            Err(e) => e,
+            Ok(_) => panic!("ahead-of-manifest journal must refuse to open"),
+        };
+        assert!(matches!(e, Error::Parse(_)), "unexpected error {e}");
         let _ = fs::remove_dir_all(&dir);
     }
 

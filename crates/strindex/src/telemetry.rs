@@ -600,6 +600,64 @@ impl RegistrySnapshot {
             .sum()
     }
 
+    /// The change from `earlier` to `self`, as another snapshot — so every
+    /// exporter (`to_text`, `to_json`, `to_prometheus`, `to_chrome_trace`)
+    /// works on an *interval* just as well as on a cumulative view. This is
+    /// the primitive [`TimeSeries`] ticks are built from.
+    ///
+    /// * **Histograms** subtract bucket-wise (saturating), so interval
+    ///   quantiles come from the interval's own distribution. `max` cannot
+    ///   be differenced and keeps `self`'s cumulative value.
+    /// * **Counters** subtract (saturating — a restarted counter reads as
+    ///   its full new value, never wraps).
+    /// * **Gauges** are instantaneous, not cumulative: the diff keeps
+    ///   `self`'s values unchanged.
+    /// * **Spans** keep `self`'s retained ring; `spans_recorded` subtracts.
+    ///
+    /// Metrics present only in `self` (registered after `earlier` was
+    /// taken) are included whole; metrics present only in `earlier` are
+    /// dropped.
+    pub fn diff(&self, earlier: &Self) -> RegistrySnapshot {
+        let histograms = self
+            .histograms
+            .iter()
+            .map(|(name, h)| {
+                let d = match earlier.histogram(name) {
+                    Some(e) => {
+                        let buckets: Vec<u64> = h
+                            .buckets
+                            .iter()
+                            .zip(e.buckets.iter().chain(std::iter::repeat(&0)))
+                            .map(|(&b, &eb)| b.saturating_sub(eb))
+                            .collect();
+                        HistogramSnapshot {
+                            count: buckets.iter().sum(),
+                            sum: h.sum.saturating_sub(e.sum),
+                            max: h.max,
+                            buckets,
+                        }
+                    }
+                    None => h.clone(),
+                };
+                (name.clone(), d)
+            })
+            .collect();
+        let counters = self
+            .counters
+            .iter()
+            .map(|(name, v)| (name.clone(), v.saturating_sub(earlier.counter(name).unwrap_or(0))))
+            .collect();
+        RegistrySnapshot {
+            histograms,
+            counters,
+            gauges: self.gauges.clone(),
+            labeled_gauges: self.labeled_gauges.clone(),
+            spans: self.spans.clone(),
+            spans_recorded: self.spans_recorded.saturating_sub(earlier.spans_recorded),
+            span_capacity: self.span_capacity,
+        }
+    }
+
     /// Human-readable text export: one line per metric, then the span trace.
     pub fn to_text(&self) -> String {
         use std::fmt::Write;
@@ -1086,16 +1144,26 @@ pub struct WindowAggregate {
     pub count: u64,
     /// Failed observations inside the window.
     pub errors: u64,
-    /// The window span in seconds (ring length × sub-window duration).
+    /// Seconds of elapsed time the live sub-windows actually cover: the
+    /// distance from the oldest live sub-window's start to *now*, capped at
+    /// the nominal span (ring length × sub-window duration). Early in a
+    /// window's life — or for a one-slot window mid-bucket — this is less
+    /// than the span, so rates divide by real coverage instead of
+    /// under-reporting against time that never elapsed.
     pub window_secs: f64,
     /// Latency distribution of the window's observations.
     pub histogram: HistogramSnapshot,
 }
 
 impl WindowAggregate {
-    /// Observations per second over the window span.
+    /// Observations per second over the covered window time (0 when no
+    /// time has elapsed yet — a rate over zero seconds is meaningless).
     pub fn qps(&self) -> f64 {
-        self.count as f64 / self.window_secs
+        if self.window_secs > 0.0 {
+            self.count as f64 / self.window_secs
+        } else {
+            0.0
+        }
     }
 
     /// Failed fraction (0 when the window is empty).
@@ -1190,10 +1258,17 @@ impl SlidingWindow {
                 *acc += b;
             }
         }
+        // Rates divide by the time the live sub-windows actually cover,
+        // not the nominal span: before a full rotation has elapsed (and
+        // always, for a one-slot window mid-bucket) dividing by the span
+        // would report a partially-elapsed bucket as a full-bucket rate.
+        let span = self.slot_nanos * self.slots.len() as u64;
+        let window_start = (rotation + 1).saturating_sub(self.slots.len() as u64) * self.slot_nanos;
+        let covered = now_nanos.saturating_sub(window_start).min(span);
         WindowAggregate {
             count,
             errors,
-            window_secs: (self.slot_nanos * self.slots.len() as u64) as f64 / 1e9,
+            window_secs: covered as f64 / 1e9,
             histogram: HistogramSnapshot { count, sum, max, buckets },
         }
     }
@@ -1333,6 +1408,335 @@ impl SloTracker {
         let t = Arc::clone(self);
         registry.gauge(&format!("{prefix}.healthy"), move || if t.healthy() { 1 } else { 0 });
     }
+}
+
+// ---------------------------------------------------------------------------
+// Time series: retained metric history.
+// ---------------------------------------------------------------------------
+
+/// One periodic observation of a whole [`MetricsRegistry`]: every counter's
+/// cumulative value and per-tick delta, every gauge's sample, and every
+/// histogram's count plus *interval* quantiles (computed from the bucket
+/// deltas since the previous tick via [`RegistrySnapshot::diff`], so a p99
+/// here describes this tick's traffic, not all traffic since startup).
+#[derive(Debug, Clone)]
+pub struct TimeSeriesSample {
+    /// Tick number, 0-based and monotone (survives ring eviction).
+    pub seq: u64,
+    /// Milliseconds since the [`TimeSeries`] was created.
+    pub at_ms: u64,
+    /// Wall-clock milliseconds since the Unix epoch, for correlating the
+    /// ring with journals and postmortems across processes.
+    pub unix_ms: u64,
+    /// `(name, cumulative value)` per counter, sorted by name.
+    pub counters: Vec<(String, u64)>,
+    /// `(name, increase since the previous tick)` per counter.
+    pub counter_deltas: Vec<(String, u64)>,
+    /// `(name, value)` per gauge, sorted by name.
+    pub gauges: Vec<(String, u64)>,
+    /// `(name, interval point)` per histogram, sorted by name.
+    pub histograms: Vec<(String, HistPoint)>,
+}
+
+/// A histogram's contribution to one [`TimeSeriesSample`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct HistPoint {
+    /// Cumulative recorded count at this tick.
+    pub count: u64,
+    /// Values recorded during this tick's interval.
+    pub delta: u64,
+    /// Interval p50 (upper bound, from the tick's own distribution).
+    pub p50: u64,
+    /// Interval p95.
+    pub p95: u64,
+    /// Interval p99.
+    pub p99: u64,
+    /// Cumulative max (maxima cannot be differenced).
+    pub max: u64,
+}
+
+impl TimeSeriesSample {
+    fn keeps(&self, metric: Option<&str>) -> bool {
+        let Some(m) = metric else { return true };
+        self.counters.iter().any(|(n, _)| n == m)
+            || self.gauges.iter().any(|(n, _)| n == m)
+            || self.histograms.iter().any(|(n, _)| n == m)
+    }
+}
+
+/// What the sampler needs besides the ring: the previous snapshot to diff
+/// against. Guarded by its own mutex so readers of the ring never wait
+/// behind a snapshot/diff in progress.
+struct TsPrev {
+    snapshot: Option<RegistrySnapshot>,
+    seq: u64,
+}
+
+/// A fixed-size ring of periodic [`MetricsRegistry`] observations — the
+/// flight recorder's memory. A sampler thread ([`spawn_sampler`]) ticks at
+/// a configurable cadence; every metric ever registered automatically
+/// acquires retained history with zero per-callsite changes.
+///
+/// Reads never wait on sampling work: the snapshot and diff happen outside
+/// the ring lock, which is held only to push one `Arc` or clone the ring's
+/// `Arc`s out.
+pub struct TimeSeries {
+    capacity: usize,
+    started: Instant,
+    ticks: AtomicU64,
+    ring: Mutex<std::collections::VecDeque<Arc<TimeSeriesSample>>>,
+    prev: Mutex<TsPrev>,
+}
+
+impl TimeSeries {
+    /// An empty ring retaining at most `capacity` ticks (≥ 1).
+    pub fn new(capacity: usize) -> Self {
+        let capacity = capacity.max(1);
+        TimeSeries {
+            capacity,
+            started: Instant::now(),
+            ticks: AtomicU64::new(0),
+            ring: Mutex::new(std::collections::VecDeque::with_capacity(capacity)),
+            prev: Mutex::new(TsPrev { snapshot: None, seq: 0 }),
+        }
+    }
+
+    /// Ring capacity in ticks.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Ticks taken so far (retained or evicted).
+    pub fn ticks(&self) -> u64 {
+        self.ticks.load(Relaxed)
+    }
+
+    /// Retained samples, oldest first.
+    pub fn samples(&self) -> Vec<Arc<TimeSeriesSample>> {
+        lock(&self.ring).iter().cloned().collect()
+    }
+
+    /// Retained samples whose age relative to the newest one is within
+    /// `window`, oldest first.
+    pub fn window(&self, window: Duration) -> Vec<Arc<TimeSeriesSample>> {
+        let all = self.samples();
+        let Some(newest) = all.last().map(|s| s.at_ms) else { return all };
+        let horizon = window.as_millis().min(u64::MAX as u128) as u64;
+        all.into_iter().filter(|s| newest - s.at_ms <= horizon).collect()
+    }
+
+    /// Take one tick now: snapshot `registry`, diff against the previous
+    /// tick, and push the resulting sample. The first tick has no previous
+    /// snapshot, so its deltas equal the cumulative values.
+    pub fn sample(&self, registry: &MetricsRegistry) -> Arc<TimeSeriesSample> {
+        let snap = registry.snapshot();
+        let at_ms = self.started.elapsed().as_millis().min(u64::MAX as u128) as u64;
+        let unix_ms = std::time::SystemTime::now()
+            .duration_since(std::time::UNIX_EPOCH)
+            .map(|d| d.as_millis().min(u64::MAX as u128) as u64)
+            .unwrap_or(0);
+        let (delta, seq) = {
+            let mut prev = lock(&self.prev);
+            let seq = prev.seq;
+            prev.seq += 1;
+            let delta = match prev.snapshot.replace(snap.clone()) {
+                Some(earlier) => snap.diff(&earlier),
+                None => snap.clone(),
+            };
+            (delta, seq)
+        };
+        let histograms = snap
+            .histograms
+            .iter()
+            .map(|(name, h)| {
+                let d = delta.histogram(name).unwrap_or(h);
+                let p = HistPoint {
+                    count: h.count,
+                    delta: d.count,
+                    p50: d.p50(),
+                    p95: d.p95(),
+                    p99: d.p99(),
+                    max: h.max,
+                };
+                (name.clone(), p)
+            })
+            .collect();
+        let sample = Arc::new(TimeSeriesSample {
+            seq,
+            at_ms,
+            unix_ms,
+            counter_deltas: delta.counters,
+            counters: snap.counters,
+            gauges: snap.gauges,
+            histograms,
+        });
+        {
+            let mut ring = lock(&self.ring);
+            if ring.len() == self.capacity {
+                ring.pop_front();
+            }
+            ring.push_back(Arc::clone(&sample));
+        }
+        self.ticks.fetch_add(1, Relaxed);
+        sample
+    }
+
+    /// JSON export (hand-rolled, like every exporter here). `metric`
+    /// restricts each sample to that one metric and drops samples that
+    /// never saw it; `window` keeps only samples that recent relative to
+    /// the newest tick. This is the `/timeline` endpoint's payload.
+    pub fn to_json(&self, metric: Option<&str>, window: Option<Duration>) -> String {
+        use std::fmt::Write;
+        let samples = match window {
+            Some(w) => self.window(w),
+            None => self.samples(),
+        };
+        let mut out = String::from("{");
+        let _ = write!(out, "\"capacity\":{},\"ticks\":{},", self.capacity, self.ticks());
+        match metric {
+            Some(m) => {
+                let _ = write!(out, "\"metric\":\"{}\",", json_escape(m));
+            }
+            None => out.push_str("\"metric\":null,"),
+        }
+        if let Some(w) = window {
+            let _ = write!(out, "\"window_ms\":{},", w.as_millis());
+        }
+        out.push_str("\"samples\":[");
+        let mut first = true;
+        for s in samples.iter().filter(|s| s.keeps(metric)) {
+            if !first {
+                out.push(',');
+            }
+            first = false;
+            let _ = write!(
+                out,
+                "{{\"seq\":{},\"at_ms\":{},\"unix_ms\":{},\"counters\":{{",
+                s.seq, s.at_ms, s.unix_ms
+            );
+            let keep = |n: &str| metric.is_none_or(|m| m == n);
+            for (i, (n, v)) in s.counters.iter().filter(|(n, _)| keep(n)).enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                let _ = write!(out, "\"{}\":{v}", json_escape(n));
+            }
+            out.push_str("},\"counter_deltas\":{");
+            for (i, (n, v)) in s.counter_deltas.iter().filter(|(n, _)| keep(n)).enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                let _ = write!(out, "\"{}\":{v}", json_escape(n));
+            }
+            out.push_str("},\"gauges\":{");
+            for (i, (n, v)) in s.gauges.iter().filter(|(n, _)| keep(n)).enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                let _ = write!(out, "\"{}\":{v}", json_escape(n));
+            }
+            out.push_str("},\"histograms\":{");
+            for (i, (n, h)) in s.histograms.iter().filter(|(n, _)| keep(n)).enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                let _ = write!(
+                    out,
+                    "\"{}\":{{\"count\":{},\"delta\":{},\"p50\":{},\"p95\":{},\"p99\":{},\"max\":{}}}",
+                    json_escape(n),
+                    h.count,
+                    h.delta,
+                    h.p50,
+                    h.p95,
+                    h.p99,
+                    h.max
+                );
+            }
+            out.push_str("}}");
+        }
+        out.push_str("]}");
+        out
+    }
+
+    /// Long-format CSV export: one row per `(tick, metric)`, header
+    /// included. Counters fill `value`+`delta`, gauges fill `value`,
+    /// histograms fill everything. (Metric names contain no commas.)
+    pub fn to_csv(&self, metric: Option<&str>) -> String {
+        use std::fmt::Write;
+        let mut out = String::from("seq,at_ms,unix_ms,kind,name,value,delta,p50,p95,p99,max\n");
+        let keep = |n: &str| metric.is_none_or(|m| m == n);
+        for s in self.samples() {
+            let deltas = &s.counter_deltas;
+            for (n, v) in s.counters.iter().filter(|(n, _)| keep(n)) {
+                let d = deltas.iter().find(|(dn, _)| dn == n).map_or(0, |&(_, d)| d);
+                let _ =
+                    writeln!(out, "{},{},{},counter,{n},{v},{d},,,,", s.seq, s.at_ms, s.unix_ms);
+            }
+            for (n, v) in s.gauges.iter().filter(|(n, _)| keep(n)) {
+                let _ = writeln!(out, "{},{},{},gauge,{n},{v},,,,,", s.seq, s.at_ms, s.unix_ms);
+            }
+            for (n, h) in s.histograms.iter().filter(|(n, _)| keep(n)) {
+                let _ = writeln!(
+                    out,
+                    "{},{},{},histogram,{n},{},{},{},{},{},{}",
+                    s.seq, s.at_ms, s.unix_ms, h.count, h.delta, h.p50, h.p95, h.p99, h.max
+                );
+            }
+        }
+        out
+    }
+}
+
+/// Owner handle for the background sampler thread; stops and joins it on
+/// drop.
+pub struct SamplerHandle {
+    stop: Arc<std::sync::atomic::AtomicBool>,
+    thread: Option<std::thread::JoinHandle<()>>,
+}
+
+impl SamplerHandle {
+    /// Signal the sampler and wait for it to exit.
+    pub fn stop(mut self) {
+        self.shutdown();
+    }
+
+    fn shutdown(&mut self) {
+        self.stop.store(true, Relaxed);
+        if let Some(t) = self.thread.take() {
+            t.thread().unpark();
+            let _ = t.join();
+        }
+    }
+}
+
+impl Drop for SamplerHandle {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+/// Tick `series` from `registry` every `interval` on a background thread
+/// (one tick immediately, so even short runs retain history). Sampling
+/// cost is one registry snapshot plus a bucket-wise diff — a few
+/// microseconds at this workspace's metric counts — so cadences down to
+/// tens of milliseconds are safe.
+pub fn spawn_sampler(
+    series: Arc<TimeSeries>,
+    registry: Arc<MetricsRegistry>,
+    interval: Duration,
+) -> SamplerHandle {
+    let stop = Arc::new(std::sync::atomic::AtomicBool::new(false));
+    let stop2 = Arc::clone(&stop);
+    let thread = std::thread::Builder::new()
+        .name("spine-sampler".into())
+        .spawn(move || {
+            while !stop2.load(Relaxed) {
+                series.sample(&registry);
+                std::thread::park_timeout(interval);
+            }
+        })
+        .expect("spawn spine-sampler thread");
+    SamplerHandle { stop, thread: Some(thread) }
 }
 
 #[cfg(test)]
@@ -1546,20 +1950,52 @@ mod tests {
         w.record_at(0, 100, true);
         w.record_at(s, 200, true);
         w.record_at(2 * s, 400, false);
-        // At t=2.5s all three slots are inside the 4 s window.
+        // At t=2.5s all three slots are inside the 4 s window; only 2.5 s
+        // of it have elapsed, so the rate divides by 2.5, not 4.
         let a = w.aggregate_at(2 * s + s / 2);
         assert_eq!(a.count, 3);
         assert_eq!(a.errors, 1);
-        assert!((a.qps() - 3.0 / 4.0).abs() < 1e-9);
+        assert!((a.qps() - 3.0 / 2.5).abs() < 1e-9);
         assert!((a.error_rate() - 1.0 / 3.0).abs() < 1e-9);
         assert!(a.p99() >= 400);
-        // At t=4.5s the rotation-0 slot has expired.
+        // At t=4.5s the rotation-0 slot has expired; live slots cover
+        // [1s, 4.5s) — 3.5 s of real time.
         let a = w.aggregate_at(4 * s + s / 2);
         assert_eq!(a.count, 2);
         assert_eq!(a.errors, 1);
+        assert!((a.window_secs - 3.5).abs() < 1e-9);
         // At t=10s everything has expired.
         assert_eq!(w.aggregate_at(10 * s).count, 0);
         assert_eq!(w.aggregate_at(10 * s).error_rate(), 0.0);
+    }
+
+    #[test]
+    fn partially_elapsed_window_reports_true_rate() {
+        // Regression: a window shorter than one bucket (one 10 s slot) used
+        // to divide by the full 10 s span even when only 2 s had elapsed,
+        // reporting 30 events as 3 qps instead of 15.
+        let w = SlidingWindow::new(1, Duration::from_secs(10));
+        let s = 1_000_000_000u64;
+        for i in 0..30 {
+            w.record_at(i * 1_000, 100, true);
+        }
+        let a = w.aggregate_at(2 * s);
+        assert_eq!(a.count, 30);
+        assert!((a.window_secs - 2.0).abs() < 1e-9);
+        assert!((a.qps() - 15.0).abs() < 1e-9);
+        // At the bucket boundary the slot rolls over: rotation 1 starts a
+        // fresh (empty) slot with zero covered time — rate 0, not NaN/inf.
+        let a = w.aggregate_at(10 * s);
+        assert_eq!(a.count, 0);
+        assert_eq!(a.qps(), 0.0);
+        // Same boundary math for multi-slot rings: no elapsed time at t=0.
+        let w = SlidingWindow::new(4, Duration::from_secs(1));
+        w.record_at(0, 100, true);
+        let a = w.aggregate_at(0);
+        assert_eq!(a.count, 1);
+        assert_eq!(a.qps(), 0.0);
+        // One nanosecond later the rate is finite and huge, never infinite.
+        assert!(w.aggregate_at(1).qps().is_finite());
     }
 
     #[test]
@@ -1638,6 +2074,121 @@ mod tests {
             slo.record_at(t + i * 1_000, 10, false);
         }
         assert!(slo.healthy_at(t + 1_000_000));
+    }
+
+    #[test]
+    fn snapshot_diff_is_an_interval_snapshot() {
+        let r = MetricsRegistry::new();
+        let c = r.counter("ops");
+        let h = r.histogram("lat");
+        c.add(10);
+        h.record_value(100);
+        h.record_value(200);
+        let t0 = r.snapshot();
+        c.add(5);
+        h.record_value(1_000_000);
+        r.counter("late_arrival").incr(); // registered after t0
+        let t1 = r.snapshot();
+        let d = t1.diff(&t0);
+        assert_eq!(d.counter("ops"), Some(5));
+        // A metric unknown to the earlier snapshot is included whole.
+        assert_eq!(d.counter("late_arrival"), Some(1));
+        let dh = d.histogram("lat").unwrap();
+        assert_eq!(dh.count, 1);
+        // Interval quantiles reflect only the interval's values: the two
+        // early cheap values must not drag p50 down.
+        assert!(dh.p50() >= 1_000_000);
+        // Max stays cumulative; gauges stay instantaneous.
+        assert_eq!(dh.max, t1.histogram("lat").unwrap().max);
+        // Differencing a snapshot against itself is all-zero.
+        let z = t1.diff(&t1);
+        assert_eq!(z.counter("ops"), Some(0));
+        assert!(z.histogram("lat").unwrap().is_empty());
+        // The diff is a full snapshot: every exporter works on it.
+        validate_prometheus_text(&d.to_prometheus("spine")).unwrap();
+        assert!(d.to_json().contains("\"late_arrival\":1"));
+    }
+
+    #[test]
+    fn time_series_retains_deltas_and_evicts_fifo() {
+        let r = MetricsRegistry::new();
+        let c = r.counter("ops");
+        let h = r.histogram("lat");
+        r.gauge("depth", || 7);
+        let ts = TimeSeries::new(3);
+        for i in 1..=5u64 {
+            c.add(i);
+            h.record_value(i * 100);
+            ts.sample(&r);
+        }
+        assert_eq!(ts.ticks(), 5);
+        let samples = ts.samples();
+        assert_eq!(samples.len(), 3, "ring keeps only the newest capacity ticks");
+        assert_eq!(samples[0].seq, 2);
+        assert_eq!(samples[2].seq, 4);
+        // Tick 4 (1-based add #5): cumulative 1+2+3+4+5, delta 5.
+        let last = &samples[2];
+        assert_eq!(last.counters, vec![("ops".to_string(), 15)]);
+        assert_eq!(last.counter_deltas, vec![("ops".to_string(), 5)]);
+        assert_eq!(last.gauges, vec![("depth".to_string(), 7)]);
+        let (_, hp) = &last.histograms[0];
+        assert_eq!((hp.count, hp.delta), (5, 1));
+        assert!(hp.p50 >= 500, "interval p50 covers only this tick's value");
+        assert_eq!(hp.max, 500);
+    }
+
+    #[test]
+    fn time_series_exports_filter_and_parse() {
+        let r = MetricsRegistry::new();
+        r.counter("a.ops").add(3);
+        r.counter("b.ops").add(9);
+        r.gauge("depth", || 1);
+        let ts = TimeSeries::new(8);
+        ts.sample(&r);
+        ts.sample(&r);
+        let json = ts.to_json(None, None);
+        assert!(json.contains("\"capacity\":8"));
+        assert!(json.contains("\"a.ops\":3") && json.contains("\"b.ops\":9"));
+        // Metric filter: only the named series survives, in every section.
+        let json = ts.to_json(Some("a.ops"), None);
+        assert!(json.contains("\"a.ops\":3"));
+        assert!(!json.contains("b.ops") && !json.contains("depth"));
+        // A filter matching nothing yields an empty sample list.
+        assert!(ts.to_json(Some("nope"), None).contains("\"samples\":[]"));
+        // Zero-width window keeps only ticks at the newest timestamp.
+        let windowed = ts.window(Duration::ZERO);
+        assert!(!windowed.is_empty());
+        assert!(windowed.iter().all(|s| s.at_ms == windowed.last().unwrap().at_ms));
+        let csv = ts.to_csv(None);
+        let mut lines = csv.lines();
+        assert_eq!(
+            lines.next().unwrap(),
+            "seq,at_ms,unix_ms,kind,name,value,delta,p50,p95,p99,max"
+        );
+        // 2 ticks × 3 metrics = 6 data rows, each with 11 columns.
+        let rows: Vec<&str> = lines.collect();
+        assert_eq!(rows.len(), 6);
+        assert!(rows.iter().all(|l| l.split(',').count() == 11));
+        assert!(ts.to_csv(Some("a.ops")).lines().count() == 3); // header + 2
+    }
+
+    #[test]
+    fn sampler_thread_ticks_and_stops() {
+        let r = Arc::new(MetricsRegistry::new());
+        r.counter("ops").incr();
+        let ts = Arc::new(TimeSeries::new(64));
+        let handle = spawn_sampler(Arc::clone(&ts), Arc::clone(&r), Duration::from_millis(1));
+        let deadline = Instant::now() + Duration::from_secs(10);
+        while ts.ticks() < 3 && Instant::now() < deadline {
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        handle.stop();
+        let ticks = ts.ticks();
+        assert!(ticks >= 3, "sampler should have ticked, got {ticks}");
+        // Stopped: no more ticks arrive.
+        std::thread::sleep(Duration::from_millis(5));
+        assert_eq!(ts.ticks(), ticks);
+        assert_eq!(ts.samples().last().unwrap().counters[0], ("ops".to_string(), 1));
     }
 
     #[test]

@@ -41,6 +41,13 @@ cargo test -q -p spine --lib segments
 cargo test -q --test segments
 cargo test -q --test differential segmented_store
 
+echo "== flight recorder: journal codec, merge observer, timeline ring, postmortem dumps"
+cargo test -q -p spine --lib journal
+cargo test -q -p spine --lib observe
+cargo test -q -p strindex --lib telemetry
+cargo test -q -p spine-bench --lib flight
+cargo test -q -p spine-bench --lib http
+
 echo "== hot-page tier: pool pinning/prefetch, heatmap attribution, differential oracle"
 cargo test -q -p pagestore --lib pool
 cargo test -q -p pagestore --test pinning
@@ -103,6 +110,15 @@ cargo run --release -q -p spine-bench --bin exp -- http-get "$addr/health" 2>/de
 cargo run --release -q -p spine-bench --bin exp -- http-get "$addr/explain?q=ACA" 2>/dev/null \
   | grep -q '"ends":\[' \
   || { echo "http smoke: /explain returned no trace"; exit 1; }
+cargo run --release -q -p spine-bench --bin exp -- http-get "$addr/metrics" 2>/dev/null \
+  | grep -q '^spine_segments_pages{segment="0"} ' \
+  || { echo "http smoke: /metrics misses the per-segment page gauges"; exit 1; }
+cargo run --release -q -p spine-bench --bin exp -- http-get "$addr/timeline?metric=segments.epoch" 2>/dev/null \
+  | grep -q '"samples":\[{' \
+  || { echo "http smoke: /timeline returned no samples"; exit 1; }
+cargo run --release -q -p spine-bench --bin exp -- http-get "$addr/journal" 2>/dev/null \
+  | grep -q '"kind":"recover"' \
+  || { echo "http smoke: /journal misses the recovery event"; exit 1; }
 cargo run --release -q -p spine-bench --bin exp -- http-get "$addr/quit" >/dev/null 2>&1
 wait "$http_pid" || { echo "http smoke: server exited non-zero"; exit 1; }
 grep -q "shut down cleanly" "$http_log" \
@@ -133,7 +149,48 @@ cargo run --release -q -p spine-bench --bin exp -- http-get "$addr/metrics" 2>/d
   || { echo "orphan smoke: /metrics should gauge the orphan"; exit 1; }
 cargo run --release -q -p spine-bench --bin exp -- http-get "$addr/quit" >/dev/null 2>&1
 wait "$orphan_pid" || { echo "orphan smoke: server exited non-zero"; exit 1; }
+grep -q "OK: postmortem .* validates" "$orphan_log" \
+  || { echo "orphan smoke: forced 503 should have captured a postmortem dump"; exit 1; }
 rm -f "$orphan_log"
+
+echo "== exp serve --http --flaky (flight recorder: forced 503 captures a postmortem dump)"
+flaky_log=$(mktemp)
+cargo run --release -q -p spine-bench --bin exp -- serve --http 0 --quick --flaky \
+  >"$flaky_log" 2>/dev/null &
+flaky_pid=$!
+addr=""
+for _ in $(seq 1 120); do
+  addr=$(grep -m1 -o '127\.0\.0\.1:[0-9]*' "$flaky_log" || true)
+  [ -n "$addr" ] && break
+  sleep 0.5
+done
+[ -n "$addr" ] || { echo "flaky smoke: server never printed its address"; kill "$flaky_pid" 2>/dev/null; exit 1; }
+# Force the 503: the flaky probe device burns the SLO error budget on the
+# first /health scrape, and the healthy→unhealthy edge triggers the dump.
+forced=0
+for _ in $(seq 1 20); do
+  if ! cargo run --release -q -p spine-bench --bin exp -- http-get "$addr/health" >/dev/null 2>&1; then
+    forced=1; break
+  fi
+  sleep 0.3
+done
+[ "$forced" = 1 ] || { echo "flaky smoke: /health never degraded to 503"; exit 1; }
+cargo run --release -q -p spine-bench --bin exp -- http-get "$addr/timeline" 2>/dev/null \
+  | grep -q '"samples":\[{' \
+  || { echo "flaky smoke: /timeline returned no samples"; exit 1; }
+cargo run --release -q -p spine-bench --bin exp -- http-get "$addr/journal" 2>/dev/null \
+  | grep -q '"kind":"seal"' \
+  || { echo "flaky smoke: /journal misses the seal event"; exit 1; }
+cargo run --release -q -p spine-bench --bin exp -- http-get "$addr/quit" >/dev/null 2>&1
+# The server itself asserts a dump exists and schema-validates it on
+# shutdown (a flaky run that captured nothing exits non-zero).
+wait "$flaky_pid" || { echo "flaky smoke: server exited non-zero"; exit 1; }
+dump=$(grep -oE 'OK: postmortem [^ ]+ validates' "$flaky_log" | awk '{print $3}')
+[ -n "$dump" ] && [ -f "$dump" ] \
+  || { echo "flaky smoke: postmortem dump file missing"; exit 1; }
+head -c 11 "$dump" | grep -q '{"reason":"' \
+  || { echo "flaky smoke: postmortem dump does not parse"; exit 1; }
+rm -f "$flaky_log"
 
 if [ "$BENCH_CHECK" = 1 ]; then
   echo "== bench regression gate (vs committed BENCH_serve.json + BENCH_build.json)"
