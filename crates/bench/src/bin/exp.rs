@@ -3,7 +3,7 @@
 //! One subcommand per experiment (see DESIGN.md §3 for the index):
 //!
 //! ```text
-//! exp table2|table3|table4|fig6|table5|table6|fig7|fig8|table7|protein|space|buffering|serve|faults|verify|figures|explain|bench-snapshot|all
+//! exp table2|table3|table4|fig6|table5|table6|fig7|fig8|table7|protein|space|buffering|serve|faults|verify|figures|explain|bench-snapshot|scale|all
 //!     [PATTERN]        `explain` only: the pattern to trace (default ACA)
 //!     [--scale F]      dataset scale factor vs the paper's lengths (default 0.02)
 //!     [--threshold N]  maximal-match length threshold (default 20)
@@ -33,7 +33,17 @@
 //!     [--orphan]       `serve --http` only: plant an uncommitted orphan
 //!                      segment file before recovery so /health reports 503
 //!     [--sync-file]    use a real file device with fsync-per-write for disk runs
+//!     [--seed N]       `scale` only: run seed every generated stream derives
+//!                      from (default 0x5915E; hex accepted with 0x prefix)
+//!     [--corpus KIND]  `scale` only: dna|protein|logtext (default dna)
 //! ```
+//!
+//! `exp scale` is the load harness (DESIGN.md §15): it streams a synthetic
+//! corpus into every in-repo engine, sweeps closed-loop concurrency and
+//! open-loop offered rates per query mix, and writes the curves to
+//! `--out` (default BENCH_scale.json). `--check PATH` gates against a
+//! committed baseline: curve coverage always, peak throughput when the run
+//! fingerprint matches. `--quick` shrinks everything to CI size.
 //!
 //! `exp http-get ADDR/PATH [--prom]` is the matching std-only client
 //! (CI's curl replacement); `--prom` additionally validates the body as
@@ -82,6 +92,10 @@ struct Opts {
     /// segment store before recovery, so `/health` reports 503 until an
     /// operator cleans it up.
     orphan: bool,
+    /// `scale`: run seed all generated streams derive from.
+    seed: u64,
+    /// `scale`: corpus family (dna|protein|logtext).
+    corpus: Option<String>,
 }
 
 impl Default for Opts {
@@ -104,6 +118,8 @@ impl Default for Opts {
             http: None,
             flaky: false,
             orphan: false,
+            seed: spine_bench::rng::DEFAULT_RUN_SEED,
+            corpus: None,
         }
     }
 }
@@ -180,6 +196,19 @@ fn main() {
                 opts.sync_file = true;
                 i += 1;
             }
+            "--seed" => {
+                let raw = &rest[i + 1];
+                opts.seed = raw
+                    .strip_prefix("0x")
+                    .map(|h| u64::from_str_radix(h, 16))
+                    .unwrap_or_else(|| raw.parse())
+                    .expect("--seed takes an integer (0x prefix for hex)");
+                i += 2;
+            }
+            "--corpus" => {
+                opts.corpus = Some(rest[i + 1].clone());
+                i += 2;
+            }
             other if !other.starts_with('-') && opts.pattern.is_none() => {
                 opts.pattern = Some(other.to_string());
                 i += 1;
@@ -195,10 +224,11 @@ fn main() {
 
 fn usage() -> ! {
     eprintln!(
-        "usage: exp <table2|table3|table4|fig6|table5|table6|fig7|fig8|table7|protein|space|buffering|serve|faults|verify|figures|explain|bench-snapshot|http-get|all> \
+        "usage: exp <table2|table3|table4|fig6|table5|table6|fig7|fig8|table7|protein|space|buffering|serve|faults|verify|figures|explain|bench-snapshot|scale|http-get|all> \
          [PATTERN] [--scale F] [--threshold N] [--workers N] [--quick] [--json] [--metrics] \
          [--prom] [--chrome-trace] [--out PATH] [--check PATH] [--out-build PATH] \
-         [--check-build PATH] [--http PORT] [--flaky] [--orphan] [--sync-file]"
+         [--check-build PATH] [--http PORT] [--flaky] [--orphan] [--sync-file] \
+         [--seed N] [--corpus dna|protein|logtext]"
     );
     std::process::exit(2);
 }
@@ -223,6 +253,7 @@ fn run(cmd: &str, opts: &Opts) {
         "figures" => figures(opts),
         "explain" => explain(opts),
         "bench-snapshot" => bench_snapshot(opts),
+        "scale" => scale_cmd(opts),
         "http-get" => http_get_cmd(opts),
         "all" => {
             for c in [
@@ -602,7 +633,11 @@ fn buffering(opts: &Opts) {
     // An unrelated random query: matches stay short, so the search
     // constantly chases links into the upstream region (Figure 8's
     // concentration) — the access pattern the paper's policy targets.
-    let query = genseq::iid_sequence(&d.alphabet, d.seq.len(), &mut genseq::rng(0xB0FF));
+    let query = genseq::iid_sequence(
+        &d.alphabet,
+        d.seq.len(),
+        &mut spine_bench::rng::stream(spine_bench::rng::DEFAULT_RUN_SEED, "buffering.query", 0),
+    );
     let policies: Vec<Box<dyn Fn() -> Box<dyn EvictionPolicy>>> = vec![
         Box::new(|| Box::<Lru>::default()),
         Box::new(|| Box::<Fifo>::default()),
@@ -1637,8 +1672,13 @@ fn bench_snapshot(opts: &Opts) {
     if let Some(base_path) = &opts.check {
         let text = std::fs::read_to_string(base_path)
             .unwrap_or_else(|e| panic!("reading baseline {base_path}: {e}"));
-        let base = BenchSnapshot::from_json(&text)
-            .unwrap_or_else(|e| panic!("parsing baseline {base_path}: {e}"));
+        let base = match BenchSnapshot::from_json(&text) {
+            Ok(b) => b,
+            Err(e) => {
+                eprintln!("BENCH BASELINE REJECTED ({base_path}): {e}");
+                std::process::exit(1);
+            }
+        };
         match s.check_against(&base) {
             Ok(msg) => eprintln!("OK: {msg}"),
             Err(e) => {
@@ -1650,8 +1690,13 @@ fn bench_snapshot(opts: &Opts) {
     if let Some(base_path) = &opts.check_build {
         let text = std::fs::read_to_string(base_path)
             .unwrap_or_else(|e| panic!("reading baseline {base_path}: {e}"));
-        let base = spine_bench::BuildSnapshot::from_json(&text)
-            .unwrap_or_else(|e| panic!("parsing baseline {base_path}: {e}"));
+        let base = match spine_bench::BuildSnapshot::from_json(&text) {
+            Ok(b) => b,
+            Err(e) => {
+                eprintln!("BENCH BASELINE REJECTED ({base_path}): {e}");
+                std::process::exit(1);
+            }
+        };
         match b.check_against(&base) {
             Ok(msg) => eprintln!("OK: {msg}"),
             Err(e) => {
@@ -1751,5 +1796,62 @@ fn build_snapshot_section(d: &Dataset, dd: &Dataset, pool: usize) -> spine_bench
         observer_overhead_pct: 100.0 * (observed_s - build_s) / build_s.max(1e-9),
         bytes_per_node: disk_bytes_per_node,
         page_writes,
+    }
+}
+
+// ---------------------------------------------------------------------------
+// `scale`: the load harness (DESIGN.md §15).
+// ---------------------------------------------------------------------------
+
+/// Stream a synthetic corpus into every in-repo engine, sweep closed-loop
+/// concurrency and open-loop offered load per query mix, and write the
+/// throughput-vs-latency curves (with per-stage attribution) to `--out`.
+fn scale_cmd(opts: &Opts) {
+    use spine_bench::load::{run_scale, CorpusKind, ScaleConfig, ScaleReport};
+
+    let mut cfg =
+        if opts.quick { ScaleConfig::quick(opts.seed) } else { ScaleConfig::full(opts.seed) };
+    cfg.workers = opts.workers;
+    if let Some(kind) = &opts.corpus {
+        cfg.corpus_kind = CorpusKind::parse(kind)
+            .unwrap_or_else(|| panic!("unknown corpus {kind:?} (dna|protein|logtext)"));
+    }
+    eprintln!(
+        "scale: seed 0x{:X}, corpus {} ({} symbols; trie capped at {}), {} workers, \
+         {} queries/point{}",
+        cfg.seed,
+        cfg.corpus_kind.name(),
+        cfg.corpus_len,
+        cfg.trie_corpus_len,
+        cfg.workers,
+        cfg.queries_per_point,
+        if cfg.quick { " [quick]" } else { "" }
+    );
+    let scratch = std::env::temp_dir().join(format!("spine-scale-{}", std::process::id()));
+    let report = run_scale(&cfg, &scratch);
+    let _ = std::fs::remove_dir_all(&scratch);
+
+    let json = report.to_json();
+    let out = opts.out.clone().unwrap_or_else(|| "BENCH_scale.json".to_string());
+    std::fs::write(&out, format!("{json}\n")).unwrap_or_else(|e| panic!("writing {out}: {e}"));
+    eprintln!("OK: {} curves written to {out}", report.curves.len());
+
+    if let Some(base_path) = &opts.check {
+        let text = std::fs::read_to_string(base_path)
+            .unwrap_or_else(|e| panic!("reading baseline {base_path}: {e}"));
+        let base = match ScaleReport::from_json(&text) {
+            Ok(b) => b,
+            Err(e) => {
+                eprintln!("BENCH BASELINE REJECTED ({base_path}): {e}");
+                std::process::exit(1);
+            }
+        };
+        match report.check_against(&base) {
+            Ok(msg) => eprintln!("OK: {msg}"),
+            Err(e) => {
+                eprintln!("BENCH REGRESSION vs {base_path}: {e}");
+                std::process::exit(1);
+            }
+        }
     }
 }

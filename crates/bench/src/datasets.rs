@@ -5,8 +5,10 @@
 //! (for the matching experiments) a mutated relative playing the query
 //! genome of the pair.
 
-use genseq::{mutate, preset, rng, MutationProfile, Preset};
+use genseq::{mutate, preset, MutationProfile, Preset};
 use strindex::{Alphabet, Code};
+
+use crate::rng;
 
 /// A generated dataset: the encoded sequence plus its provenance.
 pub struct Dataset {
@@ -49,12 +51,16 @@ pub fn protein_presets() -> [&'static str; 3] {
 }
 
 /// Derive the query side of a matching pair: a mutated relative of `data`
-/// (≈1 % divergence, a few rearrangements), deterministic per dataset name.
+/// (≈1 % divergence, a few rearrangements), deterministic per dataset name
+/// via the harness-wide seed-derivation scheme ([`crate::rng`]).
 pub fn query_for(data: &Dataset) -> Vec<Code> {
-    let seed =
-        data.name.bytes().fold(0xC0FFEEu64, |h, b| h.wrapping_mul(31).wrapping_add(b as u64));
-    let mut r = rng(seed);
+    let mut r = rng::stream(rng::DEFAULT_RUN_SEED, "dataset.query-mutant", fold_name(data.name));
     mutate(&data.seq, data.alphabet.size(), &MutationProfile::default(), &mut r)
+}
+
+/// Stable fold of a dataset name into a stream index.
+fn fold_name(name: &str) -> u64 {
+    name.bytes().fold(0, |h: u64, b| h.wrapping_mul(31).wrapping_add(b as u64))
 }
 
 #[cfg(test)]

@@ -9,15 +9,23 @@ pub mod datasets;
 pub mod faults;
 pub mod flight;
 pub mod http;
+pub mod load;
 pub mod report;
+pub mod rng;
 pub mod snapshot;
 
 pub use datasets::{dna_presets, protein_presets, query_for, Dataset};
 pub use faults::{crashpoint_sweep, SweepReport};
 pub use flight::{validate_postmortem, FlightRecorder};
 pub use http::{http_get, MonitorRoutes, MonitorServer};
+pub use load::{
+    ArrivalMode, CorpusKind, CorpusSpec, CurvePoint, EngineKind, LoadCurve, LoadPlan, MixKind,
+    ScaleConfig, ScaleReport, ServeAdapter,
+};
 pub use report::{print_table, MetricsReport, Row};
-pub use snapshot::{BenchSnapshot, BuildSnapshot};
+pub use snapshot::{
+    check_schema_version, BenchSnapshot, BuildSnapshot, SnapshotError, SCHEMA_VERSION,
+};
 
 use std::time::{Duration, Instant};
 

@@ -8,6 +8,61 @@
 //!
 //! The format is deliberately flat (one object, numeric fields) so the
 //! parser here can stay a keyed number scan instead of a JSON library.
+//!
+//! Every `BENCH_*.json` payload carries a `schema_version` field; a parser
+//! finding a missing or unknown version refuses with a typed
+//! [`SnapshotError`] telling the operator to re-baseline, instead of
+//! panicking or silently misreading renamed fields as regressions.
+
+use std::fmt;
+
+/// Format version stamped into every `BENCH_*.json` payload this harness
+/// writes (`BENCH_serve.json`, `BENCH_build.json`, `BENCH_scale.json`).
+/// Bump it whenever a field changes meaning or name; readers reject any
+/// other version so a stale baseline fails loudly.
+pub const SCHEMA_VERSION: u64 = 1;
+
+/// Why a committed `BENCH_*.json` baseline could not be used.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SnapshotError {
+    /// No `schema_version` field — a pre-versioning or hand-edited file.
+    MissingVersion,
+    /// A `schema_version` this build does not understand.
+    UnknownVersion(u64),
+    /// Versioned correctly but structurally unreadable (missing or
+    /// non-numeric field).
+    Malformed(String),
+}
+
+impl fmt::Display for SnapshotError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SnapshotError::MissingVersion => write!(
+                f,
+                "snapshot has no schema_version field (expected {SCHEMA_VERSION}); \
+                 re-baseline required: regenerate it with `exp bench-snapshot` / `exp scale`"
+            ),
+            SnapshotError::UnknownVersion(v) => write!(
+                f,
+                "snapshot schema_version {v} is not the supported {SCHEMA_VERSION}; \
+                 re-baseline required: regenerate it with the current binary"
+            ),
+            SnapshotError::Malformed(what) => write!(f, "snapshot is malformed: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for SnapshotError {}
+
+/// Check the `schema_version` stamp of a snapshot payload: exactly
+/// [`SCHEMA_VERSION`] or a typed refusal.
+pub fn check_schema_version(text: &str) -> Result<(), SnapshotError> {
+    match json_number(text, "schema_version") {
+        None => Err(SnapshotError::MissingVersion),
+        Some(v) if v as u64 == SCHEMA_VERSION => Ok(()),
+        Some(v) => Err(SnapshotError::UnknownVersion(v as u64)),
+    }
+}
 
 /// Headline numbers of one serving-benchmark run.
 #[derive(Debug, Clone, PartialEq)]
@@ -42,7 +97,8 @@ impl BenchSnapshot {
     /// Serialize as one flat JSON object.
     pub fn to_json(&self) -> String {
         format!(
-            "{{\"workers\":{},\"queries\":{},\"wall_s\":{:.6},\"qps\":{:.3},\
+            "{{\"schema_version\":{SCHEMA_VERSION},\
+             \"workers\":{},\"queries\":{},\"wall_s\":{:.6},\"qps\":{:.3},\
              \"p50_us\":{},\"p99_us\":{},\"pages_per_query\":{:.3}}}",
             self.workers,
             self.queries,
@@ -55,10 +111,13 @@ impl BenchSnapshot {
     }
 
     /// Parse a snapshot back out of [`Self::to_json`]'s output (or any JSON
-    /// text containing the same keys with numeric values).
-    pub fn from_json(text: &str) -> Result<Self, String> {
+    /// text containing the same keys with numeric values). Rejects missing
+    /// or unknown `schema_version` stamps before reading any field.
+    pub fn from_json(text: &str) -> Result<Self, SnapshotError> {
+        check_schema_version(text)?;
         let get = |key: &str| {
-            json_number(text, key).ok_or_else(|| format!("missing numeric field {key:?}"))
+            json_number(text, key)
+                .ok_or_else(|| SnapshotError::Malformed(format!("missing numeric field {key:?}")))
         };
         Ok(BenchSnapshot {
             workers: get("workers")? as u64,
@@ -153,7 +212,8 @@ impl BuildSnapshot {
     /// Serialize as one flat JSON object.
     pub fn to_json(&self) -> String {
         format!(
-            "{{\"nodes\":{},\"build_s\":{:.6},\"nodes_per_sec\":{:.1},\
+            "{{\"schema_version\":{SCHEMA_VERSION},\
+             \"nodes\":{},\"build_s\":{:.6},\"nodes_per_sec\":{:.1},\
              \"observer_overhead_pct\":{:.2},\"bytes_per_node\":{:.3},\"page_writes\":{}}}",
             self.nodes,
             self.build_s,
@@ -164,10 +224,13 @@ impl BuildSnapshot {
         )
     }
 
-    /// Parse a snapshot back out of [`Self::to_json`]'s output.
-    pub fn from_json(text: &str) -> Result<Self, String> {
+    /// Parse a snapshot back out of [`Self::to_json`]'s output. Rejects
+    /// missing or unknown `schema_version` stamps before reading any field.
+    pub fn from_json(text: &str) -> Result<Self, SnapshotError> {
+        check_schema_version(text)?;
         let get = |key: &str| {
-            json_number(text, key).ok_or_else(|| format!("missing numeric field {key:?}"))
+            json_number(text, key)
+                .ok_or_else(|| SnapshotError::Malformed(format!("missing numeric field {key:?}")))
         };
         Ok(BuildSnapshot {
             nodes: get("nodes")? as u64,
@@ -275,8 +338,37 @@ mod tests {
 
     #[test]
     fn from_json_rejects_missing_fields() {
-        let err = BenchSnapshot::from_json("{\"workers\":4}").unwrap_err();
-        assert!(err.contains("missing numeric field"), "{err}");
+        let err = BenchSnapshot::from_json("{\"schema_version\":1,\"workers\":4}").unwrap_err();
+        assert!(matches!(err, SnapshotError::Malformed(_)), "{err}");
+        assert!(err.to_string().contains("missing numeric field"), "{err}");
+    }
+
+    #[test]
+    fn from_json_rejects_missing_or_unknown_schema_version() {
+        // Version-less payload (pre-versioning baseline): typed refusal with
+        // a re-baseline instruction, not a field-level parse error.
+        let unversioned = "{\"workers\":4,\"queries\":640}";
+        let err = BenchSnapshot::from_json(unversioned).unwrap_err();
+        assert_eq!(err, SnapshotError::MissingVersion);
+        assert!(err.to_string().contains("re-baseline required"), "{err}");
+
+        let future = "{\"schema_version\":99,\"workers\":4}";
+        let err = BenchSnapshot::from_json(future).unwrap_err();
+        assert_eq!(err, SnapshotError::UnknownVersion(99));
+        assert!(err.to_string().contains("re-baseline required"), "{err}");
+
+        // Both snapshot kinds share the stamp check.
+        assert_eq!(
+            BuildSnapshot::from_json(unversioned).unwrap_err(),
+            SnapshotError::MissingVersion
+        );
+    }
+
+    #[test]
+    fn emitted_json_carries_the_schema_version() {
+        assert!(sample().to_json().contains("\"schema_version\":1"));
+        assert!(build_sample().to_json().contains("\"schema_version\":1"));
+        assert!(check_schema_version(&sample().to_json()).is_ok());
     }
 
     #[test]
@@ -338,7 +430,7 @@ mod tests {
         assert!((parsed.nodes_per_sec - s.nodes_per_sec).abs() < 1e-1);
         assert!((parsed.bytes_per_node - s.bytes_per_node).abs() < 1e-3);
         assert!((parsed.observer_overhead_pct - s.observer_overhead_pct).abs() < 1e-2);
-        assert!(BuildSnapshot::from_json("{\"nodes\":3}").is_err());
+        assert!(BuildSnapshot::from_json("{\"schema_version\":1,\"nodes\":3}").is_err());
     }
 
     #[test]

@@ -490,6 +490,16 @@ impl EngineTelemetry {
 /// the flight recorder's postmortem trigger.
 pub type PanicHook = Arc<dyn Fn(&str) + Send + Sync>;
 
+/// Callback invoked once per finalized query — completed, timed out, or
+/// failed — immediately after its result is published and the state lock
+/// released. The argument is the query's id. Runs on worker threads, so it
+/// should be cheap (a timestamp store, a semaphore release); it may read
+/// [`QueryEngine::metrics`] but must not block on [`QueryEngine::drain`].
+/// This is how the open-loop load harness timestamps completions without
+/// polling: latency measured from *intended* arrival to this callback
+/// charges queue wait to the query instead of hiding it.
+pub type CompletionHook = Arc<dyn Fn(QueryId) + Send + Sync>;
+
 struct Shared {
     state: Mutex<State>,
     work_ready: Condvar,
@@ -498,6 +508,7 @@ struct Shared {
     worker_stats: Vec<WorkerStats>,
     telemetry: Option<EngineTelemetry>,
     panic_hook: Mutex<Option<PanicHook>>,
+    completion_hook: Mutex<Option<CompletionHook>>,
 }
 
 impl Shared {
@@ -588,6 +599,7 @@ impl<S: ServeIndex + 'static> QueryEngine<S> {
             worker_stats: (0..workers).map(|_| WorkerStats::new()).collect(),
             telemetry,
             panic_hook: Mutex::new(None),
+            completion_hook: Mutex::new(None),
         });
         let pool = (0..workers)
             .map(|w| {
@@ -646,6 +658,15 @@ impl<S: ServeIndex + 'static> QueryEngine<S> {
     /// panicking worker's thread, outside the engine's state lock.
     pub fn set_panic_hook(&self, hook: impl Fn(&str) + Send + Sync + 'static) {
         *self.shared.panic_hook.lock().unwrap_or_else(PoisonError::into_inner) =
+            Some(Arc::new(hook));
+    }
+
+    /// Install a callback fired once per finalized query (completed, timed
+    /// out, or failed) right after its result is published — see
+    /// [`CompletionHook`]. Replaces any previous hook. Queries finalized
+    /// before installation never fire it.
+    pub fn set_completion_hook(&self, hook: impl Fn(QueryId) + Send + Sync + 'static) {
+        *self.shared.completion_hook.lock().unwrap_or_else(PoisonError::into_inner) =
             Some(Arc::new(hook));
     }
 
@@ -813,6 +834,7 @@ impl<S: FallibleSpineOps + Send + Sync + 'static> QueryEngine<S> {
         }
         self.shared.notify_if_idle(&st);
         drop(st);
+        fire_completions(&self.shared, &mut vec![id]);
         (QueryResult { id, pattern, outcome }, trace)
     }
 }
@@ -843,6 +865,9 @@ fn worker_loop<S: ServeIndex + ?Sized>(index: &S, shared: &Shared, who: usize, b
         // Submit instants of the batch's requests, kept so publish can
         // record end-to-end latencies; empty when telemetry is off.
         let mut submitted_at: Vec<Instant> = Vec::new();
+        // Ids finalized by this iteration, accumulated so the completion
+        // hook can fire for each after the state lock is released.
+        let mut finalized: Vec<QueryId> = Vec::new();
         let (batch, formation): (Vec<Request>, Duration) = {
             let mut st = shared.lock();
             let mut batch = Vec::new();
@@ -859,6 +884,7 @@ fn worker_loop<S: ServeIndex + ?Sized>(index: &S, shared: &Shared, who: usize, b
                         if req.deadline.is_some_and(|d| d <= now) {
                             // Deadline passed while queued: finalize without
                             // spending a batch slot or any index work.
+                            finalized.push(req.id);
                             st.done.push(QueryResult {
                                 id: req.id,
                                 pattern: req.pattern,
@@ -885,7 +911,19 @@ fn worker_loop<S: ServeIndex + ?Sized>(index: &S, shared: &Shared, who: usize, b
                     shared.notify_if_idle(&st);
                     if st.pending.is_empty() {
                         if st.shutdown {
+                            drop(st);
+                            fire_completions(shared, &mut finalized);
                             return;
+                        }
+                        if !finalized.is_empty() {
+                            // Fire the hook for the expired requests before
+                            // sleeping — their results are already published
+                            // and a hook user (e.g. a latency recorder) must
+                            // not wait for the next submission to wake us.
+                            drop(st);
+                            fire_completions(shared, &mut finalized);
+                            st = shared.lock();
+                            continue;
                         }
                         st = shared.wait(&shared.work_ready, st);
                     }
@@ -901,6 +939,9 @@ fn worker_loop<S: ServeIndex + ?Sized>(index: &S, shared: &Shared, who: usize, b
             shared.space_free.notify_all();
             (batch, formation)
         };
+        // Expired requests finalized during formation, fired now that the
+        // lock is released.
+        fire_completions(shared, &mut finalized);
         shared.worker_stats[who].record(batch.len());
         if let Some(t) = telemetry {
             t.batch_formation.record(formation);
@@ -916,6 +957,7 @@ fn worker_loop<S: ServeIndex + ?Sized>(index: &S, shared: &Shared, who: usize, b
                 // count is restored so `drain` cannot hang, and the panic
                 // continues upward to be counted as a respawn.
                 let msg = panic_message(payload.as_ref());
+                finalized.extend(batch.iter().map(|r| r.id));
                 let mut st = shared.lock();
                 st.in_flight -= batch.len();
                 st.ledger.failed += batch.len() as u64;
@@ -928,6 +970,7 @@ fn worker_loop<S: ServeIndex + ?Sized>(index: &S, shared: &Shared, who: usize, b
                 }
                 shared.notify_if_idle(&st);
                 drop(st);
+                fire_completions(shared, &mut finalized);
                 resume_unwind(payload);
             }
         };
@@ -961,8 +1004,28 @@ fn worker_loop<S: ServeIndex + ?Sized>(index: &S, shared: &Shared, who: usize, b
                 t.registry.record_span(format!("q{}", r.id), *at, latency);
             }
         }
+        finalized.extend(results.iter().map(|r| r.id));
         st.done.extend(results);
         shared.notify_if_idle(&st);
+        drop(st);
+        fire_completions(shared, &mut finalized);
+    }
+}
+
+/// Fire the engine's completion hook (if installed) for every id in `ids`,
+/// draining the vector. Callers must have released the state lock: the hook
+/// is user code and may take the engine's metrics (which re-locks it).
+fn fire_completions(shared: &Shared, ids: &mut Vec<QueryId>) {
+    if ids.is_empty() {
+        return;
+    }
+    let hook = shared.completion_hook.lock().unwrap_or_else(PoisonError::into_inner).clone();
+    if let Some(h) = hook {
+        for id in ids.drain(..) {
+            h(id);
+        }
+    } else {
+        ids.clear();
     }
 }
 

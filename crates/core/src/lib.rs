@@ -88,8 +88,8 @@ pub use build::Spine;
 pub use compact::CompactSpine;
 pub use disk::{DiskSpine, PageMap, SealedCensus, DISK_FORMAT_VERSION};
 pub use engine::{
-    EngineConfig, MetricsSnapshot, QueryEngine, QueryOutcome, QueryResult, ServeIndex,
-    ShardedEngine, ShardedOutcome, ShardedResult, ShedPolicy, SubmitError,
+    CompletionHook, EngineConfig, MetricsSnapshot, PanicHook, QueryEngine, QueryOutcome,
+    QueryResult, ServeIndex, ShardedEngine, ShardedOutcome, ShardedResult, ShedPolicy, SubmitError,
 };
 pub use generalized::{DocMatch, GeneralizedSpine};
 pub use hot::HotSet;

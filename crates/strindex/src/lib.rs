@@ -35,6 +35,7 @@ pub use error::{Error, IoContext, IoOp, Result};
 pub use hash::{FxHashMap, FxHashSet, FxHasher};
 pub use packed::{window_match_len, PackedText};
 pub use telemetry::{
-    Counter, Histogram, HistogramSnapshot, MetricsRegistry, RegistrySnapshot, SpanRecord, Stage,
+    Counter, Histogram, HistogramSnapshot, LoadLedger, MetricsRegistry, RegistrySnapshot,
+    SpanRecord, Stage,
 };
 pub use traits::{Match, MatchingIndex, MatchingStats, MaximalMatch, OnlineIndex, StringIndex};

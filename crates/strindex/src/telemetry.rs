@@ -258,16 +258,22 @@ pub enum Stage {
     ResultMerge,
     /// Backoff slept by the storage retry layer riding out transient faults.
     RetryBackoff,
+    /// Open-loop load generation: intended arrival → actual submit. A
+    /// saturated generator that cannot keep up with its own schedule records
+    /// growing dispatch lag here — the tell that measured latencies are
+    /// about to understate queue delay (coordinated omission).
+    DispatchLag,
 }
 
 impl Stage {
     /// Every stage, in pipeline order.
-    pub const ALL: [Stage; 5] = [
+    pub const ALL: [Stage; 6] = [
         Stage::AdmissionWait,
         Stage::BatchFormation,
         Stage::IndexScan,
         Stage::ResultMerge,
         Stage::RetryBackoff,
+        Stage::DispatchLag,
     ];
 
     /// The registry metric name (`stage.*`) this stage records under.
@@ -278,6 +284,7 @@ impl Stage {
             Stage::IndexScan => "stage.index_scan",
             Stage::ResultMerge => "stage.result_merge",
             Stage::RetryBackoff => "stage.retry_backoff",
+            Stage::DispatchLag => "stage.dispatch_lag",
         }
     }
 
@@ -1293,6 +1300,82 @@ impl SlidingWindow {
     }
 }
 
+/// Offered-vs-achieved accounting for a load generator driving an engine.
+///
+/// Three monotone counters cross the generator/engine boundary: `offered`
+/// (arrivals the schedule intended by now), `dispatched` (requests actually
+/// submitted), and `completed` (results published). Registered as gauges,
+/// they make the two gaps visible on any scrape: `offered − dispatched` is
+/// *generator lag* — the open-loop schedule slipping because submission
+/// itself cannot keep up (per-query magnitude in [`Stage::DispatchLag`]) —
+/// and `dispatched − completed` is *engine backlog* (queued + in-flight).
+/// Open-loop latency numbers are only honest while generator lag stays
+/// near zero; backlog is the quantity that grows without bound past the
+/// saturation knee.
+#[derive(Default)]
+pub struct LoadLedger {
+    offered: AtomicU64,
+    dispatched: AtomicU64,
+    completed: AtomicU64,
+}
+
+impl LoadLedger {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Count `n` arrivals the schedule intended to have offered by now.
+    pub fn record_offered(&self, n: u64) {
+        self.offered.fetch_add(n, Relaxed);
+    }
+
+    /// Count one request actually submitted to the engine.
+    pub fn record_dispatched(&self) {
+        self.dispatched.fetch_add(1, Relaxed);
+    }
+
+    /// Count one result published by the engine.
+    pub fn record_completed(&self) {
+        self.completed.fetch_add(1, Relaxed);
+    }
+
+    pub fn offered(&self) -> u64 {
+        self.offered.load(Relaxed)
+    }
+
+    pub fn dispatched(&self) -> u64 {
+        self.dispatched.load(Relaxed)
+    }
+
+    pub fn completed(&self) -> u64 {
+        self.completed.load(Relaxed)
+    }
+
+    /// Requests the schedule intended but the generator has not submitted.
+    pub fn generator_lag(&self) -> u64 {
+        self.offered().saturating_sub(self.dispatched())
+    }
+
+    /// Requests submitted but not yet answered (queued + in-flight).
+    pub fn engine_backlog(&self) -> u64 {
+        self.dispatched().saturating_sub(self.completed())
+    }
+
+    /// Register the three counters plus both derived gaps as gauges named
+    /// `<prefix>.{offered, dispatched, completed, generator_lag, backlog}`.
+    pub fn register_gauges(self: &Arc<Self>, registry: &MetricsRegistry, prefix: &str) {
+        let mk = |l: &Arc<Self>, f: fn(&LoadLedger) -> u64| {
+            let l = Arc::clone(l);
+            move || f(&l)
+        };
+        registry.gauge(&format!("{prefix}.offered"), mk(self, Self::offered));
+        registry.gauge(&format!("{prefix}.dispatched"), mk(self, Self::dispatched));
+        registry.gauge(&format!("{prefix}.completed"), mk(self, Self::completed));
+        registry.gauge(&format!("{prefix}.generator_lag"), mk(self, Self::generator_lag));
+        registry.gauge(&format!("{prefix}.backlog"), mk(self, Self::engine_backlog));
+    }
+}
+
 /// Burn-rate SLO tracking over a short and a long [`SlidingWindow`].
 ///
 /// An observation is *good* when it succeeded **and** met the latency
@@ -1931,6 +2014,7 @@ mod tests {
         assert_eq!(Stage::ALL.iter().filter(|s| s.is_worker_busy()).count(), 3);
         assert!(!Stage::AdmissionWait.is_worker_busy());
         assert!(!Stage::RetryBackoff.is_worker_busy());
+        assert!(!Stage::DispatchLag.is_worker_busy());
     }
 
     #[test]
@@ -2239,5 +2323,35 @@ mod tests {
             let prom = r.snapshot().to_prometheus("ns");
             validate_prometheus_text(&prom).unwrap_or_else(|e| panic!("value {v:?} failed: {e}"));
         }
+    }
+
+    #[test]
+    fn load_ledger_tracks_both_gaps_and_registers_gauges() {
+        let l = Arc::new(LoadLedger::new());
+        l.record_offered(10);
+        for _ in 0..7 {
+            l.record_dispatched();
+        }
+        for _ in 0..4 {
+            l.record_completed();
+        }
+        assert_eq!(l.generator_lag(), 3, "10 offered − 7 dispatched");
+        assert_eq!(l.engine_backlog(), 3, "7 dispatched − 4 completed");
+        let r = MetricsRegistry::new();
+        l.register_gauges(&r, "load");
+        let snap = r.snapshot();
+        assert_eq!(snap.gauge("load.offered"), Some(10));
+        assert_eq!(snap.gauge("load.generator_lag"), Some(3));
+        assert_eq!(snap.gauge("load.backlog"), Some(3));
+        // Catch-up drains the gaps without ever underflowing.
+        for _ in 0..3 {
+            l.record_dispatched();
+            l.record_completed();
+        }
+        for _ in 0..3 {
+            l.record_completed();
+        }
+        assert_eq!(l.generator_lag(), 0);
+        assert_eq!(l.engine_backlog(), 0);
     }
 }

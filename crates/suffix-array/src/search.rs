@@ -138,6 +138,18 @@ mod tests {
         (a.clone(), SaIndex::build(a.clone(), &codes), NaiveIndex::new(a, &codes))
     }
 
+    /// The load harness serves this index from a worker pool behind a
+    /// shared reference; the serving contract is thread-safety plus sorted
+    /// occurrence lists.
+    #[test]
+    fn upholds_the_serving_contract() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<SaIndex>();
+        let (a, s, _) = engines(b"ACACACACGTACAC");
+        let hits = s.find_all(&a.encode(b"AC").unwrap());
+        assert!(hits.windows(2).all(|w| w[0] < w[1]), "occurrences must be sorted: {hits:?}");
+    }
+
     #[test]
     fn paper_string_queries() {
         let (a, s, _) = engines(b"AACCACAACA");

@@ -345,6 +345,22 @@ impl OnlineIndex for SuffixTree {
 mod tests {
     use super::*;
 
+    /// The load harness serves this tree from a worker pool behind a
+    /// shared reference; the serving contract is thread-safety plus sorted
+    /// occurrence lists (its work counters are atomics, so `&self` queries
+    /// may race freely).
+    #[test]
+    fn upholds_the_serving_contract() {
+        use strindex::StringIndex;
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<SuffixTree>();
+        let a = Alphabet::dna();
+        let text = a.encode(b"ACACACACGTACAC").unwrap();
+        let t = SuffixTree::build(a.clone(), &text).unwrap();
+        let hits = t.find_all(&a.encode(b"AC").unwrap());
+        assert!(hits.windows(2).all(|w| w[0] < w[1]), "occurrences must be sorted: {hits:?}");
+    }
+
     #[test]
     fn node_count_small_example() {
         // Suffix tree of "aaccacaaca$": counted by the paper (Figure 2,

@@ -159,6 +159,19 @@ mod tests {
         (a, codes)
     }
 
+    /// The load harness serves this trie from a worker pool behind a
+    /// shared reference; the serving contract is thread-safety plus sorted
+    /// occurrence lists.
+    #[test]
+    fn upholds_the_serving_contract() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<SuffixTrie>();
+        let (a, text) = dna("ACACACACGTACAC");
+        let t = SuffixTrie::build(a.clone(), &text);
+        let hits = t.find_all(&a.encode(b"AC").unwrap());
+        assert!(hits.windows(2).all(|w| w[0] < w[1]), "occurrences must be sorted: {hits:?}");
+    }
+
     #[test]
     fn paper_example_node_count() {
         // Figure 1 of the paper draws the trie for "aaccacaaca" — count the

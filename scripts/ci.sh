@@ -2,8 +2,10 @@
 # The full CI gate: formatting, lints, build, every test, and the paper's
 # correctness experiment. Run from anywhere inside the repository.
 #
-#   --bench-check   additionally re-run the serving benchmark and fail on a
-#                   >20 % regression against the committed BENCH_serve.json
+#   --bench-check   additionally re-run the serving benchmark and the full
+#                   load-harness sweep, failing on regressions against the
+#                   committed BENCH_serve.json / BENCH_build.json /
+#                   BENCH_scale.json baselines
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -63,6 +65,18 @@ cargo test -q -p pagestore slotted
 cargo test -q -p spine disk::
 cargo test -q --test layout_v2
 cargo test -q --test differential packed_scan
+
+echo "== exp scale --quick --check (load harness: curve coverage vs committed BENCH_scale.json)"
+tmp_scale=$(mktemp)
+cargo run --release -q -p spine-bench --bin exp -- scale --quick \
+  --out "$tmp_scale" --check BENCH_scale.json 2>&1 | tail -2
+rm -f "$tmp_scale"
+
+echo "== load-harness tests (determinism properties + coordinated-omission stall probe)"
+cargo test -q -p spine-bench --lib load
+cargo test -q -p spine-bench --test load
+cargo test -q -p spine-bench --lib rng
+cargo test -q -p spine-bench --lib snapshot
 
 echo "== exp serve --metrics --quick (ledger invariant + stage histograms)"
 metrics_json=$(cargo run --release -q -p spine-bench --bin exp -- serve --metrics --quick)
@@ -199,6 +213,11 @@ if [ "$BENCH_CHECK" = 1 ]; then
     --out "$tmp_snap" --check BENCH_serve.json \
     --out-build "$tmp_build" --check-build BENCH_build.json >/dev/null
   rm -f "$tmp_snap" "$tmp_build"
+  echo "== load-harness regression gate (full sweep vs committed BENCH_scale.json)"
+  tmp_scale=$(mktemp)
+  cargo run --release -q -p spine-bench --bin exp -- scale \
+    --out "$tmp_scale" --check BENCH_scale.json 2>&1 | tail -2
+  rm -f "$tmp_scale"
 fi
 
 echo "== cargo doc (warnings are errors)"
